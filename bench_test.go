@@ -1,0 +1,370 @@
+// Benchmarks regenerating every table and figure of the paper (one bench
+// per experiment E1..E12, matching DESIGN.md's experiment index) plus the
+// ablations DESIGN.md calls out. Custom metrics carry the quantities the
+// paper reports: iterations, PRAM time, work, processors, processor-time
+// products, pebbling moves. cmd/dpbench renders the same data as tables.
+package sublineardp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sublineardp"
+	"sublineardp/internal/btree"
+	"sublineardp/internal/core"
+	"sublineardp/internal/exper"
+	"sublineardp/internal/pebble"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/rytter"
+	"sublineardp/internal/semiring"
+	"sublineardp/internal/seq"
+	"sublineardp/internal/wavefront"
+)
+
+// E1 — iterations to convergence by optimal-tree shape (Table E1).
+func BenchmarkE1IterationsVsShape(b *testing.B) {
+	shapes := map[string]func(int) *btree.Tree{
+		"zigzag":   btree.Zigzag,
+		"complete": btree.Complete,
+		"skewed":   btree.LeftSkewed,
+	}
+	for name, mk := range shapes {
+		for _, n := range []int{16, 36, 64} {
+			b.Run(fmt.Sprintf("shape=%s/n=%d", name, n), func(b *testing.B) {
+				in := problems.Shaped(mk(n)).Materialize()
+				target := seq.Solve(in).Table
+				var iters int
+				for i := 0; i < b.N; i++ {
+					res := core.Solve(in, core.Options{Variant: core.Banded, Target: target})
+					iters = res.ConvergedAt
+				}
+				b.ReportMetric(float64(iters), "iterations")
+				b.ReportMetric(float64(pebble.LemmaBound(n)), "bound")
+			})
+		}
+	}
+}
+
+// E2 — work scaling per solver (Table E2).
+func BenchmarkE2WorkScalingSeq(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := problems.Zigzag(n).Materialize()
+			var work int64
+			for i := 0; i < b.N; i++ {
+				work = seq.Solve(in).Work
+			}
+			b.ReportMetric(float64(work), "work")
+		})
+	}
+}
+
+func BenchmarkE2WorkScalingWavefront(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := problems.Zigzag(n).Materialize()
+			var work int64
+			for i := 0; i < b.N; i++ {
+				work = wavefront.Solve(in, wavefront.Options{}).Acct.Work
+			}
+			b.ReportMetric(float64(work), "work")
+		})
+	}
+}
+
+func BenchmarkE2WorkScalingHLVBanded(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := problems.Zigzag(n).Materialize()
+			var acct float64
+			for i := 0; i < b.N; i++ {
+				res := core.Solve(in, core.Options{Variant: core.Banded})
+				acct = float64(res.Acct.Work)
+			}
+			b.ReportMetric(acct, "work")
+		})
+	}
+}
+
+func BenchmarkE2WorkScalingHLVDense(b *testing.B) {
+	for _, n := range []int{16, 24, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := problems.Zigzag(n).Materialize()
+			var acct float64
+			for i := 0; i < b.N; i++ {
+				res := core.Solve(in, core.Options{Variant: core.Dense})
+				acct = float64(res.Acct.Work)
+			}
+			b.ReportMetric(acct, "work")
+		})
+	}
+}
+
+func BenchmarkE2WorkScalingRytter(b *testing.B) {
+	for _, n := range []int{12, 16, 24} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := problems.Zigzag(n).Materialize()
+			var acct float64
+			for i := 0; i < b.N; i++ {
+				res := rytter.Solve(in, rytter.Options{MaxIterations: rytter.DefaultIterations(n)})
+				acct = float64(res.Acct.Work)
+			}
+			b.ReportMetric(acct, "work")
+		})
+	}
+}
+
+// E3 — pebbling game moves vs Lemma 3.3 (Table E3).
+func BenchmarkE3PebbleGame(b *testing.B) {
+	for _, rule := range []pebble.Rule{pebble.HLVRule, pebble.RytterRule} {
+		for _, n := range []int{256, 1024, 4096} {
+			b.Run(fmt.Sprintf("rule=%s/zigzag/n=%d", rule, n), func(b *testing.B) {
+				tree := btree.Zigzag(n)
+				var moves int
+				for i := 0; i < b.N; i++ {
+					moves, _ = pebble.MovesOn(tree, rule)
+				}
+				b.ReportMetric(float64(moves), "moves")
+				b.ReportMetric(float64(pebble.LemmaBound(n)), "bound")
+			})
+		}
+	}
+}
+
+// E4 — average-case moves on random trees (Table E4).
+func BenchmarkE4AverageCase(b *testing.B) {
+	for _, n := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				st := pebble.SimulateRandom(n, 50, pebble.HLVRule, 42)
+				mean = st.Mean
+			}
+			b.ReportMetric(mean, "mean-moves")
+		})
+	}
+}
+
+// E5 — PRAM time / processor accounting (Table E5).
+func BenchmarkE5PRAMAccounting(b *testing.B) {
+	for _, n := range []int{36, 64, 100} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := problems.Zigzag(n).Materialize()
+			var t, p float64
+			for i := 0; i < b.N; i++ {
+				res := core.Solve(in, core.Options{Variant: core.Banded, Window: true})
+				t, p = float64(res.Acct.Time), float64(res.Acct.MaxProcs)
+			}
+			b.ReportMetric(t, "pram-time")
+			b.ReportMetric(p, "pram-procs")
+		})
+	}
+}
+
+// E6 — cross-validation sweep (Table E6); the metric is solver agreements.
+func BenchmarkE6CrossValidation(b *testing.B) {
+	agreements := 0
+	for i := 0; i < b.N; i++ {
+		agreements = 0
+		for seed := int64(1); seed <= 3; seed++ {
+			in := problems.RandomMatrixChain(12, 40, seed)
+			want := seq.Solve(in).Table
+			for _, opts := range []core.Options{
+				{Variant: core.Dense}, {Variant: core.Banded}, {Variant: core.Banded, Window: true},
+			} {
+				if core.Solve(in, opts).Table.Equal(want) {
+					agreements++
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(agreements), "agreements")
+}
+
+// E7 — termination heuristics (Table E7).
+func BenchmarkE7Termination(b *testing.B) {
+	for _, class := range []string{"zigzag", "random"} {
+		b.Run(class, func(b *testing.B) {
+			n := 49
+			var in *sublineardp.Instance
+			if class == "zigzag" {
+				in = problems.Zigzag(n)
+			} else {
+				in = problems.RandomMatrixChain(n, 50, 1)
+			}
+			in = in.Materialize()
+			var stop int
+			for i := 0; i < b.N; i++ {
+				res := core.Solve(in, core.Options{Variant: core.Banded, Termination: core.WStable})
+				stop = res.Iterations
+			}
+			b.ReportMetric(float64(stop), "stop-iteration")
+			b.ReportMetric(float64(core.DefaultIterations(n)), "budget")
+		})
+	}
+}
+
+// E8 — wall-clock self-speedup (Table E8): identical solve at 1/2/4 workers.
+func BenchmarkE8Speedup(b *testing.B) {
+	in := problems.Zigzag(96).Materialize()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				core.Solve(in, core.Options{Variant: core.Banded, Workers: workers})
+			}
+		})
+	}
+}
+
+// E9 — figure generation (tree renders + pebble trace).
+func BenchmarkE9Figures(b *testing.B) {
+	var tables int
+	for i := 0; i < b.N; i++ {
+		tables = len(exper.E9Figures(exper.Config{Quick: true}))
+	}
+	b.ReportMetric(float64(tables), "figures")
+}
+
+// E10 — adaptive processor-time product (Table E10).
+func BenchmarkE10AdaptivePT(b *testing.B) {
+	for _, n := range []int{36, 64, 100} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := problems.RandomMatrixChain(n, 50, 1).Materialize()
+			var pt float64
+			for i := 0; i < b.N; i++ {
+				res := core.Solve(in, core.Options{Variant: core.Banded, Termination: core.WStable})
+				pt = float64(res.Acct.PTProduct())
+			}
+			b.ReportMetric(pt, "pt-product")
+		})
+	}
+}
+
+// E11 — Brent-scheduled makespan on bounded machines (Table E11).
+func BenchmarkE11ProcessorScaling(b *testing.B) {
+	in := problems.Zigzag(64).Materialize()
+	res := core.Solve(in, core.Options{Variant: core.Banded, Window: true})
+	for _, p := range []int64{1, 1 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			var tp int64
+			for i := 0; i < b.N; i++ {
+				tp = res.Acct.TimeOn(p)
+			}
+			b.ReportMetric(float64(tp), "makespan")
+		})
+	}
+}
+
+// E12 — semiring generalisation (Table E12).
+func BenchmarkE12Semirings(b *testing.B) {
+	for _, sr := range []semiring.Semiring{semiring.MinPlus{}, semiring.MaxPlus{}, semiring.BoolPlan{}} {
+		b.Run(sr.Name(), func(b *testing.B) {
+			in := &semiring.Instance{
+				N:    12,
+				Init: func(i int) int64 { return 1 },
+				F: func(i, k, j int) int64 {
+					if sr.Name() == "bool-plan" {
+						return int64((i + k + j) % 2)
+					}
+					return int64(i + k + j)
+				},
+			}
+			var root int64
+			for i := 0; i < b.N; i++ {
+				root = semiring.SolveHLV(sr, in, 0).Root()
+			}
+			b.ReportMetric(float64(root), "root")
+		})
+	}
+}
+
+// Ablation: windowed vs unwindowed pebble schedule (Section 5).
+func BenchmarkAblationWindow(b *testing.B) {
+	in := problems.Zigzag(64).Materialize()
+	for _, window := range []bool{false, true} {
+		b.Run(fmt.Sprintf("window=%v", window), func(b *testing.B) {
+			var procs float64
+			for i := 0; i < b.N; i++ {
+				res := core.Solve(in, core.Options{Variant: core.Banded, Window: window})
+				procs = float64(res.Acct.MaxProcs)
+			}
+			b.ReportMetric(procs, "pram-procs")
+		})
+	}
+}
+
+// Ablation: synchronous vs chaotic update order.
+func BenchmarkAblationChaotic(b *testing.B) {
+	in := problems.Zigzag(36).Materialize()
+	target := seq.Solve(in).Table
+	for _, mode := range []core.Mode{core.Synchronous, core.Chaotic} {
+		b.Run(mode.String(), func(b *testing.B) {
+			var conv int
+			for i := 0; i < b.N; i++ {
+				res := core.Solve(in, core.Options{Variant: core.Dense, Mode: mode, Target: target})
+				conv = res.ConvergedAt
+			}
+			b.ReportMetric(float64(conv), "converged-at")
+		})
+	}
+}
+
+// Ablation: band radius (Section 5's D = 2*ceil(sqrt n) vs alternatives).
+func BenchmarkAblationBand(b *testing.B) {
+	n := 64
+	in := problems.Zigzag(n).Materialize()
+	target := seq.Solve(in).Table
+	for _, d := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("D=%d", d), func(b *testing.B) {
+			var conv, work float64
+			for i := 0; i < b.N; i++ {
+				res := core.Solve(in, core.Options{Variant: core.Banded, BandRadius: d,
+					Target: target, MaxIterations: 3 * n})
+				conv = float64(res.ConvergedAt)
+				work = float64(res.Acct.Work)
+			}
+			b.ReportMetric(conv, "converged-at")
+			b.ReportMetric(work, "work")
+		})
+	}
+}
+
+// Baseline micro-benchmarks.
+func BenchmarkSeqSolve(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := problems.RandomMatrixChain(n, 50, 1).Materialize()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seq.Solve(in)
+			}
+		})
+	}
+}
+
+func BenchmarkKnuthSolve(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := problems.RandomOBST(n, 50, 1).Materialize()
+			for i := 0; i < b.N; i++ {
+				seq.SolveKnuth(in)
+			}
+		})
+	}
+}
+
+func BenchmarkWavefrontSolve(b *testing.B) {
+	in := problems.RandomMatrixChain(96, 50, 1).Materialize()
+	for i := 0; i < b.N; i++ {
+		wavefront.Solve(in, wavefront.Options{})
+	}
+}
+
+func BenchmarkPebbleGameMove(b *testing.B) {
+	tree := btree.Zigzag(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := pebble.NewGame(tree, pebble.HLVRule)
+		g.Run(0)
+	}
+}

@@ -1,0 +1,82 @@
+// Command dpbench regenerates the paper's tables and figures as text (and
+// optionally CSV). Each experiment is indexed in DESIGN.md and recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	dpbench                  # run everything at full scale
+//	dpbench -exp E2,E4       # run selected experiments
+//	dpbench -quick           # reduced sizes (seconds, used by CI)
+//	dpbench -csv out/        # also write one CSV per table
+//	dpbench -list            # list the experiment registry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"sublineardp/internal/exper"
+)
+
+func main() {
+	var (
+		expFlag = flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+		quick   = flag.Bool("quick", false, "run at reduced test-suite scale")
+		csvDir  = flag.String("csv", "", "directory to also write per-table CSV files")
+		workers = flag.Int("workers", 0, "goroutine count for parallel solvers (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exper.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []exper.Experiment
+	if strings.EqualFold(*expFlag, "all") {
+		selected = exper.All()
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			e, ok := exper.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dpbench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := exper.Config{Quick: *quick, Workers: *workers}
+	for _, e := range selected {
+		start := time.Now()
+		tables := e.Run(cfg)
+		for ti, tb := range tables {
+			tb.Render(os.Stdout)
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+					os.Exit(1)
+				}
+				name := fmt.Sprintf("%s_%d.csv", strings.ToLower(tb.ID), ti)
+				f, err := os.Create(filepath.Join(*csvDir, name))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+					os.Exit(1)
+				}
+				tb.CSV(f)
+				if err := f.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("[%s finished in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

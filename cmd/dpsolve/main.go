@@ -1,0 +1,170 @@
+// Command dpsolve solves one instance of recurrence (*) with a chosen
+// algorithm and prints the optimum, the optimal parenthesization and the
+// solver's instrumentation.
+//
+// Usage examples:
+//
+//	dpsolve -problem matrixchain -dims 30,35,15,5,10,20,25
+//	dpsolve -problem matrixchain -n 40 -seed 7 -algo banded
+//	dpsolve -problem obst -n 12 -seed 3 -algo dense -mode chaotic
+//	dpsolve -problem triangulation -n 16 -algo rytter
+//	dpsolve -problem zigzag -n 25 -algo banded -window -history
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sublineardp/internal/core"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+	"sublineardp/internal/rytter"
+	"sublineardp/internal/seq"
+	"sublineardp/internal/txtplot"
+	"sublineardp/internal/verify"
+	"sublineardp/internal/wavefront"
+)
+
+func main() {
+	var (
+		problem = flag.String("problem", "matrixchain", "matrixchain | obst | triangulation | zigzag | balanced | skewed | random")
+		n       = flag.Int("n", 10, "instance size (ignored when -dims is given)")
+		seed    = flag.Int64("seed", 1, "random seed for generated instances")
+		dims    = flag.String("dims", "", "comma-separated matrix dimensions (matrixchain only)")
+		algo    = flag.String("algo", "banded", "seq | knuth | wavefront | dense | banded | rytter")
+		mode    = flag.String("mode", "sync", "sync | chaotic (dense/banded only)")
+		term    = flag.String("term", "fixed", "fixed | w-stable | wpw-stable")
+		window  = flag.Bool("window", false, "windowed pebble schedule (banded only)")
+		workers = flag.Int("workers", 0, "goroutine count (0 = GOMAXPROCS)")
+		history = flag.Bool("history", false, "print per-iteration convergence history")
+		tree    = flag.Bool("tree", true, "print the optimal parenthesization tree")
+	)
+	flag.Parse()
+
+	in, err := buildInstance(*problem, *n, *seed, *dims)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dpsolve: %v\n", err)
+		os.Exit(2)
+	}
+	fmt.Printf("instance: %s (n=%d)\n", in.Name, in.N)
+
+	seqRes := seq.Solve(in)
+	switch *algo {
+	case "seq":
+		fmt.Printf("optimum c(0,%d) = %d (work %d)\n", in.N, seqRes.Cost(), seqRes.Work)
+	case "knuth":
+		k := seq.SolveKnuth(in)
+		fmt.Printf("optimum c(0,%d) = %d (knuth work %d vs %d cubic)\n", in.N, k.Cost(), k.Work, seqRes.Work)
+		if k.Cost() != seqRes.Cost() {
+			fmt.Println("WARNING: Knuth speedup disagrees; instance may violate the quadrangle inequality")
+		}
+	case "wavefront":
+		res := wavefront.Solve(in, wavefront.Options{Workers: *workers})
+		fmt.Printf("optimum c(0,%d) = %d\n", in.N, res.Cost())
+		fmt.Printf("pram: %s\n", res.Acct.String())
+	case "rytter":
+		res := rytter.Solve(in, rytter.Options{Workers: *workers, Target: seqRes.Table})
+		fmt.Printf("optimum c(0,%d) = %d\n", in.N, res.Cost())
+		fmt.Printf("iterations: %d (converged at %d)\n", res.Iterations, res.ConvergedAt)
+		fmt.Printf("pram: %s\n", res.Acct.String())
+	case "dense", "banded":
+		opts := core.Options{
+			Variant: core.Banded,
+			Workers: *workers,
+			Window:  *window,
+			Target:  seqRes.Table,
+			History: *history,
+		}
+		if *algo == "dense" {
+			opts.Variant = core.Dense
+		}
+		switch *mode {
+		case "sync":
+		case "chaotic":
+			opts.Mode = core.Chaotic
+		default:
+			fmt.Fprintf(os.Stderr, "dpsolve: unknown mode %q\n", *mode)
+			os.Exit(2)
+		}
+		switch *term {
+		case "fixed":
+		case "w-stable":
+			opts.Termination = core.WStable
+		case "wpw-stable":
+			opts.Termination = core.WPWStable
+		default:
+			fmt.Fprintf(os.Stderr, "dpsolve: unknown termination %q\n", *term)
+			os.Exit(2)
+		}
+		res := core.Solve(in, opts)
+		fmt.Printf("optimum c(0,%d) = %d\n", in.N, res.Cost())
+		fmt.Printf("variant: %s  iterations: %d (budget %d, converged at %d)\n",
+			res.Variant, res.Iterations, core.DefaultIterations(in.N), res.ConvergedAt)
+		if res.BandRadius > 0 {
+			fmt.Printf("band radius D = %d\n", res.BandRadius)
+		}
+		fmt.Printf("pram: %s\n", res.Acct.String())
+		if rep := verify.Table(in, res.Table); rep.OK() {
+			fmt.Printf("verified: table is the exact fixed point of the recurrence (%d cells)\n", rep.Checked)
+		} else {
+			fmt.Printf("WARNING: verification failed: %v\n", rep.Err())
+		}
+		if res.Cost() != seqRes.Cost() {
+			fmt.Println("WARNING: parallel result disagrees with sequential DP")
+		}
+		if *history {
+			fmt.Println("iter  w-changed  pw-changed  finite-w")
+			var finite []float64
+			for _, st := range res.History {
+				fmt.Printf("%4d  %9d  %10d  %8d\n", st.Iter, st.WChanged, st.PWChanged, st.FiniteW)
+				finite = append(finite, float64(st.FiniteW))
+			}
+			fmt.Println("convergence (finite w' entries per iteration):")
+			fmt.Print(txtplot.Lines(48, 8, []float64{1, float64(len(finite))},
+				txtplot.Series{Name: "finite w'", Ys: finite}))
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "dpsolve: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+
+	if *tree && in.N <= 32 {
+		fmt.Println("optimal parenthesization:")
+		fmt.Print(seqRes.Tree().Render(nil))
+	}
+}
+
+func buildInstance(problem string, n int, seed int64, dims string) (*recurrence.Instance, error) {
+	switch problem {
+	case "matrixchain":
+		if dims != "" {
+			var ds []int
+			for _, part := range strings.Split(dims, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return nil, fmt.Errorf("bad dimension %q: %v", part, err)
+				}
+				ds = append(ds, v)
+			}
+			return problems.MatrixChain(ds), nil
+		}
+		return problems.RandomMatrixChain(n, 100, seed), nil
+	case "obst":
+		return problems.RandomOBST(n, 50, seed), nil
+	case "triangulation":
+		return problems.Triangulation(problems.RandomConvexPolygon(n, 1000, seed)), nil
+	case "zigzag":
+		return problems.Zigzag(n), nil
+	case "balanced":
+		return problems.Balanced(n), nil
+	case "skewed":
+		return problems.Skewed(n), nil
+	case "random":
+		return problems.RandomInstance(n, 100, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown problem %q", problem)
+	}
+}

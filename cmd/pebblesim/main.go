@@ -1,0 +1,94 @@
+// Command pebblesim plays the Section 3 pebbling game on a chosen tree
+// shape and square rule, optionally tracing every move — the interactive
+// companion to Lemma 3.3.
+//
+// Usage examples:
+//
+//	pebblesim -shape zigzag -n 100
+//	pebblesim -shape random -n 64 -seed 9 -rule rytter
+//	pebblesim -shape complete -n 16 -trace
+//	pebblesim -shape zigzag -n 1000 -avg 50   # average over 50 random trees instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sublineardp/internal/btree"
+	"sublineardp/internal/pebble"
+)
+
+func main() {
+	var (
+		shape  = flag.String("shape", "zigzag", "zigzag | complete | skewed | random")
+		n      = flag.Int("n", 64, "number of leaves")
+		seed   = flag.Int64("seed", 1, "seed for -shape random")
+		rule   = flag.String("rule", "hlv", "hlv (paper's square) | rytter (pointer doubling)")
+		trace  = flag.Bool("trace", false, "print per-move statistics")
+		render = flag.Bool("render", false, "render the tree before playing (n <= 32)")
+		avg    = flag.Int("avg", 0, "instead: average moves over this many random trees")
+	)
+	flag.Parse()
+
+	var r pebble.Rule
+	switch *rule {
+	case "hlv":
+		r = pebble.HLVRule
+	case "rytter":
+		r = pebble.RytterRule
+	default:
+		fmt.Fprintf(os.Stderr, "pebblesim: unknown rule %q\n", *rule)
+		os.Exit(2)
+	}
+
+	if *avg > 0 {
+		st := pebble.SimulateRandom(*n, *avg, r, *seed)
+		fmt.Printf("random trees: n=%d trials=%d rule=%s\n", st.N, st.Trials, r)
+		fmt.Printf("moves: mean=%.2f min=%d max=%d bound=%d exceeded=%d\n",
+			st.Mean, st.Min, st.Max, st.Bound, st.Exceeded)
+		return
+	}
+
+	var tree *btree.Tree
+	switch *shape {
+	case "zigzag":
+		tree = btree.Zigzag(*n)
+	case "complete":
+		tree = btree.Complete(*n)
+	case "skewed":
+		tree = btree.LeftSkewed(*n)
+	case "random":
+		tree = btree.RandomSplit(*n, rand.New(rand.NewSource(*seed)))
+	default:
+		fmt.Fprintf(os.Stderr, "pebblesim: unknown shape %q\n", *shape)
+		os.Exit(2)
+	}
+
+	if *render && *n <= 32 {
+		fmt.Print(tree.Render(nil))
+	}
+
+	g := pebble.NewGame(tree, r)
+	if *trace {
+		g.Trace = func(move int, gg *pebble.Game) {
+			largest := 0
+			for v := int32(0); v < int32(gg.T.Len()); v++ {
+				if gg.Pebbled(v) && gg.T.Size(v) > largest {
+					largest = gg.T.Size(v)
+				}
+			}
+			fmt.Printf("move %3d: pebbled %4d/%4d nodes, frontier size %4d\n",
+				move, gg.PebbledCount(), gg.T.Len(), largest)
+		}
+	}
+	moves := g.Run(0)
+	bound := pebble.LemmaBound(*n)
+	fmt.Printf("shape=%s n=%d rule=%s: root pebbled after %d moves (Lemma 3.3 bound %d)\n",
+		*shape, *n, r, moves, bound)
+	if !g.RootPebbled() {
+		fmt.Println("WARNING: root not pebbled within the budget — this should be impossible")
+		os.Exit(1)
+	}
+}

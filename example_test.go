@@ -1,0 +1,67 @@
+package sublineardp_test
+
+import (
+	"fmt"
+
+	"sublineardp"
+)
+
+// The headline use: solve a matrix-chain instance with the paper's
+// parallel algorithm.
+func ExampleSolve() {
+	in := sublineardp.NewMatrixChain([]int{30, 35, 15, 5, 10, 20, 25})
+	res := sublineardp.Solve(in, sublineardp.Options{Variant: sublineardp.Banded})
+	fmt.Println(res.Cost())
+	fmt.Println(res.Iterations == sublineardp.WorstCaseIterations(in.N))
+	// Output:
+	// 15125
+	// true
+}
+
+// The sequential baseline also reconstructs the optimal parenthesization.
+func ExampleSolveSequential() {
+	in := sublineardp.NewMatrixChain([]int{10, 100, 5, 50})
+	res := sublineardp.SolveSequential(in)
+	fmt.Println(res.Cost())
+	fmt.Println(res.Split(0, 3)) // root split: (A1 A2) A3
+	// Output:
+	// 7500
+	// 2
+}
+
+// Optimal binary search trees use Knuth's alpha/beta weight formulation.
+func ExampleNewOBST() {
+	alpha := []int64{1, 1} // gap weights (unsuccessful searches)
+	beta := []int64{1}     // key weights
+	in := sublineardp.NewOBST(alpha, beta)
+	fmt.Println(sublineardp.SolveSequential(in).Cost())
+	// Output:
+	// 5
+}
+
+// The Section 3 pebbling game: the zigzag tree needs Theta(sqrt n) moves
+// under the paper's square rule but stays within the Lemma 3.3 bound.
+func ExampleNewPebbleGame() {
+	tree := sublineardp.ZigzagTree(100)
+	g := sublineardp.NewPebbleGame(tree, sublineardp.PebbleHLV)
+	moves := g.Run(0)
+	fmt.Println(g.RootPebbled())
+	fmt.Println(moves <= sublineardp.PebbleBound(100))
+	// Output:
+	// true
+	// true
+}
+
+// ExtractTree recovers the actual solution from the parallel solver's
+// value table.
+func ExampleExtractTree() {
+	in := sublineardp.NewWeightedTriangulation([]int64{10, 100, 5, 50})
+	res := sublineardp.Solve(in, sublineardp.Options{})
+	tree, err := sublineardp.ExtractTree(in, res.Table)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sublineardp.TreeCost(in, tree) == res.Cost())
+	// Output:
+	// true
+}

@@ -1,0 +1,64 @@
+// A realistic end-to-end workload: build the optimal static search tree
+// for a dictionary whose access frequencies follow a Zipf law (the
+// classic OBST application the paper's introduction motivates), at a size
+// where the parallel algorithm's early termination visibly beats the
+// worst-case budget.
+//
+// Run with:
+//
+//	go run ./examples/dictionary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sublineardp"
+	"sublineardp/internal/recurrence"
+	"sublineardp/internal/workload"
+)
+
+func main() {
+	const keys = 120
+	in := workload.DictionaryOBST(keys, 2026)
+	fmt.Printf("workload: %s (n=%d objects)\n", in.Name, in.N)
+
+	// Worst-case budget vs adaptive stop (Section 7 heuristic).
+	fixed := sublineardp.Solve(in, sublineardp.Options{Variant: sublineardp.Banded})
+	adaptive := sublineardp.Solve(in, sublineardp.Options{
+		Variant:     sublineardp.Banded,
+		Termination: sublineardp.WStable,
+	})
+	fmt.Printf("optimal weighted path length: %d\n", adaptive.Cost())
+	fmt.Printf("fixed budget:   %3d iterations, %s\n", fixed.Iterations, fixed.Acct.String())
+	fmt.Printf("adaptive stop:  %3d iterations, %s\n", adaptive.Iterations, adaptive.Acct.String())
+	if fixed.Cost() != adaptive.Cost() {
+		log.Fatal("termination rule changed the optimum")
+	}
+
+	// Recover and certify the tree from the parallel value table.
+	tree, err := sublineardp.ExtractTree(in, adaptive.Table)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if got := sublineardp.TreeCost(in, tree); got != adaptive.Cost() {
+		log.Fatalf("certificate mismatch: tree %d vs table %d", got, adaptive.Cost())
+	}
+	fmt.Printf("reconstructed optimal BST: height %d over %d keys (log2(n)=%.1f)\n",
+		tree.Height(), keys, float64(log2(keys)))
+
+	// How unbalanced is the optimum? Zipf weights pull hot keys to the
+	// root: compare against a perfectly balanced tree's cost.
+	balanced := sublineardp.CompleteTree(in.N)
+	balCost := recurrence.TreeCost(in, balanced)
+	fmt.Printf("balanced-tree cost: %d (optimal saves %.1f%%)\n",
+		balCost, 100*(1-float64(adaptive.Cost())/float64(balCost)))
+}
+
+func log2(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}

@@ -1,0 +1,63 @@
+// Matrix-chain ordering at scale: generate a random chain of 60 matrices,
+// solve it with every algorithm in the repository, and compare their
+// instrumentation — a miniature of experiment E2.
+//
+// Run with:
+//
+//	go run ./examples/matrixchain
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sublineardp"
+)
+
+func main() {
+	const n = 60
+	rng := rand.New(rand.NewSource(2024))
+	dims := make([]int, n+1)
+	for i := range dims {
+		dims[i] = 5 + rng.Intn(95)
+	}
+	in := sublineardp.NewMatrixChain(dims)
+
+	seq := sublineardp.SolveSequential(in)
+	fmt.Printf("n=%d matrices, sequential optimum %d (work %d)\n", n, seq.Cost(), seq.Work)
+
+	// The paper's banded algorithm at the fixed worst-case budget.
+	fixed := sublineardp.Solve(in, sublineardp.Options{Variant: sublineardp.Banded})
+	fmt.Printf("banded fixed-budget:  cost %d, %d iterations, %s\n",
+		fixed.Cost(), fixed.Iterations, fixed.Acct.String())
+
+	// The Section 7 early-termination heuristic: random instances converge
+	// in O(log n)-ish iterations (Section 6), so this stops much sooner.
+	adaptive := sublineardp.Solve(in, sublineardp.Options{
+		Variant:     sublineardp.Banded,
+		Termination: sublineardp.WStable,
+	})
+	fmt.Printf("banded + w-stable:    cost %d, stopped after %d iterations (early=%v)\n",
+		adaptive.Cost(), adaptive.Iterations, adaptive.StoppedEarly)
+
+	// Baselines.
+	wave := sublineardp.SolveWavefront(in, 0)
+	fmt.Printf("wavefront:            cost %d\n", wave.Root())
+
+	for _, r := range []*sublineardp.Result{fixed, adaptive} {
+		if r.Cost() != seq.Cost() {
+			log.Fatalf("disagreement: %d vs %d", r.Cost(), seq.Cost())
+		}
+	}
+	if wave.Root() != seq.Cost() {
+		log.Fatal("wavefront disagrees")
+	}
+	fmt.Println("all solvers agree with the sequential optimum")
+
+	// Show the first levels of the optimal parenthesization.
+	tr := seq.Tree()
+	i, j := tr.Span(tr.Root)
+	k := tr.Split(tr.Root)
+	fmt.Printf("top-level split: (A%d..A%d)(A%d..A%d)\n", i+1, k, k+1, j)
+}

@@ -1,0 +1,50 @@
+// Optimal binary search tree: build the search tree over a small English
+// keyword set with made-up access frequencies, solve it in parallel, and
+// render the resulting BST with its keys — the classic Knuth application
+// the paper cites.
+//
+// Run with:
+//
+//	go run ./examples/obst
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sublineardp"
+)
+
+func main() {
+	// Keys in sorted order with access weights (beta), and weights for the
+	// gaps between them (alpha) modelling unsuccessful searches.
+	keys := []string{"begin", "do", "else", "end", "if", "then", "while"}
+	beta := []int64{42, 11, 23, 40, 51, 30, 20}
+	alpha := []int64{6, 4, 2, 1, 3, 5, 7, 8} // len(keys)+1 gaps
+
+	in := sublineardp.NewOBST(alpha, beta)
+	res := sublineardp.Solve(in, sublineardp.Options{Variant: sublineardp.Banded})
+	seq := sublineardp.SolveSequential(in)
+	if res.Cost() != seq.Cost() {
+		log.Fatalf("parallel %d != sequential %d", res.Cost(), seq.Cost())
+	}
+	fmt.Printf("optimal weighted path length: %d\n", res.Cost())
+	fmt.Printf("solved in %d parallel iterations (budget %d)\n",
+		res.Iterations, sublineardp.WorstCaseIterations(in.N))
+
+	// The parenthesization tree maps back to the BST: the split k of an
+	// internal span node (i,j) is the root key k of the subtree holding
+	// keys i+1..j-1 (1-based); leaves are the gaps.
+	tr := seq.Tree()
+	fmt.Println("optimal binary search tree:")
+	fmt.Print(tr.Render(func(v int32) string {
+		i, j := tr.Span(v)
+		if j-i == 1 {
+			return fmt.Sprintf("(gap %d)", i)
+		}
+		return keys[tr.Split(v)-1]
+	}))
+
+	// Sanity: the root of the BST should be a high-frequency middle key.
+	fmt.Printf("root key: %q\n", keys[tr.Split(tr.Root)-1])
+}

@@ -1,0 +1,38 @@
+// Quickstart: solve the textbook matrix-chain instance with the paper's
+// parallel algorithm and compare against the sequential optimum.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sublineardp"
+)
+
+func main() {
+	// Six matrices: 30x35, 35x15, 15x5, 5x10, 10x20, 20x25 (CLRS §15.2).
+	in := sublineardp.NewMatrixChain([]int{30, 35, 15, 5, 10, 20, 25})
+
+	// The paper's algorithm: banded storage (the O(n^3.5/log n)-processor
+	// variant of Section 5), synchronous PRAM-faithful updates, the fixed
+	// 2*ceil(sqrt(n)) iteration budget.
+	res := sublineardp.Solve(in, sublineardp.Options{Variant: sublineardp.Banded})
+	fmt.Printf("parallel optimum:  %d scalar multiplications\n", res.Cost())
+	fmt.Printf("iterations:        %d (worst-case budget %d)\n",
+		res.Iterations, sublineardp.WorstCaseIterations(in.N))
+	fmt.Printf("PRAM accounting:   %s\n", res.Acct.String())
+
+	// The O(n^3) sequential baseline, with tree reconstruction.
+	seq := sublineardp.SolveSequential(in)
+	fmt.Printf("sequential optimum: %d\n", seq.Cost())
+	if res.Cost() != seq.Cost() {
+		log.Fatal("parallel and sequential optima disagree")
+	}
+
+	fmt.Println("optimal parenthesization ((A1(A2A3))((A4A5)A6)):")
+	fmt.Print(seq.Tree().Render(nil))
+}

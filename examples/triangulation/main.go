@@ -1,0 +1,57 @@
+// Minimum-weight triangulation of a convex polygon: build a random convex
+// polygon, find the triangulation minimising total triangle perimeter,
+// and list the chosen triangles — the third problem family of the paper.
+//
+// Run with:
+//
+//	go run ./examples/triangulation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sublineardp"
+)
+
+func main() {
+	// A convex 14-gon: vertices on a circle at irregular angles.
+	vs := []sublineardp.Point{
+		{X: 1000, Y: 0}, {X: 940, Y: 342}, {X: 766, Y: 643}, {X: 500, Y: 866},
+		{X: 174, Y: 985}, {X: -174, Y: 985}, {X: -500, Y: 866}, {X: -766, Y: 643},
+		{X: -940, Y: 342}, {X: -1000, Y: 0}, {X: -766, Y: -643}, {X: -174, Y: -985},
+		{X: 500, Y: -866}, {X: 940, Y: -342},
+	}
+	in := sublineardp.NewTriangulation(vs)
+
+	res := sublineardp.Solve(in, sublineardp.Options{
+		Variant:     sublineardp.Banded,
+		Termination: sublineardp.WStable, // polygons are benign: stops early
+	})
+	seq := sublineardp.SolveSequential(in)
+	if res.Cost() != seq.Cost() {
+		log.Fatalf("parallel %d != sequential %d", res.Cost(), seq.Cost())
+	}
+	fmt.Printf("minimal total perimeter (scaled x1024): %d\n", res.Cost())
+	fmt.Printf("parallel iterations: %d (budget %d, stopped early: %v)\n",
+		res.Iterations, sublineardp.WorstCaseIterations(in.N), res.StoppedEarly)
+
+	// Walk the parenthesization tree: every internal node (i,j) split at k
+	// is the triangle (v_i, v_k, v_j).
+	tr := seq.Tree()
+	fmt.Println("triangles of the optimal triangulation:")
+	count := 0
+	for v := int32(0); v < int32(tr.Len()); v++ {
+		if tr.IsLeaf(v) {
+			continue
+		}
+		i, j := tr.Span(v)
+		k := tr.Split(v)
+		fmt.Printf("  (v%d, v%d, v%d)\n", i, k, j)
+		count++
+	}
+	// A triangulated convex (n+1)-gon has n-1 triangles.
+	if count != in.N-1 {
+		log.Fatalf("%d triangles, want %d", count, in.N-1)
+	}
+}

@@ -1,0 +1,96 @@
+package sublineardp_test
+
+import (
+	mrand "math/rand"
+	"testing"
+
+	"sublineardp/internal/btree"
+	"sublineardp/internal/core"
+	"sublineardp/internal/pebble"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/seq"
+	"sublineardp/internal/verify"
+)
+
+// Native fuzz targets. `go test` runs the seeded corpus as regular tests;
+// `go test -fuzz FuzzX` explores further.
+
+// FuzzSolversAgree cross-checks the parallel solvers against the
+// sequential DP on arbitrary seeded instances.
+func FuzzSolversAgree(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(20))
+	f.Add(int64(42), uint8(9), uint8(1))
+	f.Add(int64(-7), uint8(12), uint8(100))
+	f.Fuzz(func(t *testing.T, seed int64, nn, maxW uint8) {
+		n := int(nn)%12 + 1
+		in := problems.RandomInstance(n, int(maxW)+1, seed)
+		want := seq.Solve(in).Table
+		if rep := verify.Table(in, want); !rep.OK() {
+			t.Fatalf("sequential table failed verification: %v", rep.Err())
+		}
+		for _, opts := range []core.Options{
+			{Variant: core.Dense},
+			{Variant: core.Banded},
+			{Variant: core.Banded, Window: true},
+			{Variant: core.Banded, Termination: core.WStable},
+		} {
+			got := core.Solve(in, opts)
+			if !got.Table.Equal(want) {
+				t.Fatalf("options %+v disagree on n=%d seed=%d: %v",
+					opts, n, seed, got.Table.Diff(want, 3))
+			}
+		}
+	})
+}
+
+// FuzzPebbleBound checks Lemma 3.3 on arbitrary random trees.
+func FuzzPebbleBound(f *testing.F) {
+	f.Add(int64(1), uint16(64))
+	f.Add(int64(2), uint16(500))
+	f.Fuzz(func(t *testing.T, seed int64, nn uint16) {
+		n := int(nn)%800 + 2
+		tree := btree.RandomSplit(n, newSeededRand(seed))
+		g := pebble.NewGame(tree, pebble.HLVRule)
+		moves := g.Run(pebble.LemmaBound(n))
+		if !g.RootPebbled() {
+			t.Fatalf("n=%d seed=%d: root unpebbled after %d moves (bound %d)",
+				n, seed, moves, pebble.LemmaBound(n))
+		}
+	})
+}
+
+// FuzzTreeEncoding round-trips arbitrary random trees through the
+// serialisation format.
+func FuzzTreeEncoding(f *testing.F) {
+	f.Add(int64(3), uint8(10))
+	f.Fuzz(func(t *testing.T, seed int64, nn uint8) {
+		n := int(nn)%60 + 2
+		tree := btree.RandomSplit(n, newSeededRand(seed))
+		got, err := btree.Parse(tree.Encode())
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if !got.Equal(tree) {
+			t.Fatalf("round trip changed the tree %s", tree.Encode())
+		}
+	})
+}
+
+// FuzzParseNeverPanics feeds arbitrary strings to the tree parser; it may
+// reject them but must not panic.
+func FuzzParseNeverPanics(f *testing.F) {
+	f.Add("(1 . .)")
+	f.Add("((((")
+	f.Add("(999999999999999999999 . .)")
+	f.Add(".(")
+	f.Fuzz(func(t *testing.T, s string) {
+		tree, err := btree.Parse(s)
+		if err == nil {
+			if vErr := tree.Validate(); vErr != nil {
+				t.Fatalf("Parse(%q) returned an invalid tree: %v", s, vErr)
+			}
+		}
+	})
+}
+
+func newSeededRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }

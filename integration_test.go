@@ -1,0 +1,185 @@
+package sublineardp_test
+
+import (
+	"testing"
+
+	"sublineardp"
+	"sublineardp/internal/core"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
+	"sublineardp/internal/rytter"
+	"sublineardp/internal/seq"
+	"sublineardp/internal/wavefront"
+)
+
+// Cross-module edge cases that no single package test covers: infeasible
+// splits (f = Inf), near-overflow weights, and degenerate sizes, checked
+// across every solver at once.
+
+func allTables(in *recurrence.Instance) map[string]*recurrence.Table {
+	return map[string]*recurrence.Table{
+		"seq":           seq.Solve(in).Table,
+		"dense":         core.Solve(in, core.Options{Variant: core.Dense}).Table,
+		"banded":        core.Solve(in, core.Options{Variant: core.Banded}).Table,
+		"banded-window": core.Solve(in, core.Options{Variant: core.Banded, Window: true}).Table,
+		"chaotic":       core.Solve(in, core.Options{Variant: core.Dense, Mode: core.Chaotic}).Table,
+		"rytter":        rytter.Solve(in, rytter.Options{}).Table,
+		"wavefront":     wavefront.Solve(in, wavefront.Options{}).Table,
+	}
+}
+
+func requireAllEqual(t *testing.T, in *recurrence.Instance) map[string]*recurrence.Table {
+	t.Helper()
+	tables := allTables(in)
+	want := tables["seq"]
+	for name, got := range tables {
+		if !got.Equal(want) {
+			t.Fatalf("%s disagrees with sequential on %s: %v", name, in.Name, got.Diff(want, 3))
+		}
+	}
+	return tables
+}
+
+// Forbidden splits: f(i,k,j) = Inf unless k == i+1 forces the right-spine
+// tree; every solver must still find the unique feasible optimum.
+func TestForbiddenSplitsForceSpine(t *testing.T) {
+	n := 10
+	in := &recurrence.Instance{
+		N:    n,
+		Name: "forced-spine",
+		Init: func(i int) cost.Cost { return 1 },
+		F: func(i, k, j int) cost.Cost {
+			if k == i+1 {
+				return 5
+			}
+			return cost.Inf
+		},
+	}
+	tables := requireAllEqual(t, in)
+	// Unique tree: right spine; cost = n leaves + (n-1) internal * 5.
+	want := cost.Cost(n*1 + (n-1)*5)
+	if got := tables["seq"].Root(); got != want {
+		t.Fatalf("forced spine cost = %d, want %d", got, want)
+	}
+	tr, err := recurrence.ExtractTree(in, tables["banded"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Height() != n-1 {
+		t.Fatalf("forced tree height %d, want %d (spine)", tr.Height(), n-1)
+	}
+}
+
+// Fully infeasible root: every split of (0,n) forbidden. The optimum is
+// Inf and no solver may fabricate a finite value or overflow.
+func TestFullyInfeasibleInstance(t *testing.T) {
+	n := 8
+	in := &recurrence.Instance{
+		N:    n,
+		Name: "infeasible-root",
+		Init: func(i int) cost.Cost { return 1 },
+		F: func(i, k, j int) cost.Cost {
+			if i == 0 && j == n {
+				return cost.Inf
+			}
+			return 1
+		},
+	}
+	tables := requireAllEqual(t, in)
+	if got := tables["seq"].Root(); !cost.IsInf(got) {
+		t.Fatalf("infeasible root solved to %d", got)
+	}
+	// Sub-spans are still feasible.
+	if got := tables["banded"].At(0, n-1); cost.IsInf(got) {
+		t.Fatal("feasible sub-span not solved")
+	}
+}
+
+// Near-overflow weights: values around Inf/8 must saturate, not wrap, and
+// all solvers must agree (the saturation path is exercised millions of
+// times in the squares).
+func TestNearOverflowWeights(t *testing.T) {
+	big := cost.Inf / 8
+	in := &recurrence.Instance{
+		N:    7,
+		Name: "near-overflow",
+		Init: func(i int) cost.Cost { return big },
+		F:    func(i, k, j int) cost.Cost { return big },
+	}
+	tables := requireAllEqual(t, in)
+	root := tables["seq"].Root()
+	// 7 leaves + 6 internal nodes at Inf/8 each = 13*Inf/8 > Inf: the true
+	// sum exceeds Inf, so the exact integer answer would overflow the
+	// sentinel; saturation must report Inf rather than a wrapped value.
+	if !cost.IsInf(root) {
+		t.Fatalf("root = %d; expected saturated Inf", root)
+	}
+	if root < 0 {
+		t.Fatal("overflow produced a negative cost")
+	}
+}
+
+// Moderately large weights that do NOT overflow: exact agreement must
+// hold at the boundary of the safe range.
+func TestLargeButSafeWeights(t *testing.T) {
+	big := cost.Inf / 64
+	in := &recurrence.Instance{
+		N:    6,
+		Name: "large-safe",
+		Init: func(i int) cost.Cost { return big },
+		F:    func(i, k, j int) cost.Cost { return cost.Cost(i + k + j) },
+	}
+	tables := requireAllEqual(t, in)
+	want := 6*big + cost.Cost(0) // leaves dominate; internal f small
+	if got := tables["seq"].Root(); got < want {
+		t.Fatalf("root %d below leaf mass %d", got, want)
+	}
+	if cost.IsInf(tables["seq"].Root()) {
+		t.Fatal("safe weights saturated")
+	}
+}
+
+func TestDegenerateSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3} {
+		in := &recurrence.Instance{
+			N:    n,
+			Name: "degenerate",
+			Init: func(i int) cost.Cost { return cost.Cost(i) },
+			F:    func(i, k, j int) cost.Cost { return 1 },
+		}
+		requireAllEqual(t, in)
+	}
+}
+
+// Zero-cost everything: the optimum is 0 and must not be confused with
+// "unsolved" anywhere.
+func TestAllZeroInstance(t *testing.T) {
+	in := &recurrence.Instance{
+		N:    9,
+		Name: "all-zero",
+		Init: func(i int) cost.Cost { return 0 },
+		F:    func(i, k, j int) cost.Cost { return 0 },
+	}
+	tables := requireAllEqual(t, in)
+	for i := 0; i <= 9; i++ {
+		for j := i + 1; j <= 9; j++ {
+			if got := tables["banded"].At(i, j); got != 0 {
+				t.Fatalf("c(%d,%d) = %d, want 0", i, j, got)
+			}
+		}
+	}
+}
+
+// The facade's ExtractTree must work for every solver's output table.
+func TestExtractTreeFromEverySolver(t *testing.T) {
+	in := sublineardp.NewMatrixChain([]int{7, 3, 9, 4, 8, 2, 6})
+	for name, tbl := range allTables(in) {
+		tr, err := recurrence.ExtractTree(in, tbl)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := recurrence.TreeCost(in, tr); got != tbl.Root() {
+			t.Fatalf("%s: tree cost %d != root %d", name, got, tbl.Root())
+		}
+	}
+}

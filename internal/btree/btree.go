@@ -1,0 +1,337 @@
+// Package btree implements the full binary trees over index spans that the
+// paper uses everywhere: a node is a pair (i,j) with 0 <= i < j <= n, an
+// internal node (i,j) has sons (i,k) and (k,j) for some i < k < j, and the
+// leaves are the unit spans (i,i+1). Such a tree is exactly one
+// parenthesization of n objects.
+//
+// The package provides construction from split choices, the classic shapes
+// from Figure 2 of the paper (zigzag, complete, skewed), uniformly random
+// split trees (the Section 6 average-case model), shape metrics, ancestor
+// queries (needed by the pebbling game's square move) and ASCII rendering
+// (Figures 1 and 2).
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// None marks an absent child or parent link.
+const None int32 = -1
+
+// Tree is a full binary tree over the spans of 0..N. A tree with N leaves
+// has exactly 2N-1 nodes, stored in flat parallel slices.
+type Tree struct {
+	// N is the number of leaves; the root spans (0,N).
+	N int
+	// Lo and Hi give the span (Lo[v], Hi[v]) of node v.
+	Lo, Hi []int32
+	// Left, Right and Parent are node indices, or None.
+	Left, Right, Parent []int32
+	// Root is the index of the root node.
+	Root int32
+
+	in, out []int32 // Euler tour numbering, built lazily by ensureOrder
+}
+
+// SplitFunc chooses the split point k (i < k < j) for an internal span
+// (i,j). It fully determines the tree shape.
+type SplitFunc func(i, j int) int
+
+// New builds the tree over (0,n) defined by the split function.
+// It panics if split returns an out-of-range value; shape generators are
+// trusted code, and a bad split is a programming error.
+func New(n int, split SplitFunc) *Tree {
+	if n < 1 {
+		panic(fmt.Sprintf("btree: need n >= 1, got %d", n))
+	}
+	m := 2*n - 1
+	t := &Tree{
+		N:      n,
+		Lo:     make([]int32, 0, m),
+		Hi:     make([]int32, 0, m),
+		Left:   make([]int32, 0, m),
+		Right:  make([]int32, 0, m),
+		Parent: make([]int32, 0, m),
+	}
+	// Iterative construction: spines can be n deep, so recursion is out.
+	type frame struct {
+		lo, hi int32
+		parent int32
+	}
+	stack := []frame{{0, int32(n), None}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		v := int32(len(t.Lo))
+		t.Lo = append(t.Lo, fr.lo)
+		t.Hi = append(t.Hi, fr.hi)
+		t.Left = append(t.Left, None)
+		t.Right = append(t.Right, None)
+		t.Parent = append(t.Parent, fr.parent)
+		if fr.parent != None {
+			// Children are pushed right-first, so the left child is
+			// created (and linked) before the right one.
+			if t.Left[fr.parent] == None {
+				t.Left[fr.parent] = v
+			} else {
+				t.Right[fr.parent] = v
+			}
+		}
+		if fr.hi-fr.lo > 1 {
+			k := int32(split(int(fr.lo), int(fr.hi)))
+			if k <= fr.lo || k >= fr.hi {
+				panic(fmt.Sprintf("btree: split(%d,%d) = %d out of range", fr.lo, fr.hi, k))
+			}
+			stack = append(stack, frame{k, fr.hi, v}) // right child, created second
+			stack = append(stack, frame{fr.lo, k, v}) // left child, created first
+		}
+	}
+	t.Root = 0
+	return t
+}
+
+// Len returns the number of nodes (2N-1).
+func (t *Tree) Len() int { return len(t.Lo) }
+
+// IsLeaf reports whether v is a leaf (unit span).
+func (t *Tree) IsLeaf(v int32) bool { return t.Hi[v]-t.Lo[v] == 1 }
+
+// Size returns the number of leaves under v — the paper's size(x).
+func (t *Tree) Size(v int32) int { return int(t.Hi[v] - t.Lo[v]) }
+
+// Span returns the (i,j) pair of node v.
+func (t *Tree) Span(v int32) (i, j int) { return int(t.Lo[v]), int(t.Hi[v]) }
+
+// Split returns the split point k of internal node v (its left child is
+// (i,k) and right child (k,j)). It panics on leaves.
+func (t *Tree) Split(v int32) int {
+	if t.IsLeaf(v) {
+		panic("btree: Split on a leaf")
+	}
+	return int(t.Hi[t.Left[v]])
+}
+
+// Height returns the edge-height of the tree (0 for a single leaf).
+func (t *Tree) Height() int {
+	depth := make([]int32, t.Len())
+	h := int32(0)
+	// Nodes are created parent-before-child, so a forward scan works.
+	for v := 1; v < t.Len(); v++ {
+		depth[v] = depth[t.Parent[v]] + 1
+		if depth[v] > h {
+			h = depth[v]
+		}
+	}
+	return int(h)
+}
+
+// Depth returns the depth of every node (root = 0).
+func (t *Tree) Depth() []int {
+	depth := make([]int, t.Len())
+	for v := 1; v < t.Len(); v++ {
+		depth[v] = depth[t.Parent[v]] + 1
+	}
+	return depth
+}
+
+// ensureOrder computes Euler tour in/out numbers for ancestor queries.
+func (t *Tree) ensureOrder() {
+	if t.in != nil {
+		return
+	}
+	m := t.Len()
+	t.in = make([]int32, m)
+	t.out = make([]int32, m)
+	clock := int32(0)
+	// Iterative DFS with explicit post-visit marker.
+	type frame struct {
+		v    int32
+		post bool
+	}
+	stack := []frame{{t.Root, false}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if fr.post {
+			t.out[fr.v] = clock
+			continue
+		}
+		t.in[fr.v] = clock
+		clock++
+		stack = append(stack, frame{fr.v, true})
+		if !t.IsLeaf(fr.v) {
+			stack = append(stack, frame{t.Right[fr.v], false})
+			stack = append(stack, frame{t.Left[fr.v], false})
+		}
+	}
+}
+
+// IsAncestor reports whether u is an ancestor of v. Following the paper,
+// every node is an ancestor of itself.
+func (t *Tree) IsAncestor(u, v int32) bool {
+	t.ensureOrder()
+	return t.in[u] <= t.in[v] && t.in[v] < t.out[u]
+}
+
+// ChildToward returns the child of u that is an ancestor of v, where v is
+// a proper descendant of u. This is exactly the step the paper's square
+// move performs: "set cond(x) to the child of cond(x) which is an ancestor
+// of cond(cond(x))".
+func (t *Tree) ChildToward(u, v int32) int32 {
+	l := t.Left[u]
+	if l != None && t.IsAncestor(l, v) {
+		return l
+	}
+	r := t.Right[u]
+	if r == None || !t.IsAncestor(r, v) {
+		panic(fmt.Sprintf("btree: node %d is not a proper descendant of %d", v, u))
+	}
+	return r
+}
+
+// NodeBySpan returns the node with span (i,j), or None if the tree has no
+// such node. O(number of nodes); intended for tests.
+func (t *Tree) NodeBySpan(i, j int) int32 {
+	for v := 0; v < t.Len(); v++ {
+		if int(t.Lo[v]) == i && int(t.Hi[v]) == j {
+			return int32(v)
+		}
+	}
+	return None
+}
+
+// Validate checks all structural invariants: full binary shape, span
+// consistency between parents and children, leaf spans of size one, and
+// the node count 2N-1. It returns the first violation found.
+func (t *Tree) Validate() error {
+	if t.Len() != 2*t.N-1 {
+		return fmt.Errorf("btree: %d nodes for %d leaves, want %d", t.Len(), t.N, 2*t.N-1)
+	}
+	if t.Lo[t.Root] != 0 || t.Hi[t.Root] != int32(t.N) {
+		return fmt.Errorf("btree: root spans (%d,%d), want (0,%d)", t.Lo[t.Root], t.Hi[t.Root], t.N)
+	}
+	leaves := 0
+	for v := int32(0); v < int32(t.Len()); v++ {
+		l, r := t.Left[v], t.Right[v]
+		switch {
+		case l == None && r == None:
+			if t.Hi[v]-t.Lo[v] != 1 {
+				return fmt.Errorf("btree: leaf %d spans (%d,%d)", v, t.Lo[v], t.Hi[v])
+			}
+			leaves++
+		case l != None && r != None:
+			if t.Lo[l] != t.Lo[v] || t.Hi[r] != t.Hi[v] || t.Hi[l] != t.Lo[r] {
+				return fmt.Errorf("btree: node %d span (%d,%d) has children (%d,%d) and (%d,%d)",
+					v, t.Lo[v], t.Hi[v], t.Lo[l], t.Hi[l], t.Lo[r], t.Hi[r])
+			}
+			if t.Hi[l] <= t.Lo[v] || t.Hi[l] >= t.Hi[v] {
+				return fmt.Errorf("btree: node %d split %d outside span (%d,%d)", v, t.Hi[l], t.Lo[v], t.Hi[v])
+			}
+			if t.Parent[l] != v || t.Parent[r] != v {
+				return fmt.Errorf("btree: node %d has children with wrong parent links", v)
+			}
+		default:
+			return fmt.Errorf("btree: node %d has exactly one child; tree is not full", v)
+		}
+	}
+	if leaves != t.N {
+		return fmt.Errorf("btree: %d leaves, want %d", leaves, t.N)
+	}
+	return nil
+}
+
+// Splits returns the split choice for every internal span as a map from
+// (i,j) to k. It is the inverse of New: New(t.N, FromSplits(t.Splits()))
+// rebuilds an identical tree.
+func (t *Tree) Splits() map[[2]int]int {
+	m := make(map[[2]int]int)
+	for v := int32(0); v < int32(t.Len()); v++ {
+		if !t.IsLeaf(v) {
+			i, j := t.Span(v)
+			m[[2]int{i, j}] = t.Split(v)
+		}
+	}
+	return m
+}
+
+// FromSplits adapts a split map to a SplitFunc. Missing spans panic, which
+// New surfaces immediately during construction.
+func FromSplits(m map[[2]int]int) SplitFunc {
+	return func(i, j int) int {
+		k, ok := m[[2]int{i, j}]
+		if !ok {
+			panic(fmt.Sprintf("btree: no split recorded for span (%d,%d)", i, j))
+		}
+		return k
+	}
+}
+
+// Equal reports whether two trees have identical shape (same spans split
+// the same way).
+func (t *Tree) Equal(o *Tree) bool {
+	if t.N != o.N {
+		return false
+	}
+	ts, os := t.Splits(), o.Splits()
+	if len(ts) != len(os) {
+		return false
+	}
+	for span, k := range ts {
+		if os[span] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// Complete returns the balanced tree: every span splits at its midpoint.
+func Complete(n int) *Tree {
+	return New(n, func(i, j int) int { return (i + j) / 2 })
+}
+
+// LeftSkewed returns the left spine of Figure 2b: every internal node's
+// right child is a leaf.
+func LeftSkewed(n int) *Tree {
+	return New(n, func(i, j int) int { return j - 1 })
+}
+
+// RightSkewed returns the mirror image of LeftSkewed.
+func RightSkewed(n int) *Tree {
+	return New(n, func(i, j int) int { return i + 1 })
+}
+
+// Zigzag returns the pathological tree of Figure 2a: a spine that turns at
+// every level, so the big child alternates sides along the chain. The
+// paper identifies this shape as the Theta(sqrt n) worst case for the
+// algorithm, because the alternation defeats the binary-decomposition
+// speedup available on straight spines.
+func Zigzag(n int) *Tree {
+	// Depth parity decides the side. We cannot know the depth from (i,j)
+	// alone, so thread it through a map built on demand: the root is at
+	// depth 0; the big child of a depth-d node is at depth d+1. Because
+	// construction visits parents before children, recording the side
+	// works with a simple map keyed by span.
+	depth := map[[2]int]int{{0, n}: 0}
+	return New(n, func(i, j int) int {
+		d := depth[[2]int{i, j}]
+		var k int
+		if d%2 == 0 {
+			k = j - 1 // big child on the left
+		} else {
+			k = i + 1 // big child on the right
+		}
+		depth[[2]int{i, k}] = d + 1
+		depth[[2]int{k, j}] = d + 1
+		return k
+	})
+}
+
+// RandomSplit returns a tree drawn from the Section 6 average-case model:
+// every internal span (i,j) picks its split k uniformly from i+1..j-1,
+// independently.
+func RandomSplit(n int, rng *rand.Rand) *Tree {
+	return New(n, func(i, j int) int {
+		return i + 1 + rng.Intn(j-i-1)
+	})
+}

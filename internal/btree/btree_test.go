@@ -1,0 +1,348 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func shapes(n int) map[string]*Tree {
+	return map[string]*Tree{
+		"complete":    Complete(n),
+		"leftskewed":  LeftSkewed(n),
+		"rightskewed": RightSkewed(n),
+		"zigzag":      Zigzag(n),
+		"random":      RandomSplit(n, rand.New(rand.NewSource(42))),
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tr := New(1, nil)
+	if tr.Len() != 1 {
+		t.Fatalf("single-leaf tree has %d nodes", tr.Len())
+	}
+	if !tr.IsLeaf(tr.Root) {
+		t.Fatal("root of n=1 tree is not a leaf")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateAllShapes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 17, 64, 257} {
+		for name, tr := range shapes(max(n, 2)) {
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s(n=%d): %v", name, n, err)
+			}
+		}
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100} {
+		tr := Complete(n)
+		if tr.Len() != 2*n-1 {
+			t.Errorf("Complete(%d) has %d nodes, want %d", n, tr.Len(), 2*n-1)
+		}
+	}
+}
+
+func TestCompleteHeight(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 4: 2, 8: 3, 16: 4, 1024: 10}
+	for n, want := range cases {
+		if got := Complete(n).Height(); got != want {
+			t.Errorf("Complete(%d).Height() = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSkewedHeight(t *testing.T) {
+	for _, n := range []int{2, 5, 33, 200} {
+		if got := LeftSkewed(n).Height(); got != n-1 {
+			t.Errorf("LeftSkewed(%d).Height() = %d, want %d", n, got, n-1)
+		}
+		if got := RightSkewed(n).Height(); got != n-1 {
+			t.Errorf("RightSkewed(%d).Height() = %d, want %d", n, got, n-1)
+		}
+		if got := Zigzag(n).Height(); got != n-1 {
+			t.Errorf("Zigzag(%d).Height() = %d, want %d", n, got, n-1)
+		}
+	}
+}
+
+func TestZigzagTurnsEveryLevel(t *testing.T) {
+	for _, n := range []int{4, 9, 50, 333} {
+		tr := Zigzag(n)
+		// The heavy chain has n-1 internal steps; after the first step every
+		// subsequent step alternates, giving n-3 turns for n >= 3.
+		want := n - 3
+		if want < 0 {
+			want = 0
+		}
+		if got := tr.Turns(); got != want {
+			t.Errorf("Zigzag(%d).Turns() = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSkewedHasNoTurns(t *testing.T) {
+	for _, n := range []int{3, 10, 64} {
+		if got := LeftSkewed(n).Turns(); got != 0 {
+			t.Errorf("LeftSkewed(%d).Turns() = %d, want 0", n, got)
+		}
+		if got := RightSkewed(n).Turns(); got != 0 {
+			t.Errorf("RightSkewed(%d).Turns() = %d, want 0", n, got)
+		}
+	}
+}
+
+func TestSizeConsistency(t *testing.T) {
+	for name, tr := range shapes(37) {
+		for v := int32(0); v < int32(tr.Len()); v++ {
+			if tr.IsLeaf(v) {
+				if tr.Size(v) != 1 {
+					t.Fatalf("%s: leaf %d has size %d", name, v, tr.Size(v))
+				}
+				continue
+			}
+			want := tr.Size(tr.Left[v]) + tr.Size(tr.Right[v])
+			if tr.Size(v) != want {
+				t.Fatalf("%s: node %d size %d != children sum %d", name, v, tr.Size(v), want)
+			}
+		}
+	}
+}
+
+func TestIsAncestor(t *testing.T) {
+	tr := Complete(8)
+	if !tr.IsAncestor(tr.Root, tr.Root) {
+		t.Fatal("root not ancestor of itself")
+	}
+	for v := int32(0); v < int32(tr.Len()); v++ {
+		if !tr.IsAncestor(tr.Root, v) {
+			t.Fatalf("root not ancestor of %d", v)
+		}
+		if v != tr.Root && tr.IsAncestor(v, tr.Root) {
+			t.Fatalf("non-root %d claimed ancestor of root", v)
+		}
+		if !tr.IsLeaf(v) {
+			l, r := tr.Left[v], tr.Right[v]
+			if !tr.IsAncestor(v, l) || !tr.IsAncestor(v, r) {
+				t.Fatalf("node %d not ancestor of its children", v)
+			}
+			if tr.IsAncestor(l, r) || tr.IsAncestor(r, l) {
+				t.Fatalf("siblings of %d claimed related", v)
+			}
+		}
+	}
+}
+
+func TestChildToward(t *testing.T) {
+	tr := Zigzag(12)
+	// For every internal u and every proper descendant v, ChildToward must
+	// return the child of u on the u->v path.
+	for u := int32(0); u < int32(tr.Len()); u++ {
+		if tr.IsLeaf(u) {
+			continue
+		}
+		for v := int32(0); v < int32(tr.Len()); v++ {
+			if v == u || !tr.IsAncestor(u, v) {
+				continue
+			}
+			c := tr.ChildToward(u, v)
+			if tr.Parent[c] != u {
+				t.Fatalf("ChildToward(%d,%d) = %d is not a child of %d", u, v, c, u)
+			}
+			if !tr.IsAncestor(c, v) {
+				t.Fatalf("ChildToward(%d,%d) = %d is not an ancestor of %d", u, v, c, v)
+			}
+		}
+	}
+}
+
+func TestSplitsRoundTrip(t *testing.T) {
+	for name, tr := range shapes(23) {
+		rebuilt := New(tr.N, FromSplits(tr.Splits()))
+		if !tr.Equal(rebuilt) {
+			t.Errorf("%s: splits round-trip changed the tree", name)
+		}
+	}
+}
+
+func TestEqualDetectsDifferences(t *testing.T) {
+	if Complete(9).Equal(Zigzag(9)) {
+		t.Fatal("distinct shapes compared equal")
+	}
+	if Complete(9).Equal(Complete(10)) {
+		t.Fatal("different sizes compared equal")
+	}
+}
+
+func TestRandomSplitIsReproducible(t *testing.T) {
+	a := RandomSplit(40, rand.New(rand.NewSource(7)))
+	b := RandomSplit(40, rand.New(rand.NewSource(7)))
+	if !a.Equal(b) {
+		t.Fatal("same seed produced different trees")
+	}
+	c := RandomSplit(40, rand.New(rand.NewSource(8)))
+	if a.Equal(c) {
+		t.Fatal("different seeds produced identical trees (astronomically unlikely)")
+	}
+}
+
+// Property: every randomly generated tree validates, has 2n-1 nodes and a
+// heavy chain whose node sizes strictly decrease.
+func TestRandomTreeProperties(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%60 + 2
+		tr := RandomSplit(n, rand.New(rand.NewSource(seed)))
+		if err := tr.Validate(); err != nil {
+			t.Logf("validate: %v", err)
+			return false
+		}
+		chain := tr.HeavyChain()
+		for i := 1; i < len(chain); i++ {
+			if tr.Size(chain[i]) >= tr.Size(chain[i-1]) {
+				return false
+			}
+		}
+		return tr.Len() == 2*n-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the chain decomposition of Lemma 3.3 holds for the threshold
+// i^2 whenever i^2 < size(root) <= (i+1)^2: the chain has at most 2i+1
+// nodes and the off-chain sizes sum to at most 2i.
+func TestChainDecompositionLemma(t *testing.T) {
+	check := func(tr *Tree, name string) {
+		n := tr.Size(tr.Root)
+		i := 0
+		for (i+1)*(i+1) < n {
+			i++
+		}
+		// Now i^2 < n <= (i+1)^2.
+		if i == 0 {
+			return
+		}
+		chain, offs := tr.ChainDecomposition(tr.Root, i*i)
+		if len(chain) > 2*i+1 {
+			t.Errorf("%s n=%d: chain length %d exceeds 2i+1=%d", name, n, len(chain), 2*i+1)
+		}
+		sum := 0
+		for _, s := range offs {
+			sum += s
+		}
+		// n_1+...+n_{k-1} <= 2i per the proof of Lemma 3.3 (the last chain
+		// node's children are not off-chain weights).
+		last := chain[len(chain)-1]
+		if sum > n-tr.Size(last) {
+			t.Errorf("%s n=%d: off-chain sum %d exceeds size deficit %d", name, n, sum, n-tr.Size(last))
+		}
+		if sum > 2*i {
+			t.Errorf("%s n=%d: off-chain sum %d exceeds 2i=%d", name, n, sum, 2*i)
+		}
+	}
+	for _, n := range []int{5, 10, 17, 26, 50, 101, 300} {
+		for name, tr := range shapes(n) {
+			check(tr, name)
+		}
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(200)
+		check(RandomSplit(n, rng), "random-extra")
+	}
+}
+
+func TestRenderContainsAllSpans(t *testing.T) {
+	tr := Complete(5)
+	out := tr.Render(nil)
+	for v := int32(0); v < int32(tr.Len()); v++ {
+		i, j := tr.Span(v)
+		want := "(" + itoa(i) + "," + itoa(j) + ")"
+		if !contains(out, want) {
+			t.Errorf("render missing node %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderCompactMentionsChain(t *testing.T) {
+	tr := Zigzag(20)
+	out := tr.RenderCompact(9)
+	if !contains(out, "chain (threshold 9)") || !contains(out, "off-chain") {
+		t.Errorf("compact render malformed:\n%s", out)
+	}
+}
+
+func TestWeightedPathLength(t *testing.T) {
+	// Complete tree over 4 leaves: all leaves at depth 2.
+	tr := Complete(4)
+	w := []int64{1, 2, 3, 4}
+	if got := tr.WeightedPathLength(w); got != 2*(1+2+3+4) {
+		t.Fatalf("WPL = %d, want %d", got, 2*10)
+	}
+	// Left spine over 3 leaves: depths are 2,2,1 for leaves 0,1,2.
+	sp := LeftSkewed(3)
+	if got := sp.WeightedPathLength([]int64{1, 1, 1}); got != 5 {
+		t.Fatalf("spine WPL = %d, want 5", got)
+	}
+}
+
+func TestInternalCount(t *testing.T) {
+	for _, n := range []int{1, 2, 9, 31} {
+		if got := Complete(n).InternalCount(); got != n-1 {
+			t.Errorf("InternalCount(n=%d) = %d, want %d", n, got, n-1)
+		}
+	}
+}
+
+func TestNodeBySpan(t *testing.T) {
+	tr := Complete(6)
+	v := tr.NodeBySpan(0, 6)
+	if v != tr.Root {
+		t.Fatalf("NodeBySpan(0,6) = %d, want root", v)
+	}
+	if tr.NodeBySpan(2, 2) != None {
+		t.Fatal("bogus span found")
+	}
+}
+
+func TestBadSplitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range split did not panic")
+		}
+	}()
+	New(4, func(i, j int) int { return j })
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func itoa(x int) string {
+	if x == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for x > 0 {
+		i--
+		buf[i] = byte('0' + x%10)
+		x /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,156 @@
+package btree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Encode serialises the tree shape as a compact S-expression: a leaf is
+// "." and an internal node with split k is "(k LEFT RIGHT)". The span
+// structure is implied — the root spans (0,N) and splits recursively —
+// so the string plus nothing else reconstructs the tree exactly.
+//
+// Example: the left-leaning tree over 3 objects encodes as "(2 (1 . .) .)".
+func (t *Tree) Encode() string {
+	var b strings.Builder
+	var rec func(v int32)
+	rec = func(v int32) {
+		if t.IsLeaf(v) {
+			b.WriteByte('.')
+			return
+		}
+		b.WriteByte('(')
+		b.WriteString(strconv.Itoa(t.Split(v)))
+		b.WriteByte(' ')
+		rec(t.Left[v])
+		b.WriteByte(' ')
+		rec(t.Right[v])
+		b.WriteByte(')')
+	}
+	rec(t.Root)
+	return b.String()
+}
+
+// Parse reconstructs a tree from Encode's format. It validates both the
+// syntax and the structural consistency (every split must lie strictly
+// inside its span, and leaf counts must match).
+func Parse(s string) (*Tree, error) {
+	p := &parser{s: s}
+	// First pass: parse into a skeleton and count leaves.
+	node, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpaces()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("btree: trailing garbage at offset %d in %q", p.pos, s)
+	}
+	n := countLeaves(node)
+	// Second pass: assign spans and collect splits.
+	splits := make(map[[2]int]int)
+	if err := assignSpans(node, 0, n, splits); err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		return New(1, nil), nil
+	}
+	// Construction panics are converted to errors for malformed splits.
+	var tree *Tree
+	err = func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("btree: %v", r)
+			}
+		}()
+		tree = New(n, FromSplits(splits))
+		return nil
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+type skeleton struct {
+	split       int // -1 for leaf
+	left, right *skeleton
+}
+
+type parser struct {
+	s   string
+	pos int
+}
+
+func (p *parser) skipSpaces() {
+	for p.pos < len(p.s) && p.s[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *parser) parseNode() (*skeleton, error) {
+	p.skipSpaces()
+	if p.pos >= len(p.s) {
+		return nil, fmt.Errorf("btree: unexpected end of input in %q", p.s)
+	}
+	switch p.s[p.pos] {
+	case '.':
+		p.pos++
+		return &skeleton{split: -1}, nil
+	case '(':
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.s) && p.s[p.pos] != ' ' {
+			p.pos++
+		}
+		k, err := strconv.Atoi(p.s[start:p.pos])
+		if err != nil {
+			return nil, fmt.Errorf("btree: bad split near offset %d in %q", start, p.s)
+		}
+		left, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		p.skipSpaces()
+		if p.pos >= len(p.s) || p.s[p.pos] != ')' {
+			return nil, fmt.Errorf("btree: missing ')' at offset %d in %q", p.pos, p.s)
+		}
+		p.pos++
+		return &skeleton{split: k, left: left, right: right}, nil
+	default:
+		return nil, fmt.Errorf("btree: unexpected %q at offset %d", p.s[p.pos], p.pos)
+	}
+}
+
+func countLeaves(n *skeleton) int {
+	if n.split < 0 {
+		return 1
+	}
+	return countLeaves(n.left) + countLeaves(n.right)
+}
+
+func assignSpans(n *skeleton, lo, hi int, splits map[[2]int]int) error {
+	if n.split < 0 {
+		if hi-lo != 1 {
+			return fmt.Errorf("btree: leaf covers span (%d,%d)", lo, hi)
+		}
+		return nil
+	}
+	if n.split <= lo || n.split >= hi {
+		return fmt.Errorf("btree: split %d outside span (%d,%d)", n.split, lo, hi)
+	}
+	// The split must agree with the leaf counts of the subtrees.
+	if got := lo + countLeaves(n.left); got != n.split {
+		return fmt.Errorf("btree: split %d inconsistent with left subtree (%d leaves from %d)",
+			n.split, countLeaves(n.left), lo)
+	}
+	splits[[2]int{lo, hi}] = n.split
+	if err := assignSpans(n.left, lo, n.split, splits); err != nil {
+		return err
+	}
+	return assignSpans(n.right, n.split, hi, splits)
+}

@@ -1,0 +1,105 @@
+package btree
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeKnownShapes(t *testing.T) {
+	if got := New(1, nil).Encode(); got != "." {
+		t.Fatalf("single leaf encodes as %q", got)
+	}
+	if got := Complete(2).Encode(); got != "(1 . .)" {
+		t.Fatalf("two leaves encode as %q", got)
+	}
+	if got := LeftSkewed(3).Encode(); got != "(2 (1 . .) .)" {
+		t.Fatalf("left spine encodes as %q", got)
+	}
+	if got := RightSkewed(3).Encode(); got != "(1 . (2 . .))" {
+		t.Fatalf("right spine encodes as %q", got)
+	}
+}
+
+func TestParseKnownShapes(t *testing.T) {
+	tr, err := Parse("(2 (1 . .) .)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Equal(LeftSkewed(3)) {
+		t.Fatal("parsed tree is not the left spine")
+	}
+	single, err := Parse(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.N != 1 {
+		t.Fatalf("parsed single leaf has N=%d", single.N)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"(",
+		"(1 . .",
+		"(1 . .))",
+		"(x . .)",
+		"(3 . .)",        // split outside span (0,2)
+		"(1 (1 . .) .)",  // inner split inconsistent
+		"(2 . (3 . .))",  // left leaf covers 2 objects
+		". .",            // trailing garbage
+		"(1 . .) extra",  // trailing garbage
+		"(0 . .)",        // split at span edge
+		"[1 . .]",        // wrong brackets
+		"(1 . .)(2 . .)", // two roots
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestEncodeParseRoundTripShapes(t *testing.T) {
+	for name, tr := range shapes(17) {
+		got, err := Parse(tr.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !got.Equal(tr) {
+			t.Fatalf("%s: round trip changed the tree (%s)", name, tr.Encode())
+		}
+	}
+}
+
+// Property: Encode/Parse round-trips arbitrary random trees.
+func TestEncodeParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%40 + 1
+		var tr *Tree
+		if n == 1 {
+			tr = New(1, nil)
+		} else {
+			tr = RandomSplit(n, rand.New(rand.NewSource(seed)))
+		}
+		got, err := Parse(tr.Encode())
+		return err == nil && got.Equal(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encoding length is linear in n and contains exactly n leaves.
+func TestEncodeShape(t *testing.T) {
+	tr := RandomSplit(25, rand.New(rand.NewSource(3)))
+	enc := tr.Encode()
+	if got := strings.Count(enc, "."); got != 25 {
+		t.Fatalf("encoding has %d leaves, want 25", got)
+	}
+	if got := strings.Count(enc, "("); got != 24 {
+		t.Fatalf("encoding has %d internal nodes, want 24", got)
+	}
+}

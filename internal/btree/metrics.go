@@ -1,0 +1,131 @@
+package btree
+
+// Shape metrics used by the experiment harness to characterise optimal
+// trees: how spine-like a tree is, and how often its heavy chain changes
+// direction (the property that makes the Figure 2a zigzag tree the worst
+// case for the algorithm).
+
+// HeavyChain returns the node indices of the chain that starts at the root
+// and repeatedly descends into the larger child (ties go left), ending at
+// a leaf. For a spine or zigzag tree this is the spine itself.
+func (t *Tree) HeavyChain() []int32 {
+	var chain []int32
+	v := t.Root
+	for {
+		chain = append(chain, v)
+		if t.IsLeaf(v) {
+			return chain
+		}
+		l, r := t.Left[v], t.Right[v]
+		if t.Size(l) >= t.Size(r) {
+			v = l
+		} else {
+			v = r
+		}
+	}
+}
+
+// Turns counts the direction alternations along the heavy chain: the
+// number of consecutive chain steps that switch between descending left
+// and descending right. Steps whose children tie in size carry no
+// direction and end the count (the bottom of a spine is directionless).
+// A straight spine has 0 turns; the Figure 2a zigzag tree has a turn at
+// every level.
+func (t *Tree) Turns() int {
+	turns := 0
+	v := t.Root
+	prev := 0 // 0 unset, 1 left, 2 right
+	for !t.IsLeaf(v) {
+		l, r := t.Left[v], t.Right[v]
+		if t.Size(l) == t.Size(r) {
+			break
+		}
+		dir := 1
+		next := l
+		if t.Size(r) > t.Size(l) {
+			dir = 2
+			next = r
+		}
+		if prev != 0 && dir != prev {
+			turns++
+		}
+		prev = dir
+		v = next
+	}
+	return turns
+}
+
+// WeightedPathLength returns sum over leaves of depth(leaf)*weight[leaf
+// index], the cost functional optimal-BST style problems minimise. The
+// weight slice is indexed by the left endpoint of the leaf span, so it
+// must have length N.
+func (t *Tree) WeightedPathLength(weight []int64) int64 {
+	depth := t.Depth()
+	var sum int64
+	for v := 0; v < t.Len(); v++ {
+		if t.IsLeaf(int32(v)) {
+			sum += int64(depth[v]) * weight[t.Lo[v]]
+		}
+	}
+	return sum
+}
+
+// InternalCount returns the number of internal nodes (N-1 for a full tree).
+func (t *Tree) InternalCount() int {
+	c := 0
+	for v := int32(0); v < int32(t.Len()); v++ {
+		if !t.IsLeaf(v) {
+			c++
+		}
+	}
+	return c
+}
+
+// SizeHistogram returns, for each node, the paper's size(x) (leaf count of
+// the subtree), aggregated as a map from size to how many nodes have it.
+func (t *Tree) SizeHistogram() map[int]int {
+	h := make(map[int]int)
+	for v := int32(0); v < int32(t.Len()); v++ {
+		h[t.Size(v)]++
+	}
+	return h
+}
+
+// ChainDecomposition mirrors the proof of Lemma 3.3 (Figure 1): starting
+// at node x, it follows the unique chain of nodes with size greater than
+// the threshold, stopping at the first node both of whose children are at
+// or below the threshold (or at a leaf). It returns the chain and the
+// sizes of the off-chain children, the n_j of the proof.
+func (t *Tree) ChainDecomposition(x int32, threshold int) (chain []int32, offSizes []int) {
+	v := x
+	for {
+		chain = append(chain, v)
+		if t.IsLeaf(v) {
+			return chain, offSizes
+		}
+		l, r := t.Left[v], t.Right[v]
+		ls, rs := t.Size(l), t.Size(r)
+		switch {
+		case ls > threshold && rs > threshold:
+			// Cannot happen on the chain the lemma constructs (at most
+			// one child may exceed the threshold when size(v) <= (i+1)^2),
+			// but be defensive: follow the larger child.
+			if ls >= rs {
+				offSizes = append(offSizes, rs)
+				v = l
+			} else {
+				offSizes = append(offSizes, ls)
+				v = r
+			}
+		case ls > threshold:
+			offSizes = append(offSizes, rs)
+			v = l
+		case rs > threshold:
+			offSizes = append(offSizes, ls)
+			v = r
+		default:
+			// Both children at or below the threshold: chain ends here.
+			return chain, offSizes
+		}
+	}
+}

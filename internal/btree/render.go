@@ -1,0 +1,48 @@
+package btree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the tree sideways in ASCII, one node per line, the root at
+// the left. Labels are the node spans; an optional labeler can override
+// them (e.g. to show BST keys). Used to reproduce Figures 1 and 2.
+func (t *Tree) Render(label func(v int32) string) string {
+	if label == nil {
+		label = func(v int32) string {
+			return fmt.Sprintf("(%d,%d)", t.Lo[v], t.Hi[v])
+		}
+	}
+	var b strings.Builder
+	t.render(&b, t.Root, "", "", label)
+	return b.String()
+}
+
+func (t *Tree) render(b *strings.Builder, v int32, prefix, childPrefix string, label func(v int32) string) {
+	b.WriteString(prefix)
+	b.WriteString(label(v))
+	b.WriteByte('\n')
+	if t.IsLeaf(v) {
+		return
+	}
+	t.render(b, t.Left[v], childPrefix+"├─ ", childPrefix+"│  ", label)
+	t.render(b, t.Right[v], childPrefix+"└─ ", childPrefix+"   ", label)
+}
+
+// RenderCompact draws only the heavy chain with off-chain subtree sizes,
+// the view Figure 1 of the paper uses to explain the chain decomposition.
+func (t *Tree) RenderCompact(threshold int) string {
+	chain, offs := t.ChainDecomposition(t.Root, threshold)
+	var b strings.Builder
+	fmt.Fprintf(&b, "chain (threshold %d):\n", threshold)
+	for idx, v := range chain {
+		i, j := t.Span(v)
+		fmt.Fprintf(&b, "  v%-3d (%d,%d) size=%d", idx+1, i, j, t.Size(v))
+		if idx < len(offs) {
+			fmt.Fprintf(&b, "  off-chain child size n_%d=%d", idx+1, offs[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,438 @@
+package core
+
+import (
+	"sublineardp/internal/cost"
+	"sublineardp/internal/parutil"
+	"sublineardp/internal/pebble"
+	"sublineardp/internal/pram"
+	"sublineardp/internal/recurrence"
+)
+
+// bandedState is the Section 5 algorithm state: only partial weights with
+// deficit (j-i)-(q-p) <= D are stored, D = 2*ceil(sqrt(n)) by default.
+// For a pair (i,j) of span L the stored gaps are indexed by
+// (d, a) with d = (p-i)+(j-q) <= min(D, L-1) and a = p-i <= d, laid out
+// triangularly after a per-pair base offset.
+type bandedState struct {
+	n, sz, D int
+	in       *recurrence.Instance
+	w        []cost.Cost
+	wNext    []cost.Cost
+	buf      []cost.Cost
+	bufNext  []cost.Cost
+	base     []int
+	pairs    []pair
+	workers  int
+	sync     bool
+	aud      *pram.Auditor
+
+	activateWork int64
+	squareCells  int64
+	squareWork   int64
+	squareMaxM   int64
+	// Per-span pebble charge components, indexed by span.
+	pebbleCands []int64
+	// triTab[d] = d*(d+1)/2, precomputed for the hot square loop.
+	triTab []int
+
+	trackPWChanges    bool
+	pwChangedThisIter int64
+	wEpoch, pwEpoch   uint8
+}
+
+// dmax returns the largest storable deficit for a span-L pair.
+func (s *bandedState) dmax(L int) int {
+	m := L - 1
+	if s.D < m {
+		m = s.D
+	}
+	return m
+}
+
+// tri returns the m-th triangular number, the size of a (d,a) block with
+// d < m.
+func tri(m int) int { return m * (m + 1) / 2 }
+
+// cellIdx returns the storage index of gap (p,q) under pair (i,j). The
+// caller guarantees the deficit is within the band.
+func (s *bandedState) cellIdx(i, j, p, q int) int {
+	d := (p - i) + (j - q)
+	return s.base[i*s.sz+j] + tri(d) + (p - i)
+}
+
+// get reads pw'(i,j,p,q), returning Inf for gaps outside the band.
+func (s *bandedState) get(buf []cost.Cost, i, j, p, q int) cost.Cost {
+	d := (p - i) + (j - q)
+	if d > s.dmax(j-i) {
+		return cost.Inf
+	}
+	c := s.base[i*s.sz+j] + tri(d) + (p - i)
+	if s.aud != nil {
+		s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c))
+	}
+	return buf[c]
+}
+
+func (s *bandedState) readW(i, j int) cost.Cost {
+	c := i*s.sz + j
+	if s.aud != nil {
+		s.aud.Read(pram.Addr(epochTag(tagW, s.wEpoch), c))
+	}
+	return s.w[c]
+}
+
+func (s *bandedState) writeEpochB(epoch uint8) uint8 {
+	if s.sync {
+		return epoch ^ 1
+	}
+	return epoch
+}
+
+func newBandedState(in *recurrence.Instance, workers int, syncMode bool, aud *pram.Auditor, bandRadius int) *bandedState {
+	n := in.N
+	sz := n + 1
+	D := bandRadius
+	if D <= 0 {
+		D = 2 * pebble.IsqrtCeil(n)
+	}
+	if D < 1 {
+		D = 1
+	}
+	s := &bandedState{
+		n:       n,
+		sz:      sz,
+		D:       D,
+		in:      in,
+		workers: workers,
+		sync:    syncMode,
+		aud:     aud,
+		w:       make([]cost.Cost, sz*sz),
+		base:    make([]int, sz*sz),
+	}
+	total := 0
+	for i := 0; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			s.base[i*sz+j] = total
+			total += tri(s.dmax(j-i) + 1)
+			s.pairs = append(s.pairs, pair{int32(i), int32(j)})
+		}
+	}
+	s.triTab = make([]int, D+2)
+	for d := range s.triTab {
+		s.triTab[d] = tri(d)
+	}
+	s.buf = make([]cost.Cost, total)
+	for i := range s.buf {
+		s.buf[i] = cost.Inf
+	}
+	for i := range s.w {
+		s.w[i] = cost.Inf
+	}
+	if syncMode {
+		s.wNext = make([]cost.Cost, sz*sz)
+		s.bufNext = make([]cost.Cost, total)
+	}
+	for i := 0; i < n; i++ {
+		s.w[i*sz+i+1] = in.Init(i)
+	}
+	// pw'(i,j,i,j) = 0: the (d=0, a=0) cell of every pair.
+	for _, pr := range s.pairs {
+		s.buf[s.base[int(pr.i)*sz+int(pr.j)]] = 0
+	}
+	s.computeCharges()
+	return s
+}
+
+func (s *bandedState) computeCharges() {
+	n := s.n
+	for L := 2; L <= n; L++ {
+		pairsL := int64(n + 1 - L)
+		dm := s.dmax(L)
+		// activate: left gaps need j-k <= dm (dm choices of k), right gaps
+		// k-i <= dm, both capped by the L-1 available splits.
+		leftK := min(dm, L-1)
+		rightK := min(dm, L-1)
+		s.activateWork += pairsL * int64(leftK+rightK)
+	}
+	for L := 1; L <= n; L++ {
+		pairsL := int64(n + 1 - L)
+		dm := s.dmax(L)
+		var cells, work int64
+		for d := 0; d <= dm; d++ {
+			cells += int64(d + 1)         // a = 0..d
+			work += int64(d) * int64(d+1) // each (d,a) cell reduces over d candidates
+		}
+		s.squareCells += pairsL * cells
+		s.squareWork += pairsL * work
+		if int64(dm) > s.squareMaxM {
+			s.squareMaxM = int64(dm)
+		}
+	}
+	// pebble candidates per span: banded gaps (minus the trivial one) plus
+	// the L-1 direct-combine splits.
+	s.pebbleCands = make([]int64, n+1)
+	for L := 2; L <= n; L++ {
+		dm := s.dmax(L)
+		s.pebbleCands[L] = int64(tri(dm+1)-1) + int64(L-1)
+	}
+}
+
+// activate applies eq. (1a)/(1b) restricted to gaps inside the band: a
+// left gap (i,k) has deficit j-k, a right gap (k,j) deficit k-i, so only
+// the D splits nearest each end are touched — O(n^2 sqrt n) work.
+func (s *bandedState) activate() {
+	if s.aud != nil {
+		s.aud.BeginStep("a-activate")
+	}
+	in := s.in
+	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+		var local int64
+		for t := lo; t < hi; t++ {
+			pr := s.pairs[t]
+			i, j := int(pr.i), int(pr.j)
+			if j-i < 2 {
+				continue
+			}
+			dm := s.dmax(j - i)
+			// Left gaps (i,k): k from j-dm to j-1.
+			for k := max(i+1, j-dm); k < j; k++ {
+				c := s.cellIdx(i, j, i, k)
+				v := cost.Add(in.F(i, k, j), s.readW(k, j))
+				if s.aud != nil {
+					s.aud.Write(pram.Addr(epochTag(tagPW, s.pwEpoch), c))
+				}
+				if v < s.buf[c] {
+					s.buf[c] = v
+					local++
+				}
+			}
+			// Right gaps (k,j): k from i+1 to i+dm.
+			for k := i + 1; k <= min(j-1, i+dm); k++ {
+				c := s.cellIdx(i, j, k, j)
+				v := cost.Add(in.F(i, k, j), s.readW(i, k))
+				if s.aud != nil {
+					s.aud.Write(pram.Addr(epochTag(tagPW, s.pwEpoch), c))
+				}
+				if v < s.buf[c] {
+					s.buf[c] = v
+					local++
+				}
+			}
+		}
+		return local
+	})
+	if s.trackPWChanges {
+		s.pwChangedThisIter += changed
+	}
+	if s.aud != nil {
+		s.aud.EndStep()
+	}
+}
+
+// square applies eq. (2c) to every banded cell. All composition reads
+// stay inside the band (the deficits of both factors are bounded by the
+// target's deficit — the observation that makes Section 5 work).
+func (s *bandedState) square() {
+	if s.aud != nil {
+		s.aud.BeginStep("a-square")
+	}
+	src := s.buf
+	dst := s.buf
+	if s.sync {
+		dst = s.bufNext
+	}
+	track := s.trackPWChanges
+	sz := s.sz
+	triTab := s.triTab
+	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+		var local int64
+		for t := lo; t < hi; t++ {
+			pr := s.pairs[t]
+			i, j := int(pr.i), int(pr.j)
+			dm := s.dmax(j - i)
+			basec := s.base[i*sz+j]
+			for d := 0; d <= dm; d++ {
+				rowD := basec + triTab[d]
+				for a := 0; a <= d; a++ {
+					p := i + a
+					q := j - (d - a)
+					c := rowD + a
+					best := src[c] // own-cell RMW: not a shared read
+					// First form: intermediate (r,q), r in [i,p). All reads
+					// are in-band (deficits bounded by d; see doc.go):
+					//   pw(i,j,r,q) at cell basec + tri(rr+d-a) + rr, rr=r-i
+					//   pw(r,q,p,q) at cell base[r,q] + tri(p-r) + (p-r)
+					for rr := 0; rr < a; rr++ {
+						c1 := basec + triTab[rr+d-a] + rr
+						pr2 := p - (i + rr) // p - r
+						c2 := s.base[(i+rr)*sz+q] + triTab[pr2] + pr2
+						if s.aud != nil {
+							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c1))
+							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c2))
+						}
+						v := cost.Add(src[c1], src[c2])
+						if v < best {
+							best = v
+						}
+					}
+					// Second form: intermediate (p,x), x in (q,j]:
+					//   pw(i,j,p,x) at cell basec + tri(a+j-x) + a
+					//   pw(p,x,p,q) at cell base[p,x] + tri(x-q)
+					for x := q + 1; x <= j; x++ {
+						c3 := basec + triTab[a+j-x] + a
+						c4 := s.base[p*sz+x] + triTab[x-q]
+						if s.aud != nil {
+							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c3))
+							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c4))
+						}
+						v := cost.Add(src[c3], src[c4])
+						if v < best {
+							best = v
+						}
+					}
+					if s.aud != nil {
+						s.aud.Write(pram.Addr(epochTag(tagPW, s.writeEpochB(s.pwEpoch)), c))
+					}
+					if track && best != src[c] {
+						local++
+					}
+					dst[c] = best
+				}
+			}
+		}
+		return local
+	})
+	if track {
+		s.pwChangedThisIter += changed
+	}
+	if s.sync {
+		s.buf, s.bufNext = s.bufNext, s.buf
+		s.pwEpoch ^= 1
+	}
+	if s.aud != nil {
+		s.aud.EndStep()
+	}
+}
+
+// pebble applies eq. (3) over the banded gaps plus the direct combine
+// min_k f(i,k,j)+w'(i,k)+w'(k,j). The combine stands in for the activate
+// edges the band cannot store (gaps whose sibling subtree exceeds D); in
+// the pebbling game it is the activate-then-pebble move at a node whose
+// children are both pebbled, so Lemma 3.3's schedule is preserved.
+func (s *bandedState) pebble(loSpan, hiSpan int) int64 {
+	if s.aud != nil {
+		s.aud.BeginStep("a-pebble")
+	}
+	in := s.in
+	src := s.w
+	dst := s.w
+	if s.sync {
+		copy(s.wNext, s.w)
+		dst = s.wNext
+	}
+	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+		var local int64
+		for t := lo; t < hi; t++ {
+			pr := s.pairs[t]
+			i, j := int(pr.i), int(pr.j)
+			span := j - i
+			if span < 2 || span < loSpan || span > hiSpan {
+				continue
+			}
+			c := i*s.sz + j
+			best := src[c] // own-cell RMW: not a shared read
+			dm := s.dmax(span)
+			basec := s.base[c]
+			for d := 1; d <= dm; d++ {
+				for a := 0; a <= d; a++ {
+					p := i + a
+					q := j - (d - a)
+					pc := basec + tri(d) + a
+					if s.aud != nil {
+						s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), pc))
+					}
+					v := cost.Add(s.buf[pc], s.readW(p, q))
+					if v < best {
+						best = v
+					}
+				}
+			}
+			for k := i + 1; k < j; k++ {
+				v := cost.Add3(in.F(i, k, j), s.readW(i, k), s.readW(k, j))
+				if v < best {
+					best = v
+				}
+			}
+			if s.aud != nil {
+				s.aud.Write(pram.Addr(epochTag(tagW, s.writeEpochB(s.wEpoch)), c))
+			}
+			if best != src[c] {
+				local++
+			}
+			dst[c] = best
+		}
+		return local
+	})
+	if s.sync {
+		s.w, s.wNext = s.wNext, s.w
+		s.wEpoch ^= 1
+	}
+	if s.aud != nil {
+		s.aud.EndStep()
+	}
+	return changed
+}
+
+func (s *bandedState) charge(acct *pram.Accounting, loSpan, hiSpan int) {
+	acct.ChargeUnit(s.activateWork)
+	acct.ChargeReduce(s.squareCells, s.squareMaxM+1, s.squareWork)
+	var cells, work, maxM int64
+	for L := max(2, loSpan); L <= min(s.n, hiSpan); L++ {
+		pairsL := int64(s.n + 1 - L)
+		m := s.pebbleCands[L]
+		cells += pairsL
+		work += pairsL * m
+		if m > maxM {
+			maxM = m
+		}
+	}
+	acct.ChargeReduce(cells, maxM, work)
+}
+
+func (s *bandedState) wTable() *recurrence.Table {
+	t := recurrence.NewTable(s.n)
+	for i := 0; i <= s.n; i++ {
+		for j := i + 1; j <= s.n; j++ {
+			t.Set(i, j, s.w[i*s.sz+j])
+		}
+	}
+	return t
+}
+
+func (s *bandedState) wEquals(t *recurrence.Table) bool {
+	for i := 0; i <= s.n; i++ {
+		for j := i + 1; j <= s.n; j++ {
+			if cost.Norm(s.w[i*s.sz+j]) != cost.Norm(t.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (s *bandedState) finiteW() int {
+	c := 0
+	for i := 0; i <= s.n; i++ {
+		for j := i + 1; j <= s.n; j++ {
+			if !cost.IsInf(s.w[i*s.sz+j]) {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+func (s *bandedState) setTrackPW(on bool) { s.trackPWChanges = on }
+func (s *bandedState) pwChanged() int64   { return s.pwChangedThisIter }
+func (s *bandedState) resetPWChanged()    { s.pwChangedThisIter = 0 }
+func (s *bandedState) bandRadius() int    { return s.D }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+)
+
+// Per-operation micro-benchmarks: a-activate, a-square and a-pebble for
+// both storage variants. a-square is the bottleneck the paper's Section 5
+// attacks, and the dense/banded gap here is its payoff.
+
+func benchInstance(n int) *recurrence.Instance {
+	return problems.RandomMatrixChain(n, 50, 1).Materialize()
+}
+
+func BenchmarkOpDenseActivate(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := newDenseState(benchInstance(n), 0, true, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.activate()
+			}
+		})
+	}
+}
+
+func BenchmarkOpDenseSquare(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := newDenseState(benchInstance(n), 0, true, nil)
+			s.activate()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.square()
+			}
+		})
+	}
+}
+
+func BenchmarkOpDensePebble(b *testing.B) {
+	for _, n := range []int{16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := newDenseState(benchInstance(n), 0, true, nil)
+			s.activate()
+			s.square()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.pebble(2, n)
+			}
+		})
+	}
+}
+
+func BenchmarkOpBandedActivate(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := newBandedState(benchInstance(n), 0, true, nil, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.activate()
+			}
+		})
+	}
+}
+
+func BenchmarkOpBandedSquare(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := newBandedState(benchInstance(n), 0, true, nil, 0)
+			s.activate()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.square()
+			}
+		})
+	}
+}
+
+func BenchmarkOpBandedPebble(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := newBandedState(benchInstance(n), 0, true, nil, 0)
+			s.activate()
+			s.square()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.pebble(2, n)
+			}
+		})
+	}
+}
+
+// The end-to-end solve at several sizes, reported with allocations: the
+// steady-state iteration loop must not allocate.
+func BenchmarkSolveBandedEndToEnd(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			in := benchInstance(n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Solve(in, Options{Variant: Banded})
+			}
+		})
+	}
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"sublineardp/internal/cost"
+	"sublineardp/internal/parutil"
+	"sublineardp/internal/pram"
+	"sublineardp/internal/recurrence"
+)
+
+// Audit array tags.
+const (
+	tagW  uint8 = 1
+	tagPW uint8 = 2
+)
+
+// pair is one (i,j) node of the iteration space.
+type pair struct{ i, j int32 }
+
+// Audit addresses distinguish the two halves of each double buffer via an
+// epoch bit folded into the array tag: a synchronous step reads epoch e
+// and writes epoch e^1, so the auditor's read-write overlap check passes
+// exactly when the buffering discipline is honoured (PRAM reads logically
+// precede writes; what must never collide is a physical buffer cell).
+// Chaotic mode keeps a single epoch, so the auditor flags it — by design.
+func epochTag(tag, epoch uint8) uint8 { return tag | epoch<<3 }
+
+// denseState is the Sections 2-4 algorithm state: the full O(n^4) pw'
+// array plus the w' table, double-buffered for synchronous updates.
+type denseState struct {
+	n, sz   int
+	in      *recurrence.Instance
+	w       []cost.Cost
+	wNext   []cost.Cost
+	pw      []cost.Cost
+	pwNext  []cost.Cost
+	pairs   []pair // all (i,j), i<j, internal spans first ordering irrelevant
+	workers int
+	sync    bool
+	aud     *pram.Auditor
+
+	// Closed-form per-iteration accounting, computed once.
+	activateWork int64
+	squareCells  int64
+	squareWork   int64
+	squareMaxM   int64
+	pebbleCells  int64
+	pebbleWork   int64
+	pebbleMaxM   int64
+
+	// pw'-change tracking (WPWStable rule and history at small sizes).
+	trackPWChanges    bool
+	pwChangedThisIter int64
+
+	// Buffer epochs for audit addressing (flip at each swap).
+	wEpoch, pwEpoch uint8
+}
+
+func (s *denseState) idx(i, j, p, q int) int {
+	return ((i*s.sz+j)*s.sz+p)*s.sz + q
+}
+
+func newDenseState(in *recurrence.Instance, workers int, syncMode bool, aud *pram.Auditor) *denseState {
+	n := in.N
+	sz := n + 1
+	s := &denseState{
+		n:       n,
+		sz:      sz,
+		in:      in,
+		workers: workers,
+		sync:    syncMode,
+		aud:     aud,
+		w:       make([]cost.Cost, sz*sz),
+		pw:      make([]cost.Cost, sz*sz*sz*sz),
+	}
+	if syncMode {
+		s.wNext = make([]cost.Cost, sz*sz)
+		s.pwNext = make([]cost.Cost, sz*sz*sz*sz)
+	}
+	for i := range s.w {
+		s.w[i] = cost.Inf
+	}
+	for i := range s.pw {
+		s.pw[i] = cost.Inf
+	}
+	// Initialisation: w'(i,i+1) = init(i); pw'(i,j,i,j) = 0.
+	for i := 0; i < n; i++ {
+		s.w[i*sz+i+1] = in.Init(i)
+	}
+	for i := 0; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			s.pw[s.idx(i, j, i, j)] = 0
+			s.pairs = append(s.pairs, pair{int32(i), int32(j)})
+		}
+	}
+	s.computeCharges()
+	return s
+}
+
+// computeCharges precomputes the exact per-iteration work counts and
+// reduction widths used for PRAM accounting, so the hot loops carry no
+// counters. The counts follow directly from the iteration spaces:
+// activate touches every (i,k,j) twice; a square cell (i,j,p,q) has
+// (p-i)+(j-q) candidates; a pebble cell (i,j) has span*(span+1)/2
+// candidate gaps.
+func (s *denseState) computeCharges() {
+	n := int64(s.n)
+	// activate: all 0 <= i < k < j <= n, two min-updates each.
+	triples := (n + 1) * n * (n - 1) / 6
+	s.activateWork = 2 * triples
+	// square: per (i,j) of span L, cells are (a,b) offsets with
+	// a = p-i >= 0, b = j-q >= 0, a+b <= L-1 (p<q), candidates a+b.
+	for L := int64(1); L <= n; L++ {
+		pairsL := n + 1 - L
+		var cells, work int64
+		for a := int64(0); a <= L; a++ {
+			for b := int64(0); a+b <= L-1; b++ {
+				cells++
+				work += a + b
+			}
+		}
+		s.squareCells += pairsL * cells
+		s.squareWork += pairsL * work
+	}
+	if n >= 1 {
+		s.squareMaxM = n - 1 // widest reduction: (p-i)+(j-q) at span n
+	}
+	// pebble: per (i,j) of span L, candidates = number of (p,q) cells.
+	for L := int64(2); L <= n; L++ {
+		pairsL := n + 1 - L
+		cells := L * (L + 1) / 2
+		s.pebbleCells += pairsL
+		s.pebbleWork += pairsL * cells
+		if cells > s.pebbleMaxM {
+			s.pebbleMaxM = cells
+		}
+	}
+}
+
+// readPW fetches a pw' cell, recording the read when auditing.
+func (s *denseState) readPW(buf []cost.Cost, i, j, p, q int) cost.Cost {
+	c := s.idx(i, j, p, q)
+	if s.aud != nil {
+		s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c))
+	}
+	return buf[c]
+}
+
+func (s *denseState) readW(i, j int) cost.Cost {
+	c := i*s.sz + j
+	if s.aud != nil {
+		s.aud.Read(pram.Addr(epochTag(tagW, s.wEpoch), c))
+	}
+	return s.w[c]
+}
+
+// writeEpoch returns the epoch a synchronous step writes into: the other
+// buffer when double-buffered, the same one when updating in place.
+func (s *denseState) writeEpoch(epoch uint8, buffered bool) uint8 {
+	if s.sync && buffered {
+		return epoch ^ 1
+	}
+	return epoch
+}
+
+// activate performs one a-activate. It reads w' and each written cell's
+// own old value, so in-place update is synchronous-equivalent; writes to
+// distinct cells are produced by distinct (i,k,j) triples (exclusive
+// write), which the auditor verifies.
+func (s *denseState) activate() {
+	if s.aud != nil {
+		s.aud.BeginStep("a-activate")
+	}
+	in := s.in
+	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+		var local int64
+		for t := lo; t < hi; t++ {
+			s.activatePair(in, t, &local)
+		}
+		return local
+	})
+	if s.trackPWChanges {
+		s.pwChangedThisIter += changed
+	}
+	if s.aud != nil {
+		s.aud.EndStep()
+	}
+}
+
+// activatePair applies eq. (1a)/(1b) for every split of one (i,j) pair.
+// Each cell is read-modify-written by exactly one (i,k,j) triple: a
+// processor-local RMW, so only the write is recorded for the
+// exclusive-write audit.
+func (s *denseState) activatePair(in *recurrence.Instance, t int, changed *int64) {
+	pr := s.pairs[t]
+	i, j := int(pr.i), int(pr.j)
+	if j-i < 2 {
+		return
+	}
+	for k := i + 1; k < j; k++ {
+		fv := in.F(i, k, j)
+		c1 := s.idx(i, j, i, k)
+		v1 := cost.Add(fv, s.readW(k, j))
+		if s.aud != nil {
+			s.aud.Write(pram.Addr(epochTag(tagPW, s.pwEpoch), c1))
+		}
+		if v1 < s.pw[c1] {
+			s.pw[c1] = v1
+			*changed++
+		}
+		c2 := s.idx(i, j, k, j)
+		v2 := cost.Add(fv, s.readW(i, k))
+		if s.aud != nil {
+			s.aud.Write(pram.Addr(epochTag(tagPW, s.pwEpoch), c2))
+		}
+		if v2 < s.pw[c2] {
+			s.pw[c2] = v2
+			*changed++
+		}
+	}
+}
+
+// square performs one a-square. In synchronous mode all candidate reads
+// come from the old buffer and every valid cell is rewritten into the
+// scratch buffer; in chaotic mode it updates in place.
+func (s *denseState) square() {
+	if s.aud != nil {
+		s.aud.BeginStep("a-square")
+	}
+	src := s.pw
+	dst := s.pw
+	if s.sync {
+		dst = s.pwNext
+	}
+	var changed int64
+	track := s.trackPWChanges
+	sz := s.sz
+	sz2 := sz * sz
+	sz3 := sz2 * sz
+	changed = parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+		var localChanged int64
+		for t := lo; t < hi; t++ {
+			pr := s.pairs[t]
+			i, j := int(pr.i), int(pr.j)
+			baseIJ := (i*sz + j) * sz2 // idx(i,j,p,q) = baseIJ + p*sz + q
+			for p := i; p <= j; p++ {
+				rowP := baseIJ + p*sz
+				for q := p + 1; q <= j; q++ {
+					c := rowP + q
+					best := src[c] // own-cell RMW: not a shared read
+					// First form of eq. (2c): intermediate (r,q), r in [i,p).
+					// idx(i,j,r,q) = baseIJ + r*sz + q steps by sz;
+					// idx(r,q,p,q) = r*sz3 + q*sz2 + p*sz + q steps by sz3.
+					c1 := baseIJ + i*sz + q
+					c2 := i*sz3 + q*sz2 + p*sz + q
+					for r := i; r < p; r++ {
+						if s.aud != nil {
+							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c1))
+							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c2))
+						}
+						v := cost.Add(src[c1], src[c2])
+						if v < best {
+							best = v
+						}
+						c1 += sz
+						c2 += sz3
+					}
+					// Second form: intermediate (p,x), x in (q,j].
+					// idx(i,j,p,x) = rowP + x steps by 1;
+					// idx(p,x,p,q) = p*sz3 + x*sz2 + p*sz + q steps by sz2.
+					c3 := rowP + q + 1
+					c4 := p*sz3 + (q+1)*sz2 + p*sz + q
+					for x := q + 1; x <= j; x++ {
+						if s.aud != nil {
+							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c3))
+							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c4))
+						}
+						v := cost.Add(src[c3], src[c4])
+						if v < best {
+							best = v
+						}
+						c3++
+						c4 += sz2
+					}
+					if s.aud != nil {
+						s.aud.Write(pram.Addr(epochTag(tagPW, s.writeEpoch(s.pwEpoch, true)), c))
+					}
+					if track && best != src[c] {
+						localChanged++
+					}
+					dst[c] = best
+				}
+			}
+		}
+		return localChanged
+	})
+	if track {
+		s.pwChangedThisIter += changed
+	}
+	if s.sync {
+		s.pw, s.pwNext = s.pwNext, s.pw
+		s.pwEpoch ^= 1
+	}
+	if s.aud != nil {
+		s.aud.EndStep()
+	}
+}
+
+// pebble performs one a-pebble over the given span range [loSpan, hiSpan]
+// (the full range for the unwindowed schedule). Following eq. (3) the min
+// excludes the trivial gap (p,q) == (i,j); monotonicity of w' and pw'
+// makes that equivalent to keeping the old value in the min. It returns
+// the number of w' entries that changed.
+func (s *denseState) pebble(loSpan, hiSpan int) int64 {
+	if s.aud != nil {
+		s.aud.BeginStep("a-pebble")
+	}
+	src := s.w
+	dst := s.w
+	if s.sync {
+		copy(s.wNext, s.w)
+		dst = s.wNext
+	}
+	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+		var local int64
+		for t := lo; t < hi; t++ {
+			pr := s.pairs[t]
+			i, j := int(pr.i), int(pr.j)
+			span := j - i
+			if span < 2 || span < loSpan || span > hiSpan {
+				continue
+			}
+			best := src[i*s.sz+j] // own-cell RMW: not a shared read
+			for p := i; p <= j; p++ {
+				for q := p + 1; q <= j; q++ {
+					if p == i && q == j {
+						continue
+					}
+					v := cost.Add(s.readPW(s.pw, i, j, p, q), s.readW(p, q))
+					if v < best {
+						best = v
+					}
+				}
+			}
+			c := i*s.sz + j
+			if s.aud != nil {
+				s.aud.Write(pram.Addr(epochTag(tagW, s.writeEpoch(s.wEpoch, true)), c))
+			}
+			if best != src[c] {
+				local++
+			}
+			dst[c] = best
+		}
+		return local
+	})
+	if s.sync {
+		s.w, s.wNext = s.wNext, s.w
+		s.wEpoch ^= 1
+	}
+	if s.aud != nil {
+		s.aud.EndStep()
+	}
+	return changed
+}
+
+// charge adds one full iteration's PRAM costs to acct.
+func (s *denseState) charge(acct *pram.Accounting, loSpan, hiSpan int) {
+	acct.ChargeUnit(s.activateWork)
+	acct.ChargeReduce(s.squareCells, s.squareMaxM+1, s.squareWork)
+	// Pebble work depends on the window; recompute for partial windows.
+	if loSpan <= 2 && hiSpan >= s.n {
+		acct.ChargeReduce(s.pebbleCells, s.pebbleMaxM, s.pebbleWork)
+		return
+	}
+	var cells, work, maxM int64
+	for L := int64(max(2, loSpan)); L <= int64(min(s.n, hiSpan)); L++ {
+		pairsL := int64(s.n) + 1 - L
+		m := L * (L + 1) / 2
+		cells += pairsL
+		work += pairsL * m
+		if m > maxM {
+			maxM = m
+		}
+	}
+	acct.ChargeReduce(cells, maxM, work)
+}
+
+// wTable copies the current w' into a Table.
+func (s *denseState) wTable() *recurrence.Table {
+	t := recurrence.NewTable(s.n)
+	for i := 0; i <= s.n; i++ {
+		for j := i + 1; j <= s.n; j++ {
+			t.Set(i, j, s.w[i*s.sz+j])
+		}
+	}
+	return t
+}
+
+// wEquals reports whether the current w' matches the target table.
+func (s *denseState) wEquals(t *recurrence.Table) bool {
+	for i := 0; i <= s.n; i++ {
+		for j := i + 1; j <= s.n; j++ {
+			if cost.Norm(s.w[i*s.sz+j]) != cost.Norm(t.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finiteW counts finite w' entries (history statistic).
+func (s *denseState) finiteW() int {
+	c := 0
+	for i := 0; i <= s.n; i++ {
+		for j := i + 1; j <= s.n; j++ {
+			if !cost.IsInf(s.w[i*s.sz+j]) {
+				c++
+			}
+		}
+	}
+	return c
+}
+
+func (s *denseState) setTrackPW(on bool) { s.trackPWChanges = on }
+func (s *denseState) pwChanged() int64   { return s.pwChangedThisIter }
+func (s *denseState) resetPWChanged()    { s.pwChangedThisIter = 0 }
+func (s *denseState) bandRadius() int    { return 0 }

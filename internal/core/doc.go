@@ -1,0 +1,49 @@
+// Package core implements the paper's contribution: the sublinear CREW
+// PRAM algorithm for dynamic-programming recurrences of form (*), built
+// from the three parallel operations
+//
+//	a-activate (eq. 1a/1b)  pw'(i,j,i,k) <- min(pw'(i,j,i,k), f(i,k,j)+w'(k,j))
+//	                        pw'(i,j,k,j) <- min(pw'(i,j,k,j), f(i,k,j)+w'(i,k))
+//	a-square   (eq. 2c)     pw'(i,j,p,q) <- min(pw'(i,j,p,q),
+//	                              min_{i<=r<p} pw'(i,j,r,q)+pw'(r,q,p,q),
+//	                              min_{q<s<=j} pw'(i,j,p,s)+pw'(p,s,p,q))
+//	a-pebble   (eq. 3)      w'(i,j) <- min_{i<=p<q<=j} pw'(i,j,p,q)+w'(p,q)
+//
+// iterated 2*ceil(sqrt(n)) times. Correctness follows from synchronising
+// the iterations with the pebbling game of internal/pebble on an optimal
+// tree (Section 4 of the paper): whenever the game pebbles a node, the
+// corresponding w' entry has reached its true value by the end of the same
+// iteration, and Lemma 3.3 bounds the game by 2*ceil(sqrt(n)) moves.
+//
+// Two storage variants are provided:
+//
+//   - Dense (Sections 2-4): the full pw' array over all (i,j,p,q) with
+//     i <= p < q <= j. O(n^4) memory, O(n^5) work per a-square; with
+//     log-time reductions this is the O(sqrt(n) log n) time,
+//     O(n^5 / log n) processor algorithm.
+//
+//   - Banded (Section 5): only partial weights whose deficit
+//     (j-i)-(q-p) is at most D = 2*ceil(sqrt(n)) are stored — O(n^3)
+//     entries with O(sqrt n) square candidates each, for O(n^3.5) work
+//     per iteration and the headline O(n^3.5 / log n) processor count.
+//     The paper's Section 5 is a sketch; making it concrete requires one
+//     completion: activate edges whose off-chain sibling exceeds the band
+//     cannot be stored, so the banded a-pebble additionally evaluates the
+//     direct combine min_k f(i,k,j)+w'(i,k)+w'(k,j). In the pebbling game
+//     this is exactly the activate-then-pebble step at a node both of
+//     whose children are already pebbled (the junction node v_k in the
+//     Lemma 3.3 chain decomposition), so the lemma's schedule — and hence
+//     the 2*ceil(sqrt(n)) bound — is preserved; DESIGN.md discusses this.
+//     The optional Window schedule restricts the pebble step at iterations
+//     2l-1 and 2l to spans in ((l-1)^2, l^2], the processor-count
+//     optimisation of Section 5.
+//
+// Updates run in one of two modes. Synchronous (the PRAM-faithful
+// default) double-buffers so every operation reads only pre-operation
+// state; an optional pram.Auditor checks that discipline together with
+// exclusive writes. Chaotic applies updates in place with a single
+// worker, modelling asynchronous ("chaotic") relaxation; every
+// intermediate value is still the weight of some feasible (partial) tree,
+// so the fixpoint is unchanged and convergence can only accelerate — the
+// ablation benchmarks quantify by how much.
+package core

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"sublineardp/internal/cost"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+)
+
+// These tests pin the micro-semantics of the three operations on
+// hand-computable states, independent of full solver runs.
+
+// tiny3 is the 3-object instance with f(i,k,j) = 10*i + k and init(i) = i+1:
+// small enough to trace by hand.
+func tiny3() *recurrence.Instance {
+	return &recurrence.Instance{
+		N:    3,
+		Name: "tiny3",
+		Init: func(i int) cost.Cost { return cost.Cost(i + 1) },
+		F:    func(i, k, j int) cost.Cost { return cost.Cost(10*i + k) },
+	}
+}
+
+func TestDenseInitialState(t *testing.T) {
+	s := newDenseState(tiny3(), 1, true, nil)
+	// w'(i,i+1) = init(i); everything else Inf.
+	for i := 0; i < 3; i++ {
+		if got := s.w[i*s.sz+i+1]; got != cost.Cost(i+1) {
+			t.Errorf("w(%d,%d) = %d, want %d", i, i+1, got, i+1)
+		}
+	}
+	if !cost.IsInf(s.w[0*s.sz+2]) || !cost.IsInf(s.w[0*s.sz+3]) {
+		t.Error("non-leaf w entries not Inf")
+	}
+	// pw'(i,j,i,j) = 0 for all pairs.
+	for i := 0; i <= 3; i++ {
+		for j := i + 1; j <= 3; j++ {
+			if got := s.pw[s.idx(i, j, i, j)]; got != 0 {
+				t.Errorf("pw(%d,%d,%d,%d) = %d, want 0", i, j, i, j, got)
+			}
+		}
+	}
+}
+
+func TestDenseActivateSemantics(t *testing.T) {
+	s := newDenseState(tiny3(), 1, true, nil)
+	s.activate()
+	// pw'(0,2,0,1) = f(0,1,2) + w'(1,2) = 1 + 2 = 3 (gap = left child).
+	if got := s.pw[s.idx(0, 2, 0, 1)]; got != 3 {
+		t.Errorf("pw(0,2,0,1) = %d, want 3", got)
+	}
+	// pw'(0,2,1,2) = f(0,1,2) + w'(0,1) = 1 + 1 = 2 (gap = right child).
+	if got := s.pw[s.idx(0, 2, 1, 2)]; got != 2 {
+		t.Errorf("pw(0,2,1,2) = %d, want 2", got)
+	}
+	// pw'(0,3,0,1) = f(0,1,3) + w'(1,3): w'(1,3) is Inf -> stays Inf.
+	if !cost.IsInf(s.pw[s.idx(0, 3, 0, 1)]) {
+		t.Error("pw(0,3,0,1) should still be Inf (w'(1,3) unknown)")
+	}
+	// pw'(0,3,0,2) = f(0,2,3) + w'(2,3) = 2 + 3 = 5.
+	if got := s.pw[s.idx(0, 3, 0, 2)]; got != 5 {
+		t.Errorf("pw(0,3,0,2) = %d, want 5", got)
+	}
+}
+
+func TestDensePebbleSemantics(t *testing.T) {
+	s := newDenseState(tiny3(), 1, true, nil)
+	s.activate()
+	// After activation, pebbling (0,2) closes pw'(0,2,0,1)+w'(0,1) = 3+1
+	// or pw'(0,2,1,2)+w'(1,2) = 2+2; both give 4 = f(0,1,2)+init0+init1.
+	s.pebble(2, 3)
+	if got := s.w[0*s.sz+2]; got != 4 {
+		t.Errorf("w(0,2) = %d, want 4", got)
+	}
+	// (1,3): f(1,2,3)+w(1,2)+w(2,3) = 12+2+3 = 17.
+	if got := s.w[1*s.sz+3]; got != 17 {
+		t.Errorf("w(1,3) = %d, want 17", got)
+	}
+}
+
+func TestDenseSquareComposition(t *testing.T) {
+	// Drive two iterations on a span-3 instance and verify the square
+	// composes one-edge partial trees into a two-edge one: pw'(0,3,0,1)
+	// should become f(0,2,3) + f(0,1,2) + w'(2,3) + w'(1,2) via
+	// composition pw'(0,3,0,2) + pw'(0,2,0,1)... sharing endpoint q=...
+	// Here gap (0,1) with root (0,3): decomposition at (0,2):
+	// pw'(0,3,0,1) = pw'(0,3,0,2) + pw'(0,2,0,1) = 5 + 3 = 8.
+	s := newDenseState(tiny3(), 1, true, nil)
+	s.activate()
+	s.square()
+	if got := s.pw[s.idx(0, 3, 0, 1)]; got != 8 {
+		t.Errorf("pw(0,3,0,1) after square = %d, want 8", got)
+	}
+}
+
+func TestBandedMatchesDenseStateEvolution(t *testing.T) {
+	// With D >= n-1 the band holds everything; the two variants must then
+	// evolve identical w tables at every iteration.
+	in := problems.RandomInstance(9, 30, 5)
+	for it := 1; it <= DefaultIterations(9); it++ {
+		d := Solve(in, Options{Variant: Dense, MaxIterations: it})
+		b := Solve(in, Options{Variant: Banded, BandRadius: 9, MaxIterations: it})
+		if !d.Table.Equal(b.Table) {
+			t.Fatalf("iteration %d: full-band banded diverged from dense: %v",
+				it, d.Table.Diff(b.Table, 3))
+		}
+	}
+}
+
+func TestBandedNarrowBandIsUpperBound(t *testing.T) {
+	// A narrower band can only slow convergence, never produce better
+	// (smaller) values than dense at the same iteration, and never
+	// undershoot the optimum.
+	in := problems.Zigzag(16)
+	opt := Solve(in, Options{Variant: Dense}).Table
+	for it := 1; it <= 6; it++ {
+		d := Solve(in, Options{Variant: Dense, MaxIterations: it})
+		b := Solve(in, Options{Variant: Banded, BandRadius: 2, MaxIterations: it})
+		for i := 0; i <= 16; i++ {
+			for j := i + 1; j <= 16; j++ {
+				bv, dv, ov := b.Table.At(i, j), d.Table.At(i, j), opt.At(i, j)
+				if bv < dv {
+					t.Fatalf("iter %d: banded (%d,%d)=%d below dense %d", it, i, j, bv, dv)
+				}
+				if cost.Norm(bv) != cost.Inf && bv < ov {
+					t.Fatalf("undershoot at (%d,%d): %d < optimum %d", i, j, bv, ov)
+				}
+			}
+		}
+	}
+}
+
+func TestBandedCellIndexing(t *testing.T) {
+	in := problems.RandomInstance(12, 10, 1)
+	s := newBandedState(in, 1, true, nil, 0)
+	// Every in-band (i,j,p,q) must map to a unique index within bounds.
+	seen := make(map[int][4]int)
+	for i := 0; i <= 12; i++ {
+		for j := i + 1; j <= 12; j++ {
+			dm := s.dmax(j - i)
+			for p := i; p <= j; p++ {
+				for q := p + 1; q <= j; q++ {
+					d := (p - i) + (j - q)
+					if d > dm {
+						continue
+					}
+					c := s.cellIdx(i, j, p, q)
+					if c < 0 || c >= len(s.buf) {
+						t.Fatalf("index %d out of range for (%d,%d,%d,%d)", c, i, j, p, q)
+					}
+					if prev, dup := seen[c]; dup {
+						t.Fatalf("cells (%d,%d,%d,%d) and %v collide at %d", i, j, p, q, prev, c)
+					}
+					seen[c] = [4]int{i, j, p, q}
+				}
+			}
+		}
+	}
+	if len(seen) != len(s.buf) {
+		t.Fatalf("%d cells mapped, buffer has %d (holes in layout)", len(seen), len(s.buf))
+	}
+}
+
+func TestBandedGetOutsideBandIsInf(t *testing.T) {
+	in := problems.RandomInstance(20, 10, 1)
+	s := newBandedState(in, 1, true, nil, 3)
+	// (0,20,p,q) with deficit 10 is outside D=3.
+	if got := s.get(s.buf, 0, 20, 5, 15); !cost.IsInf(got) {
+		t.Fatalf("out-of-band read = %d, want Inf", got)
+	}
+	// In-band read of the trivial gap is 0.
+	if got := s.get(s.buf, 0, 20, 0, 20); got != 0 {
+		t.Fatalf("trivial gap = %d, want 0", got)
+	}
+}
+
+func TestChargesMatchCountedWork(t *testing.T) {
+	// The analytic per-iteration charges must equal the actual candidate
+	// counts. Count by instrumenting a run with History+track (pw change
+	// counting walks the same loops) — instead we recount directly here.
+	in := problems.RandomInstance(10, 10, 2)
+	s := newDenseState(in, 1, true, nil)
+	// Recount square work by brute force.
+	var want int64
+	for i := 0; i <= 10; i++ {
+		for j := i + 1; j <= 10; j++ {
+			for p := i; p <= j; p++ {
+				for q := p + 1; q <= j; q++ {
+					want += int64(p-i) + int64(j-q)
+				}
+			}
+		}
+	}
+	if s.squareWork != want {
+		t.Fatalf("analytic square work %d != counted %d", s.squareWork, want)
+	}
+	// Activate: two updates per (i,k,j) triple.
+	var triples int64
+	for i := 0; i <= 10; i++ {
+		for k := i + 1; k <= 10; k++ {
+			for j := k + 1; j <= 10; j++ {
+				triples++
+			}
+		}
+	}
+	if s.activateWork != 2*triples {
+		t.Fatalf("analytic activate work %d != counted %d", s.activateWork, 2*triples)
+	}
+
+	b := newBandedState(in, 1, true, nil, 0)
+	var bandWant int64
+	for i := 0; i <= 10; i++ {
+		for j := i + 1; j <= 10; j++ {
+			dm := b.dmax(j - i)
+			for d := 0; d <= dm; d++ {
+				for a := 0; a <= d; a++ {
+					bandWant += int64(d)
+				}
+			}
+		}
+	}
+	if b.squareWork != bandWant {
+		t.Fatalf("analytic banded square work %d != counted %d", b.squareWork, bandWant)
+	}
+}
+
+func TestWindowScheduleCoversAllSpans(t *testing.T) {
+	// Over the full budget, the window schedule must pebble every span at
+	// least once: verify by solving a shaped instance where every node
+	// matters and checking full convergence (already covered) plus the
+	// specific window arithmetic.
+	n := 30
+	sqrtN := 6 // ceil(sqrt(30))
+	covered := make([]bool, n+1)
+	budget := DefaultIterations(n)
+	for iter := 1; iter <= budget; iter++ {
+		l := (iter + 1) / 2
+		if l > sqrtN {
+			l = sqrtN
+		}
+		lo := (l-1)*(l-1) + 1
+		hi := l * l
+		if l == sqrtN {
+			hi = n
+		}
+		for s := lo; s <= hi && s <= n; s++ {
+			covered[s] = true
+		}
+	}
+	for s := 2; s <= n; s++ {
+		if !covered[s] {
+			t.Errorf("span %d never inside the pebble window", s)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+
+	"sublineardp/internal/cost"
+	"sublineardp/internal/pram"
+	"sublineardp/internal/recurrence"
+)
+
+// Variant selects the pw' storage scheme.
+type Variant int
+
+const (
+	// Dense stores all O(n^4) partial weights (Sections 2-4).
+	Dense Variant = iota
+	// Banded stores only deficits <= 2*ceil(sqrt(n)) (Section 5).
+	Banded
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Dense:
+		return "dense"
+	case Banded:
+		return "banded"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// Mode selects the update discipline.
+type Mode int
+
+const (
+	// Synchronous double-buffers every operation: reads see only the
+	// pre-operation state, exactly as on a synchronous PRAM.
+	Synchronous Mode = iota
+	// Chaotic updates in place with a single worker, modelling
+	// asynchronous relaxation. Deterministic (fixed sweep order) but not
+	// PRAM-faithful; converges in at most as many iterations.
+	Chaotic
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Synchronous:
+		return "sync"
+	case Chaotic:
+		return "chaotic"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Termination selects the stopping rule.
+type Termination int
+
+const (
+	// FixedIterations runs the paper's worst-case budget
+	// 2*ceil(sqrt(n)) (or Options.MaxIterations if set).
+	FixedIterations Termination = iota
+	// WStable stops once no w' entry changed for two consecutive
+	// iterations — the heuristic rule the paper's Section 7 reports from
+	// simulation. Experiment E7 probes its safety.
+	WStable
+	// WPWStable stops once neither w' nor pw' changed for two
+	// consecutive iterations — the provably sufficient rule of Section 7.
+	WPWStable
+)
+
+func (t Termination) String() string {
+	switch t {
+	case FixedIterations:
+		return "fixed"
+	case WStable:
+		return "w-stable"
+	case WPWStable:
+		return "wpw-stable"
+	default:
+		return fmt.Sprintf("termination(%d)", int(t))
+	}
+}
+
+// Options configures a Solve run. The zero value is the paper's algorithm:
+// dense storage, synchronous updates, the fixed 2*ceil(sqrt(n)) budget,
+// GOMAXPROCS workers.
+type Options struct {
+	Variant     Variant
+	Mode        Mode
+	Termination Termination
+
+	// Workers is the goroutine count (0 = GOMAXPROCS). Chaotic mode
+	// always uses one worker.
+	Workers int
+
+	// MaxIterations caps the iteration count; 0 means the variant's
+	// worst-case budget (2*ceil(sqrt(n)), plus a small allowance for the
+	// stability detectors to observe two quiet iterations).
+	MaxIterations int
+
+	// BandRadius overrides the banded deficit bound D (0 = 2*ceil(sqrt n)).
+	// Ignored by the dense variant.
+	BandRadius int
+
+	// Window enables the Section 5 windowed pebble schedule (banded only):
+	// iterations 2l-1 and 2l pebble only spans in ((l-1)^2, l^2].
+	Window bool
+
+	// Audit, when non-nil, records every shared-memory access of every
+	// synchronous step for CREW validation. Orders of magnitude slower;
+	// test sizes only.
+	Audit *pram.Auditor
+
+	// Target, when non-nil, is the known-correct table (e.g. from
+	// seq.Solve); the run records in Result.ConvergedAt the first
+	// iteration after which w' matches it. It never affects control flow.
+	Target *recurrence.Table
+
+	// History records per-iteration statistics in Result.History.
+	History bool
+}
+
+// IterStat is one iteration's summary, recorded when Options.History is set.
+type IterStat struct {
+	Iter      int   // 1-based iteration number
+	WChanged  int   // w' entries that changed during this iteration
+	PWChanged int64 // pw' entries that changed (WPWStable or History+small runs)
+	FiniteW   int   // w' entries currently finite
+}
+
+// Result is the outcome of a Solve.
+type Result struct {
+	// Table holds the final w' values; after convergence it equals the
+	// sequential DP table.
+	Table *recurrence.Table
+	// Iterations actually executed.
+	Iterations int
+	// Acct is the PRAM cost model accounting for the whole run.
+	Acct pram.Accounting
+	// ConvergedAt is the first iteration after which w' equalled
+	// Options.Target, or -1 if no target was given or never matched.
+	ConvergedAt int
+	// StoppedEarly reports that a stability rule fired before the
+	// worst-case budget was exhausted.
+	StoppedEarly bool
+	// BandRadius echoes the effective D of a banded run (0 for dense).
+	BandRadius int
+	// Variant echoes the storage scheme used.
+	Variant Variant
+	// History holds per-iteration statistics when requested.
+	History []IterStat
+}
+
+// Cost returns the computed optimum c(0,n).
+func (r *Result) Cost() cost.Cost { return r.Table.Root() }

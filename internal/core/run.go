@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"sublineardp/internal/pebble"
+	"sublineardp/internal/pram"
+	"sublineardp/internal/recurrence"
+)
+
+// engine abstracts the two storage variants for the iteration driver.
+type engine interface {
+	activate()
+	square()
+	pebble(loSpan, hiSpan int) int64
+	charge(acct *pram.Accounting, loSpan, hiSpan int)
+	wTable() *recurrence.Table
+	wEquals(t *recurrence.Table) bool
+	finiteW() int
+	setTrackPW(on bool)
+	pwChanged() int64
+	resetPWChanged()
+	bandRadius() int
+}
+
+// DefaultIterations returns the paper's worst-case iteration budget for
+// size n: 2*ceil(sqrt(n)).
+func DefaultIterations(n int) int {
+	b := pebble.LemmaBound(n)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// Solve runs the HLV algorithm on the instance with the given options and
+// returns the final table plus instrumentation. With default options the
+// result table equals the sequential DP table (tests verify this across
+// problem families, sizes, variants and modes).
+func Solve(in *recurrence.Instance, opts Options) *Result {
+	if in == nil || in.N < 1 {
+		panic(fmt.Sprintf("core: invalid instance %+v", in))
+	}
+	n := in.N
+	workers := opts.Workers
+	if opts.Mode == Chaotic {
+		workers = 1 // in-place updates must stay deterministic and race-free
+	}
+
+	var eng engine
+	switch opts.Variant {
+	case Dense:
+		eng = newDenseState(in, workers, opts.Mode == Synchronous, opts.Audit)
+	case Banded:
+		eng = newBandedState(in, workers, opts.Mode == Synchronous, opts.Audit, opts.BandRadius)
+	default:
+		panic(fmt.Sprintf("core: unknown variant %v", opts.Variant))
+	}
+
+	budget := opts.MaxIterations
+	if budget <= 0 {
+		budget = DefaultIterations(n)
+		if opts.Termination != FixedIterations {
+			// Stability rules need room to observe two quiet iterations
+			// after convergence.
+			budget += 3
+		}
+	}
+
+	trackPW := opts.Termination == WPWStable || opts.History
+	eng.setTrackPW(trackPW)
+
+	res := &Result{
+		ConvergedAt: -1,
+		Variant:     opts.Variant,
+		BandRadius:  eng.bandRadius(),
+	}
+
+	sqrtN := pebble.IsqrtCeil(n)
+	stableRuns := 0
+	for iter := 1; iter <= budget; iter++ {
+		eng.resetPWChanged()
+		eng.activate()
+		eng.square()
+
+		loSpan, hiSpan := 2, n
+		if opts.Window && opts.Variant == Banded {
+			l := (iter + 1) / 2 // l = ceil(iter/2)
+			if l > sqrtN {
+				l = sqrtN // keep covering the top band during extra iterations
+			}
+			loSpan = (l-1)*(l-1) + 1
+			hiSpan = l * l
+			if l == sqrtN {
+				hiSpan = n
+			}
+		}
+		wChanged := eng.pebble(loSpan, hiSpan)
+		eng.charge(&res.Acct, loSpan, hiSpan)
+		res.Iterations = iter
+
+		pwChangedIter := eng.pwChanged()
+		if opts.History {
+			res.History = append(res.History, IterStat{
+				Iter:      iter,
+				WChanged:  int(wChanged),
+				PWChanged: pwChangedIter,
+				FiniteW:   eng.finiteW(),
+			})
+		}
+		if opts.Target != nil && res.ConvergedAt < 0 && eng.wEquals(opts.Target) {
+			res.ConvergedAt = iter
+		}
+
+		windowDone := !opts.Window || iter >= 2*sqrtN-1
+		switch opts.Termination {
+		case WStable:
+			if wChanged == 0 && windowDone {
+				stableRuns++
+			} else {
+				stableRuns = 0
+			}
+		case WPWStable:
+			if wChanged == 0 && pwChangedIter == 0 && windowDone {
+				stableRuns++
+			} else {
+				stableRuns = 0
+			}
+		}
+		if stableRuns >= 2 {
+			res.StoppedEarly = iter < budget
+			break
+		}
+	}
+
+	res.Table = eng.wTable()
+	return res
+}

@@ -1,0 +1,69 @@
+// Package cost provides the exact integer cost arithmetic shared by every
+// solver in this repository.
+//
+// All dynamic-programming values are nonnegative integers plus a single
+// "infinite" sentinel used for not-yet-computed entries. Using integers
+// (rather than floats) keeps every algorithm exact, so the parallel solvers
+// can be compared bit-for-bit against the sequential one. Inf is chosen far
+// below the int64 overflow boundary so that sums of a few infinities still
+// compare as "infinite" without wrapping.
+package cost
+
+import "math"
+
+// Cost is a nonnegative dynamic-programming value or Inf.
+type Cost int64
+
+// Inf is the "not computed / unreachable" sentinel. Any value >= Inf is
+// treated as infinite. Inf is MaxInt64/4 so that Add(Inf, Inf) cannot
+// overflow and any finite algorithmic sum stays clearly below it.
+const Inf Cost = math.MaxInt64 / 4
+
+// IsInf reports whether c represents an infinite (absent) value.
+func IsInf(c Cost) bool { return c >= Inf }
+
+// Add returns a+b with saturation at Inf. It is the only addition the
+// solvers use, so partial-weight compositions involving absent entries
+// stay absent instead of producing garbage.
+func Add(a, b Cost) Cost {
+	if a >= Inf || b >= Inf {
+		return Inf
+	}
+	return a + b
+}
+
+// Add3 returns a+b+c with saturation at Inf.
+func Add3(a, b, c Cost) Cost {
+	return Add(Add(a, b), c)
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Cost) Cost {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MinOf returns the minimum of vs, or Inf for an empty list.
+func MinOf(vs ...Cost) Cost {
+	m := Inf
+	for _, v := range vs {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Valid reports whether c is a legal cost: nonnegative and not above Inf.
+func Valid(c Cost) bool { return c >= 0 }
+
+// Norm maps every infinite representation to the canonical Inf, leaving
+// finite values unchanged. Useful before comparing arrays for equality.
+func Norm(c Cost) Cost {
+	if c >= Inf {
+		return Inf
+	}
+	return c
+}

@@ -1,0 +1,156 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInfIsLarge(t *testing.T) {
+	if Inf <= 0 {
+		t.Fatalf("Inf must be positive, got %d", Inf)
+	}
+	if int64(Inf) > math.MaxInt64/2 {
+		t.Fatalf("Inf too close to overflow boundary: %d", Inf)
+	}
+}
+
+func TestIsInf(t *testing.T) {
+	cases := []struct {
+		c    Cost
+		want bool
+	}{
+		{0, false},
+		{1, false},
+		{Inf - 1, false},
+		{Inf, true},
+		{Inf + 5, true},
+		{Inf + Inf, true},
+	}
+	for _, tc := range cases {
+		if got := IsInf(tc.c); got != tc.want {
+			t.Errorf("IsInf(%d) = %v, want %v", tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestAddFinite(t *testing.T) {
+	if got := Add(2, 3); got != 5 {
+		t.Errorf("Add(2,3) = %d, want 5", got)
+	}
+	if got := Add(0, 0); got != 0 {
+		t.Errorf("Add(0,0) = %d, want 0", got)
+	}
+}
+
+func TestAddSaturates(t *testing.T) {
+	cases := [][2]Cost{
+		{Inf, 0},
+		{0, Inf},
+		{Inf, Inf},
+		{Inf - 1 + 1, 7},
+		{Inf + 100, Inf + 100},
+	}
+	for _, tc := range cases {
+		if got := Add(tc[0], tc[1]); got != Inf {
+			t.Errorf("Add(%d,%d) = %d, want Inf", tc[0], tc[1], got)
+		}
+	}
+}
+
+func TestAddNeverOverflows(t *testing.T) {
+	// Even the largest representable "infinite" operands must not wrap.
+	a, b := Cost(math.MaxInt64/4), Cost(math.MaxInt64/4)
+	if got := Add(a, b); got != Inf {
+		t.Errorf("Add near boundary = %d, want Inf", got)
+	}
+}
+
+func TestAdd3(t *testing.T) {
+	if got := Add3(1, 2, 3); got != 6 {
+		t.Errorf("Add3(1,2,3) = %d, want 6", got)
+	}
+	if got := Add3(1, Inf, 3); got != Inf {
+		t.Errorf("Add3 with Inf = %d, want Inf", got)
+	}
+}
+
+func TestMin(t *testing.T) {
+	if got := Min(3, 5); got != 3 {
+		t.Errorf("Min(3,5) = %d", got)
+	}
+	if got := Min(5, 3); got != 3 {
+		t.Errorf("Min(5,3) = %d", got)
+	}
+	if got := Min(Inf, 3); got != 3 {
+		t.Errorf("Min(Inf,3) = %d", got)
+	}
+}
+
+func TestMinOf(t *testing.T) {
+	if got := MinOf(); got != Inf {
+		t.Errorf("MinOf() = %d, want Inf", got)
+	}
+	if got := MinOf(9, 4, 7); got != 4 {
+		t.Errorf("MinOf(9,4,7) = %d, want 4", got)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := Norm(Inf + 123); got != Inf {
+		t.Errorf("Norm(Inf+123) = %d, want Inf", got)
+	}
+	if got := Norm(42); got != 42 {
+		t.Errorf("Norm(42) = %d, want 42", got)
+	}
+}
+
+// Property: Add is commutative and monotone, and never produces a value
+// in the forbidden zone (above Inf but "finite-looking" after Norm).
+func TestAddProperties(t *testing.T) {
+	// Operands are drawn from the range algorithms actually maintain:
+	// either a finite value well below Inf, or the canonical Inf itself.
+	clamp := func(x int64) Cost {
+		if x < 0 {
+			x = -x
+		}
+		if x%5 == 0 {
+			return Inf
+		}
+		return Cost(x % int64(Inf/2))
+	}
+	comm := func(x, y int64) bool {
+		a, b := clamp(x), clamp(y)
+		return Add(a, b) == Add(b, a)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("commutativity: %v", err)
+	}
+	mono := func(x, y int64) bool {
+		a, b := clamp(x), clamp(y)
+		s := Add(a, b)
+		return s >= Norm(a) || IsInf(Norm(a)) // b >= 0, so sum can't shrink
+	}
+	if err := quick.Check(mono, nil); err != nil {
+		t.Errorf("monotonicity: %v", err)
+	}
+	canon := func(x, y int64) bool {
+		s := Add(clamp(x), clamp(y))
+		return !IsInf(s) || s == Inf // saturation yields the canonical Inf
+	}
+	if err := quick.Check(canon, nil); err != nil {
+		t.Errorf("canonical Inf: %v", err)
+	}
+}
+
+// Property: Add agrees with native addition whenever both operands are
+// comfortably finite.
+func TestAddMatchesNative(t *testing.T) {
+	f := func(x, y uint32) bool {
+		a, b := Cost(x), Cost(y)
+		return Add(a, b) == a+b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

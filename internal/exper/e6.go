@@ -1,0 +1,98 @@
+package exper
+
+import (
+	"sublineardp/internal/core"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+	"sublineardp/internal/rytter"
+	"sublineardp/internal/seq"
+	"sublineardp/internal/wavefront"
+)
+
+// E6CrossValidation runs every solver on every problem family and counts
+// exact table agreements with the sequential DP — the Section 4
+// correctness theorem exercised end to end.
+func E6CrossValidation(cfg Config) []*Table {
+	sizes := []int{8, 12, 16}
+	seeds := []int64{1, 2, 3}
+	if cfg.Quick {
+		sizes = []int{8, 12}
+		seeds = []int64{1}
+	}
+
+	t := &Table{
+		ID:       "E6",
+		Title:    "Exact table agreement with sequential DP (runs passed/total)",
+		PaperRef: "Section 4 correctness; Section 2 problem families",
+		Columns:  []string{"family", "dense", "banded", "banded+window", "chaotic", "rytter", "wavefront"},
+	}
+
+	families := []struct {
+		name string
+		mk   func(n int, seed int64) *recurrence.Instance
+	}{
+		{"matrix-chain", func(n int, s int64) *recurrence.Instance { return problems.RandomMatrixChain(n, 40, s) }},
+		{"obst", func(n int, s int64) *recurrence.Instance { return problems.RandomOBST(n, 30, s) }},
+		{"triangulation", func(n int, s int64) *recurrence.Instance {
+			return problems.Triangulation(problems.RandomConvexPolygon(n, 500, s))
+		}},
+		{"random-f", func(n int, s int64) *recurrence.Instance { return problems.RandomInstance(n, 50, s) }},
+		{"zigzag-shaped", func(n int, s int64) *recurrence.Instance { return problems.Zigzag(n) }},
+	}
+
+	type solverCol struct {
+		name string
+		run  func(in *recurrence.Instance) *recurrence.Table
+	}
+	solvers := []solverCol{
+		{"dense", func(in *recurrence.Instance) *recurrence.Table {
+			return core.Solve(in, core.Options{Variant: core.Dense, Workers: cfg.Workers}).Table
+		}},
+		{"banded", func(in *recurrence.Instance) *recurrence.Table {
+			return core.Solve(in, core.Options{Variant: core.Banded, Workers: cfg.Workers}).Table
+		}},
+		{"banded+window", func(in *recurrence.Instance) *recurrence.Table {
+			return core.Solve(in, core.Options{Variant: core.Banded, Window: true, Workers: cfg.Workers}).Table
+		}},
+		{"chaotic", func(in *recurrence.Instance) *recurrence.Table {
+			return core.Solve(in, core.Options{Variant: core.Dense, Mode: core.Chaotic}).Table
+		}},
+		{"rytter", func(in *recurrence.Instance) *recurrence.Table {
+			return rytter.Solve(in, rytter.Options{Workers: cfg.Workers}).Table
+		}},
+		{"wavefront", func(in *recurrence.Instance) *recurrence.Table {
+			return wavefront.Solve(in, wavefront.Options{Workers: cfg.Workers}).Table
+		}},
+	}
+
+	allPassed := true
+	for _, fam := range families {
+		passed := make([]int, len(solvers))
+		total := 0
+		for _, n := range sizes {
+			for _, seed := range seeds {
+				in := fam.mk(n, seed)
+				want := seq.Solve(in).Table
+				total++
+				for si, sv := range solvers {
+					if sv.run(in).Equal(want) {
+						passed[si]++
+					} else {
+						allPassed = false
+					}
+				}
+			}
+		}
+		row := []any{fam.name}
+		for _, p := range passed {
+			row = append(row, fmtFrac(p, total))
+		}
+		t.AddRow(row...)
+	}
+	if allPassed {
+		t.Note("all solvers agreed exactly with the sequential DP on every instance")
+	} else {
+		t.Note("WARNING: disagreements found — see counts above")
+	}
+	return []*Table{t}
+}

@@ -1,0 +1,149 @@
+package exper
+
+import (
+	"bytes"
+	"strings"
+	"sublineardp/internal/core"
+	"testing"
+)
+
+func TestAllRegistryEntries(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registry has %d experiments, want 12", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete registry entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e2"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Fatal("bogus id found")
+	}
+}
+
+// Every experiment must run at Quick scale, produce at least one table
+// with consistent row widths, and render without panicking.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tables := e.Run(cfg)
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", e.ID)
+			}
+			for _, tb := range tables {
+				if tb.ID == "" || tb.Title == "" || len(tb.Columns) == 0 {
+					t.Fatalf("%s produced a malformed table %+v", e.ID, tb)
+				}
+				if len(tb.Rows) == 0 {
+					t.Fatalf("%s table %q has no rows", e.ID, tb.Title)
+				}
+				for ri, row := range tb.Rows {
+					if len(row) != len(tb.Columns) {
+						t.Fatalf("%s table %q row %d has %d cells for %d columns",
+							e.ID, tb.Title, ri, len(row), len(tb.Columns))
+					}
+				}
+				var buf bytes.Buffer
+				tb.Render(&buf)
+				if !strings.Contains(buf.String(), tb.Title) {
+					t.Fatalf("render lost the title")
+				}
+				var csv bytes.Buffer
+				tb.CSV(&csv)
+				lines := strings.Count(csv.String(), "\n")
+				if lines != len(tb.Rows)+1 {
+					t.Fatalf("csv has %d lines, want %d", lines, len(tb.Rows)+1)
+				}
+			}
+		})
+	}
+}
+
+func TestNoWarningsAtQuickScale(t *testing.T) {
+	// The correctness-bearing experiments must not report WARNING notes.
+	cfg := Config{Quick: true}
+	for _, id := range []string{"E3", "E6", "E7"} {
+		e, _ := ByID(id)
+		for _, tb := range e.Run(cfg) {
+			for _, note := range tb.Notes {
+				if strings.Contains(note, "WARNING") {
+					t.Errorf("%s: %s", id, note)
+				}
+			}
+		}
+	}
+}
+
+func TestFmtInt(t *testing.T) {
+	cases := map[int64]string{
+		0:        "0",
+		5:        "5",
+		999:      "999",
+		1000:     "1,000",
+		1234567:  "1,234,567",
+		-9876543: "-9,876,543",
+	}
+	for v, want := range cases {
+		if got := fmtInt(v); got != want {
+			t.Errorf("fmtInt(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5:    "1.5",
+		2.0:    "2",
+		0.125:  "0.125",
+		3.1004: "3.1",
+	}
+	for v, want := range cases {
+		if got := trimFloat(v); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestTableCSVQuoting(t *testing.T) {
+	tb := &Table{ID: "X", Title: "t", Columns: []string{"a", "b"}}
+	tb.AddRow("x,y", `say "hi"`)
+	var buf bytes.Buffer
+	tb.CSV(&buf)
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestMaxStall(t *testing.T) {
+	mk := func(changes ...int) []core.IterStat {
+		out := make([]core.IterStat, len(changes))
+		for i, c := range changes {
+			out[i] = core.IterStat{Iter: i + 1, WChanged: c}
+		}
+		return out
+	}
+	if got := maxStall(mk(3, 0, 0, 2, 0)); got != 2 {
+		t.Fatalf("stall = %d, want 2", got)
+	}
+	if got := maxStall(mk(3, 2, 1, 0, 0)); got != 0 {
+		t.Fatalf("trailing quiet counted as stall: %d", got)
+	}
+	if got := maxStall(mk()); got != 0 {
+		t.Fatalf("empty history stall = %d", got)
+	}
+}

@@ -1,0 +1,38 @@
+package exper
+
+import (
+	"fmt"
+	"math"
+
+	"sublineardp/internal/stats"
+)
+
+// fmtInt renders large counters with thousands separators so the work
+// columns stay readable.
+func fmtInt[T int64 | int](v T) string {
+	x := int64(v)
+	neg := x < 0
+	if neg {
+		x = -x
+	}
+	s := fmt.Sprintf("%d", x)
+	var out []byte
+	for i, c := range []byte(s) {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			out = append(out, ',')
+		}
+		out = append(out, c)
+	}
+	if neg {
+		return "-" + string(out)
+	}
+	return string(out)
+}
+
+func fmtFrac(num, den int) string { return fmt.Sprintf("%d/%d", num, den) }
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+func pow(x, e float64) float64 { return math.Pow(x, e) }
+
+func logFit(xs, ys []float64) stats.Fit { return stats.LogFit(xs, ys) }

@@ -1,0 +1,166 @@
+// Package exper is the experiment harness: it regenerates, as text tables,
+// every quantitative claim of the paper (DESIGN.md section 4 maps each
+// experiment to its paper source). cmd/dpbench is the CLI front end;
+// EXPERIMENTS.md records one full run next to the paper's claims.
+package exper
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is one experiment output: a titled grid of cells plus free-form
+// notes (fits, verdicts, caveats).
+type Table struct {
+	ID       string // experiment id, e.g. "E2"
+	Title    string
+	PaperRef string // the claim in the paper this reproduces
+	Columns  []string
+	Rows     [][]string
+	Notes    []string
+}
+
+// AddRow appends one row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Note appends a formatted note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n", t.ID, t.Title)
+	if t.PaperRef != "" {
+		fmt.Fprintf(w, "   (reproduces: %s)\n", t.PaperRef)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = utf8.RuneCountInString(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if w := utf8.RuneCountInString(cell); i < len(widths) && w > widths[i] {
+				widths[i] = w
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[i]))
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	n := utf8.RuneCountInString(s)
+	if n >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-n)
+}
+
+// CSV writes the table as comma-separated values (cells containing commas
+// are quoted).
+func (t *Table) CSV(w io.Writer) {
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				fmt.Fprint(w, ",")
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			fmt.Fprint(w, c)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+}
+
+// Config controls experiment scale.
+type Config struct {
+	// Quick shrinks every experiment to test-suite scale.
+	Quick bool
+	// Workers for the parallel solvers (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Experiment is a runnable entry of the registry.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) []*Table
+}
+
+// All returns the full experiment registry in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Iterations to convergence by optimal-tree shape", E1IterationsVsShape},
+		{"E2", "Total work scaling and processor-time products", E2WorkScaling},
+		{"E3", "Pebbling game: moves vs the Lemma 3.3 bound", E3PebbleGame},
+		{"E4", "Average-case moves on random trees (Section 6)", E4AverageCase},
+		{"E5", "PRAM time and processor accounting (Sections 4-5)", E5PRAMAccounting},
+		{"E6", "Cross-validation of all solvers on all problem families", E6CrossValidation},
+		{"E7", "Termination heuristics (Section 7 open problem)", E7Termination},
+		{"E8", "Wall-clock self-speedup of the goroutine executor", E8Speedup},
+		{"E9", "Figures 1 and 2 as ASCII traces", E9Figures},
+		{"E10", "Adaptive processor-time product (Section 7 question)", E10AdaptivePT},
+		{"E11", "Brent-scheduled makespan on bounded machines", E11ProcessorScaling},
+		{"E12", "Idempotent-semiring generalisation (extension)", E12Semirings},
+	}
+}
+
+// ByID returns the experiment with the given id (case-insensitive).
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

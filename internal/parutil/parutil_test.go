@@ -1,0 +1,110 @@
+package parutil
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1023} {
+			hits := make([]atomic.Int32, n)
+			For(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunkedPartition(t *testing.T) {
+	for _, grain := range []int{0, 1, 3, 64, 1000} {
+		n := 257
+		hits := make([]atomic.Int32, n)
+		ForChunked(4, n, grain, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d,%d)", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("grain=%d: index %d executed %d times", grain, i, got)
+			}
+		}
+	}
+}
+
+func TestForEmptyAndNegative(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	For(4, -5, func(int) { called = true })
+	if called {
+		t.Fatal("body invoked for empty range")
+	}
+}
+
+func TestSumInt64(t *testing.T) {
+	// Sum of 0..n-1 for various worker counts.
+	for _, workers := range []int{0, 1, 2, 5} {
+		n := 10000
+		got := SumInt64(workers, n, 0, func(lo, hi int) int64 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(i)
+			}
+			return s
+		})
+		want := int64(n) * int64(n-1) / 2
+		if got != want {
+			t.Fatalf("workers=%d: sum = %d, want %d", workers, got, want)
+		}
+	}
+}
+
+func TestSumInt64Empty(t *testing.T) {
+	if got := SumInt64(3, 0, 0, func(lo, hi int) int64 { return 99 }); got != 0 {
+		t.Fatalf("empty sum = %d", got)
+	}
+}
+
+// Property: SumInt64 is independent of worker count and grain.
+func TestSumDeterministic(t *testing.T) {
+	f := func(nn uint16, w uint8, g uint8) bool {
+		n := int(nn) % 3000
+		workers := int(w)%7 + 1
+		grain := int(g) % 50
+		got := SumInt64(workers, n, grain, func(lo, hi int) int64 {
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += int64(i * i % 97)
+			}
+			return s
+		})
+		var want int64
+		for i := 0; i < n; i++ {
+			want += int64(i * i % 97)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelWritesAreDisjoint(t *testing.T) {
+	// Hammer: many workers writing disjoint slices must not race.
+	n := 1 << 16
+	buf := make([]int64, n)
+	For(8, n, func(i int) { buf[i] = int64(i) })
+	for i, v := range buf {
+		if v != int64(i) {
+			t.Fatalf("buf[%d] = %d", i, v)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package pebble
+
+import (
+	"math/rand"
+
+	"sublineardp/internal/btree"
+)
+
+// RecurrenceT numerically solves the Section 6 average-case recurrence
+//
+//	T(1) = 0
+//	T(n) = 1 + (1/(n-1)) * sum_{i=1..n-1} max(T(i), T(n-i))
+//
+// which models pebbling a random-split tree purely bottom-up (each node
+// pebbles one move after the slower of its children). It returns T(1..n)
+// as a slice indexed by leaf count. O(n^2) time.
+func RecurrenceT(n int) []float64 {
+	t := make([]float64, n+1)
+	if n < 1 {
+		return t
+	}
+	t[1] = 0
+	for m := 2; m <= n; m++ {
+		var sum float64
+		for i := 1; i < m; i++ {
+			a, b := t[i], t[m-i]
+			if b > a {
+				a = b
+			}
+			sum += a
+		}
+		t[m] = 1 + sum/float64(m-1)
+	}
+	return t
+}
+
+// SimStats summarises a batch of simulated games.
+type SimStats struct {
+	N        int
+	Trials   int
+	Mean     float64
+	Max      int
+	Min      int
+	Bound    int // the Lemma 3.3 bound 2*ceil(sqrt(n))
+	Exceeded int // trials that exceeded the bound (must be 0)
+}
+
+// SimulateRandom plays `trials` games with the given rule on independent
+// uniformly random split trees with n leaves (the Section 6 model) and
+// returns move statistics. All randomness derives from seed.
+func SimulateRandom(n, trials int, rule Rule, seed int64) SimStats {
+	rng := rand.New(rand.NewSource(seed))
+	st := SimStats{N: n, Trials: trials, Min: int(^uint(0) >> 1), Bound: LemmaBound(n)}
+	var total int64
+	for t := 0; t < trials; t++ {
+		tree := btree.RandomSplit(n, rng)
+		g := NewGame(tree, rule)
+		moves := g.Run(st.Bound + 4)
+		if !g.RootPebbled() {
+			st.Exceeded++
+		}
+		if moves > st.Max {
+			st.Max = moves
+		}
+		if moves < st.Min {
+			st.Min = moves
+		}
+		total += int64(moves)
+	}
+	if trials > 0 {
+		st.Mean = float64(total) / float64(trials)
+	} else {
+		st.Min = 0
+	}
+	return st
+}
+
+// MovesOn plays a fresh game with the given rule on the tree and returns
+// the move count; the boolean reports whether the root was pebbled within
+// the Lemma 3.3 budget (plus margin).
+func MovesOn(t *btree.Tree, rule Rule) (int, bool) {
+	g := NewGame(t, rule)
+	moves := g.Run(0)
+	return moves, g.RootPebbled()
+}

@@ -1,0 +1,59 @@
+package pebble
+
+import (
+	"strings"
+	"testing"
+
+	"sublineardp/internal/btree"
+)
+
+func TestRuleString(t *testing.T) {
+	if HLVRule.String() != "hlv" || RytterRule.String() != "rytter" {
+		t.Fatal("rule names wrong")
+	}
+	if got := Rule(99).String(); !strings.Contains(got, "99") {
+		t.Fatalf("unknown rule String() = %q", got)
+	}
+}
+
+func TestLemmaBoundValues(t *testing.T) {
+	cases := map[int]int{1: 2, 2: 4, 4: 4, 16: 8, 100: 20, 101: 22}
+	for n, want := range cases {
+		if got := LemmaBound(n); got != want {
+			t.Errorf("LemmaBound(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSimulateRandomZeroTrials(t *testing.T) {
+	st := SimulateRandom(10, 0, HLVRule, 1)
+	if st.Mean != 0 || st.Min != 0 || st.Max != 0 || st.Exceeded != 0 {
+		t.Fatalf("zero-trial stats: %+v", st)
+	}
+}
+
+func TestRunCheckedBudgetExhaustion(t *testing.T) {
+	g := NewGame(btree.Zigzag(100), HLVRule)
+	if _, err := g.RunChecked(2); err == nil {
+		t.Fatal("tiny budget did not error")
+	}
+}
+
+func TestCondSanityDetectsRegression(t *testing.T) {
+	g := NewGame(btree.Complete(4), HLVRule)
+	g.Move()
+	// A decreasing pebble count must be flagged.
+	if err := g.CheckCondSanity(1 << 30); err == nil {
+		t.Fatal("pebble-count regression not flagged")
+	}
+}
+
+func TestRecurrenceTDegenerate(t *testing.T) {
+	if tt := RecurrenceT(0); len(tt) != 1 {
+		t.Fatalf("RecurrenceT(0) len = %d", len(tt))
+	}
+	tt := RecurrenceT(1)
+	if tt[1] != 0 {
+		t.Fatalf("T(1) = %v", tt[1])
+	}
+}

@@ -1,0 +1,281 @@
+package pebble
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sublineardp/internal/btree"
+)
+
+func TestSingleLeafNeedsNoMoves(t *testing.T) {
+	g := NewGame(btree.New(1, nil), HLVRule)
+	if !g.RootPebbled() {
+		t.Fatal("single leaf not pebbled initially")
+	}
+	if moves := g.Run(0); moves != 0 {
+		t.Fatalf("played %d moves on a single leaf", moves)
+	}
+}
+
+func TestTwoLeavesOneMove(t *testing.T) {
+	for _, rule := range []Rule{HLVRule, RytterRule} {
+		g := NewGame(btree.Complete(2), rule)
+		if moves := g.Run(0); moves != 1 {
+			t.Fatalf("rule %v: %d moves for 2 leaves, want 1", rule, moves)
+		}
+		if !g.RootPebbled() {
+			t.Fatalf("rule %v: root unpebbled", rule)
+		}
+	}
+}
+
+func TestCompleteTreeLogMoves(t *testing.T) {
+	// A complete tree pebbles one level per move: exactly ceil(log2 n)
+	// moves for n a power of two.
+	for _, n := range []int{2, 4, 8, 16, 64, 256, 1024} {
+		g := NewGame(btree.Complete(n), HLVRule)
+		moves := g.Run(0)
+		want := int(math.Round(math.Log2(float64(n))))
+		if moves != want {
+			t.Errorf("complete n=%d: %d moves, want %d", n, moves, want)
+		}
+	}
+}
+
+func TestLemmaBoundAllShapes(t *testing.T) {
+	shapes := map[string]func(int) *btree.Tree{
+		"complete":    btree.Complete,
+		"leftskewed":  btree.LeftSkewed,
+		"rightskewed": btree.RightSkewed,
+		"zigzag":      btree.Zigzag,
+	}
+	for name, mk := range shapes {
+		for _, n := range []int{2, 3, 5, 9, 16, 33, 64, 100, 250, 777} {
+			g := NewGame(mk(n), HLVRule)
+			moves := g.Run(LemmaBound(n))
+			if !g.RootPebbled() {
+				t.Errorf("%s n=%d: root unpebbled after %d moves (bound %d)",
+					name, n, moves, LemmaBound(n))
+			}
+		}
+	}
+}
+
+func TestLemmaBoundRandomTreesChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(300)
+		tree := btree.RandomSplit(n, rng)
+		g := NewGame(tree, HLVRule)
+		moves, err := g.RunChecked(LemmaBound(n))
+		if err != nil {
+			t.Fatalf("n=%d trial=%d after %d moves: %v", n, trial, moves, err)
+		}
+	}
+}
+
+func TestZigzagCheckedWithInvariants(t *testing.T) {
+	for _, n := range []int{4, 16, 49, 100, 225} {
+		g := NewGame(btree.Zigzag(n), HLVRule)
+		moves, err := g.RunChecked(0)
+		if err != nil {
+			t.Fatalf("zigzag n=%d: %v", n, err)
+		}
+		if moves > LemmaBound(n) {
+			t.Fatalf("zigzag n=%d took %d moves > bound %d", n, moves, LemmaBound(n))
+		}
+	}
+}
+
+func TestZigzagIsSqrtHard(t *testing.T) {
+	// The zigzag tree must actually need Theta(sqrt n) moves under the HLV
+	// rule — at least sqrt(n)/2, say — otherwise it wouldn't be the
+	// pathological case the paper claims.
+	for _, n := range []int{64, 256, 1024} {
+		moves, ok := MovesOn(btree.Zigzag(n), HLVRule)
+		if !ok {
+			t.Fatalf("zigzag n=%d did not finish", n)
+		}
+		if lower := IsqrtCeil(n) / 2; moves < lower {
+			t.Errorf("zigzag n=%d finished in %d moves; expected >= %d", n, moves, lower)
+		}
+	}
+}
+
+func TestRytterRuleIsLogarithmic(t *testing.T) {
+	for _, n := range []int{64, 256, 1024, 4096} {
+		for name, mk := range map[string]func(int) *btree.Tree{
+			"zigzag": btree.Zigzag, "skewed": btree.LeftSkewed, "complete": btree.Complete,
+		} {
+			g := NewGame(mk(n), RytterRule)
+			moves := g.Run(LemmaBound(n))
+			if !g.RootPebbled() {
+				t.Fatalf("rytter %s n=%d unfinished", name, n)
+			}
+			budget := 4*int(math.Ceil(math.Log2(float64(n)))) + 4
+			if moves > budget {
+				t.Errorf("rytter %s n=%d took %d moves, expected <= %d", name, n, moves, budget)
+			}
+		}
+	}
+}
+
+func TestRytterNeverSlowerThanHLV(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(200)
+		tree := btree.RandomSplit(n, rng)
+		h, okH := MovesOn(tree, HLVRule)
+		r, okR := MovesOn(tree, RytterRule)
+		if !okH || !okR {
+			t.Fatalf("n=%d: unfinished game (hlv ok=%v, rytter ok=%v)", n, okH, okR)
+		}
+		if r > h {
+			t.Errorf("n=%d: rytter %d moves > hlv %d", n, r, h)
+		}
+	}
+}
+
+func TestMonotonePebbling(t *testing.T) {
+	g := NewGame(btree.Zigzag(80), HLVRule)
+	prev := g.PebbledCount()
+	for !g.RootPebbled() {
+		g.Move()
+		cur := g.PebbledCount()
+		if cur < prev {
+			t.Fatal("pebble count decreased")
+		}
+		prev = cur
+	}
+}
+
+func TestTraceCallback(t *testing.T) {
+	g := NewGame(btree.Complete(8), HLVRule)
+	var seen []int
+	g.Trace = func(move int, gg *Game) { seen = append(seen, move) }
+	g.Run(0)
+	if len(seen) != g.Moves() {
+		t.Fatalf("trace fired %d times for %d moves", len(seen), g.Moves())
+	}
+	for i, m := range seen {
+		if m != i+1 {
+			t.Fatalf("trace move numbers %v", seen)
+		}
+	}
+}
+
+func TestRunRespectsBudget(t *testing.T) {
+	g := NewGame(btree.Zigzag(400), HLVRule)
+	moves := g.Run(3)
+	if moves != 3 || g.RootPebbled() {
+		t.Fatalf("budget ignored: moves=%d pebbled=%v", moves, g.RootPebbled())
+	}
+}
+
+func TestIsqrtCeil(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 2: 2, 3: 2, 4: 2, 5: 3, 9: 3, 10: 4, 16: 4, 17: 5, 100: 10, 101: 11}
+	for n, want := range cases {
+		if got := IsqrtCeil(n); got != want {
+			t.Errorf("IsqrtCeil(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// Property: for random trees the HLV game finishes within the Lemma 3.3
+// bound and invariant (a) holds at every even move count.
+func TestLemmaProperty(t *testing.T) {
+	f := func(seed int64, nn uint16) bool {
+		n := int(nn)%500 + 2
+		tree := btree.RandomSplit(n, rand.New(rand.NewSource(seed)))
+		g := NewGame(tree, HLVRule)
+		_, err := g.RunChecked(LemmaBound(n))
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecurrenceTValues(t *testing.T) {
+	tt := RecurrenceT(8)
+	if tt[1] != 0 {
+		t.Fatalf("T(1) = %v", tt[1])
+	}
+	if tt[2] != 1 {
+		t.Fatalf("T(2) = %v, want 1", tt[2])
+	}
+	// T(3) = 1 + (max(T1,T2)+max(T2,T1))/2 = 1 + 1 = 2.
+	if tt[3] != 2 {
+		t.Fatalf("T(3) = %v, want 2", tt[3])
+	}
+	// Monotone nondecreasing.
+	for m := 2; m <= 8; m++ {
+		if tt[m] < tt[m-1] {
+			t.Fatalf("T not monotone at %d: %v < %v", m, tt[m], tt[m-1])
+		}
+	}
+}
+
+func TestRecurrenceTIsLogarithmic(t *testing.T) {
+	tt := RecurrenceT(4096)
+	// The paper proves T(n) = O(log n); check the constant is small:
+	// T(n)/log2(n) should be bounded (empirically ~2).
+	for _, n := range []int{64, 512, 4096} {
+		ratio := tt[n] / math.Log2(float64(n))
+		if ratio > 4 {
+			t.Errorf("T(%d)/log2 = %0.2f, not logarithmic-looking", n, ratio)
+		}
+	}
+	// And clearly below sqrt growth: T(4096) must be far below sqrt(4096)=64.
+	if tt[4096] > 40 {
+		t.Errorf("T(4096) = %0.1f, too large", tt[4096])
+	}
+}
+
+func TestSimulateRandomStats(t *testing.T) {
+	st := SimulateRandom(100, 50, HLVRule, 42)
+	if st.Exceeded != 0 {
+		t.Fatalf("%d trials exceeded the lemma bound", st.Exceeded)
+	}
+	if st.Mean <= 0 || st.Mean > float64(st.Bound) {
+		t.Fatalf("mean %0.2f outside (0, %d]", st.Mean, st.Bound)
+	}
+	if st.Min > st.Max {
+		t.Fatalf("min %d > max %d", st.Min, st.Max)
+	}
+	// Reproducibility.
+	st2 := SimulateRandom(100, 50, HLVRule, 42)
+	if st != st2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", st, st2)
+	}
+}
+
+func TestAverageCaseBeatsWorstCase(t *testing.T) {
+	// Section 6's claim, empirically: mean moves on random trees grows like
+	// log n, so at n=900 it must be well below the sqrt bound of 60.
+	st := SimulateRandom(900, 30, HLVRule, 7)
+	if st.Exceeded != 0 {
+		t.Fatalf("bound exceeded %d times", st.Exceeded)
+	}
+	if st.Mean > float64(st.Bound)/2 {
+		t.Errorf("mean %0.1f not clearly below bound %d; average case looks wrong", st.Mean, st.Bound)
+	}
+}
+
+func TestGameSnapshotAccessors(t *testing.T) {
+	tree := btree.Complete(4)
+	g := NewGame(tree, HLVRule)
+	if g.PebbledCount() != 4 {
+		t.Fatalf("initial pebbles = %d, want 4 (leaves)", g.PebbledCount())
+	}
+	for v := int32(0); v < int32(tree.Len()); v++ {
+		if g.Cond(v) != v {
+			t.Fatalf("initial cond(%d) = %d", v, g.Cond(v))
+		}
+		if g.Pebbled(v) != tree.IsLeaf(v) {
+			t.Fatalf("initial pebbling wrong at %d", v)
+		}
+	}
+}

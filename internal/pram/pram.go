@@ -1,0 +1,254 @@
+// Package pram models the paper's machine: the synchronous Concurrent-Read
+// Exclusive-Write Parallel RAM. The solvers execute on real goroutines
+// (internal/parutil); this package supplies the two things a goroutine pool
+// cannot: the PRAM *cost model* (time charged per synchronous step, with
+// m-way min-reductions costing ceil(log2 m) steps as in the paper's
+// "O(log n) time using O(n/log n) processors" folklore), and a *write
+// audit* that checks the exclusive-write discipline the CREW model demands.
+//
+// Accounting is what experiments E2/E5 report: PRAM time, total work, and
+// the implied processor count work/time per Brent's theorem. The Auditor
+// is a test-time tool: solvers route their reads and writes through it at
+// small sizes, and the tests assert that no memory cell is written twice
+// in one synchronous step and that no step reads a cell it also writes
+// (the double-buffering discipline that makes the simulation faithful).
+package pram
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+)
+
+// Accounting accumulates the PRAM complexity measures of a run.
+type Accounting struct {
+	// Time is the number of elapsed PRAM steps.
+	Time int64
+	// Work is the total number of primitive operations across all steps.
+	Work int64
+	// MaxProcs is the maximum, over charged operations, of the processor
+	// count ceil(work/time) that operation needs to finish in its charged
+	// time — the machine size the run demands under Brent scheduling.
+	MaxProcs int64
+	// Steps counts the charged operations (for averaging in reports).
+	Steps int64
+
+	// ops records every charged operation so Brent-scheduled times on a
+	// bounded machine can be replayed (TimeOn). A few hundred entries per
+	// run — negligible.
+	ops []OpCharge
+}
+
+// OpCharge is one charged operation: its total work and its unbounded
+// (critical-path) time.
+type OpCharge struct {
+	Work int64
+	Time int64
+}
+
+// Ops returns the recorded per-operation charges.
+func (a *Accounting) Ops() []OpCharge { return a.ops }
+
+// TimeOn returns the run's makespan on a machine with p processors under
+// Brent scheduling: each operation with work W and depth T contributes
+// ceil(W/p) + T steps (the standard Brent bound; each depth level's work
+// is spread across p processors, costing at most W/p extra plus the
+// level count). For p >= MaxProcs this degenerates to ~Time; for p = 1 it
+// approaches Work.
+func (a *Accounting) TimeOn(p int64) int64 {
+	if p < 1 {
+		p = 1
+	}
+	var total int64
+	for _, op := range a.ops {
+		total += (op.Work+p-1)/p + op.Time
+	}
+	return total
+}
+
+// ReduceTime returns the PRAM time of an m-way reduction: ceil(log2 m)
+// for m >= 2, and 1 for m <= 1 (a single compare-or-copy still takes a
+// step).
+func ReduceTime(m int64) int64 {
+	if m <= 1 {
+		return 1
+	}
+	return int64(bits.Len64(uint64(m - 1)))
+}
+
+// ChargeUnit charges one unit-time step that performs the given total
+// work across all virtual processors (e.g. the a-activate operation:
+// every cell does O(1) work in one step).
+func (a *Accounting) ChargeUnit(work int64) {
+	a.Time++
+	a.Work += work
+	a.Steps++
+	if work > a.MaxProcs {
+		a.MaxProcs = work
+	}
+	a.ops = append(a.ops, OpCharge{Work: work, Time: 1})
+}
+
+// ChargeReduce charges a parallel reduction phase: `cells` independent
+// reductions, the largest over maxM candidates, with totalWork candidate
+// evaluations overall. Time advances by ReduceTime(maxM); processors are
+// totalWork/time rounded up (the standard n/log n trick applied to the
+// whole phase).
+func (a *Accounting) ChargeReduce(cells, maxM, totalWork int64) {
+	if cells <= 0 {
+		return
+	}
+	t := ReduceTime(maxM)
+	a.Time += t
+	a.Work += totalWork
+	a.Steps++
+	procs := (totalWork + t - 1) / t
+	if procs < cells { // every cell needs at least one processor at the end
+		procs = cells
+	}
+	if procs > a.MaxProcs {
+		a.MaxProcs = procs
+	}
+	a.ops = append(a.ops, OpCharge{Work: totalWork, Time: t})
+}
+
+// Add folds another accounting (e.g. a sub-phase) into a.
+func (a *Accounting) Add(b Accounting) {
+	a.Time += b.Time
+	a.Work += b.Work
+	a.Steps += b.Steps
+	if b.MaxProcs > a.MaxProcs {
+		a.MaxProcs = b.MaxProcs
+	}
+	a.ops = append(a.ops, b.ops...)
+}
+
+// PTProduct returns the processor-time product MaxProcs*Time, the measure
+// the paper uses to compare algorithms.
+func (a *Accounting) PTProduct() int64 { return a.MaxProcs * a.Time }
+
+// String summarises the accounting for experiment tables.
+func (a *Accounting) String() string {
+	return fmt.Sprintf("time=%d work=%d procs=%d pt=%d", a.Time, a.Work, a.MaxProcs, a.PTProduct())
+}
+
+// Violation describes one breach of the synchronous CREW discipline.
+type Violation struct {
+	Step string
+	Addr uint64
+	Kind string // "write-write" or "read-write"
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s conflict at address %#x during step %q", v.Kind, v.Addr, v.Step)
+}
+
+// Auditor checks the exclusive-write and read/write-separation discipline
+// of synchronous PRAM steps. It is intended for tests at small sizes: all
+// recording goes through a mutex, so it is far too slow for benchmarks.
+// The zero Auditor is ready to use.
+type Auditor struct {
+	mu     sync.Mutex
+	step   string
+	reads  map[uint64]struct{}
+	writes map[uint64]struct{}
+	viols  []Violation
+	active bool
+}
+
+// BeginStep starts a new synchronous step with the given label, closing
+// any previous step.
+func (a *Auditor) BeginStep(name string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.closeLocked()
+	a.step = name
+	a.reads = make(map[uint64]struct{})
+	a.writes = make(map[uint64]struct{})
+	a.active = true
+}
+
+// EndStep closes the current step, performing the read-write overlap check.
+func (a *Auditor) EndStep() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.closeLocked()
+}
+
+func (a *Auditor) closeLocked() {
+	if !a.active {
+		return
+	}
+	// Sort for deterministic violation ordering.
+	var overlap []uint64
+	for addr := range a.writes {
+		if _, ok := a.reads[addr]; ok {
+			overlap = append(overlap, addr)
+		}
+	}
+	sort.Slice(overlap, func(i, j int) bool { return overlap[i] < overlap[j] })
+	for _, addr := range overlap {
+		a.viols = append(a.viols, Violation{Step: a.step, Addr: addr, Kind: "read-write"})
+	}
+	a.active = false
+}
+
+// Read records a read of addr in the current step. Concurrent reads are
+// legal in CREW, so reads alone never violate.
+func (a *Auditor) Read(addr uint64) {
+	a.mu.Lock()
+	if a.active {
+		a.reads[addr] = struct{}{}
+	}
+	a.mu.Unlock()
+}
+
+// Write records a write of addr in the current step; a second write to
+// the same address within one step is an exclusive-write violation.
+func (a *Auditor) Write(addr uint64) {
+	a.mu.Lock()
+	if a.active {
+		if _, dup := a.writes[addr]; dup {
+			a.viols = append(a.viols, Violation{Step: a.step, Addr: addr, Kind: "write-write"})
+		}
+		a.writes[addr] = struct{}{}
+	}
+	a.mu.Unlock()
+}
+
+// Violations returns all recorded violations (closing the current step).
+func (a *Auditor) Violations() []Violation {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.closeLocked()
+	return append([]Violation(nil), a.viols...)
+}
+
+// Err returns nil if the audited run was CREW-clean, or an error
+// describing the first few violations.
+func (a *Auditor) Err() error {
+	vs := a.Violations()
+	if len(vs) == 0 {
+		return nil
+	}
+	msg := vs[0].String()
+	if len(vs) > 1 {
+		msg = fmt.Sprintf("%s (and %d more)", msg, len(vs)-1)
+	}
+	return fmt.Errorf("pram: %s", msg)
+}
+
+// Addr packs an (array, index) pair into a single audit address. Arrays
+// are identified by small integer tags chosen by the solver; indices must
+// fit in 56 bits, which every flat array in this repository does.
+func Addr(array uint8, index int) uint64 {
+	return uint64(array)<<56 | (uint64(index) & (1<<56 - 1))
+}
+
+// Addr4 packs an array tag and a 4-index cell (i,j,p,q), each < 2^13,
+// into an audit address.
+func Addr4(array uint8, i, j, p, q int) uint64 {
+	return uint64(array)<<56 |
+		uint64(uint16(i))<<39 | uint64(uint16(j))<<26 | uint64(uint16(p))<<13 | uint64(uint16(q))
+}

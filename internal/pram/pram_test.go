@@ -1,0 +1,241 @@
+package pram
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceTime(t *testing.T) {
+	cases := map[int64]int64{
+		0: 1, 1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11,
+	}
+	for m, want := range cases {
+		if got := ReduceTime(m); got != want {
+			t.Errorf("ReduceTime(%d) = %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestChargeUnit(t *testing.T) {
+	var a Accounting
+	a.ChargeUnit(100)
+	a.ChargeUnit(50)
+	if a.Time != 2 || a.Work != 150 || a.MaxProcs != 100 || a.Steps != 2 {
+		t.Fatalf("accounting = %+v", a)
+	}
+}
+
+func TestChargeReduce(t *testing.T) {
+	var a Accounting
+	// 10 cells, largest reduction over 8 candidates, 64 total candidates:
+	// time += 3, procs = ceil(64/3) = 22.
+	a.ChargeReduce(10, 8, 64)
+	if a.Time != 3 {
+		t.Fatalf("time = %d, want 3", a.Time)
+	}
+	if a.Work != 64 {
+		t.Fatalf("work = %d", a.Work)
+	}
+	if a.MaxProcs != 22 {
+		t.Fatalf("procs = %d, want 22", a.MaxProcs)
+	}
+}
+
+func TestChargeReduceCellFloor(t *testing.T) {
+	var a Accounting
+	// 100 cells each reducing over 1 candidate: procs must be >= cells.
+	a.ChargeReduce(100, 1, 100)
+	if a.MaxProcs != 100 {
+		t.Fatalf("procs = %d, want 100", a.MaxProcs)
+	}
+}
+
+func TestChargeReduceZeroCells(t *testing.T) {
+	var a Accounting
+	a.ChargeReduce(0, 5, 10)
+	if a.Time != 0 || a.Work != 0 {
+		t.Fatalf("zero cells charged: %+v", a)
+	}
+}
+
+func TestAccountingAdd(t *testing.T) {
+	var a, b Accounting
+	a.ChargeUnit(10)
+	b.ChargeReduce(5, 4, 20)
+	a.Add(b)
+	if a.Time != 1+2 || a.Work != 30 || a.Steps != 2 {
+		t.Fatalf("after Add: %+v", a)
+	}
+	if len(a.Ops()) != 2 {
+		t.Fatalf("ops = %d, want 2", len(a.Ops()))
+	}
+}
+
+func TestTimeOnBrent(t *testing.T) {
+	var a Accounting
+	a.ChargeUnit(100)        // work 100, depth 1
+	a.ChargeReduce(8, 8, 64) // work 64, depth 3
+	// p = 1: ceil(100/1)+1 + ceil(64/1)+3 = 101 + 67 = 168.
+	if got := a.TimeOn(1); got != 168 {
+		t.Fatalf("TimeOn(1) = %d, want 168", got)
+	}
+	// p huge: 1+1 + 1+3 = 6 (critical path plus one unit each).
+	if got := a.TimeOn(1 << 40); got != 6 {
+		t.Fatalf("TimeOn(inf) = %d, want 6", got)
+	}
+	// p = 10: ceil(100/10)+1 + ceil(64/10)+3 = 11 + 10 = 21.
+	if got := a.TimeOn(10); got != 21 {
+		t.Fatalf("TimeOn(10) = %d, want 21", got)
+	}
+	// Monotone in p.
+	prev := a.TimeOn(1)
+	for p := int64(2); p <= 128; p *= 2 {
+		cur := a.TimeOn(p)
+		if cur > prev {
+			t.Fatalf("TimeOn not monotone at p=%d", p)
+		}
+		prev = cur
+	}
+	if a.TimeOn(0) != a.TimeOn(1) {
+		t.Fatal("TimeOn(0) not clamped to 1")
+	}
+}
+
+func TestPTProduct(t *testing.T) {
+	var a Accounting
+	a.ChargeUnit(7)
+	if a.PTProduct() != 7 {
+		t.Fatalf("pt = %d", a.PTProduct())
+	}
+	if !strings.Contains(a.String(), "pt=7") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestAuditorCleanRun(t *testing.T) {
+	var au Auditor
+	au.BeginStep("activate")
+	au.Read(Addr(1, 5))
+	au.Read(Addr(1, 5)) // concurrent read is fine
+	au.Write(Addr(2, 5))
+	au.EndStep()
+	au.BeginStep("pebble")
+	au.Write(Addr(1, 5)) // writing a cell read in a *previous* step is fine
+	au.EndStep()
+	if err := au.Err(); err != nil {
+		t.Fatalf("clean run flagged: %v", err)
+	}
+}
+
+func TestAuditorWriteWrite(t *testing.T) {
+	var au Auditor
+	au.BeginStep("square")
+	au.Write(Addr(1, 9))
+	au.Write(Addr(1, 9))
+	au.EndStep()
+	vs := au.Violations()
+	if len(vs) != 1 || vs[0].Kind != "write-write" {
+		t.Fatalf("violations = %v", vs)
+	}
+	if au.Err() == nil {
+		t.Fatal("Err() nil despite violation")
+	}
+}
+
+func TestAuditorReadWrite(t *testing.T) {
+	var au Auditor
+	au.BeginStep("square")
+	au.Read(Addr(1, 3))
+	au.Write(Addr(1, 3))
+	au.EndStep()
+	vs := au.Violations()
+	if len(vs) != 1 || vs[0].Kind != "read-write" {
+		t.Fatalf("violations = %v", vs)
+	}
+}
+
+func TestAuditorStepIsolation(t *testing.T) {
+	var au Auditor
+	au.BeginStep("a")
+	au.Write(Addr(1, 1))
+	au.BeginStep("b") // implicitly closes "a"
+	au.Write(Addr(1, 1))
+	au.EndStep()
+	if err := au.Err(); err != nil {
+		t.Fatalf("cross-step writes flagged: %v", err)
+	}
+}
+
+func TestAuditorConcurrentRecording(t *testing.T) {
+	var au Auditor
+	au.BeginStep("parallel")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				au.Write(Addr(3, w*200+i)) // disjoint per goroutine
+				au.Read(Addr(4, i))        // shared reads
+			}
+		}(w)
+	}
+	wg.Wait()
+	au.EndStep()
+	if err := au.Err(); err != nil {
+		t.Fatalf("disjoint parallel writes flagged: %v", err)
+	}
+}
+
+func TestAuditorInactiveIgnores(t *testing.T) {
+	var au Auditor
+	au.Write(Addr(1, 1)) // before any step: ignored
+	au.Write(Addr(1, 1))
+	if err := au.Err(); err != nil {
+		t.Fatalf("inactive recording flagged: %v", err)
+	}
+}
+
+func TestAddrDisjointness(t *testing.T) {
+	// Different arrays never collide, different indices never collide.
+	seen := map[uint64][2]int{}
+	for arr := 0; arr < 4; arr++ {
+		for idx := 0; idx < 5000; idx += 7 {
+			a := Addr(uint8(arr), idx)
+			if prev, ok := seen[a]; ok {
+				t.Fatalf("Addr collision: (%d,%d) vs %v", arr, idx, prev)
+			}
+			seen[a] = [2]int{arr, idx}
+		}
+	}
+}
+
+func TestAddr4Disjointness(t *testing.T) {
+	f := func(i1, j1, p1, q1, i2, j2, p2, q2 uint8) bool {
+		a := Addr4(1, int(i1), int(j1), int(p1), int(q1))
+		b := Addr4(1, int(i2), int(j2), int(p2), int(q2))
+		same := i1 == i2 && j1 == j2 && p1 == p2 && q1 == q2
+		return (a == b) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ReduceTime is monotone and ReduceTime(2^k) = k.
+func TestReduceTimeProperties(t *testing.T) {
+	f := func(m uint16) bool {
+		x := int64(m) + 2
+		return ReduceTime(x) >= ReduceTime(x-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for k := int64(1); k <= 20; k++ {
+		if got := ReduceTime(1 << k); got != k {
+			t.Errorf("ReduceTime(2^%d) = %d", k, got)
+		}
+	}
+}

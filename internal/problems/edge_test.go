@@ -1,0 +1,69 @@
+package problems
+
+import (
+	"strings"
+	"testing"
+)
+
+// Edge-path coverage for the generator guards not exercised elsewhere.
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestGeneratorGuards(t *testing.T) {
+	mustPanic(t, "RandomMatrixChain n=0", func() { RandomMatrixChain(0, 5, 1) })
+	mustPanic(t, "RandomMatrixChain maxDim=0", func() { RandomMatrixChain(5, 0, 1) })
+	mustPanic(t, "RandomOBST m=0", func() { RandomOBST(0, 5, 1) })
+	mustPanic(t, "RandomOBST maxW<0", func() { RandomOBST(5, -1, 1) })
+	mustPanic(t, "Triangulation 2 pts", func() { Triangulation([]Point{{0, 0}, {1, 1}}) })
+	mustPanic(t, "WeightedTriangulation 2 wts", func() { WeightedTriangulation([]int64{1, 2}) })
+	mustPanic(t, "WeightedTriangulation nonpositive", func() { WeightedTriangulation([]int64{1, 0, 2}) })
+	mustPanic(t, "RegularPolygon n=1", func() { RegularPolygon(1, 10) })
+	mustPanic(t, "RandomConvexPolygon n=1", func() { RandomConvexPolygon(1, 10, 1) })
+	mustPanic(t, "ShapedWithWeights negative", func() {
+		ShapedWithWeights(nil, -1, 0)
+	})
+	mustPanic(t, "RandomInstance n=0", func() { RandomInstance(0, 5, 1) })
+	mustPanic(t, "RandomInstance maxW<0", func() { RandomInstance(5, -1, 1) })
+}
+
+func TestNamedConstructors(t *testing.T) {
+	if in := KnuthExampleOBST(); in.Name != "obst-knuth-example" || in.Validate() != nil {
+		t.Errorf("KnuthExampleOBST malformed: %v", in.Name)
+	}
+	for _, in := range []interface {
+		Validate() error
+	}{
+		Zigzag(7), Balanced(7), Skewed(7), RandomShaped(7, 1),
+	} {
+		if err := in.Validate(); err != nil {
+			t.Error(err)
+		}
+	}
+	if !strings.HasPrefix(Zigzag(7).Name, "zigzag") {
+		t.Error("zigzag name lost")
+	}
+	if !strings.HasPrefix(Skewed(7).Name, "skewed") {
+		t.Error("skewed name lost")
+	}
+	if !strings.HasPrefix(Balanced(7).Name, "balanced") {
+		t.Error("balanced name lost")
+	}
+}
+
+func TestShapePenaltyHeadroom(t *testing.T) {
+	// The forcing argument needs (2n-1)*max(node,leaf) < ShapePenalty for
+	// the sizes the repository runs (n <= 4096 in any test or bench).
+	const maxN = 4096
+	const maxWeight = 1 << 10
+	if int64(2*maxN-1)*maxWeight >= int64(ShapePenalty) {
+		t.Fatal("ShapePenalty too small for the documented range")
+	}
+}

@@ -1,0 +1,125 @@
+package problems
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sublineardp/internal/btree"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
+)
+
+// ShapePenalty is the decomposition cost charged to any split that
+// deviates from the prescribed tree in a Shaped instance. Any tree other
+// than the target uses at least one off-tree split, so its cost is at
+// least ShapePenalty while the target costs 0; the target is therefore the
+// unique optimum.
+const ShapePenalty cost.Cost = 1 << 30
+
+// Shaped returns an instance whose unique optimal parenthesization is
+// exactly the given tree: f(i,k,j) is 0 when the tree contains node (i,j)
+// split at k, and ShapePenalty otherwise; all leaves are free.
+//
+// These instances drive the solvers into prescribed best/worst cases:
+// Shaped(btree.Zigzag(n)) realises the paper's Theta(sqrt n)-iteration
+// pathology, Shaped(btree.Complete(n)) its O(log n) easy case.
+func Shaped(t *btree.Tree) *recurrence.Instance {
+	splits := t.Splits()
+	return &recurrence.Instance{
+		N:    t.N,
+		Name: fmt.Sprintf("shaped-n%d-h%d", t.N, t.Height()),
+		Init: func(i int) cost.Cost { return 0 },
+		F: func(i, k, j int) cost.Cost {
+			if want, ok := splits[[2]int{i, j}]; ok && want == k {
+				return 0
+			}
+			return ShapePenalty
+		},
+	}
+}
+
+// ShapedWithWeights is like Shaped but additionally charges small
+// per-node weights so the optimal cost is nonzero and every node's weight
+// contributes: f adds nodeCost on the prescribed splits, and leaves cost
+// leafCost. The optimum is still the prescribed tree as long as
+// (2n-1)*max(nodeCost,leafCost) < ShapePenalty, which holds for all sizes
+// this repository runs.
+func ShapedWithWeights(t *btree.Tree, nodeCost, leafCost cost.Cost) *recurrence.Instance {
+	if nodeCost < 0 || leafCost < 0 {
+		panic("problems: shaped weights must be nonnegative")
+	}
+	splits := t.Splits()
+	return &recurrence.Instance{
+		N:    t.N,
+		Name: fmt.Sprintf("shapedw-n%d-h%d", t.N, t.Height()),
+		Init: func(i int) cost.Cost { return leafCost },
+		F: func(i, k, j int) cost.Cost {
+			if want, ok := splits[[2]int{i, j}]; ok && want == k {
+				return nodeCost
+			}
+			return ShapePenalty
+		},
+	}
+}
+
+// Zigzag returns the worst-case instance of size n (optimal tree =
+// Figure 2a's zigzag spine).
+func Zigzag(n int) *recurrence.Instance {
+	in := Shaped(btree.Zigzag(n))
+	in.Name = fmt.Sprintf("zigzag-n%d", n)
+	return in
+}
+
+// Balanced returns the easy-case instance of size n (optimal tree =
+// the complete tree of Figure 2b).
+func Balanced(n int) *recurrence.Instance {
+	in := Shaped(btree.Complete(n))
+	in.Name = fmt.Sprintf("balanced-n%d", n)
+	return in
+}
+
+// Skewed returns the straight-spine instance of size n (Figure 2b's
+// skewed tree; left spine).
+func Skewed(n int) *recurrence.Instance {
+	in := Shaped(btree.LeftSkewed(n))
+	in.Name = fmt.Sprintf("skewed-n%d", n)
+	return in
+}
+
+// RandomShaped returns an instance whose optimal tree is a uniformly
+// random split tree (the Section 6 average-case model made concrete).
+func RandomShaped(n int, seed int64) *recurrence.Instance {
+	in := Shaped(btree.RandomSplit(n, rand.New(rand.NewSource(seed))))
+	in.Name = fmt.Sprintf("randshaped-n%d-s%d", n, seed)
+	return in
+}
+
+// RandomInstance returns a fully random member of the recurrence family:
+// every f(i,k,j) and init(i) drawn uniformly from [0, maxW]. Unlike
+// RandomShaped, the shape of the optimal tree is not controlled; property
+// tests use these to cross-validate solvers on unstructured inputs.
+func RandomInstance(n, maxW int, seed int64) *recurrence.Instance {
+	if n < 1 || maxW < 0 {
+		panic("problems: RandomInstance needs n >= 1 and maxW >= 0")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	size := n + 1
+	ini := make([]cost.Cost, n)
+	for i := range ini {
+		ini[i] = cost.Cost(rng.Intn(maxW + 1))
+	}
+	f := make([]cost.Cost, size*size*size)
+	for i := 0; i <= n; i++ {
+		for k := i + 1; k <= n; k++ {
+			for j := k + 1; j <= n; j++ {
+				f[(i*size+k)*size+j] = cost.Cost(rng.Intn(maxW + 1))
+			}
+		}
+	}
+	return &recurrence.Instance{
+		N:    n,
+		Name: fmt.Sprintf("random-n%d-s%d", n, seed),
+		Init: func(i int) cost.Cost { return ini[i] },
+		F:    func(i, k, j int) cost.Cost { return f[(i*size+k)*size+j] },
+	}
+}

@@ -1,0 +1,172 @@
+// Package recurrence defines the dynamic-programming problem family the
+// paper calls recurrence (*):
+//
+//	c(i,j) = min_{i<k<j} { c(i,k) + c(k,j) + f(i,k,j) }    0 <= i < j <= n
+//	c(i,i+1) = init(i)                                      0 <= i <= n-1
+//
+// with nonnegative f and init. Matrix-chain multiplication, optimal binary
+// search trees and optimal polygon triangulation are all members (see
+// internal/problems). Every solver in this repository consumes an Instance.
+package recurrence
+
+import (
+	"errors"
+	"fmt"
+
+	"sublineardp/internal/cost"
+)
+
+// Instance is one concrete problem of the recurrence family (*).
+//
+// The objects being parenthesised are a_1..a_N; tree nodes are index pairs
+// (i,j) with 0 <= i < j <= N; leaves are (i,i+1). The zero Instance is not
+// usable: construct instances via internal/problems or fill all fields.
+type Instance struct {
+	// N is the number of objects; the answer sought is c(0,N).
+	N int
+
+	// Init gives the weight of leaf (i,i+1), 0 <= i <= N-1.
+	Init func(i int) cost.Cost
+
+	// F gives the decomposition cost f(i,k,j) of splitting node (i,j)
+	// into sons (i,k) and (k,j), for 0 <= i < k < j <= N.
+	F func(i, k, j int) cost.Cost
+
+	// Name labels the instance in experiment tables and error messages.
+	Name string
+}
+
+// Validate checks the structural preconditions the paper assumes:
+// N >= 1, callbacks present, and all init/f values nonnegative.
+// It evaluates every init value and every f triple, so it is O(N^3);
+// intended for tests and small experiment sizes.
+func (in *Instance) Validate() error {
+	if in.N < 1 {
+		return fmt.Errorf("recurrence: instance %q has N=%d, need >= 1", in.Name, in.N)
+	}
+	if in.Init == nil || in.F == nil {
+		return errors.New("recurrence: Init and F must be non-nil")
+	}
+	for i := 0; i < in.N; i++ {
+		if v := in.Init(i); v < 0 {
+			return fmt.Errorf("recurrence: init(%d) = %d is negative", i, v)
+		}
+	}
+	for i := 0; i <= in.N; i++ {
+		for k := i + 1; k <= in.N; k++ {
+			for j := k + 1; j <= in.N; j++ {
+				if v := in.F(i, k, j); v < 0 {
+					return fmt.Errorf("recurrence: f(%d,%d,%d) = %d is negative", i, k, j, v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// NumNodes returns the number of (i,j) pairs with 0 <= i < j <= N,
+// i.e. the size of the w table's upper triangle.
+func (in *Instance) NumNodes() int {
+	n := in.N + 1
+	return n * (n - 1) / 2
+}
+
+// Materialize returns a copy of the instance whose F and Init are backed
+// by precomputed flat tables, so that repeated solver runs pay no closure
+// or recomputation overhead. It allocates O(N^3) memory; callers should
+// materialise only at benchmark-scale N.
+func (in *Instance) Materialize() *Instance {
+	n := in.N
+	ini := make([]cost.Cost, n)
+	for i := range ini {
+		ini[i] = in.Init(i)
+	}
+	size := n + 1
+	f := make([]cost.Cost, size*size*size)
+	for i := 0; i <= n; i++ {
+		for k := i + 1; k <= n; k++ {
+			for j := k + 1; j <= n; j++ {
+				f[(i*size+k)*size+j] = in.F(i, k, j)
+			}
+		}
+	}
+	return &Instance{
+		N:    n,
+		Name: in.Name,
+		Init: func(i int) cost.Cost { return ini[i] },
+		F: func(i, k, j int) cost.Cost {
+			return f[(i*size+k)*size+j]
+		},
+	}
+}
+
+// Table is a dense upper-triangular cost table over the node pairs (i,j),
+// 0 <= i <= j <= N, stored row-major in a flat slice. It is the common
+// result representation shared by all solvers.
+type Table struct {
+	N    int
+	data []cost.Cost
+}
+
+// NewTable returns a table for objects 1..n with every entry Inf.
+func NewTable(n int) *Table {
+	size := n + 1
+	t := &Table{N: n, data: make([]cost.Cost, size*size)}
+	for i := range t.data {
+		t.data[i] = cost.Inf
+	}
+	return t
+}
+
+// At returns the entry for node (i,j).
+func (t *Table) At(i, j int) cost.Cost { return t.data[i*(t.N+1)+j] }
+
+// Set stores v at node (i,j).
+func (t *Table) Set(i, j int, v cost.Cost) { t.data[i*(t.N+1)+j] = v }
+
+// Root returns c(0,N), the value the recurrence asks for.
+func (t *Table) Root() cost.Cost { return t.At(0, t.N) }
+
+// Equal reports whether two tables agree on every node (i,j), i < j,
+// after normalising infinities.
+func (t *Table) Equal(o *Table) bool {
+	if t.N != o.N {
+		return false
+	}
+	for i := 0; i <= t.N; i++ {
+		for j := i + 1; j <= t.N; j++ {
+			if cost.Norm(t.At(i, j)) != cost.Norm(o.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := &Table{N: t.N, data: make([]cost.Cost, len(t.data))}
+	copy(c.data, t.data)
+	return c
+}
+
+// Diff returns the node pairs on which the two tables disagree, up to max
+// entries (max <= 0 means no limit). Useful for debugging solver mismatches.
+func (t *Table) Diff(o *Table, max int) []string {
+	var out []string
+	if t.N != o.N {
+		return []string{fmt.Sprintf("size mismatch: N=%d vs N=%d", t.N, o.N)}
+	}
+	for i := 0; i <= t.N; i++ {
+		for j := i + 1; j <= t.N; j++ {
+			a, b := cost.Norm(t.At(i, j)), cost.Norm(o.At(i, j))
+			if a != b {
+				out = append(out, fmt.Sprintf("(%d,%d): %d vs %d", i, j, a, b))
+				if max > 0 && len(out) >= max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}

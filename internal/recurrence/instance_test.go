@@ -1,0 +1,167 @@
+package recurrence
+
+import (
+	"strings"
+	"testing"
+
+	"sublineardp/internal/cost"
+)
+
+func toy(n int) *Instance {
+	return &Instance{
+		N:    n,
+		Name: "toy",
+		Init: func(i int) cost.Cost { return cost.Cost(i + 1) },
+		F:    func(i, k, j int) cost.Cost { return cost.Cost(i + k + j) },
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := toy(6).Validate(); err != nil {
+		t.Fatalf("valid instance rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsSmallN(t *testing.T) {
+	in := toy(0)
+	if err := in.Validate(); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+}
+
+func TestValidateRejectsNilCallbacks(t *testing.T) {
+	in := &Instance{N: 3}
+	if err := in.Validate(); err == nil {
+		t.Fatal("nil callbacks accepted")
+	}
+}
+
+func TestValidateRejectsNegativeInit(t *testing.T) {
+	in := toy(4)
+	in.Init = func(i int) cost.Cost { return -1 }
+	err := in.Validate()
+	if err == nil || !strings.Contains(err.Error(), "init") {
+		t.Fatalf("negative init not caught: %v", err)
+	}
+}
+
+func TestValidateRejectsNegativeF(t *testing.T) {
+	in := toy(4)
+	in.F = func(i, k, j int) cost.Cost {
+		if i == 0 && k == 2 && j == 3 {
+			return -5
+		}
+		return 0
+	}
+	err := in.Validate()
+	if err == nil || !strings.Contains(err.Error(), "f(0,2,3)") {
+		t.Fatalf("negative f not caught: %v", err)
+	}
+}
+
+func TestNumNodes(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 3, 3: 6, 10: 55}
+	for n, want := range cases {
+		if got := toy(n).NumNodes(); got != want {
+			t.Errorf("NumNodes(N=%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMaterializeAgrees(t *testing.T) {
+	in := toy(8)
+	m := in.Materialize()
+	if m.N != in.N || m.Name != in.Name {
+		t.Fatalf("metadata lost: %+v", m)
+	}
+	for i := 0; i < in.N; i++ {
+		if m.Init(i) != in.Init(i) {
+			t.Fatalf("init(%d) mismatch", i)
+		}
+	}
+	for i := 0; i <= in.N; i++ {
+		for k := i + 1; k <= in.N; k++ {
+			for j := k + 1; j <= in.N; j++ {
+				if m.F(i, k, j) != in.F(i, k, j) {
+					t.Fatalf("f(%d,%d,%d) mismatch", i, k, j)
+				}
+			}
+		}
+	}
+}
+
+func TestMaterializeIsStable(t *testing.T) {
+	// Materialized instance must not re-invoke the original callbacks.
+	calls := 0
+	in := &Instance{
+		N:    5,
+		Init: func(i int) cost.Cost { calls++; return 1 },
+		F:    func(i, k, j int) cost.Cost { calls++; return 1 },
+	}
+	m := in.Materialize()
+	calls = 0
+	_ = m.Init(2)
+	_ = m.F(0, 2, 4)
+	if calls != 0 {
+		t.Fatalf("materialized instance re-invoked callbacks %d times", calls)
+	}
+}
+
+func TestTableBasics(t *testing.T) {
+	tb := NewTable(5)
+	if !cost.IsInf(tb.At(0, 5)) {
+		t.Fatal("fresh table not Inf")
+	}
+	tb.Set(1, 4, 42)
+	if tb.At(1, 4) != 42 {
+		t.Fatal("Set/At roundtrip failed")
+	}
+	tb.Set(0, 5, 7)
+	if tb.Root() != 7 {
+		t.Fatalf("Root = %d, want 7", tb.Root())
+	}
+}
+
+func TestTableEqualAndClone(t *testing.T) {
+	a := NewTable(4)
+	a.Set(0, 4, 10)
+	a.Set(1, 3, 3)
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Set(1, 3, 4)
+	if a.Equal(b) {
+		t.Fatal("differing tables compared equal")
+	}
+	if a.Equal(NewTable(5)) {
+		t.Fatal("different sizes compared equal")
+	}
+}
+
+func TestTableEqualNormalisesInf(t *testing.T) {
+	a := NewTable(3)
+	b := NewTable(3)
+	a.Set(0, 3, cost.Inf+99) // non-canonical infinity
+	if !a.Equal(b) {
+		t.Fatal("infinities not normalised in Equal")
+	}
+}
+
+func TestTableDiff(t *testing.T) {
+	a := NewTable(3)
+	b := NewTable(3)
+	a.Set(0, 2, 1)
+	a.Set(1, 3, 2)
+	d := a.Diff(b, 0)
+	if len(d) != 2 {
+		t.Fatalf("Diff found %d entries, want 2: %v", len(d), d)
+	}
+	d = a.Diff(b, 1)
+	if len(d) != 1 {
+		t.Fatalf("Diff with max=1 returned %d entries", len(d))
+	}
+	if len(a.Diff(NewTable(7), 0)) != 1 {
+		t.Fatal("size mismatch not reported")
+	}
+}

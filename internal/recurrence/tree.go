@@ -1,0 +1,68 @@
+package recurrence
+
+import (
+	"fmt"
+
+	"sublineardp/internal/btree"
+	"sublineardp/internal/cost"
+)
+
+// TreeCost evaluates the exact cost of a specific parenthesization tree
+// under the instance: the sum of f over internal nodes plus init over
+// leaves (the W(T) of the paper). The tree must span (0,N) of the
+// instance.
+func TreeCost(in *Instance, t *btree.Tree) cost.Cost {
+	if t.N != in.N {
+		panic(fmt.Sprintf("recurrence: tree over %d leaves for instance with N=%d", t.N, in.N))
+	}
+	var sum cost.Cost
+	for v := int32(0); v < int32(t.Len()); v++ {
+		i, j := t.Span(v)
+		if t.IsLeaf(v) {
+			sum = cost.Add(sum, in.Init(i))
+		} else {
+			sum = cost.Add(sum, in.F(i, t.Split(v), j))
+		}
+	}
+	return sum
+}
+
+// ExtractTree reconstructs an optimal parenthesization from a converged
+// cost table: for every internal span it picks the smallest split k with
+// c(i,j) = f(i,k,j) + c(i,k) + c(k,j). This is how a caller recovers the
+// actual solution from the parallel solver, which (like the paper)
+// computes values only; with the same smallest-k tie-breaking as the
+// sequential solver, the two reconstructions coincide.
+//
+// It returns an error if the table is not a fixed point of the recurrence
+// (e.g. the solver was stopped before convergence).
+func ExtractTree(in *Instance, t *Table) (*btree.Tree, error) {
+	n := in.N
+	if t.N != n {
+		return nil, fmt.Errorf("recurrence: table size %d for instance with N=%d", t.N, n)
+	}
+	if cost.IsInf(t.Root()) {
+		return nil, fmt.Errorf("recurrence: root value is not finite")
+	}
+	// Precompute all splits first so failures surface as errors, not
+	// panics inside btree.New.
+	splits := make(map[[2]int]int)
+	for i := 0; i <= n; i++ {
+		for j := i + 2; j <= n; j++ {
+			target := t.At(i, j)
+			found := -1
+			for k := i + 1; k < j; k++ {
+				if cost.Add3(in.F(i, k, j), t.At(i, k), t.At(k, j)) == target {
+					found = k
+					break
+				}
+			}
+			if found < 0 {
+				return nil, fmt.Errorf("recurrence: table is not a fixed point at (%d,%d); was the solver stopped early?", i, j)
+			}
+			splits[[2]int{i, j}] = found
+		}
+	}
+	tree := btree.New(n, btree.FromSplits(splits))
+	return tree, nil
+}

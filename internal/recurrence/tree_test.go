@@ -1,0 +1,101 @@
+package recurrence
+
+import (
+	"strings"
+	"testing"
+
+	"sublineardp/internal/btree"
+	"sublineardp/internal/cost"
+)
+
+// fixedInstance builds a tiny instance with known costs: f(i,k,j) = 1 for
+// every split, init = 0, so every tree over n leaves costs n-1 and every
+// table entry c(i,j) = span-1.
+func fixedInstance(n int) *Instance {
+	return &Instance{
+		N:    n,
+		Name: "unit-f",
+		Init: func(i int) cost.Cost { return 0 },
+		F:    func(i, k, j int) cost.Cost { return 1 },
+	}
+}
+
+func solvedTable(in *Instance) *Table {
+	// Tiny local DP to avoid importing seq (which would create a cycle:
+	// seq already imports recurrence).
+	t := NewTable(in.N)
+	for i := 0; i < in.N; i++ {
+		t.Set(i, i+1, in.Init(i))
+	}
+	for span := 2; span <= in.N; span++ {
+		for i := 0; i+span <= in.N; i++ {
+			j := i + span
+			best := cost.Inf
+			for k := i + 1; k < j; k++ {
+				v := cost.Add3(in.F(i, k, j), t.At(i, k), t.At(k, j))
+				if v < best {
+					best = v
+				}
+			}
+			t.Set(i, j, best)
+		}
+	}
+	return t
+}
+
+func TestTreeCostUnitInstance(t *testing.T) {
+	in := fixedInstance(9)
+	for _, tr := range []*btree.Tree{btree.Complete(9), btree.Zigzag(9), btree.LeftSkewed(9)} {
+		if got := TreeCost(in, tr); got != 8 {
+			t.Errorf("TreeCost = %d, want 8", got)
+		}
+	}
+}
+
+func TestTreeCostMismatchedSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on size mismatch")
+		}
+	}()
+	TreeCost(fixedInstance(5), btree.Complete(6))
+}
+
+func TestExtractTreeRoundTrip(t *testing.T) {
+	in := fixedInstance(11)
+	tbl := solvedTable(in)
+	tr, err := ExtractTree(in, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := TreeCost(in, tr); got != tbl.Root() {
+		t.Fatalf("extracted tree costs %d, table root %d", got, tbl.Root())
+	}
+}
+
+func TestExtractTreeRejectsNonFixpoint(t *testing.T) {
+	in := fixedInstance(6)
+	tbl := solvedTable(in)
+	tbl.Set(1, 4, tbl.At(1, 4)+1) // perturb: no split can realise this value
+	_, err := ExtractTree(in, tbl)
+	if err == nil || !strings.Contains(err.Error(), "fixed point") {
+		t.Fatalf("perturbed table accepted: %v", err)
+	}
+}
+
+func TestExtractTreeRejectsInfiniteRoot(t *testing.T) {
+	in := fixedInstance(6)
+	if _, err := ExtractTree(in, NewTable(6)); err == nil {
+		t.Fatal("all-Inf table accepted")
+	}
+}
+
+func TestExtractTreeRejectsSizeMismatch(t *testing.T) {
+	in := fixedInstance(6)
+	if _, err := ExtractTree(in, NewTable(7)); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,260 @@
+// Package rytter implements the baseline the paper improves upon:
+// W. Rytter's parallel algorithm for recurrence (*) (Note on efficient
+// parallel computations for some dynamic programming problems, TCS 59,
+// 1988), reconstructed from the recurrences as restated by Huang, Liu and
+// Viswanathan.
+//
+// Rytter's algorithm keeps the same w'/pw' state as the HLV algorithm but
+// its square operation is the full min-plus composition
+//
+//	pw'(i,j,p,q) <- min over i<=r<=p, q<=s<=j of pw'(i,j,r,s)+pw'(r,s,p,q)
+//
+// i.e. the gap may move toward (p,q) on both sides at once. In the
+// pebbling game this is pointer doubling (cond(x) := cond(cond(x))), so
+// only O(log n) moves are needed — but each square inspects O(n^2)
+// intermediates for each of the O(n^4) cells: O(n^6) work per move and
+// O(n^6/log n) processors, against which the paper's O(n^2 log n)
+// improvement in the processor-time product is measured (experiment E2).
+package rytter
+
+import (
+	"math/bits"
+
+	"sublineardp/internal/cost"
+	"sublineardp/internal/parutil"
+	"sublineardp/internal/pram"
+	"sublineardp/internal/recurrence"
+)
+
+// Options configures a Rytter run.
+type Options struct {
+	// Workers is the goroutine count (0 = GOMAXPROCS).
+	Workers int
+	// MaxIterations caps the move count; 0 means the default
+	// 2*ceil(log2(n)) + 4 budget (tests confirm the doubling game
+	// finishes well inside it).
+	MaxIterations int
+	// Target, when non-nil, records ConvergedAt as in core.Options.
+	Target *recurrence.Table
+}
+
+// Result carries the outcome.
+type Result struct {
+	Table       *recurrence.Table
+	Iterations  int
+	ConvergedAt int
+	Acct        pram.Accounting
+}
+
+// Cost returns c(0,n).
+func (r *Result) Cost() cost.Cost { return r.Table.Root() }
+
+// DefaultIterations is Rytter's move budget for size n.
+func DefaultIterations(n int) int {
+	if n < 2 {
+		return 2
+	}
+	return 2*bits.Len(uint(n-1)) + 4
+}
+
+type state struct {
+	n, sz   int
+	in      *recurrence.Instance
+	w       []cost.Cost
+	wNext   []cost.Cost
+	pw      []cost.Cost
+	pwNext  []cost.Cost
+	pairs   [][2]int32
+	workers int
+}
+
+func (s *state) idx(i, j, p, q int) int {
+	return ((i*s.sz+j)*s.sz+p)*s.sz + q
+}
+
+// Solve runs Rytter's algorithm to its fixed budget (or early stability)
+// and returns the table, which tests verify equals the sequential DP.
+func Solve(in *recurrence.Instance, opts Options) *Result {
+	n := in.N
+	sz := n + 1
+	s := &state{
+		n: n, sz: sz, in: in,
+		w:       make([]cost.Cost, sz*sz),
+		wNext:   make([]cost.Cost, sz*sz),
+		pw:      make([]cost.Cost, sz*sz*sz*sz),
+		pwNext:  make([]cost.Cost, sz*sz*sz*sz),
+		workers: opts.Workers,
+	}
+	for i := range s.w {
+		s.w[i] = cost.Inf
+	}
+	for i := range s.pw {
+		s.pw[i] = cost.Inf
+	}
+	for i := 0; i < n; i++ {
+		s.w[i*sz+i+1] = in.Init(i)
+	}
+	for i := 0; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			s.pw[s.idx(i, j, i, j)] = 0
+			s.pairs = append(s.pairs, [2]int32{int32(i), int32(j)})
+		}
+	}
+
+	budget := opts.MaxIterations
+	if budget <= 0 {
+		budget = DefaultIterations(n)
+	}
+	res := &Result{ConvergedAt: -1}
+
+	// Exact per-iteration charges.
+	var squareCells, squareWork, squareMaxM int64
+	var pebbleCells, pebbleWork, pebbleMaxM int64
+	for L := int64(1); L <= int64(n); L++ {
+		pairsL := int64(n) + 1 - L
+		var cells, work int64
+		for a := int64(0); a <= L; a++ { // a = p-i
+			for b := int64(0); a+b <= L-1; b++ { // b = j-q
+				cells++
+				m := (a + 1) * (b + 1) // (r,s) choices
+				work += m
+				if m > squareMaxM {
+					squareMaxM = m
+				}
+			}
+		}
+		squareCells += pairsL * cells
+		squareWork += pairsL * work
+		if L >= 2 {
+			m := L * (L + 1) / 2
+			pebbleCells += pairsL
+			pebbleWork += pairsL * m
+			if m > pebbleMaxM {
+				pebbleMaxM = m
+			}
+		}
+	}
+	triples := int64(sz) * int64(n) * int64(n-1) / 6
+	activateWork := 2 * triples
+
+	stable := 0
+	for iter := 1; iter <= budget; iter++ {
+		s.activate()
+		s.square()
+		wChanged := s.pebble()
+		res.Acct.ChargeUnit(activateWork)
+		res.Acct.ChargeReduce(squareCells, squareMaxM, squareWork)
+		res.Acct.ChargeReduce(pebbleCells, pebbleMaxM, pebbleWork)
+		res.Iterations = iter
+		if opts.Target != nil && res.ConvergedAt < 0 && s.wEquals(opts.Target) {
+			res.ConvergedAt = iter
+		}
+		if wChanged == 0 {
+			stable++
+			if stable >= 2 {
+				break
+			}
+		} else {
+			stable = 0
+		}
+	}
+
+	res.Table = recurrence.NewTable(n)
+	for i := 0; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			res.Table.Set(i, j, s.w[i*sz+j])
+		}
+	}
+	return res
+}
+
+func (s *state) activate() {
+	in := s.in
+	parutil.For(s.workers, len(s.pairs), func(t int) {
+		pr := s.pairs[t]
+		i, j := int(pr[0]), int(pr[1])
+		if j-i < 2 {
+			return
+		}
+		for k := i + 1; k < j; k++ {
+			fv := in.F(i, k, j)
+			if c := s.idx(i, j, i, k); cost.Add(fv, s.w[k*s.sz+j]) < s.pw[c] {
+				s.pw[c] = cost.Add(fv, s.w[k*s.sz+j])
+			}
+			if c := s.idx(i, j, k, j); cost.Add(fv, s.w[i*s.sz+k]) < s.pw[c] {
+				s.pw[c] = cost.Add(fv, s.w[i*s.sz+k])
+			}
+		}
+	})
+}
+
+// square is the full composition over both-sided intermediates — the
+// O(n^6)-work step that HLV's restricted square avoids.
+func (s *state) square() {
+	src, dst := s.pw, s.pwNext
+	parutil.For(s.workers, len(s.pairs), func(t int) {
+		pr := s.pairs[t]
+		i, j := int(pr[0]), int(pr[1])
+		for p := i; p <= j; p++ {
+			for q := p + 1; q <= j; q++ {
+				c := s.idx(i, j, p, q)
+				best := src[c]
+				for r := i; r <= p; r++ {
+					for x := q; x <= j; x++ {
+						v := cost.Add(src[s.idx(i, j, r, x)], src[s.idx(r, x, p, q)])
+						if v < best {
+							best = v
+						}
+					}
+				}
+				dst[c] = best
+			}
+		}
+	})
+	s.pw, s.pwNext = s.pwNext, s.pw
+}
+
+func (s *state) pebble() int64 {
+	copy(s.wNext, s.w)
+	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+		var local int64
+		for t := lo; t < hi; t++ {
+			pr := s.pairs[t]
+			i, j := int(pr[0]), int(pr[1])
+			if j-i < 2 {
+				continue
+			}
+			c := i*s.sz + j
+			best := s.w[c]
+			for p := i; p <= j; p++ {
+				for q := p + 1; q <= j; q++ {
+					if p == i && q == j {
+						continue
+					}
+					v := cost.Add(s.pw[s.idx(i, j, p, q)], s.w[p*s.sz+q])
+					if v < best {
+						best = v
+					}
+				}
+			}
+			if best != s.w[c] {
+				local++
+			}
+			s.wNext[c] = best
+		}
+		return local
+	})
+	s.w, s.wNext = s.wNext, s.w
+	return changed
+}
+
+func (s *state) wEquals(t *recurrence.Table) bool {
+	for i := 0; i <= s.n; i++ {
+		for j := i + 1; j <= s.n; j++ {
+			if cost.Norm(s.w[i*s.sz+j]) != cost.Norm(t.At(i, j)) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package rytter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"sublineardp/internal/core"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+	"sublineardp/internal/seq"
+)
+
+func TestCLRSGolden(t *testing.T) {
+	res := Solve(problems.CLRSMatrixChain(), Options{})
+	if res.Cost() != problems.CLRSOptimalCost {
+		t.Fatalf("cost = %d, want %d", res.Cost(), problems.CLRSOptimalCost)
+	}
+}
+
+func TestMatchesSequentialAcrossFamilies(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for _, in := range []*recurrence.Instance{
+			problems.RandomMatrixChain(12, 30, seed),
+			problems.RandomOBST(9, 25, seed),
+			problems.RandomInstance(11, 40, seed),
+			problems.Zigzag(11),
+			problems.Skewed(12),
+		} {
+			want := seq.Solve(in).Table
+			res := Solve(in, Options{Workers: 2})
+			if !res.Table.Equal(want) {
+				t.Fatalf("seed %d %s: mismatch: %v", seed, in.Name, res.Table.Diff(want, 3))
+			}
+		}
+	}
+}
+
+func TestLogarithmicIterations(t *testing.T) {
+	// Rytter's doubling square must converge in O(log n) iterations even
+	// on the zigzag instance that forces HLV to Theta(sqrt n).
+	for _, n := range []int{9, 16, 25} {
+		in := problems.Zigzag(n)
+		want := seq.Solve(in).Table
+		res := Solve(in, Options{Target: want})
+		if res.ConvergedAt < 0 {
+			t.Fatalf("n=%d: never converged", n)
+		}
+		budget := 2*int(math.Ceil(math.Log2(float64(n)))) + 2
+		if res.ConvergedAt > budget {
+			t.Errorf("n=%d: converged at %d, want <= %d", n, res.ConvergedAt, budget)
+		}
+	}
+}
+
+func TestFewerIterationsThanHLVOnZigzag(t *testing.T) {
+	n := 25
+	in := problems.Zigzag(n)
+	want := seq.Solve(in).Table
+	ry := Solve(in, Options{Target: want})
+	hlv := core.Solve(in, core.Options{Variant: core.Dense, Target: want})
+	if ry.ConvergedAt >= hlv.ConvergedAt {
+		t.Errorf("rytter converged at %d, hlv at %d; expected rytter strictly faster on zigzag",
+			ry.ConvergedAt, hlv.ConvergedAt)
+	}
+}
+
+func TestMoreWorkThanHLV(t *testing.T) {
+	// The flip side: per-iteration work is far higher. Compare one
+	// iteration's charged work.
+	in := problems.Balanced(20)
+	ry := Solve(in, Options{MaxIterations: 1})
+	hlv := core.Solve(in, core.Options{Variant: core.Dense, MaxIterations: 1})
+	if ry.Acct.Work <= hlv.Acct.Work {
+		t.Errorf("rytter per-iteration work %d not above dense HLV %d", ry.Acct.Work, hlv.Acct.Work)
+	}
+}
+
+func TestDefaultIterations(t *testing.T) {
+	if DefaultIterations(1) != 2 {
+		t.Error("n=1 budget")
+	}
+	if got := DefaultIterations(16); got != 2*4+4 {
+		t.Errorf("n=16 budget = %d", got)
+	}
+	if got := DefaultIterations(17); got != 2*5+4 {
+		t.Errorf("n=17 budget = %d", got)
+	}
+}
+
+func TestWorkersIrrelevant(t *testing.T) {
+	in := problems.RandomInstance(10, 30, 3)
+	a := Solve(in, Options{Workers: 1})
+	b := Solve(in, Options{Workers: 4})
+	if !a.Table.Equal(b.Table) || a.Iterations != b.Iterations {
+		t.Fatal("worker count changed the outcome")
+	}
+}
+
+// Property: Rytter equals sequential on random instances.
+func TestRytterProperty(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%8 + 2
+		in := problems.RandomInstance(n, 25, seed)
+		return Solve(in, Options{}).Table.Equal(seq.Solve(in).Table)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package semiring generalises the paper's algorithm beyond min-plus.
+//
+// Nothing in the a-activate / a-square / a-pebble scheme uses properties
+// of (min, +) other than: Combine is an idempotent, commutative,
+// associative selection; Extend is associative, distributes over Combine,
+// and is monotone with respect to the order Combine induces. Under those
+// axioms every intermediate estimate is the Extend-accumulation of some
+// feasible (partial) tree, the estimates move monotonically toward the
+// optimum, and the pebbling-game argument bounds the iteration count by
+// 2*ceil(sqrt(n)) exactly as in the paper.
+//
+// This package implements the recurrence over any such idempotent
+// semiring and ships three: MinPlus (the paper), MaxPlus (maximum-cost
+// parenthesization, e.g. worst-case analysis of an evaluation order), and
+// BoolPlan (existence of a parenthesization avoiding forbidden splits).
+//
+// Non-idempotent semirings — notably counting parenthesizations with
+// (+, *) — are deliberately NOT supported: iterating to a fixed point
+// re-Combines the same tree many times, which only an idempotent Combine
+// tolerates. See the package tests for the cross-checks against brute
+// force.
+package semiring
+
+import (
+	"fmt"
+	"math"
+)
+
+// Semiring is an idempotent semiring over int64 values.
+type Semiring interface {
+	// Combine selects between two candidate values (min, max, or).
+	// It must be idempotent: Combine(a,a) == a.
+	Combine(a, b int64) int64
+	// Extend accumulates values along a tree decomposition (+, and).
+	Extend(a, b int64) int64
+	// Zero is Combine's identity ("no candidate yet").
+	Zero() int64
+	// One is Extend's identity (the weight of an empty accumulation).
+	One() int64
+	// Name labels the semiring in tables and tests.
+	Name() string
+}
+
+// Sentinels chosen far from the int64 boundaries so Extend cannot wrap.
+const (
+	posInf int64 = math.MaxInt64 / 4
+	negInf int64 = -(math.MaxInt64 / 4)
+)
+
+// MinPlus is the paper's semiring: Combine = min, Extend = saturating +.
+type MinPlus struct{}
+
+// Combine returns min(a, b).
+func (MinPlus) Combine(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Extend returns a+b saturated at the +Inf sentinel.
+func (MinPlus) Extend(a, b int64) int64 {
+	if a >= posInf || b >= posInf {
+		return posInf
+	}
+	return a + b
+}
+
+// Zero returns +Inf.
+func (MinPlus) Zero() int64 { return posInf }
+
+// One returns 0.
+func (MinPlus) One() int64 { return 0 }
+
+// Name returns "min-plus".
+func (MinPlus) Name() string { return "min-plus" }
+
+// MaxPlus maximises total weight: Combine = max, Extend = saturating +.
+// Estimates grow upward from -Inf; the optimum is the costliest tree.
+type MaxPlus struct{}
+
+// Combine returns max(a, b).
+func (MaxPlus) Combine(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Extend returns a+b, saturating at the -Inf sentinel (an absent operand
+// keeps the whole accumulation absent).
+func (MaxPlus) Extend(a, b int64) int64 {
+	if a <= negInf || b <= negInf {
+		return negInf
+	}
+	return a + b
+}
+
+// Zero returns -Inf.
+func (MaxPlus) Zero() int64 { return negInf }
+
+// One returns 0.
+func (MaxPlus) One() int64 { return 0 }
+
+// Name returns "max-plus".
+func (MaxPlus) Name() string { return "max-plus" }
+
+// BoolPlan decides feasibility: values are 0 (impossible) and 1
+// (possible); Combine = or, Extend = and. An instance marks forbidden
+// splits with F = 0 and allowed ones with F = 1.
+type BoolPlan struct{}
+
+// Combine returns a OR b.
+func (BoolPlan) Combine(a, b int64) int64 {
+	if a != 0 || b != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Extend returns a AND b.
+func (BoolPlan) Extend(a, b int64) int64 {
+	if a != 0 && b != 0 {
+		return 1
+	}
+	return 0
+}
+
+// Zero returns 0 (false).
+func (BoolPlan) Zero() int64 { return 0 }
+
+// One returns 1 (true).
+func (BoolPlan) One() int64 { return 1 }
+
+// Name returns "bool-plan".
+func (BoolPlan) Name() string { return "bool-plan" }
+
+// Instance is a recurrence-(*) problem over an arbitrary semiring.
+type Instance struct {
+	N    int
+	Init func(i int) int64
+	F    func(i, k, j int) int64
+	Name string
+}
+
+// Validate checks the structural preconditions.
+func (in *Instance) Validate() error {
+	if in.N < 1 {
+		return fmt.Errorf("semiring: instance %q has N=%d", in.Name, in.N)
+	}
+	if in.Init == nil || in.F == nil {
+		return fmt.Errorf("semiring: instance %q missing callbacks", in.Name)
+	}
+	return nil
+}

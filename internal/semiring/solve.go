@@ -1,0 +1,167 @@
+package semiring
+
+import (
+	"sublineardp/internal/pebble"
+)
+
+// SolveSeq evaluates the recurrence span by span over the semiring — the
+// O(n^3) baseline generalised.
+func SolveSeq(sr Semiring, in *Instance) []int64 {
+	n := in.N
+	sz := n + 1
+	w := make([]int64, sz*sz)
+	for i := range w {
+		w[i] = sr.Zero()
+	}
+	for i := 0; i < n; i++ {
+		w[i*sz+i+1] = in.Init(i)
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			j := i + span
+			acc := sr.Zero()
+			for k := i + 1; k < j; k++ {
+				acc = sr.Combine(acc, sr.Extend(in.F(i, k, j), sr.Extend(w[i*sz+k], w[k*sz+j])))
+			}
+			w[i*sz+j] = acc
+		}
+	}
+	return w
+}
+
+// Result carries a generalised parallel solve.
+type Result struct {
+	W          []int64 // flat (n+1)^2 table
+	N          int
+	Iterations int
+}
+
+// At returns the table entry for (i,j).
+func (r *Result) At(i, j int) int64 { return r.W[i*(r.N+1)+j] }
+
+// Root returns the answer c(0,N).
+func (r *Result) Root() int64 { return r.At(0, r.N) }
+
+// SolveHLV runs the paper's three-operation iteration over the semiring
+// with dense partial-weight storage, for 2*ceil(sqrt(n)) iterations
+// (maxIters <= 0) or the given budget. The same pebbling-game argument
+// that proves the min-plus case carries over verbatim to any idempotent
+// semiring, which the package tests confirm against SolveSeq.
+func SolveHLV(sr Semiring, in *Instance, maxIters int) *Result {
+	n := in.N
+	sz := n + 1
+	idx := func(i, j, p, q int) int { return ((i*sz+j)*sz+p)*sz + q }
+
+	w := make([]int64, sz*sz)
+	wNext := make([]int64, sz*sz)
+	pw := make([]int64, sz*sz*sz*sz)
+	pwNext := make([]int64, sz*sz*sz*sz)
+	for i := range w {
+		w[i] = sr.Zero()
+	}
+	for i := range pw {
+		pw[i] = sr.Zero()
+	}
+	for i := 0; i < n; i++ {
+		w[i*sz+i+1] = in.Init(i)
+	}
+	type pr struct{ i, j int }
+	var pairs []pr
+	for i := 0; i <= n; i++ {
+		for j := i + 1; j <= n; j++ {
+			pw[idx(i, j, i, j)] = sr.One()
+			pairs = append(pairs, pr{i, j})
+		}
+	}
+
+	if maxIters <= 0 {
+		maxIters = pebble.LemmaBound(n)
+		if maxIters < 1 {
+			maxIters = 1
+		}
+	}
+	res := &Result{N: n}
+	for iter := 1; iter <= maxIters; iter++ {
+		// a-activate (in place: each cell is touched by one triple).
+		for _, p := range pairs {
+			i, j := p.i, p.j
+			for k := i + 1; k < j; k++ {
+				fv := in.F(i, k, j)
+				c1 := idx(i, j, i, k)
+				pw[c1] = sr.Combine(pw[c1], sr.Extend(fv, w[k*sz+j]))
+				c2 := idx(i, j, k, j)
+				pw[c2] = sr.Combine(pw[c2], sr.Extend(fv, w[i*sz+k]))
+			}
+		}
+		// a-square (double-buffered).
+		for _, pp := range pairs {
+			i, j := pp.i, pp.j
+			for p := i; p <= j; p++ {
+				for q := p + 1; q <= j; q++ {
+					c := idx(i, j, p, q)
+					acc := pw[c]
+					for r := i; r < p; r++ {
+						acc = sr.Combine(acc, sr.Extend(pw[idx(i, j, r, q)], pw[idx(r, q, p, q)]))
+					}
+					for x := q + 1; x <= j; x++ {
+						acc = sr.Combine(acc, sr.Extend(pw[idx(i, j, p, x)], pw[idx(p, x, p, q)]))
+					}
+					pwNext[c] = acc
+				}
+			}
+		}
+		pw, pwNext = pwNext, pw
+		// a-pebble (double-buffered).
+		copy(wNext, w)
+		for _, pp := range pairs {
+			i, j := pp.i, pp.j
+			if j-i < 2 {
+				continue
+			}
+			acc := w[i*sz+j]
+			for p := i; p <= j; p++ {
+				for q := p + 1; q <= j; q++ {
+					if p == i && q == j {
+						continue
+					}
+					acc = sr.Combine(acc, sr.Extend(pw[idx(i, j, p, q)], w[p*sz+q]))
+				}
+			}
+			wNext[i*sz+j] = acc
+		}
+		w, wNext = wNext, w
+		res.Iterations = iter
+	}
+	res.W = w
+	return res
+}
+
+// BruteForce enumerates all parenthesizations recursively with
+// memoisation over spans — valid for any semiring, used as ground truth
+// in tests.
+func BruteForce(sr Semiring, in *Instance) int64 {
+	n := in.N
+	sz := n + 1
+	memo := make([]int64, sz*sz)
+	done := make([]bool, sz*sz)
+	var rec func(i, j int) int64
+	rec = func(i, j int) int64 {
+		c := i*sz + j
+		if done[c] {
+			return memo[c]
+		}
+		var v int64
+		if j == i+1 {
+			v = in.Init(i)
+		} else {
+			v = sr.Zero()
+			for k := i + 1; k < j; k++ {
+				v = sr.Combine(v, sr.Extend(in.F(i, k, j), sr.Extend(rec(i, k), rec(k, j))))
+			}
+		}
+		memo[c] = v
+		done[c] = true
+		return v
+	}
+	return rec(0, n)
+}

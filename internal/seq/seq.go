@@ -1,0 +1,171 @@
+// Package seq provides the sequential baselines: the classic O(n^3)
+// dynamic program for recurrence (*) (the "best sequential algorithm" the
+// paper compares processor-time products against) and Knuth's O(n^2)
+// speedup for instances satisfying his monotonicity conditions (optimal
+// binary search trees). Both reconstruct the optimal parenthesization
+// tree, which the pebbling game and the experiment harness consume.
+package seq
+
+import (
+	"fmt"
+
+	"sublineardp/internal/btree"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
+)
+
+// Result carries a sequential solve: the full cost table, the split table
+// for reconstruction, and the exact number of candidate evaluations (the
+// work W used in processor-time product comparisons).
+type Result struct {
+	Table  *recurrence.Table
+	splits []int32 // split[k] choice per (i,j); -1 for leaves
+	N      int
+	Work   int64
+}
+
+// Solve runs the O(n^3) dynamic program span by span. Ties between splits
+// resolve to the smallest k, making the reconstruction deterministic.
+func Solve(in *recurrence.Instance) *Result {
+	n := in.N
+	size := n + 1
+	res := &Result{
+		Table:  recurrence.NewTable(n),
+		splits: make([]int32, size*size),
+		N:      n,
+	}
+	for i := range res.splits {
+		res.splits[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		res.Table.Set(i, i+1, in.Init(i))
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			j := i + span
+			best := cost.Inf
+			bestK := int32(-1)
+			for k := i + 1; k < j; k++ {
+				v := cost.Add3(in.F(i, k, j), res.Table.At(i, k), res.Table.At(k, j))
+				if v < best {
+					best = v
+					bestK = int32(k)
+				}
+			}
+			res.Work += int64(span - 1)
+			res.Table.Set(i, j, best)
+			res.splits[i*size+j] = bestK
+		}
+	}
+	return res
+}
+
+// Cost returns the optimal value c(0,n).
+func (r *Result) Cost() cost.Cost { return r.Table.Root() }
+
+// Split returns the optimal split point recorded for node (i,j), or -1
+// for leaves and never-computed spans.
+func (r *Result) Split(i, j int) int {
+	return int(r.splits[i*(r.N+1)+j])
+}
+
+// Tree reconstructs the optimal parenthesization tree from the split
+// table. It panics if the table contains no finite optimum (which cannot
+// happen for valid instances).
+func (r *Result) Tree() *btree.Tree {
+	if cost.IsInf(r.Cost()) {
+		panic("seq: no finite optimum to reconstruct")
+	}
+	return btree.New(r.N, func(i, j int) int {
+		k := r.Split(i, j)
+		if k < 0 {
+			panic(fmt.Sprintf("seq: missing split for span (%d,%d)", i, j))
+		}
+		return k
+	})
+}
+
+// SolveKnuth runs Knuth's O(n^2) variant, which restricts the split search
+// for (i,j) to the range [split(i,j-1), split(i+1,j)]. The optimisation is
+// only valid for instances satisfying the quadrangle inequality and
+// monotonicity (OBST-style f that depends on (i,j) only); callers are
+// responsible for using it on such instances, and tests verify agreement
+// with Solve on them.
+func SolveKnuth(in *recurrence.Instance) *Result {
+	n := in.N
+	size := n + 1
+	res := &Result{
+		Table:  recurrence.NewTable(n),
+		splits: make([]int32, size*size),
+		N:      n,
+	}
+	for i := range res.splits {
+		res.splits[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		res.Table.Set(i, i+1, in.Init(i))
+		// Treat the leaf's "split" as its midpoint so the span-2 windows
+		// below are well defined.
+		res.splits[i*size+i+1] = int32(i) // lower bound sentinel: k >= i+1 enforced below
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			j := i + span
+			lo := int(res.splits[i*size+j-1])
+			hi := int(res.splits[(i+1)*size+j])
+			if lo < i+1 {
+				lo = i + 1
+			}
+			if hi < lo || hi > j-1 {
+				hi = j - 1
+			}
+			best := cost.Inf
+			bestK := int32(-1)
+			for k := lo; k <= hi; k++ {
+				v := cost.Add3(in.F(i, k, j), res.Table.At(i, k), res.Table.At(k, j))
+				if v < best {
+					best = v
+					bestK = int32(k)
+				}
+			}
+			res.Work += int64(hi - lo + 1)
+			res.Table.Set(i, j, best)
+			res.splits[i*size+j] = bestK
+		}
+	}
+	return res
+}
+
+// BruteForce computes c(0,n) by exhaustive recursion with memoisation
+// over all parenthesizations. Exponential bookkeeping but entirely
+// independent of the DP formulation; tests use it at tiny n as ground
+// truth for everything else.
+func BruteForce(in *recurrence.Instance) cost.Cost {
+	n := in.N
+	size := n + 1
+	memo := make([]cost.Cost, size*size)
+	for i := range memo {
+		memo[i] = -1
+	}
+	var rec func(i, j int) cost.Cost
+	rec = func(i, j int) cost.Cost {
+		if m := memo[i*size+j]; m >= 0 {
+			return m
+		}
+		var v cost.Cost
+		if j == i+1 {
+			v = in.Init(i)
+		} else {
+			v = cost.Inf
+			for k := i + 1; k < j; k++ {
+				c := cost.Add3(in.F(i, k, j), rec(i, k), rec(k, j))
+				if c < v {
+					v = c
+				}
+			}
+		}
+		memo[i*size+j] = v
+		return v
+	}
+	return rec(0, n)
+}

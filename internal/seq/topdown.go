@@ -1,0 +1,72 @@
+package seq
+
+import (
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
+)
+
+// SolveTopDown computes the table by memoised recursion from the root —
+// the other classic sequential strategy. It explores the same O(n^3)
+// candidate space as Solve but in demand order, which makes it a useful
+// independently-structured cross-check and the natural baseline for
+// workloads where only part of the table is needed.
+func SolveTopDown(in *recurrence.Instance) *Result {
+	n := in.N
+	size := n + 1
+	res := &Result{
+		Table:  recurrence.NewTable(n),
+		splits: make([]int32, size*size),
+		N:      n,
+	}
+	for i := range res.splits {
+		res.splits[i] = -1
+	}
+	done := make([]bool, size*size)
+	// Explicit stack instead of recursion: spans can nest n deep and this
+	// keeps the solver safe for large n.
+	type frame struct {
+		i, j     int
+		expanded bool
+	}
+	stack := []frame{{0, n, false}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := fr.i*size + fr.j
+		if done[c] {
+			continue
+		}
+		if fr.j == fr.i+1 {
+			res.Table.Set(fr.i, fr.j, in.Init(fr.i))
+			done[c] = true
+			continue
+		}
+		if !fr.expanded {
+			// Post-visit marker first, then children.
+			stack = append(stack, frame{fr.i, fr.j, true})
+			for k := fr.i + 1; k < fr.j; k++ {
+				if !done[fr.i*size+k] {
+					stack = append(stack, frame{fr.i, k, false})
+				}
+				if !done[k*size+fr.j] {
+					stack = append(stack, frame{k, fr.j, false})
+				}
+			}
+			continue
+		}
+		best := cost.Inf
+		bestK := int32(-1)
+		for k := fr.i + 1; k < fr.j; k++ {
+			v := cost.Add3(in.F(fr.i, k, fr.j), res.Table.At(fr.i, k), res.Table.At(k, fr.j))
+			if v < best {
+				best = v
+				bestK = int32(k)
+			}
+		}
+		res.Work += int64(fr.j - fr.i - 1)
+		res.Table.Set(fr.i, fr.j, best)
+		res.splits[c] = bestK
+		done[c] = true
+	}
+	return res
+}

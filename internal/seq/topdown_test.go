@@ -1,0 +1,56 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sublineardp/internal/problems"
+)
+
+func TestTopDownMatchesBottomUp(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in := problems.RandomInstance(14, 50, seed)
+		a := Solve(in)
+		b := SolveTopDown(in)
+		if !a.Table.Equal(b.Table) {
+			t.Fatalf("seed %d: tables differ: %v", seed, a.Table.Diff(b.Table, 3))
+		}
+		if a.Work != b.Work {
+			t.Fatalf("seed %d: work differs: %d vs %d (same candidate space expected)", seed, a.Work, b.Work)
+		}
+		if !a.Tree().Equal(b.Tree()) {
+			t.Fatalf("seed %d: reconstructed trees differ", seed)
+		}
+	}
+}
+
+func TestTopDownCLRS(t *testing.T) {
+	res := SolveTopDown(problems.CLRSMatrixChain())
+	if res.Cost() != problems.CLRSOptimalCost {
+		t.Fatalf("cost = %d", res.Cost())
+	}
+	if res.Split(0, 6) != 3 {
+		t.Fatalf("root split = %d", res.Split(0, 6))
+	}
+}
+
+func TestTopDownDeepSpine(t *testing.T) {
+	// A forced spine makes the recursion n deep; the explicit stack must
+	// handle it without growing the goroutine stack.
+	in := problems.Skewed(300)
+	res := SolveTopDown(in)
+	if res.Cost() != 0 {
+		t.Fatalf("spine cost = %d, want 0", res.Cost())
+	}
+}
+
+func TestTopDownProperty(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%12 + 1
+		in := problems.RandomInstance(n, 30, seed)
+		return SolveTopDown(in).Table.Equal(Solve(in).Table)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,123 @@
+// Package stats supplies the small statistical toolkit the experiment
+// harness uses: summary statistics and least-squares fits, in particular
+// the log-log power-law fit that turns measured work counts into empirical
+// complexity exponents (experiments E2 and E5).
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (0 for fewer than
+// two samples).
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Fit is a least-squares line fit y = Slope*x + Intercept with its
+// coefficient of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinFit fits a line through the (x,y) points by ordinary least squares.
+// It panics if the slices differ in length; it returns a zero Fit for
+// fewer than two points.
+func LinFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic(fmt.Sprintf("stats: LinFit with %d xs and %d ys", len(xs), len(ys)))
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return Fit{}
+	}
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R^2 = 1 - SSres/SStot.
+	ssTot := syy - sy*sy/n
+	var ssRes float64
+	for i := range xs {
+		r := ys[i] - (slope*xs[i] + intercept)
+		ssRes += r * r
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// PowerFit fits y = c * x^e by least squares in log-log space and returns
+// the exponent e, the constant c, and R^2 of the log-space fit. Points
+// with nonpositive coordinates are skipped.
+func PowerFit(xs, ys []float64) (exponent, constant, r2 float64) {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	f := LinFit(lx, ly)
+	return f.Slope, math.Exp(f.Intercept), f.R2
+}
+
+// LogFit fits y = a*log2(x) + b and returns the fit. Points with
+// nonpositive x are skipped.
+func LogFit(xs, ys []float64) Fit {
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 {
+			lx = append(lx, math.Log2(xs[i]))
+			ly = append(ly, ys[i])
+		}
+	}
+	return LinFit(lx, ly)
+}
+
+// Ratio returns the element-wise ys[i]/xs[i] (skipping zero denominators).
+func Ratio(ys, xs []float64) []float64 {
+	var out []float64
+	for i := range ys {
+		if i < len(xs) && xs[i] != 0 {
+			out = append(out, ys[i]/xs[i])
+		}
+	}
+	return out
+}

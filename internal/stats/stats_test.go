@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single-sample stddev")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !approx(got, 2.138, 0.01) {
+		t.Fatalf("stddev = %v", got)
+	}
+}
+
+func TestLinFitExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	f := LinFit(xs, ys)
+	if !approx(f.Slope, 3, 1e-9) || !approx(f.Intercept, 7, 1e-9) || !approx(f.R2, 1, 1e-9) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinFitDegenerate(t *testing.T) {
+	if f := LinFit([]float64{2, 2, 2}, []float64{1, 2, 3}); f.Slope != 0 {
+		t.Fatalf("vertical data fit = %+v", f)
+	}
+	if f := LinFit([]float64{1}, []float64{1}); f != (Fit{}) {
+		t.Fatalf("single point fit = %+v", f)
+	}
+}
+
+func TestLinFitPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	LinFit([]float64{1, 2}, []float64{1})
+}
+
+func TestPowerFitRecoversExponent(t *testing.T) {
+	xs := []float64{8, 16, 32, 64, 128, 256}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * math.Pow(x, 3.5)
+	}
+	e, c, r2 := PowerFit(xs, ys)
+	if !approx(e, 3.5, 1e-6) || !approx(c, 5, 1e-6) || !approx(r2, 1, 1e-9) {
+		t.Fatalf("power fit: e=%v c=%v r2=%v", e, c, r2)
+	}
+}
+
+func TestPowerFitSkipsNonpositive(t *testing.T) {
+	xs := []float64{-1, 0, 2, 4, 8}
+	ys := []float64{5, 5, 4, 8, 16}
+	e, _, _ := PowerFit(xs, ys)
+	if !approx(e, 1, 1e-9) {
+		t.Fatalf("exponent = %v, want 1", e)
+	}
+}
+
+func TestLogFit(t *testing.T) {
+	xs := []float64{2, 4, 8, 16, 1024}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2*math.Log2(x) + 1
+	}
+	f := LogFit(xs, ys)
+	if !approx(f.Slope, 2, 1e-9) || !approx(f.Intercept, 1, 1e-9) {
+		t.Fatalf("log fit = %+v", f)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	got := Ratio([]float64{10, 20, 30}, []float64{2, 0, 5})
+	if len(got) != 2 || got[0] != 5 || got[1] != 6 {
+		t.Fatalf("ratio = %v", got)
+	}
+}
+
+// Property: LinFit on y = a*x + b recovers (a,b) for any finite a,b.
+func TestLinFitProperty(t *testing.T) {
+	f := func(a8, b8 int8) bool {
+		a, b := float64(a8), float64(b8)
+		xs := []float64{1, 3, 4, 7, 9, 13}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a*x + b
+		}
+		fit := LinFit(xs, ys)
+		return approx(fit.Slope, a, 1e-6) && approx(fit.Intercept, b, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,127 @@
+// Package txtplot renders small ASCII charts for the experiment harness
+// and the CLIs: convergence histories, scaling curves, and bar
+// comparisons, all in plain text so they live inside EXPERIMENTS.md and
+// terminal output.
+package txtplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a plot.
+type Series struct {
+	Name string
+	Ys   []float64
+}
+
+// Lines renders one or more series as a height x width character grid
+// with a y-axis scale. X positions are the sample indices, compressed or
+// stretched to the width. Each series draws with its own glyph.
+func Lines(width, height int, xs []float64, series ...Series) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 3 {
+		height = 3
+	}
+	maxLen := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Ys) > maxLen {
+			maxLen = len(s.Ys)
+		}
+		for _, y := range s.Ys {
+			if y < lo {
+				lo = y
+			}
+			if y > hi {
+				hi = y
+			}
+		}
+	}
+	if maxLen == 0 {
+		return "(empty plot)\n"
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for i, y := range s.Ys {
+			col := 0
+			if maxLen > 1 {
+				col = i * (width - 1) / (maxLen - 1)
+			}
+			row := int(math.Round((hi - y) / (hi - lo) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < height; r++ {
+		yval := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%10.2f |%s\n", yval, string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", width) + "\n")
+	if len(xs) > 0 {
+		fmt.Fprintf(&b, "%11s x: %s .. %s\n", "", trim(xs[0]), trim(xs[len(xs)-1]))
+	}
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c %s", glyphs[si%len(glyphs)], s.Name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%11s legend: %s\n", "", strings.Join(legend, "   "))
+	}
+	return b.String()
+}
+
+// Bars renders a horizontal bar chart with proportional widths.
+func Bars(labels []string, values []float64, maxWidth int) string {
+	if len(labels) != len(values) {
+		panic(fmt.Sprintf("txtplot: %d labels for %d values", len(labels), len(values)))
+	}
+	if maxWidth < 4 {
+		maxWidth = 4
+	}
+	maxV := 0.0
+	labW := 0
+	for i, v := range values {
+		if v > maxV {
+			maxV = v
+		}
+		if len(labels[i]) > labW {
+			labW = len(labels[i])
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	for i, v := range values {
+		w := int(math.Round(v / maxV * float64(maxWidth)))
+		if w < 1 && v > 0 {
+			w = 1
+		}
+		fmt.Fprintf(&b, "%-*s |%s %s\n", labW, labels[i], strings.Repeat("#", w), trim(v))
+	}
+	return b.String()
+}
+
+func trim(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}

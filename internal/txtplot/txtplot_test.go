@@ -1,0 +1,78 @@
+package txtplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	out := Lines(20, 5, []float64{1, 2, 3, 4},
+		Series{Name: "squares", Ys: []float64{1, 4, 9, 16}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no data glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: * squares") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x: 1 .. 4") {
+		t.Fatalf("x range missing:\n%s", out)
+	}
+	// 5 grid rows + axis + x note + legend.
+	if got := strings.Count(out, "\n"); got != 8 {
+		t.Fatalf("line count = %d:\n%s", got, out)
+	}
+}
+
+func TestLinesMultipleSeries(t *testing.T) {
+	out := Lines(30, 6, nil,
+		Series{Name: "a", Ys: []float64{1, 2, 3}},
+		Series{Name: "b", Ys: []float64{3, 2, 1}})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("glyphs missing:\n%s", out)
+	}
+}
+
+func TestLinesEmpty(t *testing.T) {
+	if out := Lines(10, 4, nil); !strings.Contains(out, "empty") {
+		t.Fatalf("empty plot output %q", out)
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	// A constant series must not divide by zero.
+	out := Lines(10, 4, nil, Series{Name: "c", Ys: []float64{5, 5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series lost:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"seq", "hlv", "rytter"}, []float64{1, 4, 16}, 16)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bar lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "seq") || !strings.Contains(lines[2], strings.Repeat("#", 16)) {
+		t.Fatalf("bars malformed:\n%s", out)
+	}
+	// Proportionality: the largest bar is maxWidth wide, the smallest ~1/16.
+	if strings.Count(lines[0], "#") >= strings.Count(lines[1], "#") {
+		t.Fatalf("bar widths not monotone:\n%s", out)
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars([]string{"z"}, []float64{0}, 10)
+	if !strings.Contains(out, "z") {
+		t.Fatalf("zero bar lost: %q", out)
+	}
+}
+
+func TestBarsPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	Bars([]string{"a"}, []float64{1, 2}, 10)
+}

@@ -1,0 +1,125 @@
+// Package verify certifies solver outputs independently of how they were
+// computed: a table is accepted only if it is exactly the fixed point of
+// recurrence (*) — leaves match init, every internal span is realised by
+// some split, and no split realises anything better. The checks are
+// O(n^3), the cost of one sequential solve, but share no code with any
+// solver, so they catch systematic bugs a solver-vs-solver comparison
+// could miss.
+package verify
+
+import (
+	"fmt"
+
+	"sublineardp/internal/btree"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
+)
+
+// Violation describes one cell at which a table fails verification.
+type Violation struct {
+	I, J int
+	Got  cost.Cost
+	Want cost.Cost
+	Kind string // "leaf", "too-high", "too-low"
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at (%d,%d): got %d, recurrence gives %d", v.Kind, v.I, v.J, v.Got, v.Want)
+}
+
+// Report is the outcome of a verification.
+type Report struct {
+	Violations []Violation
+	Checked    int
+}
+
+// OK reports whether the verification passed.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+// Err returns nil when verification passed, or an error summarising the
+// first violations.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	msg := r.Violations[0].String()
+	if len(r.Violations) > 1 {
+		msg = fmt.Sprintf("%s (and %d more)", msg, len(r.Violations)-1)
+	}
+	return fmt.Errorf("verify: %s", msg)
+}
+
+// Table checks that t is the exact fixed point of the recurrence for in.
+func Table(in *recurrence.Instance, t *recurrence.Table) *Report {
+	rep := &Report{}
+	n := in.N
+	if t.N != n {
+		rep.Violations = append(rep.Violations, Violation{Kind: "leaf", Got: cost.Cost(t.N), Want: cost.Cost(n)})
+		return rep
+	}
+	for i := 0; i < n; i++ {
+		rep.Checked++
+		got := cost.Norm(t.At(i, i+1))
+		want := cost.Norm(in.Init(i))
+		if got != want {
+			rep.Violations = append(rep.Violations, Violation{I: i, J: i + 1, Got: got, Want: want, Kind: "leaf"})
+		}
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			j := i + span
+			rep.Checked++
+			best := cost.Inf
+			for k := i + 1; k < j; k++ {
+				v := cost.Add3(in.F(i, k, j), t.At(i, k), t.At(k, j))
+				if v < best {
+					best = v
+				}
+			}
+			got := cost.Norm(t.At(i, j))
+			best = cost.Norm(best)
+			switch {
+			case got > best:
+				rep.Violations = append(rep.Violations, Violation{I: i, J: j, Got: got, Want: best, Kind: "too-high"})
+			case got < best:
+				rep.Violations = append(rep.Violations, Violation{I: i, J: j, Got: got, Want: best, Kind: "too-low"})
+			}
+		}
+	}
+	return rep
+}
+
+// Tree checks that tr is an *optimal* parenthesization for in: it must be
+// structurally valid, span (0,N), and its exact cost must equal the
+// table's root. The table is assumed verified (call Table first).
+func Tree(in *recurrence.Instance, t *recurrence.Table, tr *btree.Tree) error {
+	if err := tr.Validate(); err != nil {
+		return fmt.Errorf("verify: %w", err)
+	}
+	if tr.N != in.N {
+		return fmt.Errorf("verify: tree has %d leaves, instance %d", tr.N, in.N)
+	}
+	got := recurrence.TreeCost(in, tr)
+	want := t.Root()
+	if cost.Norm(got) != cost.Norm(want) {
+		return fmt.Errorf("verify: tree costs %d, optimum is %d", got, want)
+	}
+	return nil
+}
+
+// UpperBoundedBy checks that every entry of a is >= the corresponding
+// entry of b (a is a pointwise upper bound) — the monotone-upper-bound
+// invariant intermediate solver states must satisfy against the optimum.
+func UpperBoundedBy(a, b *recurrence.Table) error {
+	if a.N != b.N {
+		return fmt.Errorf("verify: table sizes %d vs %d", a.N, b.N)
+	}
+	for i := 0; i <= a.N; i++ {
+		for j := i + 1; j <= a.N; j++ {
+			if cost.Norm(a.At(i, j)) < cost.Norm(b.At(i, j)) {
+				return fmt.Errorf("verify: undershoot at (%d,%d): %d < %d", i, j, a.At(i, j), b.At(i, j))
+			}
+		}
+	}
+	return nil
+}

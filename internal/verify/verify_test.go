@@ -1,0 +1,135 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sublineardp/internal/btree"
+	"sublineardp/internal/core"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/seq"
+)
+
+func TestTableAcceptsCorrectSolve(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		in := problems.RandomInstance(12, 40, seed)
+		rep := Table(in, seq.Solve(in).Table)
+		if !rep.OK() {
+			t.Fatalf("seed %d: correct table rejected: %v", seed, rep.Err())
+		}
+		if rep.Checked != in.NumNodes() {
+			t.Fatalf("checked %d cells, want %d", rep.Checked, in.NumNodes())
+		}
+	}
+}
+
+func TestTableAcceptsParallelSolve(t *testing.T) {
+	in := problems.CLRSMatrixChain()
+	res := core.Solve(in, core.Options{Variant: core.Banded})
+	if rep := Table(in, res.Table); !rep.OK() {
+		t.Fatalf("parallel table rejected: %v", rep.Err())
+	}
+}
+
+func TestTableRejectsTooHigh(t *testing.T) {
+	in := problems.CLRSMatrixChain()
+	tbl := seq.Solve(in).Table
+	tbl.Set(1, 4, tbl.At(1, 4)+1)
+	rep := Table(in, tbl)
+	if rep.OK() {
+		t.Fatal("perturbed-up table accepted")
+	}
+	// The direct perturbation is too-high at (1,4); ancestors become
+	// inconsistent in either direction — just require (1,4) reported.
+	found := false
+	for _, v := range rep.Violations {
+		if v.I == 1 && v.J == 4 && v.Kind == "too-high" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("violations did not include (1,4) too-high: %v", rep.Violations)
+	}
+}
+
+func TestTableRejectsTooLow(t *testing.T) {
+	in := problems.CLRSMatrixChain()
+	tbl := seq.Solve(in).Table
+	tbl.Set(0, 6, tbl.At(0, 6)-1)
+	rep := Table(in, tbl)
+	if rep.OK() {
+		t.Fatal("perturbed-down table accepted")
+	}
+	if rep.Violations[0].Kind != "too-low" {
+		t.Fatalf("kind = %s, want too-low", rep.Violations[0].Kind)
+	}
+	if !strings.Contains(rep.Err().Error(), "too-low") {
+		t.Fatalf("Err() = %v", rep.Err())
+	}
+}
+
+func TestTableRejectsBadLeaf(t *testing.T) {
+	in := problems.CLRSMatrixChain()
+	tbl := seq.Solve(in).Table
+	tbl.Set(2, 3, 99)
+	rep := Table(in, tbl)
+	ok := false
+	for _, v := range rep.Violations {
+		if v.Kind == "leaf" && v.I == 2 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("leaf violation missed: %v", rep.Violations)
+	}
+}
+
+func TestTreeVerification(t *testing.T) {
+	in := problems.CLRSMatrixChain()
+	res := seq.Solve(in)
+	if err := Tree(in, res.Table, res.Tree()); err != nil {
+		t.Fatalf("optimal tree rejected: %v", err)
+	}
+	// A suboptimal tree (complete shape is not optimal for CLRS) must be
+	// rejected, as must a tree of the wrong size.
+	if err := Tree(in, res.Table, btree.Complete(6)); err == nil {
+		t.Fatal("suboptimal tree accepted")
+	}
+	if err := Tree(in, res.Table, btree.Complete(7)); err == nil {
+		t.Fatal("wrong-size tree accepted")
+	}
+}
+
+func TestUpperBoundedBy(t *testing.T) {
+	in := problems.Zigzag(16)
+	opt := seq.Solve(in).Table
+	partial := core.Solve(in, core.Options{Variant: core.Dense, MaxIterations: 2}).Table
+	if err := UpperBoundedBy(partial, opt); err != nil {
+		t.Fatalf("intermediate state undershoots: %v", err)
+	}
+	if err := UpperBoundedBy(opt, partial); err == nil {
+		t.Fatal("reverse bound accepted (partial state is strictly above somewhere)")
+	}
+}
+
+// Property: every intermediate iteration of the parallel solver is a
+// pointwise upper bound on the optimum (the invariant verify exists to
+// check).
+func TestMonotoneInvariantProperty(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%8 + 3
+		in := problems.RandomInstance(n, 30, seed)
+		opt := seq.Solve(in).Table
+		for it := 1; it <= core.DefaultIterations(n); it++ {
+			partial := core.Solve(in, core.Options{Variant: core.Banded, MaxIterations: it}).Table
+			if UpperBoundedBy(partial, opt) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

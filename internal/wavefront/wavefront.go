@@ -1,0 +1,64 @@
+// Package wavefront implements the "optimal" parallel baseline the paper
+// cites as [10] (I. Yen, private communication): recurrence (*) evaluated
+// span by span, all cells of one span in parallel. With n^2 virtual
+// processors this is the linear-time family of algorithms whose
+// processor-time product matches the sequential O(n^3) bound.
+//
+// Since [10] was never published, this package substitutes the standard
+// wavefront schedule: span s has n-s+1 cells, each taking a min over s-1
+// candidates. Under the simple CREW reduction schedule used throughout
+// this repository the time is sum_s ceil(log2(s-1)) = O(n log n); the
+// work — the quantity the experiments compare — is exactly the sequential
+// O(n^3). (Pipelining the reduction trees across spans recovers O(n), but
+// does not change work or the PT product by more than the log factor.)
+package wavefront
+
+import (
+	"sublineardp/internal/cost"
+	"sublineardp/internal/parutil"
+	"sublineardp/internal/pram"
+	"sublineardp/internal/recurrence"
+)
+
+// Options configures a wavefront run.
+type Options struct {
+	// Workers is the number of goroutines (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Result is a wavefront solve: the cost table plus PRAM accounting.
+type Result struct {
+	Table *recurrence.Table
+	Acct  pram.Accounting
+}
+
+// Cost returns c(0,n).
+func (r *Result) Cost() cost.Cost { return r.Table.Root() }
+
+// Solve evaluates the recurrence span by span, parallelising within each
+// span. The result is exact (identical to seq.Solve's table).
+func Solve(in *recurrence.Instance, opt Options) *Result {
+	n := in.N
+	res := &Result{Table: recurrence.NewTable(n)}
+	tbl := res.Table
+	for i := 0; i < n; i++ {
+		tbl.Set(i, i+1, in.Init(i))
+	}
+	res.Acct.ChargeUnit(int64(n)) // the init step
+	for span := 2; span <= n; span++ {
+		cells := n - span + 1
+		parutil.For(opt.Workers, cells, func(i int) {
+			j := i + span
+			best := cost.Inf
+			for k := i + 1; k < j; k++ {
+				v := cost.Add3(in.F(i, k, j), tbl.At(i, k), tbl.At(k, j))
+				if v < best {
+					best = v
+				}
+			}
+			tbl.Set(i, j, best)
+		})
+		res.Acct.ChargeReduce(int64(cells), int64(span-1), int64(cells)*int64(span-1))
+	}
+	return res
+}

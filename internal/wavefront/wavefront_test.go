@@ -1,0 +1,78 @@
+package wavefront
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+	"sublineardp/internal/seq"
+)
+
+func TestMatchesSequentialCLRS(t *testing.T) {
+	in := problems.CLRSMatrixChain()
+	got := Solve(in, Options{})
+	if got.Cost() != problems.CLRSOptimalCost {
+		t.Fatalf("cost = %d, want %d", got.Cost(), problems.CLRSOptimalCost)
+	}
+	if !got.Table.Equal(seq.Solve(in).Table) {
+		t.Fatal("full table differs from sequential")
+	}
+}
+
+func TestMatchesSequentialAcrossFamilies(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		instances := []*recurrence.Instance{
+			problems.RandomMatrixChain(15, 40, seed),
+			problems.RandomOBST(12, 30, seed),
+			problems.Triangulation(problems.RandomConvexPolygon(12, 500, seed)),
+			problems.RandomInstance(14, 60, seed),
+		}
+		for _, in := range instances {
+			want := seq.Solve(in).Table
+			got := Solve(in, Options{Workers: 2})
+			if !got.Table.Equal(want) {
+				t.Fatalf("seed %d %s: wavefront differs from sequential: %v",
+					seed, in.Name, got.Table.Diff(want, 3))
+			}
+		}
+	}
+}
+
+func TestWorkerCountIrrelevant(t *testing.T) {
+	in := problems.RandomInstance(20, 50, 9)
+	a := Solve(in, Options{Workers: 1})
+	b := Solve(in, Options{Workers: 4})
+	if !a.Table.Equal(b.Table) {
+		t.Fatal("worker count changed the result")
+	}
+	if a.Acct.Time != b.Acct.Time || a.Acct.Work != b.Acct.Work || a.Acct.MaxProcs != b.Acct.MaxProcs {
+		t.Fatalf("accounting depends on workers: %+v vs %+v", a.Acct, b.Acct)
+	}
+}
+
+func TestAccountingShape(t *testing.T) {
+	in := problems.RandomInstance(32, 10, 1)
+	res := Solve(in, Options{})
+	// Work must equal the sequential candidate count exactly.
+	want := seq.Solve(in).Work
+	if res.Acct.Work != want+32 { // +n for the init step
+		t.Fatalf("work = %d, want %d", res.Acct.Work, want+32)
+	}
+	// Time is sum over spans of ceil(log2(span-1)) + 1 for init.
+	if res.Acct.Time <= 32 || res.Acct.Time > 32*6+1 {
+		t.Fatalf("time = %d out of expected band", res.Acct.Time)
+	}
+}
+
+// Property: wavefront equals sequential on random instances.
+func TestWavefrontPropertyEquality(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%12 + 2
+		in := problems.RandomInstance(n, 30, seed)
+		return Solve(in, Options{Workers: 3}).Table.Equal(seq.Solve(in).Table)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

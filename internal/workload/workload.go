@@ -1,0 +1,108 @@
+// Package workload generates realistic instances of the paper's three
+// applications — the workloads its introduction motivates ("optimal
+// control, industrial engineering, and economics" via matrix products,
+// compiler/search-structure construction via OBST, geometry via
+// triangulation). The generators are deterministic given a seed, so
+// experiments and benchmarks are reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+)
+
+// Zipf returns n integer weights following a Zipf distribution with the
+// given exponent s (weight of rank r proportional to 1/r^s), scaled so
+// the largest weight is `scale`. Rank order is shuffled with the seed so
+// the heavy keys are spread across positions, as in real key sets.
+func Zipf(n int, s float64, scale int64, seed int64) []int64 {
+	if n < 1 || s <= 0 || scale < 1 {
+		panic(fmt.Sprintf("workload: bad Zipf parameters n=%d s=%v scale=%d", n, s, scale))
+	}
+	ws := make([]int64, n)
+	for r := 0; r < n; r++ {
+		w := float64(scale) / math.Pow(float64(r+1), s)
+		if w < 1 {
+			w = 1
+		}
+		ws[r] = int64(w)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(n, func(i, j int) { ws[i], ws[j] = ws[j], ws[i] })
+	return ws
+}
+
+// DictionaryOBST builds an optimal-BST instance for a dictionary of m
+// keys whose access frequencies are Zipf-distributed (the classic
+// motivation: a static keyword table). Gap weights model unsuccessful
+// lookups at a fraction of the key mass.
+func DictionaryOBST(m int, seed int64) *recurrence.Instance {
+	beta := Zipf(m, 1.07, 10_000, seed)
+	alpha := make([]int64, m+1)
+	rng := rand.New(rand.NewSource(seed + 1))
+	for i := range alpha {
+		alpha[i] = 1 + rng.Int63n(200)
+	}
+	in := problems.OBST(alpha, beta)
+	in.Name = fmt.Sprintf("dictionary-obst-m%d-s%d", m, seed)
+	return in
+}
+
+// MLPChain returns the matrix-chain instance for evaluating the product
+// of an MLP's weight matrices against a single input vector — the shape
+// of an inference-time composition W_L * ... * W_1 * x. Layer widths
+// interpolate from `in` to `out` through `hidden`, a realistic case where
+// association order changes the multiplication count by orders of
+// magnitude.
+func MLPChain(layers int, inDim, hidden, outDim int) *recurrence.Instance {
+	if layers < 1 || inDim < 1 || hidden < 1 || outDim < 1 {
+		panic("workload: bad MLP parameters")
+	}
+	dims := make([]int, 0, layers+2)
+	dims = append(dims, 1) // the input vector as a 1 x inDim row
+	dims = append(dims, inDim)
+	for l := 1; l < layers; l++ {
+		dims = append(dims, hidden)
+	}
+	dims = append(dims, outDim)
+	inst := problems.MatrixChain(dims)
+	inst.Name = fmt.Sprintf("mlp-chain-l%d-%dx%dx%d", layers, inDim, hidden, outDim)
+	return inst
+}
+
+// SensorPolygon returns a triangulation instance over a convex polygon
+// whose radii jitter around a circle — the "coverage mesh" shape used in
+// terrain and sensor-field triangulation demos.
+func SensorPolygon(n int, radius int64, jitter float64, seed int64) *recurrence.Instance {
+	if n < 2 || radius < 1 || jitter < 0 || jitter >= 1 {
+		panic("workload: bad polygon parameters")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	angles := make([]float64, n+1)
+	for i := range angles {
+		angles[i] = rng.Float64() * 2 * math.Pi
+	}
+	for i := 1; i < len(angles); i++ {
+		for k := i; k > 0 && angles[k] < angles[k-1]; k-- {
+			angles[k], angles[k-1] = angles[k-1], angles[k]
+		}
+	}
+	vs := make([]problems.Point, n+1)
+	for t := range vs {
+		// Jitter the radius but keep the polygon convex by bounding the
+		// perturbation well below the chord sagitta; small jitter keeps
+		// angular monotonicity, which is what the solvers require.
+		r := float64(radius) * (1 - jitter*rng.Float64())
+		vs[t] = problems.Point{
+			X: int64(math.Round(r * math.Cos(angles[t]))),
+			Y: int64(math.Round(r * math.Sin(angles[t]))),
+		}
+	}
+	in := problems.Triangulation(vs)
+	in.Name = fmt.Sprintf("sensor-polygon-n%d-s%d", n, seed)
+	return in
+}

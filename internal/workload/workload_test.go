@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sublineardp/internal/core"
+	"sublineardp/internal/recurrence"
+	"sublineardp/internal/seq"
+)
+
+func TestZipfShape(t *testing.T) {
+	ws := Zipf(100, 1.0, 1000, 1)
+	if len(ws) != 100 {
+		t.Fatalf("len = %d", len(ws))
+	}
+	var max, sum int64
+	for _, w := range ws {
+		if w < 1 {
+			t.Fatalf("weight %d below 1", w)
+		}
+		if w > max {
+			max = w
+		}
+		sum += w
+	}
+	if max != 1000 {
+		t.Fatalf("max = %d, want 1000 (scale)", max)
+	}
+	// Zipf mass is concentrated: the sum must be far below n*max.
+	if sum > 100*1000/5 {
+		t.Fatalf("sum %d too uniform for Zipf", sum)
+	}
+}
+
+func TestZipfReproducible(t *testing.T) {
+	a := Zipf(50, 1.2, 500, 7)
+	b := Zipf(50, 1.2, 500, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad parameters accepted")
+		}
+	}()
+	Zipf(0, 1, 10, 1)
+}
+
+func TestDictionaryOBSTSolvable(t *testing.T) {
+	in := DictionaryOBST(20, 3)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Solve(in).Table
+	got := core.Solve(in, core.Options{Variant: core.Banded})
+	if !got.Table.Equal(want) {
+		t.Fatal("parallel disagrees on dictionary OBST")
+	}
+}
+
+func TestMLPChainShape(t *testing.T) {
+	in := MLPChain(3, 784, 256, 10)
+	// dims: 1, 784, 256, 256, 10 -> N = 4 matrices.
+	if in.N != 4 {
+		t.Fatalf("N = %d, want 4", in.N)
+	}
+	// Left-to-right association keeps every intermediate a row vector; the
+	// optimum must therefore be far below the right-to-left order.
+	res := seq.Solve(in)
+	leftToRight := int64(1*784*256 + 1*256*256 + 1*256*10)
+	if int64(res.Cost()) > leftToRight {
+		t.Fatalf("optimum %d worse than left-to-right %d", res.Cost(), leftToRight)
+	}
+}
+
+func TestSensorPolygonSolvable(t *testing.T) {
+	in := SensorPolygon(14, 1000, 0.05, 9)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := seq.Solve(in).Table
+	got := core.Solve(in, core.Options{Variant: core.Banded, Termination: core.WStable})
+	if !got.Table.Equal(want) {
+		t.Fatal("parallel disagrees on sensor polygon")
+	}
+}
+
+// Property: all workload generators produce valid instances whose
+// parallel and sequential solutions agree.
+func TestWorkloadsAgreeProperty(t *testing.T) {
+	f := func(seed int64, nn uint8) bool {
+		n := int(nn)%10 + 4
+		for _, in := range []*recurrence.Instance{
+			DictionaryOBST(n, seed),
+			SensorPolygon(n, 800, 0.1, seed),
+		} {
+			if in.Validate() != nil {
+				return false
+			}
+			if !core.Solve(in, core.Options{Variant: core.Banded}).Table.Equal(seq.Solve(in).Table) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

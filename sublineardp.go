@@ -1,0 +1,189 @@
+// Package sublineardp is a reproduction of
+//
+//	S.-H. S. Huang, H. Liu, V. Viswanathan:
+//	"A sublinear parallel algorithm for some dynamic programming
+//	problems" (ICPP 1990; Theoretical Computer Science 106, 1992).
+//
+// It solves dynamic-programming recurrences of the form
+//
+//	c(i,j) = min_{i<k<j} { c(i,k) + c(k,j) + f(i,k,j) },  c(i,i+1) = init(i)
+//
+// — matrix-chain multiplication, optimal binary search trees, optimal
+// polygon triangulation — on a simulated CREW PRAM in O(sqrt(n) log n)
+// parallel time with O(n^3.5/log n) processors, alongside the sequential
+// O(n^3) baseline, the linear-time wavefront schedule, and Rytter's
+// O(log^2 n)-time / O(n^6/log n)-processor algorithm that the paper
+// improves upon.
+//
+// # Quick start
+//
+//	in := sublineardp.NewMatrixChain([]int{30, 35, 15, 5, 10, 20, 25})
+//	res := sublineardp.Solve(in, sublineardp.Options{})
+//	fmt.Println("minimal multiplications:", res.Cost())
+//
+// Solve runs the paper's algorithm; the zero Options select the dense
+// Sections 2-4 variant, and Options{Variant: Banded} the headline
+// O(n^3.5/log n)-processor variant of Section 5. SolveSequential provides
+// the exact baseline plus the optimal parenthesization tree. The
+// internal packages expose the full machinery: the pebbling game of
+// Section 3 (Pebble* identifiers below), PRAM accounting, termination
+// heuristics, and the experiment harness behind cmd/dpbench.
+package sublineardp
+
+import (
+	"sublineardp/internal/btree"
+	"sublineardp/internal/core"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/pebble"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+	"sublineardp/internal/rytter"
+	"sublineardp/internal/seq"
+	"sublineardp/internal/wavefront"
+)
+
+// Core data types, re-exported from the internal packages.
+type (
+	// Instance is one problem of the recurrence family (*).
+	Instance = recurrence.Instance
+	// Table is the upper-triangular cost table c(i,j).
+	Table = recurrence.Table
+	// Cost is an exact integer dynamic-programming value.
+	Cost = cost.Cost
+	// Tree is a parenthesization tree over spans (i,j).
+	Tree = btree.Tree
+	// Options configures the parallel solver (variant, mode, termination,
+	// workers, band radius, windowed schedule, audit, history).
+	Options = core.Options
+	// Result is the parallel solver's outcome with PRAM instrumentation.
+	Result = core.Result
+	// Point is a polygon vertex for triangulation instances.
+	Point = problems.Point
+)
+
+// Inf is the "not yet computed / unreachable" cost sentinel.
+const Inf = cost.Inf
+
+// Solver configuration constants, re-exported for Options literals.
+const (
+	Dense           = core.Dense
+	Banded          = core.Banded
+	Synchronous     = core.Synchronous
+	Chaotic         = core.Chaotic
+	FixedIterations = core.FixedIterations
+	WStable         = core.WStable
+	WPWStable       = core.WPWStable
+)
+
+// NewMatrixChain returns the matrix-chain multiplication instance for
+// matrices A_t of shape dims[t-1] x dims[t].
+func NewMatrixChain(dims []int) *Instance { return problems.MatrixChain(dims) }
+
+// NewOBST returns the optimal binary search tree instance with key
+// weights beta (len m) and gap weights alpha (len m+1), in Knuth's
+// formulation.
+func NewOBST(alpha, beta []int64) *Instance { return problems.OBST(alpha, beta) }
+
+// NewTriangulation returns the minimum-perimeter triangulation instance
+// of the convex polygon with the given vertices.
+func NewTriangulation(vs []Point) *Instance { return problems.Triangulation(vs) }
+
+// NewWeightedTriangulation returns the vertex-weight-product
+// triangulation instance (isomorphic to matrix-chain ordering).
+func NewWeightedTriangulation(weights []int64) *Instance {
+	return problems.WeightedTriangulation(weights)
+}
+
+// NewShaped returns an instance whose unique optimal parenthesization is
+// the given tree — the tool for driving the solver into best and worst
+// cases (see ZigzagTree and CompleteTree).
+func NewShaped(t *Tree) *Instance { return problems.Shaped(t) }
+
+// Tree shape constructors (Figure 2 of the paper).
+var (
+	// ZigzagTree builds the Theta(sqrt n)-iteration worst case (Fig. 2a).
+	ZigzagTree = btree.Zigzag
+	// CompleteTree builds the balanced O(log n) easy case (Fig. 2b).
+	CompleteTree = btree.Complete
+	// SkewedTree builds the straight left spine (Fig. 2b).
+	SkewedTree = btree.LeftSkewed
+)
+
+// Solve runs the paper's parallel algorithm. The zero Options give the
+// dense Sections 2-4 algorithm; set Variant: Banded for the
+// O(n^3.5/log n)-processor variant of Section 5.
+func Solve(in *Instance, opts Options) *Result { return core.Solve(in, opts) }
+
+// SequentialResult is the outcome of the O(n^3) baseline.
+type SequentialResult struct {
+	// Table is the full DP table; Table.Root() is the optimum.
+	Table *Table
+	// Work counts candidate evaluations (the sequential O(n^3)).
+	Work int64
+
+	inner *seq.Result
+}
+
+// Cost returns the optimum c(0,n).
+func (r *SequentialResult) Cost() Cost { return r.Table.Root() }
+
+// Tree reconstructs the optimal parenthesization.
+func (r *SequentialResult) Tree() *Tree { return r.inner.Tree() }
+
+// Split returns the optimal split point of node (i,j).
+func (r *SequentialResult) Split(i, j int) int { return r.inner.Split(i, j) }
+
+// SolveSequential runs the classic O(n^3) dynamic program.
+func SolveSequential(in *Instance) *SequentialResult {
+	res := seq.Solve(in)
+	return &SequentialResult{Table: res.Table, Work: res.Work, inner: res}
+}
+
+// SolveWavefront runs the span-parallel linear-time baseline.
+func SolveWavefront(in *Instance, workers int) *Table {
+	return wavefront.Solve(in, wavefront.Options{Workers: workers}).Table
+}
+
+// SolveRytter runs the 1988 baseline the paper improves on.
+func SolveRytter(in *Instance, workers int) *Table {
+	return rytter.Solve(in, rytter.Options{Workers: workers}).Table
+}
+
+// PebbleRule selects the square move of the Section 3 pebbling game.
+type PebbleRule = pebble.Rule
+
+// Pebbling game rules.
+const (
+	// PebbleHLV descends one level per move (Lemma 3.3: 2*sqrt(n) moves).
+	PebbleHLV = pebble.HLVRule
+	// PebbleRytter is pointer doubling (O(log n) moves).
+	PebbleRytter = pebble.RytterRule
+)
+
+// PebbleGame is a playable position of the Section 3 game.
+type PebbleGame = pebble.Game
+
+// NewPebbleGame starts the game on t: leaves pebbled, cond(x) = x.
+func NewPebbleGame(t *Tree, rule PebbleRule) *PebbleGame {
+	return pebble.NewGame(t, rule)
+}
+
+// PebbleBound returns the Lemma 3.3 move bound 2*ceil(sqrt(n)).
+func PebbleBound(nLeaves int) int { return pebble.LemmaBound(nLeaves) }
+
+// WorstCaseIterations returns the solver's fixed iteration budget for
+// size n, the paper's 2*ceil(sqrt(n)).
+func WorstCaseIterations(n int) int { return core.DefaultIterations(n) }
+
+// ExtractTree reconstructs an optimal parenthesization from any converged
+// cost table (for example Result.Table of a parallel solve — the paper's
+// algorithm computes values only; this recovers the solution). It fails
+// if the table is not a fixed point of the recurrence, e.g. when a run
+// was stopped before convergence.
+func ExtractTree(in *Instance, t *Table) (*Tree, error) {
+	return recurrence.ExtractTree(in, t)
+}
+
+// TreeCost evaluates the exact cost of one specific parenthesization
+// under the instance (the paper's W(T)).
+func TreeCost(in *Instance, t *Tree) Cost { return recurrence.TreeCost(in, t) }
