@@ -1,0 +1,77 @@
+package sublineardp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+
+	"sublineardp/internal/parutil"
+)
+
+// SolveBatch fans a slice of instances across a worker pool — the
+// building block for serving many requests at once. Scheduling is by
+// engine name (WithEngine; the default "auto" routes each instance by
+// size: small ones to the cache-friendly sequential scan, large ones to
+// the banded HLV iteration), and WithConcurrency bounds how many
+// instances are in flight at once (default GOMAXPROCS).
+//
+// The result slice is order-stable and complete: result[i] is the
+// solution of instances[i] for every i, independent of scheduling order.
+// Unless WithWorkers overrides it, each solve runs single-threaded so
+// batch-level parallelism is not oversubscribed by intra-solve
+// parallelism.
+//
+// Cancellation: when ctx is cancelled or its deadline passes, in-flight
+// solves abort at their next cooperative check and unstarted instances
+// are skipped. Failed or skipped slots are nil in the result slice and
+// their errors (each wrapped with the instance index) are joined into
+// the returned error; errors.Is(err, context.Canceled) reports a
+// cancelled batch.
+func SolveBatch(ctx context.Context, instances []*Instance, opts ...Option) ([]*Solution, error) {
+	cfg := buildConfig(opts)
+	if cfg.Engine == "" {
+		cfg.Engine = EngineAuto
+	}
+	workers := cfg.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(instances) {
+		workers = len(instances)
+	}
+	if cfg.Workers == 0 && workers > 1 {
+		cfg.Workers = 1
+	}
+	// One shared Solver does each solve, so batch slots get exactly the
+	// validation, timing and engine dispatch a direct Solve call gets.
+	solver, err := NewSolver(cfg.Engine, func(c *Config) { *c = cfg })
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*Solution, len(instances))
+	if len(instances) == 0 {
+		return out, nil
+	}
+
+	// parutil is the same worker-pool substrate the solvers run on;
+	// grain 1 claims one instance at a time so slow solves balance.
+	errs := make([]error, len(instances))
+	parutil.ForChunked(workers, len(instances), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			in := instances[i]
+			label := "<nil>"
+			if in != nil {
+				label = in.Name
+			}
+			sol, err := solver.Solve(ctx, in)
+			if err != nil {
+				errs[i] = fmt.Errorf("instance %d (%s): %w", i, label, err)
+				continue
+			}
+			out[i] = sol
+		}
+	})
+	return out, errors.Join(errs...)
+}

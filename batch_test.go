@@ -1,0 +1,127 @@
+package sublineardp_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sublineardp"
+)
+
+// Acceptance: SolveBatch results are order-stable and complete — slot i
+// answers instance i regardless of scheduling, and every slot is filled.
+func TestSolveBatchOrderStableAndComplete(t *testing.T) {
+	var ins []*sublineardp.Instance
+	var want []sublineardp.Cost
+	// Mixed sizes on both sides of the auto cutoff, in a scrambled order
+	// so scheduling cannot accidentally match slot order.
+	for _, n := range []int{70, 3, 24, 81, 9, 48, 66, 5, 33, 72, 12, 57} {
+		in := sublineardp.NewShaped(sublineardp.ZigzagTree(n))
+		ins = append(ins, in)
+		want = append(want, sublineardp.SolveSequential(in).Cost())
+	}
+	sols, err := sublineardp.SolveBatch(context.Background(), ins,
+		sublineardp.WithConcurrency(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sols) != len(ins) {
+		t.Fatalf("%d solutions for %d instances", len(sols), len(ins))
+	}
+	for i, sol := range sols {
+		if sol == nil {
+			t.Fatalf("slot %d is nil", i)
+		}
+		if sol.Cost() != want[i] {
+			t.Errorf("slot %d: cost %d, want %d (order instability?)", i, sol.Cost(), want[i])
+		}
+		if sol.N() != ins[i].N {
+			t.Errorf("slot %d: solution for n=%d, instance has n=%d", i, sol.N(), ins[i].N)
+		}
+		wantEngine := sublineardp.EngineSequential
+		if ins[i].N > sublineardp.DefaultAutoCutoff {
+			wantEngine = sublineardp.EngineHLVBanded
+		}
+		if sol.Engine != wantEngine {
+			t.Errorf("slot %d (n=%d): engine %q, want %q", i, ins[i].N, sol.Engine, wantEngine)
+		}
+	}
+}
+
+func TestSolveBatchFixedEngine(t *testing.T) {
+	ins := []*sublineardp.Instance{
+		sublineardp.NewMatrixChain([]int{30, 35, 15, 5, 10, 20, 25}),
+		sublineardp.NewOBST([]int64{1, 2, 1, 3, 1}, []int64{10, 3, 8, 6}),
+	}
+	sols, err := sublineardp.SolveBatch(context.Background(), ins,
+		sublineardp.WithEngine(sublineardp.EngineWavefront))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sol := range sols {
+		if sol.Engine != sublineardp.EngineWavefront {
+			t.Errorf("slot %d: engine %q", i, sol.Engine)
+		}
+		if want := sublineardp.SolveSequential(ins[i]).Cost(); sol.Cost() != want {
+			t.Errorf("slot %d: cost %d, want %d", i, sol.Cost(), want)
+		}
+	}
+
+	if _, err := sublineardp.SolveBatch(context.Background(), ins,
+		sublineardp.WithEngine("no-such-engine")); err == nil {
+		t.Fatal("unknown batch engine accepted")
+	}
+}
+
+func TestSolveBatchEmptyAndInvalid(t *testing.T) {
+	sols, err := sublineardp.SolveBatch(context.Background(), nil)
+	if err != nil || len(sols) != 0 {
+		t.Fatalf("empty batch: %v, %d solutions", err, len(sols))
+	}
+
+	ins := []*sublineardp.Instance{
+		sublineardp.NewMatrixChain([]int{1, 2, 3}),
+		nil, // invalid slot must not poison the others
+		sublineardp.NewMatrixChain([]int{4, 5, 6}),
+	}
+	sols, err = sublineardp.SolveBatch(context.Background(), ins)
+	if err == nil {
+		t.Fatal("batch with nil instance returned no error")
+	}
+	if sols[0] == nil || sols[2] == nil {
+		t.Fatal("valid slots not solved despite one invalid instance")
+	}
+	if sols[1] != nil {
+		t.Fatal("invalid slot produced a solution")
+	}
+}
+
+func TestSolveBatchCancellation(t *testing.T) {
+	// Enough slow instances that cancellation lands mid-batch.
+	var ins []*sublineardp.Instance
+	for i := 0; i < 16; i++ {
+		ins = append(ins, slowInstance(24, 50*time.Microsecond))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	sols, err := sublineardp.SolveBatch(ctx, ins, sublineardp.WithConcurrency(2))
+	elapsed := time.Since(start)
+	cancel()
+	if err == nil {
+		t.Fatal("cancelled batch returned no error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(sols) != len(ins) {
+		t.Fatalf("result slice length %d, want %d", len(sols), len(ins))
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("cancelled batch took %v, want prompt return", elapsed)
+	}
+}

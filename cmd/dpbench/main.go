@@ -9,9 +9,11 @@
 //	dpbench -quick           # reduced sizes (seconds, used by CI)
 //	dpbench -csv out/        # also write one CSV per table
 //	dpbench -list            # list the experiment registry
+//	dpbench -crosscheck      # batch-solve fixtures on every engine
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +21,9 @@ import (
 	"strings"
 	"time"
 
+	"sublineardp"
 	"sublineardp/internal/exper"
+	"sublineardp/internal/problems"
 )
 
 func main() {
@@ -29,8 +33,17 @@ func main() {
 		csvDir  = flag.String("csv", "", "directory to also write per-table CSV files")
 		workers = flag.Int("workers", 0, "goroutine count for parallel solvers (0 = GOMAXPROCS)")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		cross   = flag.Bool("crosscheck", false, "batch-solve a fixture set on every registered engine and report agreement")
 	)
 	flag.Parse()
+
+	if *cross {
+		if err := crosscheck(*workers); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range exper.All() {
@@ -79,4 +92,52 @@ func main() {
 		}
 		fmt.Printf("[%s finished in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// crosscheck runs every registered engine over a shared fixture set via
+// the unified Solver API's batch scheduler and reports per-engine timing
+// and agreement with the sequential optimum — a quick end-to-end health
+// check of the engine registry.
+func crosscheck(workers int) error {
+	fixtures := []*sublineardp.Instance{
+		problems.MatrixChain([]int{30, 35, 15, 5, 10, 20, 25}),
+		problems.RandomMatrixChain(14, 100, 7),
+		problems.RandomOBST(12, 50, 3),
+		problems.Triangulation(problems.RandomConvexPolygon(12, 1000, 5)),
+		problems.Zigzag(16),
+	}
+	want := make([]sublineardp.Cost, len(fixtures))
+	for i, in := range fixtures {
+		want[i] = sublineardp.SolveSequential(in).Cost()
+	}
+
+	ctx := context.Background()
+	disagreements := 0
+	fmt.Printf("%-12s %10s %8s  %s\n", "engine", "elapsed", "agree", "costs")
+	for _, name := range sublineardp.Engines() {
+		start := time.Now()
+		sols, err := sublineardp.SolveBatch(ctx, fixtures,
+			sublineardp.WithEngine(name), sublineardp.WithWorkers(workers))
+		if err != nil {
+			return fmt.Errorf("engine %s: %w", name, err)
+		}
+		agree := 0
+		var costs []string
+		for i, sol := range sols {
+			if sol.Cost() == want[i] {
+				agree++
+			} else {
+				disagreements++
+			}
+			costs = append(costs, fmt.Sprintf("%d", sol.Cost()))
+		}
+		fmt.Printf("%-12s %10s %5d/%d  %s\n", name,
+			time.Since(start).Round(time.Microsecond), agree, len(fixtures),
+			strings.Join(costs, " "))
+	}
+	if disagreements > 0 {
+		return fmt.Errorf("%d engine/fixture disagreements", disagreements)
+	}
+	fmt.Println("all engines agree with the sequential optimum on every fixture")
+	return nil
 }

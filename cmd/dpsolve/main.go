@@ -1,23 +1,29 @@
 // Command dpsolve solves one instance of recurrence (*) with a chosen
-// algorithm and prints the optimum, the optimal parenthesization and the
+// engine and prints the optimum, the optimal parenthesization and the
 // solver's instrumentation.
 //
 // Usage examples:
 //
 //	dpsolve -problem matrixchain -dims 30,35,15,5,10,20,25
-//	dpsolve -problem matrixchain -n 40 -seed 7 -algo banded
-//	dpsolve -problem obst -n 12 -seed 3 -algo dense -mode chaotic
-//	dpsolve -problem triangulation -n 16 -algo rytter
-//	dpsolve -problem zigzag -n 25 -algo banded -window -history
+//	dpsolve -problem matrixchain -n 40 -seed 7 -engine hlv-banded
+//	dpsolve -problem obst -n 12 -seed 3 -engine hlv-dense -mode chaotic
+//	dpsolve -problem triangulation -n 16 -engine rytter
+//	dpsolve -problem zigzag -n 25 -engine hlv-banded -window -history
+//	dpsolve -problem random -n 200 -engine auto -timeout 5s
+//
+// -engines lists the registry. The old -algo flag is kept as a
+// deprecated alias (seq|knuth|wavefront|dense|banded|rytter).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
+	"sublineardp"
 	"sublineardp/internal/core"
 	"sublineardp/internal/problems"
 	"sublineardp/internal/recurrence"
@@ -25,7 +31,6 @@ import (
 	"sublineardp/internal/seq"
 	"sublineardp/internal/txtplot"
 	"sublineardp/internal/verify"
-	"sublineardp/internal/wavefront"
 )
 
 func main() {
@@ -34,106 +39,190 @@ func main() {
 		n       = flag.Int("n", 10, "instance size (ignored when -dims is given)")
 		seed    = flag.Int64("seed", 1, "random seed for generated instances")
 		dims    = flag.String("dims", "", "comma-separated matrix dimensions (matrixchain only)")
-		algo    = flag.String("algo", "banded", "seq | knuth | wavefront | dense | banded | rytter")
-		mode    = flag.String("mode", "sync", "sync | chaotic (dense/banded only)")
+		engine  = flag.String("engine", "", "engine registry name (see -engines); default auto")
+		algo    = flag.String("algo", "", "deprecated alias for -engine: seq | knuth | wavefront | dense | banded | rytter")
+		mode    = flag.String("mode", "sync", "sync | chaotic (hlv engines only)")
 		term    = flag.String("term", "fixed", "fixed | w-stable | wpw-stable")
-		window  = flag.Bool("window", false, "windowed pebble schedule (banded only)")
+		window  = flag.Bool("window", false, "windowed pebble schedule (hlv-banded only)")
 		workers = flag.Int("workers", 0, "goroutine count (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		history = flag.Bool("history", false, "print per-iteration convergence history")
 		tree    = flag.Bool("tree", true, "print the optimal parenthesization tree")
+		list    = flag.Bool("engines", false, "list registered engines and exit")
 	)
 	flag.Parse()
 
+	if *list {
+		for _, name := range sublineardp.Engines() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	engineName, err := resolveEngine(*engine, *algo)
+	if err != nil {
+		fatal(err)
+	}
+
 	in, err := buildInstance(*problem, *n, *seed, *dims)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "dpsolve: %v\n", err)
-		os.Exit(2)
+		fatal(err)
 	}
 	fmt.Printf("instance: %s (n=%d)\n", in.Name, in.N)
 
-	seqRes := seq.Solve(in)
-	switch *algo {
-	case "seq":
-		fmt.Printf("optimum c(0,%d) = %d (work %d)\n", in.N, seqRes.Cost(), seqRes.Work)
-	case "knuth":
-		k := seq.SolveKnuth(in)
-		fmt.Printf("optimum c(0,%d) = %d (knuth work %d vs %d cubic)\n", in.N, k.Cost(), k.Work, seqRes.Work)
-		if k.Cost() != seqRes.Cost() {
-			fmt.Println("WARNING: Knuth speedup disagrees; instance may violate the quadrangle inequality")
-		}
-	case "wavefront":
-		res := wavefront.Solve(in, wavefront.Options{Workers: *workers})
-		fmt.Printf("optimum c(0,%d) = %d\n", in.N, res.Cost())
-		fmt.Printf("pram: %s\n", res.Acct.String())
-	case "rytter":
-		res := rytter.Solve(in, rytter.Options{Workers: *workers, Target: seqRes.Table})
-		fmt.Printf("optimum c(0,%d) = %d\n", in.N, res.Cost())
-		fmt.Printf("iterations: %d (converged at %d)\n", res.Iterations, res.ConvergedAt)
-		fmt.Printf("pram: %s\n", res.Acct.String())
-	case "dense", "banded":
-		opts := core.Options{
-			Variant: core.Banded,
-			Workers: *workers,
-			Window:  *window,
-			Target:  seqRes.Table,
-			History: *history,
-		}
-		if *algo == "dense" {
-			opts.Variant = core.Dense
-		}
-		switch *mode {
-		case "sync":
-		case "chaotic":
-			opts.Mode = core.Chaotic
-		default:
-			fmt.Fprintf(os.Stderr, "dpsolve: unknown mode %q\n", *mode)
-			os.Exit(2)
-		}
-		switch *term {
-		case "fixed":
-		case "w-stable":
-			opts.Termination = core.WStable
-		case "wpw-stable":
-			opts.Termination = core.WPWStable
-		default:
-			fmt.Fprintf(os.Stderr, "dpsolve: unknown termination %q\n", *term)
-			os.Exit(2)
-		}
-		res := core.Solve(in, opts)
-		fmt.Printf("optimum c(0,%d) = %d\n", in.N, res.Cost())
-		fmt.Printf("variant: %s  iterations: %d (budget %d, converged at %d)\n",
-			res.Variant, res.Iterations, core.DefaultIterations(in.N), res.ConvergedAt)
-		if res.BandRadius > 0 {
-			fmt.Printf("band radius D = %d\n", res.BandRadius)
-		}
-		fmt.Printf("pram: %s\n", res.Acct.String())
-		if rep := verify.Table(in, res.Table); rep.OK() {
-			fmt.Printf("verified: table is the exact fixed point of the recurrence (%d cells)\n", rep.Checked)
-		} else {
-			fmt.Printf("WARNING: verification failed: %v\n", rep.Err())
-		}
-		if res.Cost() != seqRes.Cost() {
-			fmt.Println("WARNING: parallel result disagrees with sequential DP")
-		}
-		if *history {
-			fmt.Println("iter  w-changed  pw-changed  finite-w")
-			var finite []float64
-			for _, st := range res.History {
-				fmt.Printf("%4d  %9d  %10d  %8d\n", st.Iter, st.WChanged, st.PWChanged, st.FiniteW)
-				finite = append(finite, float64(st.FiniteW))
-			}
-			fmt.Println("convergence (finite w' entries per iteration):")
-			fmt.Print(txtplot.Lines(48, 8, []float64{1, float64(len(finite))},
-				txtplot.Series{Name: "finite w'", Ys: finite}))
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "dpsolve: unknown algorithm %q\n", *algo)
-		os.Exit(2)
+	// Knuth's O(n^2) speedup is not an engine (it is only valid under the
+	// quadrangle inequality), so it stays a special case.
+	if engineName == "knuth" {
+		runKnuth(in)
+		return
 	}
+
+	opts := []sublineardp.Option{
+		sublineardp.WithWorkers(*workers),
+		sublineardp.WithWindow(*window),
+		sublineardp.WithHistory(*history),
+	}
+	switch *mode {
+	case "sync":
+	case "chaotic":
+		opts = append(opts, sublineardp.WithMode(sublineardp.Chaotic))
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	switch *term {
+	case "fixed":
+	case "w-stable":
+		opts = append(opts, sublineardp.WithTermination(sublineardp.WStable))
+	case "wpw-stable":
+		opts = append(opts, sublineardp.WithTermination(sublineardp.WPWStable))
+	default:
+		fatal(fmt.Errorf("unknown termination %q", *term))
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// The sequential reference doubles as the convergence target for the
+	// iterative engines' ConvergedAt instrumentation. It runs under the
+	// same deadline, and is skipped when the solve itself will be the
+	// sequential DP (directly, or via auto's small-instance route) — no
+	// point solving twice.
+	solvesSequentially := engineName == sublineardp.EngineSequential ||
+		(engineName == sublineardp.EngineAuto && in.N <= sublineardp.DefaultAutoCutoff)
+	var seqRes *seq.Result
+	if !solvesSequentially {
+		var err error
+		seqRes, err = seq.SolveCtx(ctx, in)
+		if err != nil {
+			fatal(fmt.Errorf("sequential reference aborted: %w", err))
+		}
+		opts = append(opts, sublineardp.WithTarget(seqRes.Table))
+	}
+
+	solver, err := sublineardp.NewSolver(engineName, opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	sol, err := solver.Solve(ctx, in)
+	if err != nil {
+		fatal(fmt.Errorf("solve aborted: %w", err))
+	}
+	report(in, sol, seqRes, *history)
 
 	if *tree && in.N <= 32 {
 		fmt.Println("optimal parenthesization:")
-		fmt.Print(seqRes.Tree().Render(nil))
+		if seqRes != nil {
+			fmt.Print(seqRes.Tree().Render(nil))
+		} else if tr, err := sol.Tree(); err == nil {
+			fmt.Print(tr.Render(nil))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dpsolve: %v\n", err)
+	os.Exit(2)
+}
+
+// resolveEngine folds the deprecated -algo spelling into the registry
+// namespace. "knuth" passes through for the special case in main.
+func resolveEngine(engine, algo string) (string, error) {
+	if engine != "" && algo != "" {
+		return "", fmt.Errorf("use either -engine or the deprecated -algo, not both")
+	}
+	if engine != "" {
+		return engine, nil
+	}
+	switch algo {
+	case "":
+		return sublineardp.EngineAuto, nil
+	case "seq":
+		return sublineardp.EngineSequential, nil
+	case "dense":
+		return sublineardp.EngineHLVDense, nil
+	case "banded":
+		return sublineardp.EngineHLVBanded, nil
+	case "wavefront", "rytter", "knuth":
+		return algo, nil
+	default:
+		return "", fmt.Errorf("unknown -algo %q", algo)
+	}
+}
+
+func runKnuth(in *recurrence.Instance) {
+	cubic := seq.Solve(in)
+	k := seq.SolveKnuth(in)
+	fmt.Printf("optimum c(0,%d) = %d (knuth work %d vs %d cubic)\n", in.N, k.Cost(), k.Work, cubic.Work)
+	if k.Cost() != cubic.Cost() {
+		fmt.Println("WARNING: Knuth speedup disagrees; instance may violate the quadrangle inequality")
+	}
+}
+
+// report prints the unified Solution; seqRes may be nil when the engine
+// itself was the sequential DP.
+func report(in *recurrence.Instance, sol *sublineardp.Solution, seqRes *seq.Result, history bool) {
+	fmt.Printf("engine: %s\n", sol.Engine)
+	fmt.Printf("optimum c(0,%d) = %d (%.2fms)\n", in.N, sol.Cost(), float64(sol.Elapsed.Microseconds())/1000)
+	if sol.Work > 0 {
+		fmt.Printf("work: %d candidate evaluations\n", sol.Work)
+	}
+	if sol.Iterations > 0 {
+		budget := core.DefaultIterations(in.N)
+		if sol.Engine == sublineardp.EngineRytter {
+			budget = rytter.DefaultIterations(in.N)
+		}
+		fmt.Printf("iterations: %d (budget %d, converged at %d, stopped early %v)\n",
+			sol.Iterations, budget, sol.ConvergedAt, sol.StoppedEarly)
+	}
+	if sol.BandRadius > 0 {
+		fmt.Printf("band radius D = %d\n", sol.BandRadius)
+	}
+	if sol.Acct.Steps > 0 {
+		fmt.Printf("pram: %s\n", sol.Acct.String())
+	}
+	if rep := verify.Table(in, sol.Table); rep.OK() {
+		fmt.Printf("verified: table is the exact fixed point of the recurrence (%d cells)\n", rep.Checked)
+	} else {
+		fmt.Printf("WARNING: verification failed: %v\n", rep.Err())
+	}
+	if seqRes != nil && sol.Cost() != seqRes.Cost() {
+		fmt.Println("WARNING: engine result disagrees with sequential DP")
+	}
+	if history && len(sol.History) > 0 {
+		fmt.Println("iter  w-changed  pw-changed  finite-w")
+		var finite []float64
+		for _, st := range sol.History {
+			fmt.Printf("%4d  %9d  %10d  %8d\n", st.Iter, st.WChanged, st.PWChanged, st.FiniteW)
+			finite = append(finite, float64(st.FiniteW))
+		}
+		fmt.Println("convergence (finite w' entries per iteration):")
+		fmt.Print(txtplot.Lines(48, 8, []float64{1, float64(len(finite))},
+			txtplot.Series{Name: "finite w'", Ys: finite}))
 	}
 }
 

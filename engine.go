@@ -1,0 +1,291 @@
+package sublineardp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"sublineardp/internal/core"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
+	"sublineardp/internal/rytter"
+	"sublineardp/internal/semiring"
+	"sublineardp/internal/seq"
+	"sublineardp/internal/wavefront"
+)
+
+// Engine is one algorithm for recurrence (*) behind the unified Solver
+// API. Implementations must be safe for concurrent use: SolveBatch calls
+// one Engine from many goroutines. Solve must honour ctx cancellation
+// (return ctx.Err() promptly) and must return a non-nil Solution exactly
+// when the error is nil.
+type Engine interface {
+	// Name is the registry key ("sequential", "hlv-banded", ...).
+	Name() string
+	// Solve runs the engine on one instance under the given read-only
+	// configuration.
+	Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error)
+}
+
+// Registry names of the built-in engines.
+const (
+	// EngineAuto picks an engine per instance by size: n <= AutoCutoff
+	// goes to the sequential scan, larger instances to the banded HLV
+	// iteration.
+	EngineAuto = "auto"
+	// EngineSequential is the classic O(n^3) dynamic program (records
+	// split points, so Solution.Tree is O(n)).
+	EngineSequential = "sequential"
+	// EngineWavefront is the span-parallel linear-time baseline.
+	EngineWavefront = "wavefront"
+	// EngineRytter is Rytter's O(log^2 n)-time baseline the paper
+	// improves upon.
+	EngineRytter = "rytter"
+	// EngineHLVDense is the paper's Sections 2-4 algorithm with the full
+	// O(n^4) partial-weight array.
+	EngineHLVDense = "hlv-dense"
+	// EngineHLVBanded is the headline Section 5 algorithm storing only
+	// deficits within the 2*ceil(sqrt n) band.
+	EngineHLVBanded = "hlv-banded"
+	// EngineSemiring is the HLV iteration generalised to any idempotent
+	// semiring (WithSemiring; min-plus by default).
+	EngineSemiring = "semiring"
+)
+
+var engineRegistry = struct {
+	mu sync.RWMutex
+	m  map[string]Engine
+}{m: make(map[string]Engine)}
+
+// RegisterEngine adds an engine to the registry under e.Name(). It
+// rejects nil engines, empty names, and duplicates, so built-ins cannot
+// be replaced by accident.
+func RegisterEngine(e Engine) error {
+	if e == nil || e.Name() == "" {
+		return errors.New("sublineardp: RegisterEngine needs a non-nil engine with a non-empty name")
+	}
+	engineRegistry.mu.Lock()
+	defer engineRegistry.mu.Unlock()
+	if _, dup := engineRegistry.m[e.Name()]; dup {
+		return fmt.Errorf("sublineardp: engine %q already registered", e.Name())
+	}
+	engineRegistry.m[e.Name()] = e
+	return nil
+}
+
+// LookupEngine returns the engine registered under name.
+func LookupEngine(name string) (Engine, bool) {
+	engineRegistry.mu.RLock()
+	defer engineRegistry.mu.RUnlock()
+	e, ok := engineRegistry.m[name]
+	return e, ok
+}
+
+// Engines returns the sorted names of all registered engines.
+func Engines() []string {
+	engineRegistry.mu.RLock()
+	defer engineRegistry.mu.RUnlock()
+	names := make([]string, 0, len(engineRegistry.m))
+	for name := range engineRegistry.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	for _, e := range []Engine{
+		autoEngine{},
+		sequentialEngine{},
+		wavefrontEngine{},
+		rytterEngine{},
+		hlvEngine{name: EngineHLVDense, variant: core.Dense},
+		hlvEngine{name: EngineHLVBanded, variant: core.Banded},
+		semiringEngine{},
+	} {
+		if err := RegisterEngine(e); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// sequentialEngine wraps the O(n^3) baseline of internal/seq.
+type sequentialEngine struct{}
+
+func (sequentialEngine) Name() string { return EngineSequential }
+
+func (sequentialEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
+	res, err := seq.SolveCtx(ctx, in)
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Engine:      EngineSequential,
+		Table:       res.Table,
+		Work:        res.Work,
+		ConvergedAt: -1,
+		instance:    in,
+		splits:      res.Split,
+		treeFn: func() (*Tree, error) {
+			if cost.IsInf(res.Cost()) {
+				return nil, errors.New("sublineardp: no finite optimum to reconstruct")
+			}
+			return res.Tree(), nil
+		},
+	}, nil
+}
+
+// wavefrontEngine wraps the span-parallel baseline of internal/wavefront.
+type wavefrontEngine struct{}
+
+func (wavefrontEngine) Name() string { return EngineWavefront }
+
+func (wavefrontEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
+	res, err := wavefront.SolveCtx(ctx, in, wavefront.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Engine:      EngineWavefront,
+		Table:       res.Table,
+		Acct:        res.Acct,
+		ConvergedAt: -1,
+		instance:    in,
+	}, nil
+}
+
+// rytterEngine wraps the 1988 pointer-doubling baseline of internal/rytter.
+type rytterEngine struct{}
+
+func (rytterEngine) Name() string { return EngineRytter }
+
+func (rytterEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
+	res, err := rytter.SolveCtx(ctx, in, rytter.Options{
+		Workers:       cfg.Workers,
+		MaxIterations: cfg.MaxIterations,
+		Target:        cfg.Target,
+	})
+	if err != nil {
+		return nil, err
+	}
+	budget := cfg.MaxIterations
+	if budget <= 0 {
+		budget = rytter.DefaultIterations(in.N)
+	}
+	return &Solution{
+		Engine:       EngineRytter,
+		Table:        res.Table,
+		Iterations:   res.Iterations,
+		StoppedEarly: res.Iterations < budget,
+		ConvergedAt:  res.ConvergedAt,
+		Acct:         res.Acct,
+		instance:     in,
+	}, nil
+}
+
+// hlvEngine wraps the paper's algorithm (internal/core) in either storage
+// variant.
+type hlvEngine struct {
+	name    string
+	variant Variant
+}
+
+func (e hlvEngine) Name() string { return e.name }
+
+func (e hlvEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
+	res, err := core.SolveCtx(ctx, in, core.Options{
+		Variant:       e.variant,
+		Mode:          cfg.Mode,
+		Termination:   cfg.Termination,
+		Workers:       cfg.Workers,
+		MaxIterations: cfg.MaxIterations,
+		BandRadius:    cfg.BandRadius,
+		Window:        cfg.Window,
+		Target:        cfg.Target,
+		History:       cfg.History,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Engine:       e.name,
+		Table:        res.Table,
+		Iterations:   res.Iterations,
+		StoppedEarly: res.StoppedEarly,
+		ConvergedAt:  res.ConvergedAt,
+		BandRadius:   res.BandRadius,
+		Acct:         res.Acct,
+		History:      res.History,
+		instance:     in,
+	}, nil
+}
+
+// semiringEngine runs the HLV iteration over an arbitrary idempotent
+// semiring (internal/semiring). Under the default MinPlus algebra the
+// cost sentinel and the semiring's Zero coincide, so the instance's
+// values pass through unchanged and the result table is bit-identical to
+// the other engines'.
+type semiringEngine struct{}
+
+func (semiringEngine) Name() string { return EngineSemiring }
+
+func (semiringEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
+	sr := cfg.Semiring
+	if sr == nil {
+		sr = MinPlus
+	}
+	srIn := &semiring.Instance{
+		N:    in.N,
+		Name: in.Name,
+		Init: func(i int) int64 { return int64(in.Init(i)) },
+		F:    func(i, k, j int) int64 { return int64(in.F(i, k, j)) },
+	}
+	res, err := semiring.SolveHLVCtx(ctx, sr, srIn, cfg.MaxIterations)
+	if err != nil {
+		return nil, err
+	}
+	tbl := recurrence.NewTable(in.N)
+	for i := 0; i <= in.N; i++ {
+		for j := i + 1; j <= in.N; j++ {
+			tbl.Set(i, j, cost.Cost(res.At(i, j)))
+		}
+	}
+	return &Solution{
+		Engine:      EngineSemiring,
+		Table:       tbl,
+		Iterations:  res.Iterations,
+		ConvergedAt: -1,
+		instance:    in,
+	}, nil
+}
+
+// autoEngine is the size-based meta-engine: small instances go to the
+// sequential scan, large ones to the banded HLV iteration. The returned
+// Solution names the engine actually chosen.
+type autoEngine struct{}
+
+func (autoEngine) Name() string { return EngineAuto }
+
+func (autoEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
+	return pickAuto(in.N, cfg).Solve(ctx, in, cfg)
+}
+
+// pickAuto resolves the auto engine's choice for an instance of size n.
+func pickAuto(n int, cfg *Config) Engine {
+	cutoff := cfg.AutoCutoff
+	if cutoff <= 0 {
+		cutoff = DefaultAutoCutoff
+	}
+	name := EngineHLVBanded
+	if n <= cutoff {
+		name = EngineSequential
+	}
+	e, ok := LookupEngine(name)
+	if !ok {
+		// The built-ins are registered in init; this cannot fail.
+		panic(fmt.Sprintf("sublineardp: built-in engine %q missing", name))
+	}
+	return e
+}

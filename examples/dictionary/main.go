@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,13 +23,19 @@ func main() {
 	const keys = 120
 	in := workload.DictionaryOBST(keys, 2026)
 	fmt.Printf("workload: %s (n=%d objects)\n", in.Name, in.N)
+	ctx := context.Background()
 
-	// Worst-case budget vs adaptive stop (Section 7 heuristic).
-	fixed := sublineardp.Solve(in, sublineardp.Options{Variant: sublineardp.Banded})
-	adaptive := sublineardp.Solve(in, sublineardp.Options{
-		Variant:     sublineardp.Banded,
-		Termination: sublineardp.WStable,
-	})
+	// Worst-case budget vs adaptive stop (Section 7 heuristic), both
+	// through the banded engine of the unified API.
+	fixed, err := sublineardp.MustNewSolver(sublineardp.EngineHLVBanded).Solve(ctx, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	adaptive, err := sublineardp.MustNewSolver(sublineardp.EngineHLVBanded,
+		sublineardp.WithTermination(sublineardp.WStable)).Solve(ctx, in)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("optimal weighted path length: %d\n", adaptive.Cost())
 	fmt.Printf("fixed budget:   %3d iterations, %s\n", fixed.Iterations, fixed.Acct.String())
 	fmt.Printf("adaptive stop:  %3d iterations, %s\n", adaptive.Iterations, adaptive.Acct.String())
@@ -36,8 +43,10 @@ func main() {
 		log.Fatal("termination rule changed the optimum")
 	}
 
-	// Recover and certify the tree from the parallel value table.
-	tree, err := sublineardp.ExtractTree(in, adaptive.Table)
+	// Recover and certify the tree from the parallel value table — the
+	// paper's algorithm computes values only; Solution.Tree extracts the
+	// actual solution.
+	tree, err := adaptive.Tree()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,5 +1,5 @@
 // Matrix-chain ordering at scale: generate a random chain of 60 matrices,
-// solve it with every algorithm in the repository, and compare their
+// solve it with several engines from the registry, and compare their
 // instrumentation — a miniature of experiment E2.
 //
 // Run with:
@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -23,40 +24,47 @@ func main() {
 		dims[i] = 5 + rng.Intn(95)
 	}
 	in := sublineardp.NewMatrixChain(dims)
+	ctx := context.Background()
 
-	seq := sublineardp.SolveSequential(in)
+	solve := func(engine string, opts ...sublineardp.Option) *sublineardp.Solution {
+		sol, err := sublineardp.MustNewSolver(engine, opts...).Solve(ctx, in)
+		if err != nil {
+			log.Fatalf("%s: %v", engine, err)
+		}
+		return sol
+	}
+
+	seq := solve(sublineardp.EngineSequential)
 	fmt.Printf("n=%d matrices, sequential optimum %d (work %d)\n", n, seq.Cost(), seq.Work)
 
 	// The paper's banded algorithm at the fixed worst-case budget.
-	fixed := sublineardp.Solve(in, sublineardp.Options{Variant: sublineardp.Banded})
+	fixed := solve(sublineardp.EngineHLVBanded)
 	fmt.Printf("banded fixed-budget:  cost %d, %d iterations, %s\n",
 		fixed.Cost(), fixed.Iterations, fixed.Acct.String())
 
 	// The Section 7 early-termination heuristic: random instances converge
 	// in O(log n)-ish iterations (Section 6), so this stops much sooner.
-	adaptive := sublineardp.Solve(in, sublineardp.Options{
-		Variant:     sublineardp.Banded,
-		Termination: sublineardp.WStable,
-	})
+	adaptive := solve(sublineardp.EngineHLVBanded,
+		sublineardp.WithTermination(sublineardp.WStable))
 	fmt.Printf("banded + w-stable:    cost %d, stopped after %d iterations (early=%v)\n",
 		adaptive.Cost(), adaptive.Iterations, adaptive.StoppedEarly)
 
-	// Baselines.
-	wave := sublineardp.SolveWavefront(in, 0)
-	fmt.Printf("wavefront:            cost %d\n", wave.Root())
+	// Baselines through the same API.
+	wave := solve(sublineardp.EngineWavefront)
+	fmt.Printf("wavefront:            cost %d\n", wave.Cost())
 
-	for _, r := range []*sublineardp.Result{fixed, adaptive} {
-		if r.Cost() != seq.Cost() {
-			log.Fatalf("disagreement: %d vs %d", r.Cost(), seq.Cost())
+	for _, sol := range []*sublineardp.Solution{fixed, adaptive, wave} {
+		if sol.Cost() != seq.Cost() {
+			log.Fatalf("%s disagrees: %d vs %d", sol.Engine, sol.Cost(), seq.Cost())
 		}
 	}
-	if wave.Root() != seq.Cost() {
-		log.Fatal("wavefront disagrees")
-	}
-	fmt.Println("all solvers agree with the sequential optimum")
+	fmt.Println("all engines agree with the sequential optimum")
 
 	// Show the first levels of the optimal parenthesization.
-	tr := seq.Tree()
+	tr, err := seq.Tree()
+	if err != nil {
+		log.Fatal(err)
+	}
 	i, j := tr.Span(tr.Root)
 	k := tr.Split(tr.Root)
 	fmt.Printf("top-level split: (A%d..A%d)(A%d..A%d)\n", i+1, k, k+1, j)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,19 +24,30 @@ func main() {
 	alpha := []int64{6, 4, 2, 1, 3, 5, 7, 8} // len(keys)+1 gaps
 
 	in := sublineardp.NewOBST(alpha, beta)
-	res := sublineardp.Solve(in, sublineardp.Options{Variant: sublineardp.Banded})
-	seq := sublineardp.SolveSequential(in)
-	if res.Cost() != seq.Cost() {
-		log.Fatalf("parallel %d != sequential %d", res.Cost(), seq.Cost())
+	ctx := context.Background()
+
+	sol, err := sublineardp.MustNewSolver(sublineardp.EngineHLVBanded).Solve(ctx, in)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("optimal weighted path length: %d\n", res.Cost())
+	seqSol, err := sublineardp.MustNewSolver(sublineardp.EngineSequential).Solve(ctx, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sol.Cost() != seqSol.Cost() {
+		log.Fatalf("parallel %d != sequential %d", sol.Cost(), seqSol.Cost())
+	}
+	fmt.Printf("optimal weighted path length: %d\n", sol.Cost())
 	fmt.Printf("solved in %d parallel iterations (budget %d)\n",
-		res.Iterations, sublineardp.WorstCaseIterations(in.N))
+		sol.Iterations, sublineardp.WorstCaseIterations(in.N))
 
 	// The parenthesization tree maps back to the BST: the split k of an
 	// internal span node (i,j) is the root key k of the subtree holding
 	// keys i+1..j-1 (1-based); leaves are the gaps.
-	tr := seq.Tree()
+	tr, err := seqSol.Tree()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("optimal binary search tree:")
 	fmt.Print(tr.Render(func(v int32) string {
 		i, j := tr.Span(v)

@@ -1,5 +1,6 @@
 // Quickstart: solve the textbook matrix-chain instance with the paper's
-// parallel algorithm and compare against the sequential optimum.
+// parallel algorithm through the unified Solver API and compare against
+// the sequential optimum.
 //
 // Run with:
 //
@@ -7,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,23 +18,43 @@ import (
 func main() {
 	// Six matrices: 30x35, 35x15, 15x5, 5x10, 10x20, 20x25 (CLRS §15.2).
 	in := sublineardp.NewMatrixChain([]int{30, 35, 15, 5, 10, 20, 25})
+	ctx := context.Background()
 
-	// The paper's algorithm: banded storage (the O(n^3.5/log n)-processor
-	// variant of Section 5), synchronous PRAM-faithful updates, the fixed
-	// 2*ceil(sqrt(n)) iteration budget.
-	res := sublineardp.Solve(in, sublineardp.Options{Variant: sublineardp.Banded})
-	fmt.Printf("parallel optimum:  %d scalar multiplications\n", res.Cost())
+	// The paper's algorithm: the "hlv-banded" engine is the
+	// O(n^3.5/log n)-processor variant of Section 5 with synchronous
+	// PRAM-faithful updates and the fixed 2*ceil(sqrt(n)) budget.
+	solver, err := sublineardp.NewSolver(sublineardp.EngineHLVBanded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol, err := solver.Solve(ctx, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("parallel optimum:  %d scalar multiplications\n", sol.Cost())
 	fmt.Printf("iterations:        %d (worst-case budget %d)\n",
-		res.Iterations, sublineardp.WorstCaseIterations(in.N))
-	fmt.Printf("PRAM accounting:   %s\n", res.Acct.String())
+		sol.Iterations, sublineardp.WorstCaseIterations(in.N))
+	fmt.Printf("PRAM accounting:   %s\n", sol.Acct.String())
 
-	// The O(n^3) sequential baseline, with tree reconstruction.
-	seq := sublineardp.SolveSequential(in)
-	fmt.Printf("sequential optimum: %d\n", seq.Cost())
-	if res.Cost() != seq.Cost() {
+	// The O(n^3) sequential baseline through the same API; its Solution
+	// reconstructs the optimal tree from recorded split points.
+	seqSolver, err := sublineardp.NewSolver(sublineardp.EngineSequential)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seqSol, err := seqSolver.Solve(ctx, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential optimum: %d\n", seqSol.Cost())
+	if sol.Cost() != seqSol.Cost() {
 		log.Fatal("parallel and sequential optima disagree")
 	}
 
+	tree, err := seqSol.Tree()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("optimal parenthesization ((A1(A2A3))((A4A5)A6)):")
-	fmt.Print(seq.Tree().Render(nil))
+	fmt.Print(tree.Render(nil))
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,22 +24,31 @@ func main() {
 		{X: 500, Y: -866}, {X: 940, Y: -342},
 	}
 	in := sublineardp.NewTriangulation(vs)
+	ctx := context.Background()
 
-	res := sublineardp.Solve(in, sublineardp.Options{
-		Variant:     sublineardp.Banded,
-		Termination: sublineardp.WStable, // polygons are benign: stops early
-	})
-	seq := sublineardp.SolveSequential(in)
-	if res.Cost() != seq.Cost() {
-		log.Fatalf("parallel %d != sequential %d", res.Cost(), seq.Cost())
+	sol, err := sublineardp.MustNewSolver(sublineardp.EngineHLVBanded,
+		sublineardp.WithTermination(sublineardp.WStable), // polygons are benign: stops early
+	).Solve(ctx, in)
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("minimal total perimeter (scaled x1024): %d\n", res.Cost())
+	seqSol, err := sublineardp.MustNewSolver(sublineardp.EngineSequential).Solve(ctx, in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sol.Cost() != seqSol.Cost() {
+		log.Fatalf("parallel %d != sequential %d", sol.Cost(), seqSol.Cost())
+	}
+	fmt.Printf("minimal total perimeter (scaled x1024): %d\n", sol.Cost())
 	fmt.Printf("parallel iterations: %d (budget %d, stopped early: %v)\n",
-		res.Iterations, sublineardp.WorstCaseIterations(in.N), res.StoppedEarly)
+		sol.Iterations, sublineardp.WorstCaseIterations(in.N), sol.StoppedEarly)
 
 	// Walk the parenthesization tree: every internal node (i,j) split at k
 	// is the triangle (v_i, v_k, v_j).
-	tr := seq.Tree()
+	tr, err := seqSol.Tree()
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("triangles of the optimal triangulation:")
 	count := 0
 	for v := int32(0); v < int32(tr.Len()); v++ {

@@ -1,0 +1,3 @@
+module sublineardp
+
+go 1.24

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"sublineardp/internal/pebble"
@@ -38,6 +39,20 @@ func DefaultIterations(n int) int {
 // result table equals the sequential DP table (tests verify this across
 // problem families, sizes, variants and modes).
 func Solve(in *recurrence.Instance, opts Options) *Result {
+	res, err := SolveCtx(context.Background(), in, opts)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is checked
+// before every iteration and again after the a-square step, so
+// cancellation latency is bounded by one in-flight PRAM operation. A
+// cancelled or expired context aborts the run with ctx.Err(); the partial
+// state is discarded — a nil Result accompanies every non-nil error.
+func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Result, error) {
 	if in == nil || in.N < 1 {
 		panic(fmt.Sprintf("core: invalid instance %+v", in))
 	}
@@ -79,9 +94,18 @@ func Solve(in *recurrence.Instance, opts Options) *Result {
 	sqrtN := pebble.IsqrtCeil(n)
 	stableRuns := 0
 	for iter := 1; iter <= budget; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		eng.resetPWChanged()
 		eng.activate()
+		// The square is the heaviest of the three operations; re-checking
+		// around it keeps cancellation latency to one operation rather
+		// than one full iteration.
 		eng.square()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 
 		loSpan, hiSpan := 2, n
 		if opts.Window && opts.Variant == Banded {
@@ -134,5 +158,5 @@ func Solve(in *recurrence.Instance, opts Options) *Result {
 	}
 
 	res.Table = eng.wTable()
-	return res
+	return res, nil
 }

@@ -18,6 +18,7 @@
 package rytter
 
 import (
+	"context"
 	"math/bits"
 
 	"sublineardp/internal/cost"
@@ -75,6 +76,19 @@ func (s *state) idx(i, j, p, q int) int {
 // Solve runs Rytter's algorithm to its fixed budget (or early stability)
 // and returns the table, which tests verify equals the sequential DP.
 func Solve(in *recurrence.Instance, opts Options) *Result {
+	res, err := SolveCtx(context.Background(), in, opts)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// SolveCtx is Solve with cooperative cancellation, checked before each
+// doubling move (each move is O(n^6) work, but only O(log n) of them
+// exist). A cancelled or expired context aborts with a nil Result and
+// ctx.Err().
+func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Result, error) {
 	n := in.N
 	sz := n + 1
 	s := &state{
@@ -139,6 +153,9 @@ func Solve(in *recurrence.Instance, opts Options) *Result {
 
 	stable := 0
 	for iter := 1; iter <= budget; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		s.activate()
 		s.square()
 		wChanged := s.pebble()
@@ -165,7 +182,7 @@ func Solve(in *recurrence.Instance, opts Options) *Result {
 			res.Table.Set(i, j, s.w[i*sz+j])
 		}
 	}
-	return res
+	return res, nil
 }
 
 func (s *state) activate() {

@@ -1,6 +1,8 @@
 package semiring
 
 import (
+	"context"
+
 	"sublineardp/internal/pebble"
 )
 
@@ -48,6 +50,18 @@ func (r *Result) Root() int64 { return r.At(0, r.N) }
 // that proves the min-plus case carries over verbatim to any idempotent
 // semiring, which the package tests confirm against SolveSeq.
 func SolveHLV(sr Semiring, in *Instance, maxIters int) *Result {
+	res, err := SolveHLVCtx(context.Background(), sr, in, maxIters)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// SolveHLVCtx is SolveHLV with cooperative cancellation, checked before
+// every iteration. A cancelled or expired context aborts with a nil
+// Result and ctx.Err().
+func SolveHLVCtx(ctx context.Context, sr Semiring, in *Instance, maxIters int) (*Result, error) {
 	n := in.N
 	sz := n + 1
 	idx := func(i, j, p, q int) int { return ((i*sz+j)*sz+p)*sz + q }
@@ -82,6 +96,9 @@ func SolveHLV(sr Semiring, in *Instance, maxIters int) *Result {
 	}
 	res := &Result{N: n}
 	for iter := 1; iter <= maxIters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// a-activate (in place: each cell is touched by one triple).
 		for _, p := range pairs {
 			i, j := p.i, p.j
@@ -133,7 +150,7 @@ func SolveHLV(sr Semiring, in *Instance, maxIters int) *Result {
 		res.Iterations = iter
 	}
 	res.W = w
-	return res
+	return res, nil
 }
 
 // BruteForce enumerates all parenthesizations recursively with

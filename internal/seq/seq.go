@@ -7,6 +7,7 @@
 package seq
 
 import (
+	"context"
 	"fmt"
 
 	"sublineardp/internal/btree"
@@ -27,6 +28,19 @@ type Result struct {
 // Solve runs the O(n^3) dynamic program span by span. Ties between splits
 // resolve to the smallest k, making the reconstruction deterministic.
 func Solve(in *recurrence.Instance) *Result {
+	res, err := SolveCtx(context.Background(), in)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is checked
+// once per table cell (O(n^2) checks against O(n^3) work, so cancellation
+// is prompt even when Init/F are expensive callbacks). A cancelled or
+// expired context aborts with a nil Result and ctx.Err().
+func SolveCtx(ctx context.Context, in *recurrence.Instance) (*Result, error) {
 	n := in.N
 	size := n + 1
 	res := &Result{
@@ -42,6 +56,9 @@ func Solve(in *recurrence.Instance) *Result {
 	}
 	for span := 2; span <= n; span++ {
 		for i := 0; i+span <= n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			j := i + span
 			best := cost.Inf
 			bestK := int32(-1)
@@ -57,7 +74,7 @@ func Solve(in *recurrence.Instance) *Result {
 			res.splits[i*size+j] = bestK
 		}
 	}
-	return res
+	return res, nil
 }
 
 // Cost returns the optimal value c(0,n).

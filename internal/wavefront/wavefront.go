@@ -14,6 +14,8 @@
 package wavefront
 
 import (
+	"context"
+
 	"sublineardp/internal/cost"
 	"sublineardp/internal/parutil"
 	"sublineardp/internal/pram"
@@ -38,6 +40,18 @@ func (r *Result) Cost() cost.Cost { return r.Table.Root() }
 // Solve evaluates the recurrence span by span, parallelising within each
 // span. The result is exact (identical to seq.Solve's table).
 func Solve(in *recurrence.Instance, opt Options) *Result {
+	res, err := SolveCtx(context.Background(), in, opt)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// SolveCtx is Solve with cooperative cancellation, checked between spans
+// (each span is one parallel barrier, so this is the natural granularity).
+// A cancelled or expired context aborts with a nil Result and ctx.Err().
+func SolveCtx(ctx context.Context, in *recurrence.Instance, opt Options) (*Result, error) {
 	n := in.N
 	res := &Result{Table: recurrence.NewTable(n)}
 	tbl := res.Table
@@ -46,6 +60,9 @@ func Solve(in *recurrence.Instance, opt Options) *Result {
 	}
 	res.Acct.ChargeUnit(int64(n)) // the init step
 	for span := 2; span <= n; span++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cells := n - span + 1
 		parutil.For(opt.Workers, cells, func(i int) {
 			j := i + span
@@ -60,5 +77,5 @@ func Solve(in *recurrence.Instance, opt Options) *Result {
 		})
 		res.Acct.ChargeReduce(int64(cells), int64(span-1), int64(cells)*int64(span-1))
 	}
-	return res
+	return res, nil
 }

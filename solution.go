@@ -1,0 +1,99 @@
+package sublineardp
+
+import (
+	"errors"
+	"time"
+
+	"sublineardp/internal/pram"
+	"sublineardp/internal/recurrence"
+)
+
+// Accounting is the PRAM cost-model ledger (time, work, processors)
+// shared by every parallel engine, re-exported from internal/pram.
+type Accounting = pram.Accounting
+
+// Solution is the unified outcome of a Solver.Solve or SolveBatch run:
+// one type for every engine, from the sequential O(n^3) baseline to the
+// paper's banded HLV iteration. Fields that an engine does not produce
+// are left at their zero value (for example Work is sequential-only and
+// Iterations is zero for the single-pass baselines).
+type Solution struct {
+	// Engine is the registry name of the engine that produced this
+	// solution ("sequential", "hlv-banded", ...). For the "auto"
+	// meta-engine it names the engine actually chosen.
+	Engine string
+
+	// Table holds the converged cost table c(i,j); Table.Root() is the
+	// optimum, also available as Cost().
+	Table *Table
+
+	// Iterations is the number of parallel iterations executed (HLV,
+	// Rytter and semiring engines; zero for single-pass engines).
+	Iterations int
+
+	// StoppedEarly reports that a stability termination rule fired
+	// before the worst-case iteration budget was exhausted.
+	StoppedEarly bool
+
+	// ConvergedAt is the first iteration after which the table matched
+	// WithTarget's reference, or -1 when no target was set or it never
+	// matched.
+	ConvergedAt int
+
+	// BandRadius echoes the effective deficit bound D of a banded HLV
+	// run (zero for every other engine).
+	BandRadius int
+
+	// Work counts candidate evaluations of the sequential baseline (the
+	// quantity processor-time products are compared against); zero for
+	// the parallel engines, whose cost lives in Acct.
+	Work int64
+
+	// Acct is the PRAM cost-model accounting (parallel engines only).
+	Acct Accounting
+
+	// History holds per-iteration statistics when WithHistory was set
+	// and the engine records them (HLV engines only).
+	History []IterStat
+
+	// Elapsed is the wall-clock duration of the solve.
+	Elapsed time.Duration
+
+	// instance backs Tree(); treeFn and splits are fast reconstruction
+	// paths that only the sequential engine provides.
+	instance *Instance
+	treeFn   func() (*Tree, error)
+	splits   func(i, j int) int
+}
+
+// Cost returns the computed optimum c(0,n).
+func (s *Solution) Cost() Cost { return s.Table.Root() }
+
+// N returns the instance size the solution answers for.
+func (s *Solution) N() int { return s.Table.N }
+
+// Tree reconstructs an optimal parenthesization. The sequential engine
+// recorded split points during the solve, so its reconstruction is O(n);
+// every other engine recovers the tree from the converged value table
+// (the paper's algorithm computes values only). It fails if the table is
+// not a fixed point of the recurrence — e.g. a run capped by
+// WithMaxIterations before convergence — or if the engine's values are
+// not min-plus costs (a non-default WithSemiring).
+func (s *Solution) Tree() (*Tree, error) {
+	if s.treeFn != nil {
+		return s.treeFn()
+	}
+	if s.Table == nil || s.instance == nil {
+		return nil, errors.New("sublineardp: solution carries no instance to reconstruct from")
+	}
+	return recurrence.ExtractTree(s.instance, s.Table)
+}
+
+// Split returns the optimal split point of node (i,j) when the engine
+// recorded one (sequential engine only), or -1 otherwise.
+func (s *Solution) Split(i, j int) int {
+	if s.splits == nil {
+		return -1
+	}
+	return s.splits(i, j)
+}

@@ -1,0 +1,149 @@
+package sublineardp
+
+import (
+	"sublineardp/internal/core"
+	"sublineardp/internal/semiring"
+)
+
+// Re-exported enum types, so functional options can be used without
+// importing internal packages.
+type (
+	// Variant selects the HLV partial-weight storage scheme (Dense | Banded).
+	Variant = core.Variant
+	// Mode selects the update discipline (Synchronous | Chaotic).
+	Mode = core.Mode
+	// Termination selects the stopping rule (FixedIterations | WStable |
+	// WPWStable).
+	Termination = core.Termination
+	// Semiring is an idempotent semiring over int64 values, the algebra
+	// the "semiring" engine iterates over.
+	Semiring = semiring.Semiring
+	// IterStat is one iteration's summary, recorded under WithHistory.
+	IterStat = core.IterStat
+)
+
+// The three semirings shipped with the repository, usable with
+// WithSemiring. MinPlus is the paper's algebra and the default.
+var (
+	MinPlus  Semiring = semiring.MinPlus{}
+	MaxPlus  Semiring = semiring.MaxPlus{}
+	BoolPlan Semiring = semiring.BoolPlan{}
+)
+
+// Config carries every knob a Solve or SolveBatch run can set. Engines
+// receive it read-only; third-party engines registered with
+// RegisterEngine may interpret (or ignore) any field. The zero value is
+// a valid default configuration.
+type Config struct {
+	// Engine is the registry name to solve with ("" = "auto"). NewSolver's
+	// positional engine argument takes precedence when both are given.
+	Engine string
+
+	// Workers is the goroutine count per solve (0 = GOMAXPROCS).
+	// SolveBatch defaults it to 1 so batch-level parallelism is not
+	// oversubscribed by intra-solve parallelism.
+	Workers int
+
+	// Mode is the HLV update discipline (Synchronous | Chaotic).
+	Mode Mode
+
+	// Termination is the HLV stopping rule.
+	Termination Termination
+
+	// MaxIterations caps the iteration count of the iterative engines
+	// (0 = engine's worst-case budget).
+	MaxIterations int
+
+	// BandRadius overrides the banded HLV deficit bound D
+	// (0 = 2*ceil(sqrt n)).
+	BandRadius int
+
+	// Window enables the Section 5 windowed pebble schedule (banded HLV).
+	Window bool
+
+	// History records per-iteration statistics in Solution.History
+	// (HLV engines).
+	History bool
+
+	// Target, when non-nil, is a known-correct table; iterative engines
+	// record in Solution.ConvergedAt the first iteration after which
+	// their table matches it. Never affects control flow.
+	Target *Table
+
+	// Semiring is the algebra of the "semiring" engine (nil = MinPlus).
+	Semiring Semiring
+
+	// Concurrency bounds how many instances SolveBatch solves at once
+	// (0 = GOMAXPROCS). Ignored by single solves.
+	Concurrency int
+
+	// AutoCutoff is the instance size at or below which the "auto"
+	// engine picks "sequential" instead of "hlv-banded" (0 = the
+	// DefaultAutoCutoff). Small instances are solved faster by the
+	// cache-friendly O(n^3) scan than by any parallel iteration.
+	AutoCutoff int
+}
+
+// DefaultAutoCutoff is the default small-instance threshold of the
+// "auto" engine: at n <= 64 the sequential O(n^3) scan beats the
+// parallel engines' per-iteration overhead on real hardware.
+const DefaultAutoCutoff = 64
+
+// Option configures a Solver, a single Solve call, or a SolveBatch run.
+type Option func(*Config)
+
+// WithEngine selects the engine by registry name ("" = "auto"). Mostly
+// useful with SolveBatch, which has no positional engine argument.
+func WithEngine(name string) Option { return func(c *Config) { c.Engine = name } }
+
+// WithWorkers sets the goroutine count used inside one solve
+// (0 = GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithMode selects the HLV update discipline (Synchronous | Chaotic).
+func WithMode(m Mode) Option { return func(c *Config) { c.Mode = m } }
+
+// WithTermination selects the HLV stopping rule (FixedIterations |
+// WStable | WPWStable).
+func WithTermination(t Termination) Option { return func(c *Config) { c.Termination = t } }
+
+// WithMaxIterations caps the iterative engines' iteration count
+// (0 = worst-case budget).
+func WithMaxIterations(n int) Option { return func(c *Config) { c.MaxIterations = n } }
+
+// WithBandRadius overrides the banded HLV deficit bound D
+// (0 = 2*ceil(sqrt n)).
+func WithBandRadius(d int) Option { return func(c *Config) { c.BandRadius = d } }
+
+// WithWindow toggles the Section 5 windowed pebble schedule (banded HLV).
+func WithWindow(on bool) Option { return func(c *Config) { c.Window = on } }
+
+// WithHistory toggles per-iteration statistics in Solution.History.
+func WithHistory(on bool) Option { return func(c *Config) { c.History = on } }
+
+// WithTarget supplies a known-correct table for convergence tracking
+// (Solution.ConvergedAt).
+func WithTarget(t *Table) Option { return func(c *Config) { c.Target = t } }
+
+// WithSemiring selects the algebra of the "semiring" engine
+// (nil = MinPlus, the paper's min-plus algebra).
+func WithSemiring(sr Semiring) Option { return func(c *Config) { c.Semiring = sr } }
+
+// WithConcurrency bounds how many instances SolveBatch works on at once
+// (0 = GOMAXPROCS).
+func WithConcurrency(n int) Option { return func(c *Config) { c.Concurrency = n } }
+
+// WithAutoCutoff sets the instance size at or below which the "auto"
+// engine (and SolveBatch's default scheduling) picks the sequential
+// engine (0 = DefaultAutoCutoff).
+func WithAutoCutoff(n int) Option { return func(c *Config) { c.AutoCutoff = n } }
+
+func buildConfig(opts []Option) Config {
+	var cfg Config
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}

@@ -18,16 +18,37 @@
 // # Quick start
 //
 //	in := sublineardp.NewMatrixChain([]int{30, 35, 15, 5, 10, 20, 25})
-//	res := sublineardp.Solve(in, sublineardp.Options{})
-//	fmt.Println("minimal multiplications:", res.Cost())
+//	s, err := sublineardp.NewSolver(sublineardp.EngineHLVBanded)
+//	if err != nil { ... }
+//	sol, err := s.Solve(ctx, in)
+//	if err != nil { ... }
+//	fmt.Println("minimal multiplications:", sol.Cost())
 //
-// Solve runs the paper's algorithm; the zero Options select the dense
-// Sections 2-4 variant, and Options{Variant: Banded} the headline
-// O(n^3.5/log n)-processor variant of Section 5. SolveSequential provides
-// the exact baseline plus the optimal parenthesization tree. The
-// internal packages expose the full machinery: the pebbling game of
+// Every algorithm is an Engine behind the same context-aware Solver API
+// and returns the same Solution type: "sequential" (the O(n^3) baseline,
+// with O(n) tree reconstruction), "wavefront" (the span-parallel
+// linear-time baseline), "rytter" (the 1988 O(log^2 n) baseline the
+// paper improves on), "hlv-dense" (Sections 2-4), "hlv-banded" (the
+// headline Section 5 variant), "semiring" (the iteration generalised to
+// any idempotent semiring, WithSemiring), and "auto" (size-based
+// selection). Engines are configured with functional options
+// (WithWorkers, WithTermination, WithBandRadius, WithHistory, ...),
+// honour context cancellation and deadlines mid-iteration, and custom
+// engines can be added with RegisterEngine.
+//
+// SolveBatch fans many instances across a worker pool with size-based
+// engine auto-selection — the serving building block:
+//
+//	sols, err := sublineardp.SolveBatch(ctx, instances,
+//	        sublineardp.WithConcurrency(8))
+//
+// The internal packages expose the full machinery: the pebbling game of
 // Section 3 (Pebble* identifiers below), PRAM accounting, termination
 // heuristics, and the experiment harness behind cmd/dpbench.
+//
+// The package-level Solve, SolveSequential, SolveWavefront and
+// SolveRytter functions are the pre-registry API, kept as thin
+// deprecated wrappers.
 package sublineardp
 
 import (
@@ -112,6 +133,10 @@ var (
 // Solve runs the paper's parallel algorithm. The zero Options give the
 // dense Sections 2-4 algorithm; set Variant: Banded for the
 // O(n^3.5/log n)-processor variant of Section 5.
+//
+// Deprecated: use NewSolver(EngineHLVDense) or NewSolver(EngineHLVBanded)
+// with functional options, which adds context cancellation and the
+// unified Solution type.
 func Solve(in *Instance, opts Options) *Result { return core.Solve(in, opts) }
 
 // SequentialResult is the outcome of the O(n^3) baseline.
@@ -134,17 +159,24 @@ func (r *SequentialResult) Tree() *Tree { return r.inner.Tree() }
 func (r *SequentialResult) Split(i, j int) int { return r.inner.Split(i, j) }
 
 // SolveSequential runs the classic O(n^3) dynamic program.
+//
+// Deprecated: use NewSolver(EngineSequential); the Solution it returns
+// carries the same table, work count, tree reconstruction and splits.
 func SolveSequential(in *Instance) *SequentialResult {
 	res := seq.Solve(in)
 	return &SequentialResult{Table: res.Table, Work: res.Work, inner: res}
 }
 
 // SolveWavefront runs the span-parallel linear-time baseline.
+//
+// Deprecated: use NewSolver(EngineWavefront, WithWorkers(workers)).
 func SolveWavefront(in *Instance, workers int) *Table {
 	return wavefront.Solve(in, wavefront.Options{Workers: workers}).Table
 }
 
 // SolveRytter runs the 1988 baseline the paper improves on.
+//
+// Deprecated: use NewSolver(EngineRytter, WithWorkers(workers)).
 func SolveRytter(in *Instance, workers int) *Table {
 	return rytter.Solve(in, rytter.Options{Workers: workers}).Table
 }
