@@ -16,6 +16,12 @@ import (
 // the banded HLV iteration), and WithConcurrency bounds how many
 // instances are in flight at once (default GOMAXPROCS).
 //
+// The whole batch runs on one persistent worker pool — WithPool's if
+// given, else the process-wide shared pool: the batch fan-out claims
+// instances from it and every solve dispatches its kernels onto it, so a
+// batch spawns no per-instance goroutines and per-solve buffers recycle
+// through the shared arena.
+//
 // The result slice is order-stable and complete: result[i] is the
 // solution of instances[i] for every i, independent of scheduling order.
 // Unless WithWorkers overrides it, each solve runs single-threaded so
@@ -43,6 +49,11 @@ func SolveBatch(ctx context.Context, instances []*Instance, opts ...Option) ([]*
 	if cfg.Workers == 0 && workers > 1 {
 		cfg.Workers = 1
 	}
+	pool := cfg.Pool
+	if pool == nil {
+		pool = parutil.Default()
+		cfg.Pool = pool // every solve of the batch shares it
+	}
 	// One shared Solver does each solve, so batch slots get exactly the
 	// validation, timing and engine dispatch a direct Solve call gets.
 	solver, err := NewSolver(cfg.Engine, func(c *Config) { *c = cfg })
@@ -55,10 +66,10 @@ func SolveBatch(ctx context.Context, instances []*Instance, opts ...Option) ([]*
 		return out, nil
 	}
 
-	// parutil is the same worker-pool substrate the solvers run on;
-	// grain 1 claims one instance at a time so slow solves balance.
+	// The fan-out runs on the same pool as the solves; grain 1 claims one
+	// instance at a time so slow solves balance.
 	errs := make([]error, len(instances))
-	parutil.ForChunked(workers, len(instances), 1, func(lo, hi int) {
+	pool.ForChunked(workers, len(instances), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			in := instances[i]
 			label := "<nil>"

@@ -1,0 +1,116 @@
+package sublineardp_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"sublineardp"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/verify"
+)
+
+// stressInstances builds a batch of deliberately mixed sizes: tiny
+// instances that finish instantly interleaved with larger ones that keep
+// the pool busy, so claims, solves and buffer recycling overlap under
+// -race (this file is part of the CI race job's root-package run).
+func stressInstances(count int) []*sublineardp.Instance {
+	sizes := []int{3, 40, 8, 24, 5, 48, 12, 33, 2, 21}
+	out := make([]*sublineardp.Instance, count)
+	for i := range out {
+		n := sizes[i%len(sizes)]
+		out[i] = problems.RandomInstance(n, 50, int64(i+1)).Materialize()
+	}
+	return out
+}
+
+// TestSolveBatchSharedPoolStress hammers one explicit pool from two
+// dimensions of concurrency at once: several SolveBatch calls in flight,
+// each with multi-instance concurrency and multi-worker solves, all
+// dispatching onto the same four goroutines. Every slot must come back
+// correct and verified.
+func TestSolveBatchSharedPoolStress(t *testing.T) {
+	pool := sublineardp.NewPool(4)
+	defer pool.Close()
+	instances := stressInstances(24)
+
+	var wg sync.WaitGroup
+	for batch := 0; batch < 3; batch++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sols, err := sublineardp.SolveBatch(context.Background(), instances,
+				sublineardp.WithPool(pool),
+				sublineardp.WithEngine(sublineardp.EngineHLVBanded),
+				sublineardp.WithWorkers(2),
+				sublineardp.WithConcurrency(4))
+			if err != nil {
+				t.Errorf("batch failed: %v", err)
+				return
+			}
+			for i, sol := range sols {
+				if sol == nil {
+					t.Errorf("slot %d missing", i)
+					continue
+				}
+				if rep := verify.Table(instances[i], sol.Table); !rep.OK() {
+					t.Errorf("slot %d: %v", i, rep.Err())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestSolveBatchMidFlightCancellation cancels a shared-pool batch while
+// solves are in flight: completed slots must hold verified solutions,
+// unfinished slots must be nil with their errors joined as
+// context.Canceled, and — the regression this pins — the pool must come
+// out of the aborted batch healthy enough to run a full clean batch.
+func TestSolveBatchMidFlightCancellation(t *testing.T) {
+	pool := sublineardp.NewPool(4)
+	defer pool.Close()
+	// Large-ish banded solves so cancellation lands mid-iteration.
+	instances := stressInstances(40)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	sols, err := sublineardp.SolveBatch(ctx, instances,
+		sublineardp.WithPool(pool),
+		sublineardp.WithEngine(sublineardp.EngineHLVBanded),
+		sublineardp.WithConcurrency(4))
+	if err == nil {
+		t.Skip("batch finished before cancellation landed; nothing to assert")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("batch error = %v, want context.Canceled", err)
+	}
+	completed := 0
+	for i, sol := range sols {
+		if sol == nil {
+			continue
+		}
+		completed++
+		if rep := verify.Table(instances[i], sol.Table); !rep.OK() {
+			t.Errorf("completed slot %d invalid after cancellation: %v", i, rep.Err())
+		}
+	}
+	t.Logf("cancellation left %d/%d slots completed", completed, len(instances))
+
+	// The shared pool and arena must be reusable after the abort.
+	clean, err := sublineardp.SolveBatch(context.Background(), instances[:8],
+		sublineardp.WithPool(pool), sublineardp.WithEngine(sublineardp.EngineHLVBanded))
+	if err != nil {
+		t.Fatalf("clean batch after abort failed: %v", err)
+	}
+	for i, sol := range clean {
+		if rep := verify.Table(instances[i], sol.Table); !rep.OK() {
+			t.Errorf("post-abort slot %d: %v", i, rep.Err())
+		}
+	}
+}

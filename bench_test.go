@@ -278,6 +278,38 @@ func BenchmarkE12Semirings(b *testing.B) {
 	}
 }
 
+// E13 — steady-state serving cost of the HLV engines at large n: wall
+// clock and allocations per solve once the process is warm, the numbers a
+// long-lived server actually pays per request. MaxIterations caps the runs
+// at a fixed iteration count so the metric is the runtime's per-iteration
+// cost, not the instance's convergence behaviour. hlv-dense is benchmarked
+// at its memory ceiling (n=256 dense would need ~70 GB for the O(n^4)
+// pw' double buffer); hlv-banded covers the n>=256 regime.
+func BenchmarkE13RuntimeServing(b *testing.B) {
+	cases := []struct {
+		variant core.Variant
+		n       int
+		iters   int
+	}{
+		{core.Banded, 128, 8},
+		{core.Banded, 256, 4},
+		{core.Dense, 48, 8},
+		{core.Dense, 64, 4},
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("engine=hlv-%s/n=%d", c.variant, c.n), func(b *testing.B) {
+			in := problems.RandomMatrixChain(c.n, 50, 1).Materialize()
+			opts := core.Options{Variant: c.variant, MaxIterations: c.iters}
+			core.Solve(in, opts) // warm the shared runtime (pool + buffer arena)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Solve(in, opts)
+			}
+		})
+	}
+}
+
 // Ablation: windowed vs unwindowed pebble schedule (Section 5).
 func BenchmarkAblationWindow(b *testing.B) {
 	in := problems.Zigzag(64).Materialize()

@@ -10,15 +10,19 @@
 //	dpbench -csv out/        # also write one CSV per table
 //	dpbench -list            # list the experiment registry
 //	dpbench -crosscheck      # batch-solve fixtures on every engine
+//	dpbench -json            # write the BENCH_core.json perf baseline
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"testing"
 	"time"
 
 	"sublineardp"
@@ -34,11 +38,21 @@ func main() {
 		workers = flag.Int("workers", 0, "goroutine count for parallel solvers (0 = GOMAXPROCS)")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		cross   = flag.Bool("crosscheck", false, "batch-solve a fixture set on every registered engine and report agreement")
+		jsonOut = flag.Bool("json", false, "benchmark the core engines and write a machine-readable perf baseline")
+		outPath = flag.String("out", "BENCH_core.json", "output path for -json")
 	)
 	flag.Parse()
 
 	if *cross {
 		if err := crosscheck(*workers); err != nil {
+			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *jsonOut {
+		if err := benchCore(*quick, *workers, *outPath); err != nil {
 			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -92,6 +106,108 @@ func main() {
 		}
 		fmt.Printf("[%s finished in %s]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// benchEntry is one engine x size measurement of BENCH_core.json.
+type benchEntry struct {
+	Engine              string  `json:"engine"`
+	N                   int     `json:"n"`
+	Iterations          int     `json:"iterations"`
+	NsPerOp             int64   `json:"ns_per_op"`
+	BytesPerOp          int64   `json:"bytes_per_op"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential"`
+}
+
+// benchFile is the BENCH_core.json schema; later PRs append runs of the
+// same shape to track the perf trajectory.
+type benchFile struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Quick      bool         `json:"quick"`
+	Results    []benchEntry `json:"results"`
+}
+
+// benchCore measures the steady-state cost of one full solve per engine
+// and size on the pooled runtime (a warm-up solve populates the pool and
+// buffer arena first, as in a serving process) and writes the JSON
+// artifact the CI perf-regression job uploads. hlv-dense stops at n=64:
+// its O(n^4) double buffer needs ~70 GB at n=256.
+func benchCore(quick bool, workers int, outPath string) error {
+	type config struct {
+		engine string
+		sizes  []int
+	}
+	configs := []config{
+		{sublineardp.EngineSequential, []int{32, 48, 64, 128, 256}},
+		{sublineardp.EngineHLVDense, []int{32, 48, 64}},
+		{sublineardp.EngineHLVBanded, []int{64, 128, 256}},
+	}
+	if quick {
+		configs = []config{
+			{sublineardp.EngineSequential, []int{16, 32, 64}},
+			{sublineardp.EngineHLVDense, []int{16, 32}},
+			{sublineardp.EngineHLVBanded, []int{32, 64}},
+		}
+	}
+
+	file := benchFile{
+		Schema:     "sublineardp/bench-core/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	seqNs := map[int]int64{}
+	ctx := context.Background()
+	for _, cfg := range configs {
+		solver, err := sublineardp.NewSolver(cfg.engine, sublineardp.WithWorkers(workers))
+		if err != nil {
+			return err
+		}
+		for _, n := range cfg.sizes {
+			in := problems.RandomMatrixChain(n, 50, 1).Materialize()
+			warm, err := solver.Solve(ctx, in) // populates pool + arena
+			if err != nil {
+				return fmt.Errorf("%s n=%d: %w", cfg.engine, n, err)
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := solver.Solve(ctx, in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			entry := benchEntry{
+				Engine:      cfg.engine,
+				N:           n,
+				Iterations:  warm.Iterations,
+				NsPerOp:     r.NsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			if cfg.engine == sublineardp.EngineSequential {
+				seqNs[n] = r.NsPerOp()
+			} else if base, ok := seqNs[n]; ok && r.NsPerOp() > 0 {
+				entry.SpeedupVsSequential = float64(base) / float64(r.NsPerOp())
+			}
+			file.Results = append(file.Results, entry)
+			fmt.Printf("%-12s n=%-4d %12d ns/op %10d B/op %6d allocs/op\n",
+				cfg.engine, n, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+		}
+	}
+
+	blob, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(outPath, blob, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d entries)\n", outPath, len(file.Results))
+	return nil
 }
 
 // crosscheck runs every registered engine over a shared fixture set via

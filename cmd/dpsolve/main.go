@@ -45,6 +45,7 @@ func main() {
 		term    = flag.String("term", "fixed", "fixed | w-stable | wpw-stable")
 		window  = flag.Bool("window", false, "windowed pebble schedule (hlv-banded only)")
 		workers = flag.Int("workers", 0, "goroutine count (0 = GOMAXPROCS)")
+		tile    = flag.Int("tile", 0, "kernel scheduling tile in (i,j) cells (0 = heuristic)")
 		timeout = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		history = flag.Bool("history", false, "print per-iteration convergence history")
 		tree    = flag.Bool("tree", true, "print the optimal parenthesization tree")
@@ -53,8 +54,9 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, name := range sublineardp.Engines() {
-			fmt.Println(name)
+		for _, info := range sublineardp.EngineInfos() {
+			fmt.Printf("%-12s %s\n", info.Name, info.Description)
+			fmt.Printf("%-12s options: %s\n", "", info.Options)
 		}
 		return
 	}
@@ -79,6 +81,7 @@ func main() {
 
 	opts := []sublineardp.Option{
 		sublineardp.WithWorkers(*workers),
+		sublineardp.WithTileSize(*tile),
 		sublineardp.WithWindow(*window),
 		sublineardp.WithHistory(*history),
 	}

@@ -1,0 +1,116 @@
+package sublineardp_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"sublineardp"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/seq"
+	"sublineardp/internal/verify"
+)
+
+// The cross-engine conformance suite: every registered engine — built-in
+// or third-party via RegisterEngine — must, on every problem generator in
+// internal/problems, produce the sequential optimum and a table that is
+// the exact fixed point of recurrence (*) under the solver-independent
+// verifier. This is the contract README documents for custom engines:
+// register, run `go test -run TestEngineConformance`, and the engine is
+// held to the same gate as the shipped ones.
+//
+// Engines registered by other tests as deliberate counterexamples (they
+// exist to prove the registry dispatches, not to solve) are exempted by
+// name here; a real engine must never be added to this map.
+var nonconformingFixtures = map[string]string{
+	"test-const": "registry-dispatch fixture of solver_test.go; returns a constant",
+}
+
+// conformanceInstances spans every generator family: the named problems
+// (matrixchain, obst, triangulation), the shaped adversarial instances,
+// and unstructured random ones. Sizes stay small enough for the O(n^4)
+// dense engine while still crossing the banded engine's D = 2*ceil(sqrt
+// n) boundary.
+func conformanceInstances() []*sublineardp.Instance {
+	return []*sublineardp.Instance{
+		problems.MatrixChain([]int{30, 35, 15, 5, 10, 20, 25}),
+		problems.RandomMatrixChain(24, 60, 3),
+		problems.RandomOBST(18, 40, 5),
+		problems.Triangulation(problems.RandomConvexPolygon(16, 1000, 7)),
+		problems.Zigzag(21),
+		problems.Balanced(16),
+		problems.RandomShaped(15, 11),
+		problems.RandomInstance(19, 80, 9),
+	}
+}
+
+func TestEngineConformance(t *testing.T) {
+	instances := conformanceInstances()
+	type want struct {
+		cost  sublineardp.Cost
+		table *sublineardp.Table
+	}
+	wants := make([]want, len(instances))
+	for i, in := range instances {
+		res := seq.Solve(in)
+		if rep := verify.Table(in, res.Table); !rep.OK() {
+			t.Fatalf("reference table for %s fails verification: %v", in.Name, rep.Err())
+		}
+		wants[i] = want{cost: res.Cost(), table: res.Table}
+	}
+
+	ctx := context.Background()
+	for _, name := range sublineardp.Engines() {
+		if why, skip := nonconformingFixtures[name]; skip {
+			t.Logf("engine %q exempt: %s", name, why)
+			continue
+		}
+		t.Run(fmt.Sprintf("engine=%s", name), func(t *testing.T) {
+			solver, err := sublineardp.NewSolver(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, in := range instances {
+				sol, err := solver.Solve(ctx, in)
+				if err != nil {
+					t.Fatalf("%s: %v", in.Name, err)
+				}
+				if sol.Cost() != wants[i].cost {
+					t.Errorf("%s: cost %d, sequential optimum %d", in.Name, sol.Cost(), wants[i].cost)
+				}
+				if rep := verify.Table(in, sol.Table); !rep.OK() {
+					t.Errorf("%s: table is not a fixed point of the recurrence: %v", in.Name, rep.Err())
+				}
+			}
+		})
+	}
+}
+
+// A custom engine that wraps a conforming solver must pass the suite
+// end-to-end — the positive half of the third-party contract (test-const
+// above is the negative half: a nonconforming engine is caught, so it
+// must be exempted explicitly).
+type delegatingEngine struct{ inner *sublineardp.Solver }
+
+func (delegatingEngine) Name() string { return "test-conforming" }
+
+func (e delegatingEngine) Solve(ctx context.Context, in *sublineardp.Instance, cfg *sublineardp.Config) (*sublineardp.Solution, error) {
+	return e.inner.Solve(ctx, in)
+}
+
+func TestThirdPartyEngineMeetsConformance(t *testing.T) {
+	eng := delegatingEngine{inner: sublineardp.MustNewSolver(sublineardp.EngineHLVBanded)}
+	if err := sublineardp.RegisterEngine(eng); err != nil {
+		t.Fatal(err)
+	}
+	solver := sublineardp.MustNewSolver("test-conforming")
+	for _, in := range conformanceInstances() {
+		sol, err := solver.Solve(context.Background(), in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		if rep := verify.Table(in, sol.Table); !rep.OK() {
+			t.Errorf("%s: %v", in.Name, rep.Err())
+		}
+	}
+}

@@ -95,6 +95,50 @@ func Engines() []string {
 	return names
 }
 
+// EngineInfo describes one registered engine for CLI listings: what it
+// implements and which functional options it honours.
+type EngineInfo struct {
+	Name        string
+	Description string
+	Options     string
+}
+
+// builtinInfo documents the shipped engines; third-party engines get a
+// generic entry (their RegisterEngine call site is the authority on the
+// options they interpret).
+var builtinInfo = map[string]EngineInfo{
+	EngineAuto: {Description: "size-based selector: sequential at n <= cutoff, else hlv-banded",
+		Options: "WithAutoCutoff + the chosen engine's options"},
+	EngineSequential: {Description: "classic O(n^3) dynamic program with O(n) tree reconstruction",
+		Options: "(none)"},
+	EngineWavefront: {Description: "span-parallel linear-time baseline",
+		Options: "WithWorkers, WithPool"},
+	EngineRytter: {Description: "Rytter's 1988 O(log^2 n) pointer-doubling baseline",
+		Options: "WithWorkers, WithPool, WithMaxIterations, WithTarget"},
+	EngineHLVDense: {Description: "paper Sections 2-4: full O(n^4) partial-weight array",
+		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithTarget, WithHistory"},
+	EngineHLVBanded: {Description: "paper Section 5: deficits within 2*ceil(sqrt n), tiled pooled kernels",
+		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithBandRadius, WithWindow, WithTarget, WithHistory"},
+	EngineSemiring: {Description: "HLV iteration over any idempotent semiring",
+		Options: "WithSemiring, WithMaxIterations"},
+}
+
+// EngineInfos returns one EngineInfo per registered engine, sorted by
+// name — the data behind `dpsolve -engines`.
+func EngineInfos() []EngineInfo {
+	names := Engines()
+	infos := make([]EngineInfo, 0, len(names))
+	for _, name := range names {
+		info, ok := builtinInfo[name]
+		if !ok {
+			info = EngineInfo{Description: "custom engine (RegisterEngine)", Options: "engine-defined"}
+		}
+		info.Name = name
+		infos = append(infos, info)
+	}
+	return infos
+}
+
 func init() {
 	for _, e := range []Engine{
 		autoEngine{},
@@ -143,7 +187,7 @@ type wavefrontEngine struct{}
 func (wavefrontEngine) Name() string { return EngineWavefront }
 
 func (wavefrontEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
-	res, err := wavefront.SolveCtx(ctx, in, wavefront.Options{Workers: cfg.Workers})
+	res, err := wavefront.SolveCtx(ctx, in, wavefront.Options{Workers: cfg.Workers, Pool: cfg.Pool})
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +208,7 @@ func (rytterEngine) Name() string { return EngineRytter }
 func (rytterEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
 	res, err := rytter.SolveCtx(ctx, in, rytter.Options{
 		Workers:       cfg.Workers,
+		Pool:          cfg.Pool,
 		MaxIterations: cfg.MaxIterations,
 		Target:        cfg.Target,
 	})
@@ -200,6 +245,8 @@ func (e hlvEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solut
 		Mode:          cfg.Mode,
 		Termination:   cfg.Termination,
 		Workers:       cfg.Workers,
+		Pool:          cfg.Pool,
+		TileSize:      cfg.TileSize,
 		MaxIterations: cfg.MaxIterations,
 		BandRadius:    cfg.BandRadius,
 		Window:        cfg.Window,

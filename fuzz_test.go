@@ -4,6 +4,7 @@ import (
 	mrand "math/rand"
 	"testing"
 
+	"sublineardp"
 	"sublineardp/internal/btree"
 	"sublineardp/internal/core"
 	"sublineardp/internal/pebble"
@@ -38,6 +39,59 @@ func FuzzSolversAgree(f *testing.F) {
 			if !got.Table.Equal(want) {
 				t.Fatalf("options %+v disagree on n=%d seed=%d: %v",
 					opts, n, seed, got.Table.Diff(want, 3))
+			}
+		}
+	})
+}
+
+// FuzzBandedMatchesDense drives the banded storage against the dense
+// reference across band radii clustered at the interesting edges: the
+// paper's default D = 2*ceil(sqrt n), D just above and below it (the
+// band-edge deficits (j-i)-(q-p) ~ D where cells fall out of storage),
+// and tiny D where almost everything routes through the direct-combine
+// completion described in internal/core/doc.go. Shaped instances
+// (selector odd) make the optimal tree a deep spine, the case whose
+// activate edges exceed any o(n) band and so exercise that completion
+// hardest; the seeds pin both regimes. The final tables must agree at
+// every radius — a narrower band may converge slower, never wrong — and
+// partial-iteration tables must keep banded a pointwise upper bound of
+// dense.
+func FuzzBandedMatchesDense(f *testing.F) {
+	f.Add(int64(1), uint8(9), uint8(0), false)  // default D (n=11)
+	f.Add(int64(2), uint8(14), uint8(8), false) // n=16, D = 2*ceil(sqrt 16): the exact edge
+	f.Add(int64(3), uint8(14), uint8(7), false) // n=16, one below the edge
+	f.Add(int64(4), uint8(14), uint8(9), false) // n=16, one above the edge
+	f.Add(int64(5), uint8(12), uint8(1), true)  // n=14 spine through direct combine
+	f.Add(int64(6), uint8(10), uint8(2), true)  // narrow band on a shaped instance (n=12)
+	f.Add(int64(7), uint8(8), uint8(13), false) // band wider than the instance (n=10, D=13)
+	f.Fuzz(func(t *testing.T, seed int64, nn, radius uint8, shaped bool) {
+		n := int(nn)%16 + 2
+		var in *sublineardp.Instance
+		if shaped {
+			in = problems.Shaped(btree.RandomSplit(n, newSeededRand(seed)))
+		} else {
+			in = problems.RandomInstance(n, 60, seed)
+		}
+		in = in.Materialize()
+		d := int(radius) % (n + 4) // sweep past D = 2*ceil(sqrt n) <= n+2
+		want := core.Solve(in, core.Options{Variant: core.Dense})
+		if rep := verify.Table(in, want.Table); !rep.OK() {
+			t.Fatalf("dense table failed verification: %v", rep.Err())
+		}
+		budget := 3 * core.DefaultIterations(n) // narrow bands converge slower
+		got := core.Solve(in, core.Options{Variant: core.Banded, BandRadius: d, MaxIterations: budget})
+		if !got.Table.Equal(want.Table) {
+			t.Fatalf("banded D=%d disagrees with dense on n=%d seed=%d shaped=%v: %v",
+				d, n, seed, shaped, got.Table.Diff(want.Table, 3))
+		}
+		// Mid-flight the banded table must never undershoot the dense one.
+		half := core.DefaultIterations(n) / 2
+		if half >= 1 {
+			dHalf := core.Solve(in, core.Options{Variant: core.Dense, MaxIterations: half})
+			bHalf := core.Solve(in, core.Options{Variant: core.Banded, BandRadius: d, MaxIterations: half})
+			if err := verify.UpperBoundedBy(bHalf.Table, dHalf.Table); err != nil {
+				t.Fatalf("banded D=%d undershoots dense at iteration %d (n=%d seed=%d): %v",
+					d, half, n, seed, err)
 			}
 		}
 	})

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"context"
+
 	"sublineardp/internal/cost"
-	"sublineardp/internal/parutil"
 	"sublineardp/internal/pebble"
 	"sublineardp/internal/pram"
 	"sublineardp/internal/recurrence"
@@ -22,8 +23,9 @@ type bandedState struct {
 	bufNext  []cost.Cost
 	base     []int
 	pairs    []pair
-	workers  int
+	rt       *runtime
 	sync     bool
+	legacy   bool // pin the reference a-square kernel (audit/chaotic/tests)
 	aud      *pram.Auditor
 
 	activateWork int64
@@ -88,7 +90,7 @@ func (s *bandedState) writeEpochB(epoch uint8) uint8 {
 	return epoch
 }
 
-func newBandedState(in *recurrence.Instance, workers int, syncMode bool, aud *pram.Auditor, bandRadius int) *bandedState {
+func newBandedState(in *recurrence.Instance, rt *runtime, syncMode bool, aud *pram.Auditor, bandRadius int, forceLegacy bool) *bandedState {
 	n := in.N
 	sz := n + 1
 	D := bandRadius
@@ -99,38 +101,43 @@ func newBandedState(in *recurrence.Instance, workers int, syncMode bool, aud *pr
 		D = 1
 	}
 	s := &bandedState{
-		n:       n,
-		sz:      sz,
-		D:       D,
-		in:      in,
-		workers: workers,
-		sync:    syncMode,
-		aud:     aud,
-		w:       make([]cost.Cost, sz*sz),
-		base:    make([]int, sz*sz),
+		n:      n,
+		sz:     sz,
+		D:      D,
+		in:     in,
+		rt:     rt,
+		sync:   syncMode,
+		legacy: forceLegacy || !syncMode || aud != nil,
+		aud:    aud,
+		w:      costArena.Get(sz * sz),
+		base:   intArena.Get(sz * sz),
 	}
 	total := 0
+	s.pairs = pairArena.Get((n + 1) * n / 2)
+	t := 0
 	for i := 0; i <= n; i++ {
 		for j := i + 1; j <= n; j++ {
 			s.base[i*sz+j] = total
 			total += tri(s.dmax(j-i) + 1)
-			s.pairs = append(s.pairs, pair{int32(i), int32(j)})
+			s.pairs[t] = pair{int32(i), int32(j)}
+			t++
 		}
 	}
 	s.triTab = make([]int, D+2)
 	for d := range s.triTab {
 		s.triTab[d] = tri(d)
 	}
-	s.buf = make([]cost.Cost, total)
-	for i := range s.buf {
-		s.buf[i] = cost.Inf
-	}
+	s.buf = costArena.Get(total)
+	fillInf(rt, s.buf)
 	for i := range s.w {
 		s.w[i] = cost.Inf
 	}
 	if syncMode {
-		s.wNext = make([]cost.Cost, sz*sz)
-		s.bufNext = make([]cost.Cost, total)
+		// Scratch halves come back dirty from the arena; every cell a
+		// synchronous step reads after the swap is written first (square
+		// rewrites every banded cell, pebble copies w' wholesale).
+		s.wNext = costArena.Get(sz * sz)
+		s.bufNext = costArena.Get(total)
 	}
 	for i := 0; i < n; i++ {
 		s.w[i*sz+i+1] = in.Init(i)
@@ -141,6 +148,18 @@ func newBandedState(in *recurrence.Instance, workers int, syncMode bool, aud *pr
 	}
 	s.computeCharges()
 	return s
+}
+
+// release returns the state's buffers to the shared arenas. The state
+// must not be used afterwards.
+func (s *bandedState) release() {
+	costArena.Put(s.w)
+	costArena.Put(s.wNext)
+	costArena.Put(s.buf)
+	costArena.Put(s.bufNext)
+	intArena.Put(s.base)
+	pairArena.Put(s.pairs)
+	s.w, s.wNext, s.buf, s.bufNext, s.base, s.pairs = nil, nil, nil, nil, nil, nil
 }
 
 func (s *bandedState) computeCharges() {
@@ -180,12 +199,12 @@ func (s *bandedState) computeCharges() {
 // activate applies eq. (1a)/(1b) restricted to gaps inside the band: a
 // left gap (i,k) has deficit j-k, a right gap (k,j) deficit k-i, so only
 // the D splits nearest each end are touched — O(n^2 sqrt n) work.
-func (s *bandedState) activate() {
+func (s *bandedState) activate(ctx context.Context) {
 	if s.aud != nil {
 		s.aud.BeginStep("a-activate")
 	}
 	in := s.in
-	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+	changed := s.rt.forChanged(ctx, len(s.pairs), func(lo, hi int) int64 {
 		var local int64
 		for t := lo; t < hi; t++ {
 			pr := s.pairs[t]
@@ -231,10 +250,18 @@ func (s *bandedState) activate() {
 
 // square applies eq. (2c) to every banded cell. All composition reads
 // stay inside the band (the deficits of both factors are bounded by the
-// target's deficit — the observation that makes Section 5 work).
-func (s *bandedState) square() {
+// target's deficit — the observation that makes Section 5 work). The
+// synchronous no-audit path runs the cache-tiled kernel
+// (banded_tiled.go); this body is the reference kernel, kept for the
+// auditor (which must see every logical read) and for chaotic mode
+// (which must keep its sweep order).
+func (s *bandedState) square(ctx context.Context) {
 	if s.aud != nil {
 		s.aud.BeginStep("a-square")
+	}
+	if !s.legacy {
+		s.squareTiled(ctx)
+		return
 	}
 	src := s.buf
 	dst := s.buf
@@ -244,7 +271,7 @@ func (s *bandedState) square() {
 	track := s.trackPWChanges
 	sz := s.sz
 	triTab := s.triTab
-	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+	changed := s.rt.forChanged(ctx, len(s.pairs), func(lo, hi int) int64 {
 		var local int64
 		for t := lo; t < hi; t++ {
 			pr := s.pairs[t]
@@ -319,7 +346,7 @@ func (s *bandedState) square() {
 // edges the band cannot store (gaps whose sibling subtree exceeds D); in
 // the pebbling game it is the activate-then-pebble move at a node whose
 // children are both pebbled, so Lemma 3.3's schedule is preserved.
-func (s *bandedState) pebble(loSpan, hiSpan int) int64 {
+func (s *bandedState) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
 	if s.aud != nil {
 		s.aud.BeginStep("a-pebble")
 	}
@@ -330,7 +357,7 @@ func (s *bandedState) pebble(loSpan, hiSpan int) int64 {
 		copy(s.wNext, s.w)
 		dst = s.wNext
 	}
-	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+	changed := s.rt.forChanged(ctx, len(s.pairs), func(lo, hi int) int64 {
 		var local int64
 		for t := lo; t < hi; t++ {
 			pr := s.pairs[t]

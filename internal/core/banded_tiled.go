@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+
+	"sublineardp/internal/cost"
+)
+
+// squareTiled is the cache-tiled a-square kernel for the synchronous
+// no-audit path. A banded cell is addressed by its deficit split
+// (a, e) = (p-i, j-q) with a+e = d <= dmax, and the kernel runs one pass
+// per form of eq. (2c), each in the loop order that keeps that form's
+// composition blocks resident:
+//
+//	pass 1  first form, (e, a, rr) order: the candidate block of pair
+//	        (i+rr, j-e) is revisited by every a > rr while hot, and the
+//	        pair's own triangle rows stay cached
+//	pass 2  second form, (a, e, y) order: the candidate blocks of pairs
+//	        (i+a, j-y) are memory-adjacent (consecutive j) and revisited
+//	        by every e > y
+//
+// The reference kernel instead walks both forms per cell, touching a
+// fresh O(sqrt n)-element block per candidate with no reuse — at n=256
+// the band buffer is ~150 MB, so those misses dominate its runtime.
+// Infinite factors skip their inner loop (Add saturates; an Inf
+// candidate never wins), all candidate reads come from src, every banded
+// cell is written in pass 1 and only tightened in pass 2, so the result
+// is bitwise the reference kernel's.
+func (s *bandedState) squareTiled(ctx context.Context) {
+	src := s.buf
+	dst := s.bufNext
+	track := s.trackPWChanges
+	sz := s.sz
+	triTab := s.triTab
+	base := s.base
+	changed := s.rt.forChanged(ctx, len(s.pairs), func(lo, hi int) int64 {
+		var local int64
+		for t := lo; t < hi; t++ {
+			pr := s.pairs[t]
+			i, j := int(pr.i), int(pr.j)
+			dm := s.dmax(j - i)
+			basec := base[i*sz+j]
+			// Pass 1: dst = min(src, first form) — intermediate (r, q)
+			// with r = i+rr, q = j-e.
+			for e := 0; e <= dm; e++ {
+				q := j - e
+				for a := 0; a+e <= dm; a++ {
+					c := basec + triTab[a+e] + a
+					best := src[c]
+					for rr := 0; rr < a; rr++ {
+						s1 := src[basec+triTab[rr+e]+rr] // pw'(i,j,r,q)
+						if s1 >= cost.Inf {
+							continue
+						}
+						ar := a - rr
+						v := s1 + src[base[(i+rr)*sz+q]+triTab[ar]+ar] // + pw'(r,q,p,q)
+						if v < best {
+							best = v
+						}
+					}
+					dst[c] = best
+				}
+			}
+			// Pass 2: dst = min(dst, second form) — intermediate (p, x)
+			// with p = i+a, x = j-y.
+			for a := 0; a <= dm; a++ {
+				rowP := (i + a) * sz
+				for e := 1; a+e <= dm; e++ {
+					c := basec + triTab[a+e] + a
+					best := dst[c]
+					for y := 0; y < e; y++ {
+						s1 := src[basec+triTab[a+y]+a] // pw'(i,j,p,x)
+						if s1 >= cost.Inf {
+							continue
+						}
+						v := s1 + src[base[rowP+j-y]+triTab[e-y]] // + pw'(p,x,p,q)
+						if v < best {
+							best = v
+						}
+					}
+					if best != dst[c] {
+						dst[c] = best
+					}
+				}
+				if track {
+					for e := 0; a+e <= dm; e++ {
+						c := basec + triTab[a+e] + a
+						if dst[c] != src[c] {
+							local++
+						}
+					}
+				}
+			}
+		}
+		return local
+	})
+	if track {
+		s.pwChangedThisIter += changed
+	}
+	s.buf, s.bufNext = s.bufNext, s.buf
+	s.pwEpoch ^= 1
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -19,10 +20,10 @@ func benchInstance(n int) *recurrence.Instance {
 func BenchmarkOpDenseActivate(b *testing.B) {
 	for _, n := range []int{16, 32} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newDenseState(benchInstance(n), 0, true, nil)
+			s := newDenseState(benchInstance(n), testRT(0), true, nil, false)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s.activate()
+				s.activate(context.Background())
 			}
 		})
 	}
@@ -31,11 +32,11 @@ func BenchmarkOpDenseActivate(b *testing.B) {
 func BenchmarkOpDenseSquare(b *testing.B) {
 	for _, n := range []int{16, 32} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newDenseState(benchInstance(n), 0, true, nil)
-			s.activate()
+			s := newDenseState(benchInstance(n), testRT(0), true, nil, false)
+			s.activate(context.Background())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s.square()
+				s.square(context.Background())
 			}
 		})
 	}
@@ -44,12 +45,12 @@ func BenchmarkOpDenseSquare(b *testing.B) {
 func BenchmarkOpDensePebble(b *testing.B) {
 	for _, n := range []int{16, 32} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newDenseState(benchInstance(n), 0, true, nil)
-			s.activate()
-			s.square()
+			s := newDenseState(benchInstance(n), testRT(0), true, nil, false)
+			s.activate(context.Background())
+			s.square(context.Background())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s.pebble(2, n)
+				s.pebble(context.Background(), 2, n)
 			}
 		})
 	}
@@ -58,10 +59,10 @@ func BenchmarkOpDensePebble(b *testing.B) {
 func BenchmarkOpBandedActivate(b *testing.B) {
 	for _, n := range []int{32, 64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newBandedState(benchInstance(n), 0, true, nil, 0)
+			s := newBandedState(benchInstance(n), testRT(0), true, nil, 0, false)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s.activate()
+				s.activate(context.Background())
 			}
 		})
 	}
@@ -70,11 +71,11 @@ func BenchmarkOpBandedActivate(b *testing.B) {
 func BenchmarkOpBandedSquare(b *testing.B) {
 	for _, n := range []int{32, 64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newBandedState(benchInstance(n), 0, true, nil, 0)
-			s.activate()
+			s := newBandedState(benchInstance(n), testRT(0), true, nil, 0, false)
+			s.activate(context.Background())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s.square()
+				s.square(context.Background())
 			}
 		})
 	}
@@ -83,12 +84,12 @@ func BenchmarkOpBandedSquare(b *testing.B) {
 func BenchmarkOpBandedPebble(b *testing.B) {
 	for _, n := range []int{32, 64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newBandedState(benchInstance(n), 0, true, nil, 0)
-			s.activate()
-			s.square()
+			s := newBandedState(benchInstance(n), testRT(0), true, nil, 0, false)
+			s.activate(context.Background())
+			s.square(context.Background())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				s.pebble(2, n)
+				s.pebble(context.Background(), 2, n)
 			}
 		})
 	}

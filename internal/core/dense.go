@@ -1,8 +1,9 @@
 package core
 
 import (
+	"context"
+
 	"sublineardp/internal/cost"
-	"sublineardp/internal/parutil"
 	"sublineardp/internal/pram"
 	"sublineardp/internal/recurrence"
 )
@@ -27,16 +28,17 @@ func epochTag(tag, epoch uint8) uint8 { return tag | epoch<<3 }
 // denseState is the Sections 2-4 algorithm state: the full O(n^4) pw'
 // array plus the w' table, double-buffered for synchronous updates.
 type denseState struct {
-	n, sz   int
-	in      *recurrence.Instance
-	w       []cost.Cost
-	wNext   []cost.Cost
-	pw      []cost.Cost
-	pwNext  []cost.Cost
-	pairs   []pair // all (i,j), i<j, internal spans first ordering irrelevant
-	workers int
-	sync    bool
-	aud     *pram.Auditor
+	n, sz  int
+	in     *recurrence.Instance
+	w      []cost.Cost
+	wNext  []cost.Cost
+	pw     []cost.Cost
+	pwNext []cost.Cost
+	pairs  []pair // all (i,j), i<j, internal spans first ordering irrelevant
+	rt     *runtime
+	sync   bool
+	legacy bool // pin the reference a-square kernel (audit/chaotic/tests)
+	aud    *pram.Auditor
 
 	// Closed-form per-iteration accounting, computed once.
 	activateWork int64
@@ -59,41 +61,68 @@ func (s *denseState) idx(i, j, p, q int) int {
 	return ((i*s.sz+j)*s.sz+p)*s.sz + q
 }
 
-func newDenseState(in *recurrence.Instance, workers int, syncMode bool, aud *pram.Auditor) *denseState {
+func newDenseState(in *recurrence.Instance, rt *runtime, syncMode bool, aud *pram.Auditor, forceLegacy bool) *denseState {
 	n := in.N
 	sz := n + 1
 	s := &denseState{
-		n:       n,
-		sz:      sz,
-		in:      in,
-		workers: workers,
-		sync:    syncMode,
-		aud:     aud,
-		w:       make([]cost.Cost, sz*sz),
-		pw:      make([]cost.Cost, sz*sz*sz*sz),
+		n:      n,
+		sz:     sz,
+		in:     in,
+		rt:     rt,
+		sync:   syncMode,
+		legacy: forceLegacy || !syncMode || aud != nil,
+		aud:    aud,
+		w:      costArena.Get(sz * sz),
+		pw:     costArena.Get(sz * sz * sz * sz),
 	}
 	if syncMode {
-		s.wNext = make([]cost.Cost, sz*sz)
-		s.pwNext = make([]cost.Cost, sz*sz*sz*sz)
+		// Scratch halves come back dirty from the arena; every cell a
+		// synchronous step reads after the swap is written first (square
+		// rewrites all valid pw' cells, pebble copies w' wholesale).
+		s.wNext = costArena.Get(sz * sz)
+		s.pwNext = costArena.Get(sz * sz * sz * sz)
 	}
 	for i := range s.w {
 		s.w[i] = cost.Inf
 	}
-	for i := range s.pw {
-		s.pw[i] = cost.Inf
-	}
+	fillInf(s.rt, s.pw)
 	// Initialisation: w'(i,i+1) = init(i); pw'(i,j,i,j) = 0.
 	for i := 0; i < n; i++ {
 		s.w[i*sz+i+1] = in.Init(i)
 	}
+	s.pairs = pairArena.Get((n + 1) * n / 2)
+	t := 0
 	for i := 0; i <= n; i++ {
 		for j := i + 1; j <= n; j++ {
 			s.pw[s.idx(i, j, i, j)] = 0
-			s.pairs = append(s.pairs, pair{int32(i), int32(j)})
+			s.pairs[t] = pair{int32(i), int32(j)}
+			t++
 		}
 	}
 	s.computeCharges()
 	return s
+}
+
+// fillInf resets a (possibly recycled) cost buffer to all-Inf, in
+// parallel for the O(n^4) dense array.
+func fillInf(rt *runtime, buf []cost.Cost) {
+	rt.pool.ForChunked(rt.workers, len(buf), 1<<16, func(lo, hi int) {
+		seg := buf[lo:hi]
+		for i := range seg {
+			seg[i] = cost.Inf
+		}
+	})
+}
+
+// release returns the state's buffers to the shared arenas. The state
+// must not be used afterwards.
+func (s *denseState) release() {
+	costArena.Put(s.w)
+	costArena.Put(s.wNext)
+	costArena.Put(s.pw)
+	costArena.Put(s.pwNext)
+	pairArena.Put(s.pairs)
+	s.w, s.wNext, s.pw, s.pwNext, s.pairs = nil, nil, nil, nil, nil
 }
 
 // computeCharges precomputes the exact per-iteration work counts and
@@ -166,12 +195,12 @@ func (s *denseState) writeEpoch(epoch uint8, buffered bool) uint8 {
 // own old value, so in-place update is synchronous-equivalent; writes to
 // distinct cells are produced by distinct (i,k,j) triples (exclusive
 // write), which the auditor verifies.
-func (s *denseState) activate() {
+func (s *denseState) activate(ctx context.Context) {
 	if s.aud != nil {
 		s.aud.BeginStep("a-activate")
 	}
 	in := s.in
-	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+	changed := s.rt.forChanged(ctx, len(s.pairs), func(lo, hi int) int64 {
 		var local int64
 		for t := lo; t < hi; t++ {
 			s.activatePair(in, t, &local)
@@ -221,10 +250,17 @@ func (s *denseState) activatePair(in *recurrence.Instance, t int, changed *int64
 
 // square performs one a-square. In synchronous mode all candidate reads
 // come from the old buffer and every valid cell is rewritten into the
-// scratch buffer; in chaotic mode it updates in place.
-func (s *denseState) square() {
+// scratch buffer; in chaotic mode it updates in place. The synchronous
+// no-audit path runs the cache-tiled kernel (dense_tiled.go); this body
+// is the reference kernel, kept for the auditor (which must see every
+// logical read) and for chaotic mode (which must keep its sweep order).
+func (s *denseState) square(ctx context.Context) {
 	if s.aud != nil {
 		s.aud.BeginStep("a-square")
+	}
+	if !s.legacy {
+		s.squareTiled(ctx)
+		return
 	}
 	src := s.pw
 	dst := s.pw
@@ -236,7 +272,7 @@ func (s *denseState) square() {
 	sz := s.sz
 	sz2 := sz * sz
 	sz3 := sz2 * sz
-	changed = parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+	changed = s.rt.forChanged(ctx, len(s.pairs), func(lo, hi int) int64 {
 		var localChanged int64
 		for t := lo; t < hi; t++ {
 			pr := s.pairs[t]
@@ -310,7 +346,7 @@ func (s *denseState) square() {
 // excludes the trivial gap (p,q) == (i,j); monotonicity of w' and pw'
 // makes that equivalent to keeping the old value in the min. It returns
 // the number of w' entries that changed.
-func (s *denseState) pebble(loSpan, hiSpan int) int64 {
+func (s *denseState) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
 	if s.aud != nil {
 		s.aud.BeginStep("a-pebble")
 	}
@@ -320,7 +356,7 @@ func (s *denseState) pebble(loSpan, hiSpan int) int64 {
 		copy(s.wNext, s.w)
 		dst = s.wNext
 	}
-	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+	changed := s.rt.forChanged(ctx, len(s.pairs), func(lo, hi int) int64 {
 		var local int64
 		for t := lo; t < hi; t++ {
 			pr := s.pairs[t]

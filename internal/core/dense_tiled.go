@@ -1,0 +1,100 @@
+package core
+
+import (
+	"context"
+
+	"sublineardp/internal/cost"
+)
+
+// squareTiled is the cache-tiled a-square kernel for the synchronous
+// no-audit path. It computes exactly the reference kernel's min (eq. 2c)
+// but sweeps the iteration space in composition-major order, one pass per
+// form of the equation, so the inner loops walk memory at unit or
+// single-row stride instead of jumping O(n^3)-element strides per
+// candidate:
+//
+//	pass 0  dst <- src for every valid cell (contiguous row copies)
+//	pass 1  first form, (q, r, p) order: pw'(i,j,r,q) is a scalar per
+//	        (q,r) and both pw'(r,q,p,q) and the destination walk a fixed
+//	        stride-sz column over p, revisited r times while hot
+//	pass 2  second form, (p, x, q) order: pw'(i,j,p,x) is a scalar per
+//	        (p,x) and both pw'(p,x,p,q) and the destination row are
+//	        contiguous over q
+//
+// Infinite scalars skip their whole inner loop — early iterations are
+// Inf-dominated, so this prunes most of the O(n^5) candidate space while
+// computing the identical min (Add saturates at Inf; an Inf candidate
+// can never win). All candidate reads come from src, every valid cell is
+// written, and the passes only tighten dst per cell, so the result is
+// bitwise the reference kernel's.
+func (s *denseState) squareTiled(ctx context.Context) {
+	src := s.pw
+	dst := s.pwNext
+	track := s.trackPWChanges
+	sz := s.sz
+	sz2 := sz * sz
+	sz3 := sz2 * sz
+	changed := s.rt.forChanged(ctx, len(s.pairs), func(lo, hi int) int64 {
+		var local int64
+		for t := lo; t < hi; t++ {
+			pr := s.pairs[t]
+			i, j := int(pr.i), int(pr.j)
+			baseIJ := (i*sz + j) * sz2
+			for p := i; p <= j; p++ {
+				rowP := baseIJ + p*sz
+				copy(dst[rowP+p+1:rowP+j+1], src[rowP+p+1:rowP+j+1])
+			}
+			// First form of eq. (2c): intermediate (r,q).
+			for q := i + 1; q <= j; q++ {
+				colQ := baseIJ + q
+				for r := i; r < q; r++ {
+					s1 := src[colQ+r*sz] // pw'(i,j,r,q)
+					if s1 >= cost.Inf {
+						continue
+					}
+					rq := r*sz3 + q*sz2 + q // idx(r,q,p,q) - p*sz
+					for p := r + 1; p < q; p++ {
+						v := s1 + src[rq+p*sz]
+						if c := colQ + p*sz; v < dst[c] {
+							dst[c] = v
+						}
+					}
+				}
+			}
+			// Second form: intermediate (p,x).
+			for p := i; p < j; p++ {
+				rowP := baseIJ + p*sz
+				px := p*sz3 + p*sz // idx(p,x,p,q) - x*sz2 - q
+				for x := p + 1; x <= j; x++ {
+					s1 := src[rowP+x] // pw'(i,j,p,x)
+					if s1 >= cost.Inf {
+						continue
+					}
+					row4 := px + x*sz2
+					for q := p + 1; q < x; q++ {
+						v := s1 + src[row4+q]
+						if c := rowP + q; v < dst[c] {
+							dst[c] = v
+						}
+					}
+				}
+			}
+			if track {
+				for p := i; p <= j; p++ {
+					rowP := baseIJ + p*sz
+					for q := p + 1; q <= j; q++ {
+						if dst[rowP+q] != src[rowP+q] {
+							local++
+						}
+					}
+				}
+			}
+		}
+		return local
+	})
+	if track {
+		s.pwChangedThisIter += changed
+	}
+	s.pw, s.pwNext = s.pwNext, s.pw
+	s.pwEpoch ^= 1
+}

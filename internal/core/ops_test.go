@@ -1,12 +1,19 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"sublineardp/internal/cost"
+	"sublineardp/internal/parutil"
 	"sublineardp/internal/problems"
 	"sublineardp/internal/recurrence"
 )
+
+// testRT builds a runtime on the shared pool for state-level tests.
+func testRT(workers int) *runtime {
+	return &runtime{pool: parutil.Default(), workers: workers}
+}
 
 // These tests pin the micro-semantics of the three operations on
 // hand-computable states, independent of full solver runs.
@@ -23,7 +30,7 @@ func tiny3() *recurrence.Instance {
 }
 
 func TestDenseInitialState(t *testing.T) {
-	s := newDenseState(tiny3(), 1, true, nil)
+	s := newDenseState(tiny3(), testRT(1), true, nil, false)
 	// w'(i,i+1) = init(i); everything else Inf.
 	for i := 0; i < 3; i++ {
 		if got := s.w[i*s.sz+i+1]; got != cost.Cost(i+1) {
@@ -44,8 +51,8 @@ func TestDenseInitialState(t *testing.T) {
 }
 
 func TestDenseActivateSemantics(t *testing.T) {
-	s := newDenseState(tiny3(), 1, true, nil)
-	s.activate()
+	s := newDenseState(tiny3(), testRT(1), true, nil, false)
+	s.activate(context.Background())
 	// pw'(0,2,0,1) = f(0,1,2) + w'(1,2) = 1 + 2 = 3 (gap = left child).
 	if got := s.pw[s.idx(0, 2, 0, 1)]; got != 3 {
 		t.Errorf("pw(0,2,0,1) = %d, want 3", got)
@@ -65,11 +72,11 @@ func TestDenseActivateSemantics(t *testing.T) {
 }
 
 func TestDensePebbleSemantics(t *testing.T) {
-	s := newDenseState(tiny3(), 1, true, nil)
-	s.activate()
+	s := newDenseState(tiny3(), testRT(1), true, nil, false)
+	s.activate(context.Background())
 	// After activation, pebbling (0,2) closes pw'(0,2,0,1)+w'(0,1) = 3+1
 	// or pw'(0,2,1,2)+w'(1,2) = 2+2; both give 4 = f(0,1,2)+init0+init1.
-	s.pebble(2, 3)
+	s.pebble(context.Background(), 2, 3)
 	if got := s.w[0*s.sz+2]; got != 4 {
 		t.Errorf("w(0,2) = %d, want 4", got)
 	}
@@ -86,9 +93,9 @@ func TestDenseSquareComposition(t *testing.T) {
 	// composition pw'(0,3,0,2) + pw'(0,2,0,1)... sharing endpoint q=...
 	// Here gap (0,1) with root (0,3): decomposition at (0,2):
 	// pw'(0,3,0,1) = pw'(0,3,0,2) + pw'(0,2,0,1) = 5 + 3 = 8.
-	s := newDenseState(tiny3(), 1, true, nil)
-	s.activate()
-	s.square()
+	s := newDenseState(tiny3(), testRT(1), true, nil, false)
+	s.activate(context.Background())
+	s.square(context.Background())
 	if got := s.pw[s.idx(0, 3, 0, 1)]; got != 8 {
 		t.Errorf("pw(0,3,0,1) after square = %d, want 8", got)
 	}
@@ -133,7 +140,7 @@ func TestBandedNarrowBandIsUpperBound(t *testing.T) {
 
 func TestBandedCellIndexing(t *testing.T) {
 	in := problems.RandomInstance(12, 10, 1)
-	s := newBandedState(in, 1, true, nil, 0)
+	s := newBandedState(in, testRT(1), true, nil, 0, false)
 	// Every in-band (i,j,p,q) must map to a unique index within bounds.
 	seen := make(map[int][4]int)
 	for i := 0; i <= 12; i++ {
@@ -164,7 +171,7 @@ func TestBandedCellIndexing(t *testing.T) {
 
 func TestBandedGetOutsideBandIsInf(t *testing.T) {
 	in := problems.RandomInstance(20, 10, 1)
-	s := newBandedState(in, 1, true, nil, 3)
+	s := newBandedState(in, testRT(1), true, nil, 3, false)
 	// (0,20,p,q) with deficit 10 is outside D=3.
 	if got := s.get(s.buf, 0, 20, 5, 15); !cost.IsInf(got) {
 		t.Fatalf("out-of-band read = %d, want Inf", got)
@@ -180,7 +187,7 @@ func TestChargesMatchCountedWork(t *testing.T) {
 	// counts. Count by instrumenting a run with History+track (pw change
 	// counting walks the same loops) — instead we recount directly here.
 	in := problems.RandomInstance(10, 10, 2)
-	s := newDenseState(in, 1, true, nil)
+	s := newDenseState(in, testRT(1), true, nil, false)
 	// Recount square work by brute force.
 	var want int64
 	for i := 0; i <= 10; i++ {
@@ -208,7 +215,7 @@ func TestChargesMatchCountedWork(t *testing.T) {
 		t.Fatalf("analytic activate work %d != counted %d", s.activateWork, 2*triples)
 	}
 
-	b := newBandedState(in, 1, true, nil, 0)
+	b := newBandedState(in, testRT(1), true, nil, 0, false)
 	var bandWant int64
 	for i := 0; i <= 10; i++ {
 		for j := i + 1; j <= 10; j++ {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"sublineardp/internal/cost"
+	"sublineardp/internal/parutil"
 	"sublineardp/internal/pram"
 	"sublineardp/internal/recurrence"
 )
@@ -94,6 +95,20 @@ type Options struct {
 	// always uses one worker.
 	Workers int
 
+	// Pool is the persistent worker pool the solve dispatches its
+	// a-activate/a-square/a-pebble kernels onto (nil = the process-wide
+	// shared pool). Passing one pool to many solves — what SolveBatch
+	// does — shares its goroutines instead of spawning per solve.
+	Pool *parutil.Pool
+
+	// TileSize is the scheduling tile of the kernels: how many (i,j)
+	// cells of the iteration space one worker claims at a time (0 = a
+	// load-balancing heuristic). It maps to the paper's processor-count
+	// knob: smaller tiles approximate more, finer-grained PRAM
+	// processors; larger tiles trade balance for lower scheduling
+	// overhead.
+	TileSize int
+
 	// MaxIterations caps the iteration count; 0 means the variant's
 	// worst-case budget (2*ceil(sqrt(n)), plus a small allowance for the
 	// stability detectors to observe two quiet iterations).
@@ -119,6 +134,10 @@ type Options struct {
 
 	// History records per-iteration statistics in Result.History.
 	History bool
+
+	// forceLegacyKernel pins the reference (un-tiled) a-square kernel,
+	// used by tests to cross-check the cache-tiled fast path against it.
+	forceLegacyKernel bool
 }
 
 // IterStat is one iteration's summary, recorded when Options.History is set.

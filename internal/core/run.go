@@ -4,16 +4,21 @@ import (
 	"context"
 	"fmt"
 
+	"sublineardp/internal/cost"
+	"sublineardp/internal/parutil"
 	"sublineardp/internal/pebble"
 	"sublineardp/internal/pram"
 	"sublineardp/internal/recurrence"
 )
 
 // engine abstracts the two storage variants for the iteration driver.
+// The three PRAM operations take the solve's context so the pool can
+// abandon remaining tiles mid-operation on cancellation; the driver
+// re-checks ctx between operations and discards the partial state.
 type engine interface {
-	activate()
-	square()
-	pebble(loSpan, hiSpan int) int64
+	activate(ctx context.Context)
+	square(ctx context.Context)
+	pebble(ctx context.Context, loSpan, hiSpan int) int64
 	charge(acct *pram.Accounting, loSpan, hiSpan int)
 	wTable() *recurrence.Table
 	wEquals(t *recurrence.Table) bool
@@ -22,6 +27,33 @@ type engine interface {
 	pwChanged() int64
 	resetPWChanged()
 	bandRadius() int
+	release()
+}
+
+// Shared buffer arenas: the w'/pw' working state of a solve is returned
+// here when the solve finishes, so a serving process stops paying the
+// dominant allocation (hundreds of MB at n >= 256) on every request.
+// Slices come back dirty; the constructors fully reinitialise every cell
+// they later read.
+var (
+	costArena parutil.Arena[cost.Cost]
+	pairArena parutil.Arena[pair]
+	intArena  parutil.Arena[int]
+)
+
+// runtime is the execution substrate of one solve: the worker pool the
+// kernels dispatch onto, the dispatch width, and the scheduling tile.
+type runtime struct {
+	pool    *parutil.Pool
+	workers int
+	tile    int // pair cells per claimed tile (0 = pool heuristic)
+}
+
+// forChanged dispatches a kernel body over [0,n) tiles and returns the
+// summed per-tile change counts.
+func (rt *runtime) forChanged(ctx context.Context, n int, body func(lo, hi int) int64) int64 {
+	sum, _ := rt.pool.SumInt64Ctx(ctx, rt.workers, n, rt.tile, body)
+	return sum
 }
 
 // DefaultIterations returns the paper's worst-case iteration budget for
@@ -48,10 +80,11 @@ func Solve(in *recurrence.Instance, opts Options) *Result {
 }
 
 // SolveCtx is Solve with cooperative cancellation: the context is checked
-// before every iteration and again after the a-square step, so
-// cancellation latency is bounded by one in-flight PRAM operation. A
-// cancelled or expired context aborts the run with ctx.Err(); the partial
-// state is discarded — a nil Result accompanies every non-nil error.
+// before every iteration, between the PRAM operations, and by the worker
+// pool before each claimed tile, so cancellation latency is bounded by
+// one in-flight tile rather than one operation. A cancelled or expired
+// context aborts the run with ctx.Err(); the partial state is discarded —
+// a nil Result accompanies every non-nil error.
 func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Result, error) {
 	if in == nil || in.N < 1 {
 		panic(fmt.Sprintf("core: invalid instance %+v", in))
@@ -61,16 +94,22 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Resu
 	if opts.Mode == Chaotic {
 		workers = 1 // in-place updates must stay deterministic and race-free
 	}
+	pool := opts.Pool
+	if pool == nil {
+		pool = parutil.Default()
+	}
+	rt := &runtime{pool: pool, workers: workers, tile: opts.TileSize}
 
 	var eng engine
 	switch opts.Variant {
 	case Dense:
-		eng = newDenseState(in, workers, opts.Mode == Synchronous, opts.Audit)
+		eng = newDenseState(in, rt, opts.Mode == Synchronous, opts.Audit, opts.forceLegacyKernel)
 	case Banded:
-		eng = newBandedState(in, workers, opts.Mode == Synchronous, opts.Audit, opts.BandRadius)
+		eng = newBandedState(in, rt, opts.Mode == Synchronous, opts.Audit, opts.BandRadius, opts.forceLegacyKernel)
 	default:
 		panic(fmt.Sprintf("core: unknown variant %v", opts.Variant))
 	}
+	defer eng.release()
 
 	budget := opts.MaxIterations
 	if budget <= 0 {
@@ -98,11 +137,11 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Resu
 			return nil, err
 		}
 		eng.resetPWChanged()
-		eng.activate()
+		eng.activate(ctx)
 		// The square is the heaviest of the three operations; re-checking
-		// around it keeps cancellation latency to one operation rather
-		// than one full iteration.
-		eng.square()
+		// around it keeps cancellation latency low even when a tile runs
+		// long.
+		eng.square(ctx)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -119,7 +158,10 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Resu
 				hiSpan = n
 			}
 		}
-		wChanged := eng.pebble(loSpan, hiSpan)
+		wChanged := eng.pebble(ctx, loSpan, hiSpan)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		eng.charge(&res.Acct, loSpan, hiSpan)
 		res.Iterations = iter
 

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+)
+
+// The cache-tiled a-square kernels must be bitwise equivalent to the
+// reference kernels at every iteration — same tables, same per-iteration
+// change statistics. Partial runs (MaxIterations) pin the intermediate
+// states, not just the fixpoint.
+func TestTiledKernelMatchesReference(t *testing.T) {
+	instances := []struct {
+		name string
+		in   func() *recurrence.Instance
+	}{
+		{"random-n13", func() *recurrence.Instance { return problems.RandomInstance(13, 40, 7) }},
+		{"zigzag-n16", func() *recurrence.Instance { return problems.Zigzag(16) }},
+		{"matrixchain-n20", func() *recurrence.Instance { return problems.RandomMatrixChain(20, 60, 3) }},
+		{"obst-n12", func() *recurrence.Instance { return problems.RandomOBST(12, 30, 9) }},
+	}
+	for _, tc := range instances {
+		in := tc.in().Materialize()
+		for _, variant := range []Variant{Dense, Banded} {
+			for _, radius := range bandRadii(variant, in.N) {
+				for it := 1; it <= DefaultIterations(in.N); it++ {
+					opts := Options{
+						Variant:       variant,
+						BandRadius:    radius,
+						MaxIterations: it,
+						History:       true,
+					}
+					fast := Solve(in, opts)
+					opts.forceLegacyKernel = true
+					ref := Solve(in, opts)
+					label := fmt.Sprintf("%s/%s/D=%d/iter=%d", tc.name, variant, radius, it)
+					if !fast.Table.Equal(ref.Table) {
+						t.Fatalf("%s: tiled kernel diverged: %v", label, fast.Table.Diff(ref.Table, 3))
+					}
+					if len(fast.History) != len(ref.History) {
+						t.Fatalf("%s: history length %d vs %d", label, len(fast.History), len(ref.History))
+					}
+					for k := range fast.History {
+						if fast.History[k] != ref.History[k] {
+							t.Fatalf("%s: iteration stats diverged at %d: %+v vs %+v",
+								label, k+1, fast.History[k], ref.History[k])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func bandRadii(v Variant, n int) []int {
+	if v == Dense {
+		return []int{0}
+	}
+	// Default D, a narrow band, and a band past n (stores everything).
+	return []int{0, 2, n + 1}
+}

@@ -1,0 +1,41 @@
+package parutil
+
+import "sync"
+
+// Arena recycles equal-length slices across solves. The HLV engines'
+// working state — the O(n^4) dense or O(n^3) banded pw' buffer and its
+// double-buffer twin — dwarfs everything else a solve allocates, and a
+// serving process solves the same sizes over and over; handing those
+// buffers back to a size-keyed sync.Pool turns the steady state into a
+// zero-large-allocation loop. Get returns slices with unspecified
+// contents: callers own (re)initialisation, exactly as they owned it for
+// a fresh make. The zero Arena is ready to use and safe for concurrent
+// use; pooled memory is released under GC pressure like any sync.Pool.
+type Arena[T any] struct {
+	bySize sync.Map // len -> *sync.Pool of *[]T
+}
+
+// Get returns a slice of length n, recycled when one of that exact
+// length has been Put before. Contents are unspecified.
+func (a *Arena[T]) Get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	if p, ok := a.bySize.Load(n); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			return *(v.(*[]T))
+		}
+	}
+	return make([]T, n)
+}
+
+// Put hands s back for reuse by a later Get of the same length. The
+// caller must not retain s afterwards.
+func (a *Arena[T]) Put(s []T) {
+	n := len(s)
+	if n == 0 {
+		return
+	}
+	p, _ := a.bySize.LoadOrStore(n, &sync.Pool{})
+	p.(*sync.Pool).Put(&s)
+}

@@ -3,22 +3,24 @@
 // unbounded-processor PRAM index space, and parutil maps that space onto a
 // fixed number of goroutines with dynamic chunking, so a step with work W
 // and depth T runs in O(W/p + T) as Brent's theorem promises.
+//
+// Execution is pooled: the package-level For/ForChunked/SumInt64 dispatch
+// onto the process-wide Default Pool, and callers that want an isolated or
+// differently-sized runtime build their own with NewPool. Large reusable
+// buffers ride the companion Arena.
 package parutil
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "runtime"
 
 // DefaultWorkers returns the worker count used when a caller passes 0:
 // the process's GOMAXPROCS setting.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // For executes body(idx) for every idx in [0,n) across the given number of
-// workers (0 means DefaultWorkers). Chunks are claimed dynamically from an
-// atomic counter, so uneven per-index costs (common in triangular DP
-// iteration spaces) still balance. It returns once every index completed.
+// workers (0 means DefaultWorkers) on the shared Default pool. Chunks are
+// claimed dynamically from an atomic counter, so uneven per-index costs
+// (common in triangular DP iteration spaces) still balance. It returns
+// once every index completed.
 func For(workers, n int, body func(idx int)) {
 	ForChunked(workers, n, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -28,94 +30,16 @@ func For(workers, n int, body func(idx int)) {
 }
 
 // ForChunked executes body(lo,hi) over a partition of [0,n) with dynamic
-// load balancing. grain is the chunk size (0 picks a heuristic that gives
-// each worker ~8 chunks to smooth imbalance without excessive contention).
+// load balancing on the shared Default pool. grain is the chunk size (0
+// picks a heuristic that gives each worker ~8 chunks to smooth imbalance
+// without excessive contention).
 func ForChunked(workers, n, grain int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-	if grain <= 0 {
-		grain = n / (workers * 8)
-		if grain < 1 {
-			grain = 1
-		}
-	}
-	if workers == 1 {
-		body(0, n)
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(next.Add(int64(grain))) - grain
-				if lo >= n {
-					return
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	Default().ForChunked(workers, n, grain, body)
 }
 
 // SumInt64 runs body over [0,n) like ForChunked and returns the sum of the
 // per-chunk results, accumulated without atomics in the hot path: each
 // worker folds locally and publishes once.
 func SumInt64(workers, n, grain int, body func(lo, hi int) int64) int64 {
-	if n <= 0 {
-		return 0
-	}
-	if workers <= 0 {
-		workers = DefaultWorkers()
-	}
-	if workers > n {
-		workers = n
-	}
-	if grain <= 0 {
-		grain = n / (workers * 8)
-		if grain < 1 {
-			grain = 1
-		}
-	}
-	if workers == 1 {
-		return body(0, n)
-	}
-	var next atomic.Int64
-	var total atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			var local int64
-			for {
-				lo := int(next.Add(int64(grain))) - grain
-				if lo >= n {
-					break
-				}
-				hi := lo + grain
-				if hi > n {
-					hi = n
-				}
-				local += body(lo, hi)
-			}
-			total.Add(local)
-		}()
-	}
-	wg.Wait()
-	return total.Load()
+	return Default().SumInt64(workers, n, grain, body)
 }

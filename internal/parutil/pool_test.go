@@ -1,0 +1,172 @@
+package parutil
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForCoversEveryIndexOnce(t *testing.T) {
+	for _, width := range []int{1, 2, 4} {
+		p := NewPool(width)
+		for _, n := range []int{0, 1, 7, 100, 1023} {
+			hits := make([]atomic.Int32, n)
+			p.For(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("width=%d n=%d: index %d executed %d times", width, n, i, got)
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolOversubscribedDispatch(t *testing.T) {
+	// Asking for more workers than the pool holds tops up with transient
+	// goroutines: every index still runs exactly once.
+	p := NewPool(2)
+	defer p.Close()
+	n := 10000
+	hits := make([]atomic.Int32, n)
+	p.ForChunked(16, n, 3, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hits[i].Add(1)
+		}
+	})
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d executed %d times", i, got)
+		}
+	}
+}
+
+func TestPoolSumMatchesSequential(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	n := 5000
+	got := p.SumInt64(0, n, 0, func(lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		return s
+	})
+	if want := int64(n) * int64(n-1) / 2; got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestPoolConcurrentDispatch(t *testing.T) {
+	// Many goroutines sharing one pool (the SolveBatch shape) must each
+	// see their own job complete exactly.
+	p := NewPool(4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				n := 512
+				var total atomic.Int64
+				p.ForChunked(2, n, 7, func(lo, hi int) {
+					total.Add(int64(hi - lo))
+				})
+				if total.Load() != int64(n) {
+					t.Errorf("covered %d of %d indices", total.Load(), n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolNestedDispatchNoDeadlock(t *testing.T) {
+	// A job body that dispatches onto the same pool must complete: the
+	// submitter always participates, so progress never depends on a free
+	// pool worker.
+	p := NewPool(2)
+	defer p.Close()
+	var leaves atomic.Int64
+	p.For(4, func(i int) {
+		p.For(8, func(j int) { leaves.Add(1) })
+	})
+	if leaves.Load() != 32 {
+		t.Fatalf("nested dispatch ran %d leaves, want 32", leaves.Load())
+	}
+}
+
+func TestPoolForChunkedCtxCancellation(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	err := p.ForChunkedCtx(ctx, 0, 1000, 1, func(lo, hi int) {
+		if done.Add(int64(hi-lo)) > 100 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if done.Load() >= 1000 {
+		t.Fatal("cancellation did not abandon remaining chunks")
+	}
+	// An already-cancelled context runs nothing and reports the error.
+	ran := false
+	if err := p.ForChunkedCtx(ctx, 0, 10, 1, func(lo, hi int) { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled err = %v", err)
+	}
+	if ran {
+		t.Fatal("body ran under a pre-cancelled context")
+	}
+}
+
+func TestPoolSumInt64Ctx(t *testing.T) {
+	p := NewPool(1)
+	defer p.Close()
+	got, err := p.SumInt64Ctx(context.Background(), 0, 100, 0, func(lo, hi int) int64 {
+		return int64(hi - lo)
+	})
+	if err != nil || got != 100 {
+		t.Fatalf("sum = %d err = %v", got, err)
+	}
+}
+
+func TestClosedPoolStillCompletes(t *testing.T) {
+	p := NewPool(4)
+	p.Close()
+	var total atomic.Int64
+	p.ForChunked(4, 100, 1, func(lo, hi int) { total.Add(int64(hi - lo)) })
+	if total.Load() != 100 {
+		t.Fatalf("closed pool covered %d of 100", total.Load())
+	}
+}
+
+func TestArenaRecyclesExactLength(t *testing.T) {
+	var a Arena[int64]
+	s := a.Get(1024)
+	if len(s) != 1024 {
+		t.Fatalf("len = %d", len(s))
+	}
+	s[0] = 42
+	a.Put(s)
+	r := a.Get(1024)
+	if len(r) != 1024 {
+		t.Fatalf("reused len = %d", len(r))
+	}
+	// Contents are unspecified; the caller reinitialises. Different
+	// lengths never alias a pooled slice of another size.
+	small := a.Get(8)
+	if len(small) != 8 {
+		t.Fatalf("len = %d", len(small))
+	}
+	if got := a.Get(0); got != nil {
+		t.Fatalf("Get(0) = %v, want nil", got)
+	}
+	a.Put(nil) // no-op
+}

@@ -37,6 +37,9 @@ type Options struct {
 	MaxIterations int
 	// Target, when non-nil, records ConvergedAt as in core.Options.
 	Target *recurrence.Table
+	// Pool is the persistent worker pool the moves dispatch onto
+	// (nil = the process-wide shared pool).
+	Pool *parutil.Pool
 }
 
 // Result carries the outcome.
@@ -67,10 +70,20 @@ type state struct {
 	pwNext  []cost.Cost
 	pairs   [][2]int32
 	workers int
+	pool    *parutil.Pool
 }
 
 func (s *state) idx(i, j, p, q int) int {
 	return ((i*s.sz+j)*s.sz+p)*s.sz + q
+}
+
+// forPairs dispatches body over every pair index on the state's pool.
+func (s *state) forPairs(body func(t int)) {
+	s.pool.ForChunked(s.workers, len(s.pairs), 0, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			body(t)
+		}
+	})
 }
 
 // Solve runs Rytter's algorithm to its fixed budget (or early stability)
@@ -98,6 +111,10 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Resu
 		pw:      make([]cost.Cost, sz*sz*sz*sz),
 		pwNext:  make([]cost.Cost, sz*sz*sz*sz),
 		workers: opts.Workers,
+		pool:    opts.Pool,
+	}
+	if s.pool == nil {
+		s.pool = parutil.Default()
 	}
 	for i := range s.w {
 		s.w[i] = cost.Inf
@@ -187,7 +204,7 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Resu
 
 func (s *state) activate() {
 	in := s.in
-	parutil.For(s.workers, len(s.pairs), func(t int) {
+	s.forPairs(func(t int) {
 		pr := s.pairs[t]
 		i, j := int(pr[0]), int(pr[1])
 		if j-i < 2 {
@@ -209,7 +226,7 @@ func (s *state) activate() {
 // O(n^6)-work step that HLV's restricted square avoids.
 func (s *state) square() {
 	src, dst := s.pw, s.pwNext
-	parutil.For(s.workers, len(s.pairs), func(t int) {
+	s.forPairs(func(t int) {
 		pr := s.pairs[t]
 		i, j := int(pr[0]), int(pr[1])
 		for p := i; p <= j; p++ {
@@ -233,7 +250,7 @@ func (s *state) square() {
 
 func (s *state) pebble() int64 {
 	copy(s.wNext, s.w)
-	changed := parutil.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
+	changed := s.pool.SumInt64(s.workers, len(s.pairs), 0, func(lo, hi int) int64 {
 		var local int64
 		for t := lo; t < hi; t++ {
 			pr := s.pairs[t]

@@ -26,6 +26,9 @@ import (
 type Options struct {
 	// Workers is the number of goroutines (0 = GOMAXPROCS).
 	Workers int
+	// Pool is the persistent worker pool the spans dispatch onto
+	// (nil = the process-wide shared pool).
+	Pool *parutil.Pool
 }
 
 // Result is a wavefront solve: the cost table plus PRAM accounting.
@@ -59,21 +62,27 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opt Options) (*Resul
 		tbl.Set(i, i+1, in.Init(i))
 	}
 	res.Acct.ChargeUnit(int64(n)) // the init step
+	pool := opt.Pool
+	if pool == nil {
+		pool = parutil.Default()
+	}
 	for span := 2; span <= n; span++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		cells := n - span + 1
-		parutil.For(opt.Workers, cells, func(i int) {
-			j := i + span
-			best := cost.Inf
-			for k := i + 1; k < j; k++ {
-				v := cost.Add3(in.F(i, k, j), tbl.At(i, k), tbl.At(k, j))
-				if v < best {
-					best = v
+		pool.ForChunked(opt.Workers, cells, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				j := i + span
+				best := cost.Inf
+				for k := i + 1; k < j; k++ {
+					v := cost.Add3(in.F(i, k, j), tbl.At(i, k), tbl.At(k, j))
+					if v < best {
+						best = v
+					}
 				}
+				tbl.Set(i, j, best)
 			}
-			tbl.Set(i, j, best)
 		})
 		res.Acct.ChargeReduce(int64(cells), int64(span-1), int64(cells)*int64(span-1))
 	}

@@ -2,6 +2,7 @@ package sublineardp
 
 import (
 	"sublineardp/internal/core"
+	"sublineardp/internal/parutil"
 	"sublineardp/internal/semiring"
 )
 
@@ -20,7 +21,17 @@ type (
 	Semiring = semiring.Semiring
 	// IterStat is one iteration's summary, recorded under WithHistory.
 	IterStat = core.IterStat
+	// Pool is a persistent worker pool solves dispatch their parallel
+	// kernels onto (WithPool); one Pool can be shared by many concurrent
+	// solves. Build one with NewPool.
+	Pool = parutil.Pool
 )
+
+// NewPool returns a persistent worker pool of the given width
+// (0 = GOMAXPROCS) for WithPool. Solves that are not given a pool share
+// a process-wide default, so NewPool is only needed to isolate or size a
+// runtime explicitly; call Close to release its goroutines.
+func NewPool(width int) *Pool { return parutil.NewPool(width) }
 
 // The three semirings shipped with the repository, usable with
 // WithSemiring. MinPlus is the paper's algebra and the default.
@@ -43,6 +54,19 @@ type Config struct {
 	// SolveBatch defaults it to 1 so batch-level parallelism is not
 	// oversubscribed by intra-solve parallelism.
 	Workers int
+
+	// Pool is the persistent worker pool the HLV engines dispatch their
+	// a-activate/a-square/a-pebble kernels onto (nil = the process-wide
+	// shared pool). SolveBatch threads one pool through every solve of a
+	// batch.
+	Pool *Pool
+
+	// TileSize is the kernels' scheduling tile: how many (i,j) cells of
+	// the iteration space one worker claims at a time (0 = a
+	// load-balancing heuristic). Smaller tiles approximate more,
+	// finer-grained PRAM processors; larger tiles trade balance for
+	// lower scheduling overhead.
+	TileSize int
 
 	// Mode is the HLV update discipline (Synchronous | Chaotic).
 	Mode Mode
@@ -99,6 +123,18 @@ func WithEngine(name string) Option { return func(c *Config) { c.Engine = name }
 // WithWorkers sets the goroutine count used inside one solve
 // (0 = GOMAXPROCS).
 func WithWorkers(n int) Option { return func(c *Config) { c.Workers = n } }
+
+// WithPool dispatches the solve's parallel kernels onto the given
+// persistent pool (nil = the process-wide shared pool). Sharing one pool
+// across many solves — what SolveBatch does — reuses its goroutines
+// instead of spawning per solve.
+func WithPool(p *Pool) Option { return func(c *Config) { c.Pool = p } }
+
+// WithTileSize sets the kernels' scheduling tile — the number of (i,j)
+// cells one worker claims at a time (0 = heuristic). It is the practical
+// analogue of the paper's processor-count knob: smaller tiles emulate
+// more, finer-grained PRAM processors.
+func WithTileSize(t int) Option { return func(c *Config) { c.TileSize = t } }
 
 // WithMode selects the HLV update discipline (Synchronous | Chaotic).
 func WithMode(m Mode) Option { return func(c *Config) { c.Mode = m } }

@@ -132,7 +132,11 @@ var (
 
 // Solve runs the paper's parallel algorithm. The zero Options give the
 // dense Sections 2-4 algorithm; set Variant: Banded for the
-// O(n^3.5/log n)-processor variant of Section 5.
+// O(n^3.5/log n)-processor variant of Section 5. Like every solve in the
+// repository it executes on the pooled runtime: kernels dispatch onto
+// the process-wide worker pool and the w'/pw' buffers recycle through
+// the shared arena, so legacy callers get the same steady-state speed as
+// the Solver API.
 //
 // Deprecated: use NewSolver(EngineHLVDense) or NewSolver(EngineHLVBanded)
 // with functional options, which adds context cancellation and the
@@ -167,14 +171,16 @@ func SolveSequential(in *Instance) *SequentialResult {
 	return &SequentialResult{Table: res.Table, Work: res.Work, inner: res}
 }
 
-// SolveWavefront runs the span-parallel linear-time baseline.
+// SolveWavefront runs the span-parallel linear-time baseline on the
+// shared pooled runtime.
 //
 // Deprecated: use NewSolver(EngineWavefront, WithWorkers(workers)).
 func SolveWavefront(in *Instance, workers int) *Table {
 	return wavefront.Solve(in, wavefront.Options{Workers: workers}).Table
 }
 
-// SolveRytter runs the 1988 baseline the paper improves on.
+// SolveRytter runs the 1988 baseline the paper improves on, on the
+// shared pooled runtime.
 //
 // Deprecated: use NewSolver(EngineRytter, WithWorkers(workers)).
 func SolveRytter(in *Instance, workers int) *Table {
