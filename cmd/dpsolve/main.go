@@ -10,6 +10,7 @@
 //	dpsolve -problem triangulation -n 16 -engine rytter
 //	dpsolve -problem zigzag -n 25 -engine hlv-banded -window -history
 //	dpsolve -problem random -n 200 -engine auto -timeout 5s
+//	dpsolve -request req.json       # solve a dpserved wire request offline
 //
 // -engines lists the registry. The old -algo flag is kept as a
 // deprecated alias (seq|knuth|wavefront|dense|banded|rytter).
@@ -17,11 +18,14 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"sublineardp"
 	"sublineardp/internal/core"
@@ -31,6 +35,7 @@ import (
 	"sublineardp/internal/seq"
 	"sublineardp/internal/txtplot"
 	"sublineardp/internal/verify"
+	"sublineardp/internal/wire"
 )
 
 func main() {
@@ -50,8 +55,16 @@ func main() {
 		history = flag.Bool("history", false, "print per-iteration convergence history")
 		tree    = flag.Bool("tree", true, "print the optimal parenthesization tree")
 		list    = flag.Bool("engines", false, "list registered engines and exit")
+		request = flag.String("request", "", "solve a wire-format JSON request from this file ('-' = stdin) and print the wire response")
 	)
 	flag.Parse()
+
+	if *request != "" {
+		if err := runWireRequest(*request, *timeout); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		for _, info := range sublineardp.EngineInfos() {
@@ -150,6 +163,56 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "dpsolve: %v\n", err)
 	os.Exit(2)
+}
+
+// runWireRequest solves one dpserved wire request locally and prints the
+// wire response — the same codec the server speaks (internal/wire), so a
+// request file can be debugged offline and its response diffed against a
+// served one byte for byte (modulo elapsed_us).
+func runWireRequest(path string, timeout time.Duration) error {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return err
+	}
+	var req wire.Request
+	if err := json.Unmarshal(data, &req); err != nil {
+		return fmt.Errorf("malformed wire request: %w", err)
+	}
+	if err := req.Validate(0); err != nil {
+		return err
+	}
+	engine := req.Engine()
+	opts, err := req.SolverOptions()
+	if err != nil {
+		return err
+	}
+	in, err := req.Instance()
+	if err != nil {
+		return err
+	}
+	solver, err := sublineardp.NewSolver(engine, opts...)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	sol, err := solver.Solve(ctx, in)
+	if err != nil {
+		return fmt.Errorf("solve aborted: %w", err)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(wire.NewResponse(&req, sol))
 }
 
 // resolveEngine folds the deprecated -algo spelling into the registry

@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Group folds concurrent computations of the same Key into one: the
+// first caller executes fn, later callers ("joiners") wait for its
+// result. It is the dedup layer in front of the LRU — with it, k
+// identical in-flight requests cost one solve, not k.
+//
+// Cancellation is refcounted: fn receives a context that is detached
+// from any single caller and is cancelled only when *every* caller of
+// the flight has abandoned it (their own contexts done). One impatient
+// client therefore cannot kill a solve that other clients still want,
+// while a solve nobody is waiting for anymore aborts promptly — that is
+// the path a client disconnect takes down to tile-level abort.
+type Group[V any] struct {
+	mu sync.Mutex
+	m  map[Key]*flight[V]
+
+	executions atomic.Int64
+	dedups     atomic.Int64
+}
+
+type flight[V any] struct {
+	cancel  context.CancelFunc
+	waiters int
+	done    chan struct{}
+	val     V
+	err     error
+}
+
+// FlightStats is the Group's counter snapshot.
+type FlightStats struct {
+	Executions int64 // flights that ran fn
+	Dedups     int64 // callers that joined an existing flight
+}
+
+// Stats returns a snapshot of the cumulative counters.
+func (g *Group[V]) Stats() FlightStats {
+	return FlightStats{Executions: g.executions.Load(), Dedups: g.dedups.Load()}
+}
+
+// Do returns the result of fn for key, executing it at most once among
+// concurrent callers. The boolean reports whether this caller joined a
+// flight started by another caller. A caller whose ctx ends before the
+// flight finishes gets ctx's error; the flight itself keeps running for
+// the remaining waiters and is cancelled when none remain.
+func (g *Group[V]) Do(ctx context.Context, key Key, fn func(context.Context) (V, error)) (V, bool, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[Key]*flight[V])
+	}
+	if f, ok := g.m[key]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		g.dedups.Add(1)
+		return g.wait(ctx, f, true)
+	}
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight[V]{cancel: cancel, waiters: 1, done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+	g.executions.Add(1)
+	go func() {
+		v, err := fn(fctx)
+		g.mu.Lock()
+		f.val, f.err = v, err
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return g.wait(ctx, f, false)
+}
+
+func (g *Group[V]) wait(ctx context.Context, f *flight[V], joined bool) (V, bool, error) {
+	select {
+	case <-f.done:
+		return f.val, joined, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			f.cancel()
+		}
+		g.mu.Unlock()
+		var zero V
+		return zero, joined, ctx.Err()
+	}
+}

@@ -1,0 +1,31 @@
+package problems
+
+import "encoding/binary"
+
+// canon builds the stable canonical encoding shared by every
+// parameterised constructor: a kind tag, then each parameter group as a
+// varint length followed by its varint-encoded values. Length prefixes
+// make the encoding injective (no group can borrow values from its
+// neighbour), and varints keep it compact for the large weight tables
+// real serving traffic carries. The format is hashed, never decoded, so
+// it has no versioning concerns beyond "only extend by adding new kinds".
+func canon(kind string, groups ...[]int64) []byte {
+	buf := make([]byte, 0, 16+10*len(kind))
+	buf = binary.AppendUvarint(buf, uint64(len(kind)))
+	buf = append(buf, kind...)
+	for _, g := range groups {
+		buf = binary.AppendUvarint(buf, uint64(len(g)))
+		for _, v := range g {
+			buf = binary.AppendVarint(buf, v)
+		}
+	}
+	return buf
+}
+
+func intsTo64(vs []int) []int64 {
+	out := make([]int64, len(vs))
+	for i, v := range vs {
+		out[i] = int64(v)
+	}
+	return out
+}

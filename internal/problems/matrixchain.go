@@ -33,9 +33,10 @@ func MatrixChain(dims []int) *recurrence.Instance {
 		d[i] = int64(v)
 	}
 	return &recurrence.Instance{
-		N:    len(dims) - 1,
-		Name: fmt.Sprintf("matrixchain-n%d", len(dims)-1),
-		Init: func(i int) cost.Cost { return 0 },
+		N:     len(dims) - 1,
+		Name:  fmt.Sprintf("matrixchain-n%d", len(dims)-1),
+		Canon: func() []byte { return canon("matrixchain", d) },
+		Init:  func(i int) cost.Cost { return 0 },
 		F: func(i, k, j int) cost.Cost {
 			return cost.Cost(d[i] * d[k] * d[j])
 		},

@@ -49,10 +49,16 @@ func OBST(alpha, beta []int64) *recurrence.Instance {
 	for g := 0; g <= m; g++ {
 		alphaPre[g+1] = alphaPre[g] + alpha[g]
 	}
+	// Init and Canon share one snapshot of the weights, so caller
+	// mutation after construction cannot desynchronise the cache key
+	// from behaviour (F already reads only the prefix sums above).
+	alphaC := append([]int64(nil), alpha...)
+	betaC := append([]int64(nil), beta...)
 	return &recurrence.Instance{
-		N:    m + 1,
-		Name: fmt.Sprintf("obst-m%d", m),
-		Init: func(i int) cost.Cost { return cost.Cost(alpha[i]) },
+		N:     m + 1,
+		Name:  fmt.Sprintf("obst-m%d", m),
+		Canon: func() []byte { return canon("obst", alphaC, betaC) },
+		Init:  func(i int) cost.Cost { return cost.Cost(alphaC[i]) },
 		F: func(i, k, j int) cost.Cost {
 			// Keys i+1..j-1 are beta indices i..j-2; gaps i..j-1 are
 			// alpha indices i..j-1.

@@ -35,12 +35,22 @@ func Triangulation(vs []Point) *recurrence.Instance {
 		dy := float64(a.Y - b.Y)
 		return cost.Cost(math.Round(1024 * math.Hypot(dx, dy)))
 	}
+	// Snapshot the vertices: F and Canon must observe the same geometry
+	// even if the caller mutates its slice after construction, or the
+	// cache key would desynchronise from behaviour.
+	cvs := append([]Point(nil), vs...)
+	xs := make([]int64, len(cvs))
+	ys := make([]int64, len(cvs))
+	for t, v := range cvs {
+		xs[t], ys[t] = v.X, v.Y
+	}
 	return &recurrence.Instance{
-		N:    n,
-		Name: fmt.Sprintf("triangulation-n%d", n),
-		Init: func(i int) cost.Cost { return 0 },
+		N:     n,
+		Name:  fmt.Sprintf("triangulation-n%d", n),
+		Canon: func() []byte { return canon("triangulation", xs, ys) },
+		Init:  func(i int) cost.Cost { return 0 },
 		F: func(i, k, j int) cost.Cost {
-			return cost.Add3(dist(vs[i], vs[k]), dist(vs[k], vs[j]), dist(vs[i], vs[j]))
+			return cost.Add3(dist(cvs[i], cvs[k]), dist(cvs[k], cvs[j]), dist(cvs[i], cvs[j]))
 		},
 	}
 }
@@ -59,12 +69,14 @@ func WeightedTriangulation(weights []int64) *recurrence.Instance {
 		}
 	}
 	n := len(weights) - 1
+	ws := append([]int64(nil), weights...)
 	return &recurrence.Instance{
-		N:    n,
-		Name: fmt.Sprintf("wtriangulation-n%d", n),
-		Init: func(i int) cost.Cost { return 0 },
+		N:     n,
+		Name:  fmt.Sprintf("wtriangulation-n%d", n),
+		Canon: func() []byte { return canon("wtriangulation", ws) },
+		Init:  func(i int) cost.Cost { return 0 },
 		F: func(i, k, j int) cost.Cost {
-			return cost.Cost(weights[i] * weights[k] * weights[j])
+			return cost.Cost(ws[i] * ws[k] * ws[j])
 		},
 	}
 }

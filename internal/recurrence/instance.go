@@ -34,6 +34,28 @@ type Instance struct {
 
 	// Name labels the instance in experiment tables and error messages.
 	Name string
+
+	// Canon, when non-nil, returns a stable, self-describing byte
+	// encoding of the instance: two instances whose Canon bytes are equal
+	// must describe the same recurrence (identical N, Init and F on every
+	// argument). Constructors that build instances from concrete
+	// parameters (matrix dimensions, OBST weights, polygon vertices) set
+	// it; synthetic instances backed by opaque closures leave it nil and
+	// are simply not canonicalisable. The encoding is the input to
+	// content-addressed caching, so it must be injective per kind — it
+	// always starts with a kind tag followed by the defining parameters.
+	Canon func() []byte
+}
+
+// Canonical returns the instance's stable canonical encoding and true,
+// or nil and false when the instance has no Canon hook (and therefore
+// cannot be content-addressed). The bytes are safe to hash or compare:
+// equality implies every solver observes identical inputs.
+func (in *Instance) Canonical() ([]byte, bool) {
+	if in.Canon == nil {
+		return nil, false
+	}
+	return in.Canon(), true
 }
 
 // Validate checks the structural preconditions the paper assumes:
@@ -91,9 +113,10 @@ func (in *Instance) Materialize() *Instance {
 		}
 	}
 	return &Instance{
-		N:    n,
-		Name: in.Name,
-		Init: func(i int) cost.Cost { return ini[i] },
+		N:     n,
+		Name:  in.Name,
+		Canon: in.Canon, // materialisation changes representation, not identity
+		Init:  func(i int) cost.Cost { return ini[i] },
 		F: func(i, k, j int) cost.Cost {
 			return f[(i*size+k)*size+j]
 		},

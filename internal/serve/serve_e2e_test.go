@@ -1,0 +1,442 @@
+package serve
+
+// End-to-end suite: a real dpserved serving stack — Server mounted on an
+// http.Server bound to a loopback listener, talked to over TCP by real
+// HTTP clients — under concurrent mixed traffic. Runs in the CI race
+// job. The three tests carry the acceptance criteria of the serving
+// layer:
+//
+//   - mixed matrixchain/OBST/triangulation traffic answers bitwise
+//     identically to direct Solver.Solve calls, and the coalescing /
+//     caching counters balance exactly against the 200s written;
+//   - >= 2 concurrent identical requests produce exactly one underlying
+//     solve (single-flight), and a subsequent identical request is a
+//     cache hit served without touching the pool;
+//   - a client disconnect mid-solve propagates through single-flight
+//     refcounting and the batcher's refcounted batch context into the
+//     engine's context — the hook tile-level kernel abort hangs off.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sublineardp"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/wire"
+)
+
+// startLoopback serves s on a real loopback TCP listener (not httptest's
+// in-process transport shortcuts) and returns the base URL.
+func startLoopback(t *testing.T, s *Server) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		s.Close()
+	})
+	return "http://" + ln.Addr().String()
+}
+
+// blockSolveEngine wraps the sequential engine but parks inside Solve
+// until released or cancelled — the instrument that keeps a flight open
+// long enough to make coalescing assertions deterministic.
+type blockSolveEngine struct {
+	name      string
+	entered   chan struct{} // one value per Solve that starts
+	release   chan struct{}
+	cancelled chan struct{} // one value per Solve that observed ctx.Done
+	calls     atomic.Int64
+}
+
+func (e *blockSolveEngine) Name() string { return e.name }
+
+func (e *blockSolveEngine) Solve(ctx context.Context, in *sublineardp.Instance, cfg *sublineardp.Config) (*sublineardp.Solution, error) {
+	e.calls.Add(1)
+	e.entered <- struct{}{}
+	select {
+	case <-e.release:
+	case <-ctx.Done():
+		e.cancelled <- struct{}{}
+		return nil, ctx.Err()
+	}
+	inner, _ := sublineardp.LookupEngine(sublineardp.EngineSequential)
+	return inner.Solve(ctx, in, cfg)
+}
+
+func registerBlockEngine(t *testing.T, name string) *blockSolveEngine {
+	t.Helper()
+	e := &blockSolveEngine{
+		name:      name,
+		entered:   make(chan struct{}, 64),
+		release:   make(chan struct{}),
+		cancelled: make(chan struct{}, 64),
+	}
+	if err := sublineardp.RegisterEngine(e); err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	return e
+}
+
+// mixedRequests builds the traffic mix: matrixchain, OBST and
+// triangulation instances across engines, sized on both sides of the
+// auto cutoff, with deliberate duplicates so the cache and coalescer see
+// repeat keys.
+func mixedRequests() []*wire.Request {
+	rng := rand.New(rand.NewSource(7))
+	var reqs []*wire.Request
+	for i := 0; i < 6; i++ {
+		dims := make([]int, 8+rng.Intn(10))
+		for j := range dims {
+			dims[j] = 1 + rng.Intn(40)
+		}
+		reqs = append(reqs, &wire.Request{
+			ID: fmt.Sprintf("mc-%d", i), Kind: wire.KindMatrixChain, Dims: dims,
+		})
+	}
+	for i := 0; i < 5; i++ {
+		m := 6 + rng.Intn(8)
+		alpha := make([]int64, m+1)
+		beta := make([]int64, m)
+		for j := range alpha {
+			alpha[j] = rng.Int63n(50)
+		}
+		for j := range beta {
+			beta[j] = rng.Int63n(50)
+		}
+		reqs = append(reqs, &wire.Request{
+			ID: fmt.Sprintf("ob-%d", i), Kind: wire.KindOBST, Alpha: alpha, Beta: beta,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		pts := problems.RandomConvexPolygon(8+rng.Intn(8), 1000, int64(i+1))
+		wpts := make([]wire.Point, len(pts))
+		for j, p := range pts {
+			wpts[j] = wire.Point{X: p.X, Y: p.Y}
+		}
+		reqs = append(reqs, &wire.Request{
+			ID: fmt.Sprintf("tr-%d", i), Kind: wire.KindTriangulation, Points: wpts,
+		})
+	}
+	// A large instance routed to the banded engine explicitly, and the
+	// CLRS chain under three engines (distinct cache keys, same table).
+	big := make([]int, 81)
+	for j := range big {
+		big[j] = (j*31)%59 + 2
+	}
+	reqs = append(reqs,
+		&wire.Request{ID: "big", Kind: wire.KindMatrixChain, Dims: big,
+			Options: wire.Options{Engine: "hlv-banded", Termination: "w-stable"}},
+		&wire.Request{ID: "clrs-seq", Kind: wire.KindMatrixChain,
+			Dims: []int{30, 35, 15, 5, 10, 20, 25}, Options: wire.Options{Engine: "sequential"}},
+		&wire.Request{ID: "clrs-wave", Kind: wire.KindMatrixChain,
+			Dims: []int{30, 35, 15, 5, 10, 20, 25}, Options: wire.Options{Engine: "wavefront"}},
+		&wire.Request{ID: "clrs-ryt", Kind: wire.KindMatrixChain,
+			Dims: []int{30, 35, 15, 5, 10, 20, 25}, Options: wire.Options{Engine: "rytter"}},
+	)
+	return reqs
+}
+
+// directDigest solves the request in-process through the identical
+// Solver configuration and returns the expected table digest and cost.
+func directDigest(t *testing.T, req *wire.Request) (string, int64) {
+	t.Helper()
+	engine := req.Engine()
+	if engine == "" {
+		engine = sublineardp.EngineAuto
+	}
+	opts, err := req.SolverOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := req.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := sublineardp.NewSolver(engine, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := solver.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.TableDigest(sol.Table), int64(sol.Cost())
+}
+
+func TestE2EMixedTrafficBitwiseMatchesDirectSolve(t *testing.T) {
+	srv, err := New(Config{BatchWindow: time.Millisecond, MaxBatch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startLoopback(t, srv)
+
+	reqs := mixedRequests()
+	type expectation struct {
+		digest string
+		cost   int64
+	}
+	want := make(map[string]expectation, len(reqs))
+	for _, r := range reqs {
+		d, c := directDigest(t, r)
+		want[r.ID] = expectation{digest: d, cost: c}
+	}
+
+	// Each worker fires the whole mix in its own shuffled order, so
+	// every request ID is requested `workers` times concurrently —
+	// plenty of duplicate keys in flight.
+	const workers = 6
+	var wg sync.WaitGroup
+	client := &http.Client{Timeout: 60 * time.Second}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			order := rand.New(rand.NewSource(int64(w))).Perm(len(reqs))
+			for _, idx := range order {
+				req := reqs[idx]
+				body, _ := json.Marshal(req)
+				resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("worker %d req %s: %v", w, req.ID, err)
+					return
+				}
+				var wr wire.Response
+				derr := json.NewDecoder(resp.Body).Decode(&wr)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || derr != nil {
+					t.Errorf("worker %d req %s: status %d decode %v", w, req.ID, resp.StatusCode, derr)
+					return
+				}
+				exp := want[req.ID]
+				if wr.Cost != exp.cost {
+					t.Errorf("req %s: served cost %d, direct solve %d", req.ID, wr.Cost, exp.cost)
+				}
+				if wr.TableDigest != exp.digest {
+					t.Errorf("req %s: served table digest differs from direct Solver.Solve", req.ID)
+				}
+				if wr.Cached && wr.Coalesced {
+					t.Errorf("req %s: response flagged both cached and coalesced", req.ID)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	m := srv.Metrics()
+	total := int64(workers * len(reqs))
+	if m.Requests != total || m.OK != total {
+		t.Fatalf("requests %d ok %d, want %d each (errors on the side: %+v)", m.Requests, m.OK, total, m)
+	}
+	// Every 200 is exactly one of hit / coalesced / solved.
+	if m.CacheHits+m.Coalesced+m.Solved != m.OK {
+		t.Fatalf("counter identity broken: hits %d + coalesced %d + solved %d != ok %d",
+			m.CacheHits, m.Coalesced, m.Solved, m.OK)
+	}
+	// Each distinct key solves at most once... per residency; eviction
+	// cannot occur at this cache size, so solved == distinct keys.
+	if distinct := int64(len(reqs)); m.Solved != distinct {
+		t.Fatalf("solved %d, want exactly one solve per distinct key (%d)", m.Solved, distinct)
+	}
+	if m.BatchInstances != m.Solved {
+		t.Fatalf("batch instances %d != solved %d", m.BatchInstances, m.Solved)
+	}
+	if m.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain", m.QueueDepth)
+	}
+}
+
+// TestE2ESingleFlightAndCacheHit is the acceptance criterion verbatim:
+// >= 2 concurrent identical requests, exactly one underlying solve, then
+// a cache hit served without touching the pool, all bitwise equal to a
+// direct Solver.Solve.
+func TestE2ESingleFlightAndCacheHit(t *testing.T) {
+	eng := registerBlockEngine(t, "e2e-block")
+	srv, err := New(Config{BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startLoopback(t, srv)
+
+	req := &wire.Request{Kind: wire.KindMatrixChain,
+		Dims:    []int{30, 35, 15, 5, 10, 20, 25},
+		Options: wire.Options{Engine: "e2e-block"}}
+	body, _ := json.Marshal(req)
+
+	const concurrent = 4
+	responses := make(chan *wire.Response, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Errorf("post: %v", err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			var wr wire.Response
+			if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+				t.Errorf("decode: %v", err)
+				return
+			}
+			responses <- &wr
+		}()
+	}
+
+	<-eng.entered // the one leader's solve is in the engine
+	// Hold the flight open until every other request has joined it.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.group.Stats().Dedups < concurrent-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("joiners never folded: group stats %+v", srv.group.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(eng.release)
+	wg.Wait()
+	close(responses)
+
+	if got := eng.calls.Load(); got != 1 {
+		t.Fatalf("%d underlying solves for %d concurrent identical requests, want exactly 1", got, concurrent)
+	}
+	var coalesced, solved int
+	var digest string
+	for wr := range responses {
+		if wr.Coalesced {
+			coalesced++
+		} else {
+			solved++
+		}
+		if digest == "" {
+			digest = wr.TableDigest
+		} else if wr.TableDigest != digest {
+			t.Fatal("coalesced responses disagree on the table")
+		}
+	}
+	if solved != 1 || coalesced != concurrent-1 {
+		t.Fatalf("%d solved / %d coalesced, want 1 / %d", solved, coalesced, concurrent-1)
+	}
+	m := srv.Metrics()
+	if m.Solved != 1 || m.Coalesced != concurrent-1 || m.BatchInstances != 1 {
+		t.Fatalf("metrics %+v, want 1 solved / %d coalesced / 1 batch instance", m, concurrent-1)
+	}
+
+	// One more identical request: a resident cache hit — no new engine
+	// call, no new batch instance, i.e. the pool is never touched.
+	resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wr wire.Response
+	if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !wr.Cached {
+		t.Fatal("follow-up identical request was not a cache hit")
+	}
+	if wr.TableDigest != digest {
+		t.Fatal("cache hit serves a different table")
+	}
+	if eng.calls.Load() != 1 {
+		t.Fatal("cache hit ran the engine")
+	}
+	m = srv.Metrics()
+	if m.CacheHits != 1 || m.BatchInstances != 1 {
+		t.Fatalf("metrics after hit %+v, want 1 hit and still 1 batch instance", m)
+	}
+
+	// The served table is the direct Solver.Solve result, bitwise.
+	direct, err := sublineardp.MustNewSolver(sublineardp.EngineSequential).
+		Solve(context.Background(), problems.CLRSMatrixChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest != wire.TableDigest(direct.Table) {
+		t.Fatal("served digest differs from direct Solver.Solve")
+	}
+}
+
+// TestE2EClientDisconnectCancelsSolve proves the cancellation chain:
+// client TCP disconnect → request context → single-flight refcount
+// (last waiter gone) → batcher's refcounted batch context → SolveBatch
+// → the engine's ctx. The engine here parks on ctx.Done exactly where a
+// real kernel polls it per tile, so observing the signal is observing
+// the tile-abort hook.
+func TestE2EClientDisconnectCancelsSolve(t *testing.T) {
+	eng := registerBlockEngine(t, "e2e-block-cancel")
+	srv, err := New(Config{BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startLoopback(t, srv)
+
+	req := &wire.Request{Kind: wire.KindMatrixChain, Dims: []int{4, 5, 6, 7},
+		Options: wire.Options{Engine: "e2e-block-cancel"}}
+	body, _ := json.Marshal(req)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/solve", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(hreq)
+		errc <- err
+	}()
+
+	<-eng.entered // solve is mid-flight inside the engine
+	cancel()      // client disconnects
+
+	select {
+	case <-eng.cancelled:
+		// Cancellation reached the engine's context through the whole stack.
+	case <-time.After(10 * time.Second):
+		t.Fatal("client disconnect never propagated to the engine context")
+	}
+	if err := <-errc; err == nil {
+		t.Fatal("client call unexpectedly succeeded")
+	}
+
+	// The server heals: the same key solves fine for a patient client.
+	go func() { <-eng.entered }()
+	close(eng.release)
+	resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect solve: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Metrics().ClientGone < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("client_gone counter never incremented: %+v", srv.Metrics())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"sublineardp"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/wire"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+func postSolve(t *testing.T, url string, req *wire.Request) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestHealthzAndMetricsEndpoints(t *testing.T) {
+	_, hs := newTestServer(t, Config{})
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"dpserved_requests_total",
+		"dpserved_cache_hits_total",
+		"dpserved_solve_latency_seconds_bucket{le=\"+Inf\"}",
+		"# TYPE dpserved_queue_depth gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestSolveMatchesDirectSolve(t *testing.T) {
+	srv, hs := newTestServer(t, Config{})
+	req := &wire.Request{
+		ID:       "t-1",
+		Kind:     wire.KindMatrixChain,
+		Dims:     []int{30, 35, 15, 5, 10, 20, 25},
+		WantTree: true,
+	}
+	resp, body := postSolve(t, hs.URL, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wr wire.Response
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.ID != "t-1" || wr.Kind != wire.KindMatrixChain {
+		t.Fatalf("echo fields wrong: %+v", wr)
+	}
+	if wr.Cost != int64(problems.CLRSOptimalCost) {
+		t.Fatalf("cost %d, want %d", wr.Cost, problems.CLRSOptimalCost)
+	}
+	direct, err := sublineardp.MustNewSolver(sublineardp.EngineAuto).
+		Solve(context.Background(), problems.CLRSMatrixChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.TableDigest != wire.TableDigest(direct.Table) {
+		t.Fatal("served table digest differs from direct solve")
+	}
+	if wr.Tree == "" {
+		t.Fatal("want_tree set but no tree returned")
+	}
+	if m := srv.Metrics(); m.OK != 1 || m.Solved != 1 || m.CacheHits != 0 {
+		t.Fatalf("metrics %+v, want 1 ok / 1 solved", m)
+	}
+}
+
+func TestBadRequestsAre400(t *testing.T) {
+	srv, hs := newTestServer(t, Config{MaxN: 8})
+	cases := []*wire.Request{
+		{Kind: "nope"},
+		{Kind: wire.KindMatrixChain, Dims: []int{4}},
+		{Kind: wire.KindOBST, Alpha: []int64{1}, Beta: []int64{1, 2}},
+		{Kind: wire.KindMatrixChain, Dims: []int{1, 2, 3}, Options: wire.Options{Engine: "warp-drive"}},
+		{Kind: wire.KindMatrixChain, Dims: []int{1, 2, 3}, Options: wire.Options{Mode: "frantic"}},
+		// n=9 exceeds MaxN=8
+		{Kind: wire.KindMatrixChain, Dims: []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	for i, req := range cases {
+		resp, body := postSolve(t, hs.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d (%s), want 400", i, resp.StatusCode, body)
+		}
+		var eb wire.ErrorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" || eb.Code != 400 {
+			t.Errorf("case %d: malformed error body %s", i, body)
+		}
+	}
+	// Malformed JSON entirely.
+	resp, err := http.Post(hs.URL+"/solve", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+	if m := srv.Metrics(); m.BadRequests != int64(len(cases))+1 || m.OK != 0 {
+		t.Errorf("metrics %+v, want %d bad requests", srv.Metrics(), len(cases)+1)
+	}
+}
+
+// TestResourcePolicyRejections pins the engine-aware admission policy:
+// O(n^4)-memory engines get the stricter MaxNHeavy size bound, and the
+// per-request workers option is capped — both are single-request
+// denial-of-service vectors otherwise.
+func TestResourcePolicyRejections(t *testing.T) {
+	srv, hs := newTestServer(t, Config{MaxNHeavy: 16, MaxWorkers: 8})
+	bigDims := make([]int, 20) // n=19 > MaxNHeavy, fine for default engines
+	for i := range bigDims {
+		bigDims[i] = i + 2
+	}
+	rejected := []*wire.Request{
+		{Kind: wire.KindMatrixChain, Dims: bigDims, Options: wire.Options{Engine: "hlv-dense"}},
+		{Kind: wire.KindMatrixChain, Dims: bigDims, Options: wire.Options{Engine: "rytter"}},
+		{Kind: wire.KindMatrixChain, Dims: bigDims, Options: wire.Options{Engine: "semiring"}},
+		{Kind: wire.KindMatrixChain, Dims: []int{2, 3, 4}, Options: wire.Options{Workers: 9}},
+	}
+	for i, req := range rejected {
+		resp, body := postSolve(t, hs.URL, req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d (%s), want 400", i, resp.StatusCode, body)
+		}
+	}
+	accepted := []*wire.Request{
+		// Same size is fine on the banded engine...
+		{Kind: wire.KindMatrixChain, Dims: bigDims, Options: wire.Options{Engine: "hlv-banded"}},
+		// ...and a small instance is fine on a heavy engine.
+		{Kind: wire.KindMatrixChain, Dims: []int{2, 3, 4}, Options: wire.Options{Engine: "hlv-dense", Workers: 8}},
+	}
+	for i, req := range accepted {
+		resp, body := postSolve(t, hs.URL, req)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("accepted case %d: status %d (%s), want 200", i, resp.StatusCode, body)
+		}
+	}
+	if m := srv.Metrics(); m.BadRequests != int64(len(rejected)) || m.OK != int64(len(accepted)) {
+		t.Errorf("metrics %+v, want %d rejections / %d ok", m, len(rejected), len(accepted))
+	}
+}
+
+func TestCacheHitServedWithoutSolving(t *testing.T) {
+	srv, hs := newTestServer(t, Config{})
+	req := &wire.Request{Kind: wire.KindOBST,
+		Alpha: []int64{1, 2, 1, 0, 1}, Beta: []int64{4, 2, 6, 3}}
+
+	_, body1 := postSolve(t, hs.URL, req)
+	resp2, body2 := postSolve(t, hs.URL, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second solve: %d %s", resp2.StatusCode, body2)
+	}
+	var r1, r2 wire.Response
+	if err := json.Unmarshal(body1, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body2, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached || !r2.Cached {
+		t.Fatalf("cached flags: first %v second %v, want false/true", r1.Cached, r2.Cached)
+	}
+	if r1.Cost != r2.Cost || r1.TableDigest != r2.TableDigest {
+		t.Fatal("cached response differs from solved response")
+	}
+	m := srv.Metrics()
+	if m.Solved != 1 || m.CacheHits != 1 || m.BatchInstances != 1 {
+		t.Fatalf("metrics %+v, want 1 solved / 1 hit / 1 batched instance", m)
+	}
+}
+
+func TestDifferentOptionsDoNotShareCacheEntries(t *testing.T) {
+	srv, hs := newTestServer(t, Config{})
+	base := &wire.Request{Kind: wire.KindMatrixChain, Dims: []int{8, 3, 9, 4, 7, 2, 8}}
+	banded := *base
+	banded.Options = wire.Options{Engine: "hlv-banded", BandRadius: 3}
+	_, b1 := postSolve(t, hs.URL, base)
+	_, b2 := postSolve(t, hs.URL, &banded)
+	var r1, r2 wire.Response
+	json.Unmarshal(b1, &r1)
+	json.Unmarshal(b2, &r2)
+	if r2.Cached {
+		t.Fatal("different options hit the same cache entry")
+	}
+	if r1.TableDigest != r2.TableDigest {
+		t.Fatal("engines disagree on the table") // conformance would have caught this too
+	}
+	if m := srv.Metrics(); m.Solved != 2 || m.CacheHits != 0 {
+		t.Fatalf("metrics %+v, want 2 solved / 0 hits", m)
+	}
+}
+
+func TestAdmissionQueueShedsWith503(t *testing.T) {
+	// QueueDepth 1 and a long batch window: the first request occupies
+	// the only slot inside the window, the second is shed immediately.
+	srv, hs := newTestServer(t, Config{QueueDepth: 1, BatchWindow: 300 * time.Millisecond})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		postSolve(t, hs.URL, &wire.Request{Kind: wire.KindMatrixChain, Dims: []int{2, 3, 4}})
+	}()
+	// Wait for the first request to be admitted.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, body := postSolve(t, hs.URL, &wire.Request{Kind: wire.KindMatrixChain, Dims: []int{5, 6, 7}})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, body)
+	}
+	wg.Wait()
+	if m := srv.Metrics(); m.RejectedFull != 1 {
+		t.Fatalf("metrics %+v, want 1 rejection", m)
+	}
+}
+
+func TestRequestTimeoutIs504(t *testing.T) {
+	srv, hs := newTestServer(t, Config{RequestTimeout: time.Millisecond})
+	// A banded solve of a big instance cannot finish in 1ms.
+	dims := make([]int, 301)
+	for i := range dims {
+		dims[i] = (i*37)%97 + 3
+	}
+	req := &wire.Request{Kind: wire.KindMatrixChain, Dims: dims,
+		Options: wire.Options{Engine: "hlv-banded"}}
+	resp, body := postSolve(t, hs.URL, req)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", resp.StatusCode, body)
+	}
+	if m := srv.Metrics(); m.Timeouts != 1 {
+		t.Fatalf("metrics %+v, want 1 timeout", m)
+	}
+}
+
+func TestBatcherCoalescesAWindow(t *testing.T) {
+	// Distinct instances arriving within one long window must be folded
+	// into few SolveBatch dispatches, not one per request.
+	srv, hs := newTestServer(t, Config{BatchWindow: 150 * time.Millisecond, MaxBatch: 64})
+	const n = 12
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := &wire.Request{Kind: wire.KindMatrixChain,
+				Dims: []int{i + 2, i + 3, i + 4, i + 5}}
+			resp, body := postSolve(t, hs.URL, req)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("req %d: %d %s", i, resp.StatusCode, body)
+			}
+		}(i)
+	}
+	wg.Wait()
+	m := srv.Metrics()
+	if m.Solved != n || m.BatchInstances != n {
+		t.Fatalf("metrics %+v, want %d solved instances", m, n)
+	}
+	if m.Batches >= n/2 {
+		t.Fatalf("%d batches for %d concurrent requests: batcher not coalescing", m.Batches, n)
+	}
+}

@@ -1,0 +1,544 @@
+// Package serve is the HTTP serving layer over the Solver API — the
+// front end cmd/dpserved mounts. One Server owns three cooperating
+// mechanisms, each sized by a Config knob whose mapping onto the paper's
+// processor-count model is documented in DESIGN.md:
+//
+//   - admission control: a bounded in-flight budget (QueueDepth). A
+//     request either takes a slot immediately or is shed with 503, so
+//     overload degrades by rejecting early instead of queueing without
+//     bound; admitted requests run under a server deadline
+//     (RequestTimeout) joined with the client's own disconnect.
+//   - a canonical-instance cache with single-flight dedup: requests are
+//     content-addressed by the instance's canonical encoding plus the
+//     solving options, so a resident solution answers without touching
+//     the pool and identical in-flight requests fold into one solve.
+//   - a coalescing batcher: cache-missing flights are folded, within a
+//     BatchWindow, into SolveBatch calls on one shared pool — arrival
+//     concurrency becomes batch-level parallelism instead of goroutine
+//     oversubscription.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sublineardp"
+	"sublineardp/internal/cache"
+	"sublineardp/internal/wire"
+)
+
+// Config sizes the serving layer. The zero value serves with the
+// defaults noted per field.
+type Config struct {
+	// Engine is the registry engine used when a request names none
+	// (default "auto").
+	Engine string
+	// MaxN rejects instances larger than this with 400 (default 4096;
+	// negative = unbounded). It bounds per-request memory for the
+	// engines the server routes to by default: a banded solve's working
+	// set grows as O(n^2.5).
+	MaxN int
+	// MaxNHeavy is the stricter size bound for the O(n^4)-memory
+	// engines a request may name explicitly — hlv-dense, rytter,
+	// semiring (default 64; negative = unbounded). Without it one
+	// request for hlv-dense at n=256 would try to allocate ~70 GB.
+	MaxNHeavy int
+	// MaxWorkers caps the per-request workers option (default 256;
+	// negative = unbounded). Workers beyond the pool width spawn
+	// transient goroutines, so an unbounded client value is a
+	// goroutine-exhaustion vector.
+	MaxWorkers int
+	// QueueDepth is the admission budget: how many requests may be past
+	// admission at once (default 256). The full queue sheds with 503.
+	QueueDepth int
+	// BatchWindow is how long the batcher holds an open batch for
+	// stragglers before dispatching it (default 2ms).
+	BatchWindow time.Duration
+	// MaxBatch caps instances per SolveBatch dispatch (default 32).
+	MaxBatch int
+	// Concurrency bounds how many instances one SolveBatch dispatch
+	// solves at once (default GOMAXPROCS, see SolveBatch).
+	Concurrency int
+	// CacheCapacity is the solution LRU size in entries (default 4096;
+	// negative disables caching and single-flight entirely).
+	CacheCapacity int
+	// RequestTimeout is the server-side deadline per admitted request
+	// (default 30s; negative = none).
+	RequestTimeout time.Duration
+	// Pool is the worker pool every batch dispatches onto (nil = the
+	// process-wide shared pool).
+	Pool *sublineardp.Pool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Engine == "" {
+		c.Engine = sublineardp.EngineAuto
+	}
+	if c.MaxN == 0 {
+		c.MaxN = 4096
+	}
+	if c.MaxNHeavy == 0 {
+		c.MaxNHeavy = 64
+	}
+	if c.MaxWorkers == 0 {
+		c.MaxWorkers = 256
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.CacheCapacity == 0 {
+		c.CacheCapacity = 4096
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the serving layer. Build with New, mount Handler, Close when
+// done.
+type Server struct {
+	cfg Config
+	met *metrics
+
+	lru   *cache.Sharded[*sublineardp.Solution] // nil when caching disabled
+	group cache.Group[*sublineardp.Solution]
+
+	slots   chan struct{} // admission tokens; buffered to QueueDepth
+	batchCh chan *task
+
+	done    chan struct{}
+	closing atomic.Bool
+	wg      sync.WaitGroup
+}
+
+type task struct {
+	in     *sublineardp.Instance
+	engine string
+	opts   []sublineardp.Option
+	sig    string // options signature: tasks with equal sig share a SolveBatch
+	ctx    context.Context
+	res    chan taskResult
+}
+
+type taskResult struct {
+	sol *sublineardp.Solution
+	err error
+}
+
+// New validates the configuration and starts the batcher.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if _, ok := sublineardp.LookupEngine(cfg.Engine); !ok {
+		return nil, fmt.Errorf("serve: unknown default engine %q (registered: %v)",
+			cfg.Engine, sublineardp.Engines())
+	}
+	s := &Server{
+		cfg:     cfg,
+		slots:   make(chan struct{}, cfg.QueueDepth),
+		batchCh: make(chan *task),
+		done:    make(chan struct{}),
+	}
+	if cfg.CacheCapacity > 0 {
+		s.lru = cache.New[*sublineardp.Solution](cfg.CacheCapacity, 16)
+	}
+	entries := func() int { return 0 }
+	if s.lru != nil {
+		entries = s.lru.Len
+	}
+	s.met = newMetrics(entries)
+	s.wg.Add(1)
+	go s.batcher()
+	return s, nil
+}
+
+// Close stops accepting new work and waits for the batcher to drain.
+func (s *Server) Close() {
+	if s.closing.CompareAndSwap(false, true) {
+		close(s.done)
+	}
+	s.wg.Wait()
+}
+
+// Metrics returns the counter surface (for tests and embedding).
+func (s *Server) Metrics() MetricsSnapshot { return s.snapshot() }
+
+// MetricsSnapshot is a point-in-time copy of the serving counters.
+type MetricsSnapshot struct {
+	Requests, OK                          int64
+	ClientGone, RejectedFull, BadRequests int64
+	Timeouts, SolveErrors                 int64
+	CacheHits, Coalesced, Solved          int64
+	Batches, BatchInstances               int64
+	QueueDepth                            int64
+}
+
+func (s *Server) snapshot() MetricsSnapshot {
+	m := s.met
+	return MetricsSnapshot{
+		Requests: m.requests.Load(), OK: m.ok.Load(),
+		ClientGone: m.clientGone.Load(), RejectedFull: m.rejectedFull.Load(),
+		BadRequests: m.badRequests.Load(), Timeouts: m.timeouts.Load(),
+		SolveErrors: m.solveErrors.Load(), CacheHits: m.cacheHits.Load(),
+		Coalesced: m.coalesced.Load(), Solved: m.solved.Load(),
+		Batches: m.batches.Load(), BatchInstances: m.batchSolves.Load(),
+		QueueDepth: m.queueDepth.Load(),
+	}
+}
+
+// Handler returns the HTTP surface: POST /solve, GET /healthz,
+// GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.met.write(w)
+	})
+	return mux
+}
+
+const maxBodyBytes = 8 << 20
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.met.requests.Add(1)
+
+	var req wire.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.met.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed request body: %w", err))
+		return
+	}
+	if err := req.Validate(s.cfg.MaxN); err != nil {
+		s.met.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	engine := req.Engine()
+	if engine == "" {
+		engine = s.cfg.Engine
+	}
+	if _, ok := sublineardp.LookupEngine(engine); !ok {
+		s.met.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown engine %q (registered: %v)", engine, sublineardp.Engines()))
+		return
+	}
+	// Engine-aware resource policy: the O(n^4)-memory engines get a
+	// stricter size bound, and the workers option is capped — both are
+	// single-request denial-of-service vectors otherwise.
+	if heavyMemoryEngines[engine] && s.cfg.MaxNHeavy > 0 && req.N() > s.cfg.MaxNHeavy {
+		s.met.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("engine %q is O(n^4) memory: instance size n=%d exceeds the server limit n=%d for it",
+				engine, req.N(), s.cfg.MaxNHeavy))
+		return
+	}
+	if s.cfg.MaxWorkers > 0 && req.Options.Workers > s.cfg.MaxWorkers {
+		s.met.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("workers=%d exceeds the server limit %d", req.Options.Workers, s.cfg.MaxWorkers))
+		return
+	}
+	opts, err := req.SolverOptions()
+	if err != nil {
+		s.met.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	in, err := req.Instance()
+	if err != nil {
+		s.met.badRequests.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Admission: take an in-flight slot or shed immediately.
+	select {
+	case s.slots <- struct{}{}:
+		s.met.queueDepth.Add(1)
+		defer func() {
+			<-s.slots
+			s.met.queueDepth.Add(-1)
+		}()
+	default:
+		s.met.rejectedFull.Add(1)
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("admission queue full (%d in flight)", s.cfg.QueueDepth))
+		return
+	}
+
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
+	sol, via, err := s.solve(ctx, in, engine, &req, opts)
+	if err != nil {
+		switch {
+		case r.Context().Err() != nil:
+			// The client is gone; nothing useful can be written.
+			s.met.clientGone.Add(1)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.timeouts.Add(1)
+			writeError(w, http.StatusGatewayTimeout, err)
+		case errors.Is(err, context.Canceled):
+			s.met.clientGone.Add(1)
+		default:
+			s.met.solveErrors.Add(1)
+			writeError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+
+	resp := wire.NewResponse(&req, sol)
+	resp.Cached = via == viaCacheHit
+	resp.Coalesced = via == viaCoalesced
+	resp.ElapsedMicros = time.Since(start).Microseconds()
+	s.met.ok.Add(1)
+	s.met.observeLatency(time.Since(start).Seconds())
+	switch via {
+	case viaCacheHit:
+		s.met.cacheHits.Add(1)
+	case viaCoalesced:
+		s.met.coalesced.Add(1)
+	default:
+		s.met.solved.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		s.met.clientGone.Add(1)
+	}
+}
+
+type via int
+
+const (
+	viaSolved via = iota
+	viaCacheHit
+	viaCoalesced
+)
+
+// heavyMemoryEngines names the built-ins whose working set grows as
+// O(n^4) — the ones Config.MaxNHeavy bounds. The auto engine never
+// routes to any of them.
+var heavyMemoryEngines = map[string]bool{
+	sublineardp.EngineHLVDense: true,
+	sublineardp.EngineRytter:   true,
+	sublineardp.EngineSemiring: true,
+}
+
+// solveKey content-addresses one request: the instance's canonical bytes
+// plus the option signature. Every wire-buildable instance is
+// canonicalisable, so the bool is only false for exotic custom kinds.
+func solveKey(in *sublineardp.Instance, sig string) (cache.Key, bool) {
+	canon, ok := in.Canonical()
+	if !ok {
+		return cache.Key{}, false
+	}
+	return cache.NewHasher().Bytes("instance", canon).String("opts", sig).Sum(), true
+}
+
+// optionsSig renders the solving configuration of a request into the
+// string that both content-addresses it (with the instance) and groups
+// batcher tasks: tasks with equal signatures are safe to fold into one
+// SolveBatch call.
+func optionsSig(engine string, o wire.Options) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s|%s|%d|%d|%v|%d|%d|%d",
+		engine, o.Mode, o.Termination, o.Semiring, o.MaxIterations,
+		o.BandRadius, o.Window, o.TileSize, o.Workers, o.AutoCutoff)
+	return b.String()
+}
+
+// solve runs the cache → single-flight → batcher protocol for one
+// admitted request.
+func (s *Server) solve(ctx context.Context, in *sublineardp.Instance, engine string, req *wire.Request, opts []sublineardp.Option) (*sublineardp.Solution, via, error) {
+	sig := optionsSig(engine, req.Options)
+	key, keyed := solveKey(in, sig)
+	if s.lru == nil || !keyed {
+		sol, err := s.submit(ctx, &task{in: in, engine: engine, opts: opts, sig: sig, ctx: ctx})
+		return sol, viaSolved, err
+	}
+	if sol, ok := s.lru.Get(key); ok {
+		cp := *sol
+		return &cp, viaCacheHit, nil
+	}
+	sol, joined, err := s.group.Do(ctx, key, func(fctx context.Context) (*sublineardp.Solution, error) {
+		sol, err := s.submit(fctx, &task{in: in, engine: engine, opts: opts, sig: sig, ctx: fctx})
+		if err != nil {
+			return nil, err
+		}
+		s.lru.Add(key, sol)
+		return sol, nil
+	})
+	if err != nil {
+		return nil, viaSolved, err
+	}
+	// Same aliasing discipline as the root sublineardp.Cache: the
+	// pointer resident in the LRU is never handed out — every caller
+	// (leader included) gets a private shallow copy, so nothing
+	// downstream can mutate a cached entry.
+	cp := *sol
+	if joined {
+		return &cp, viaCoalesced, nil
+	}
+	return &cp, viaSolved, nil
+}
+
+// submit hands a task to the batcher and waits for its result.
+func (s *Server) submit(ctx context.Context, t *task) (*sublineardp.Solution, error) {
+	t.res = make(chan taskResult, 1)
+	select {
+	case s.batchCh <- t:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.done:
+		return nil, errors.New("server shutting down")
+	}
+	select {
+	case r := <-t.res:
+		return r.sol, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// batcher collects tasks into windows: the first task opens a batch,
+// stragglers join until the window elapses or the batch is full, then
+// the batch dispatches asynchronously so the next window can fill while
+// this one solves.
+func (s *Server) batcher() {
+	defer s.wg.Done()
+	for {
+		var first *task
+		select {
+		case first = <-s.batchCh:
+		case <-s.done:
+			return
+		}
+		batch := []*task{first}
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case t := <-s.batchCh:
+				batch = append(batch, t)
+			case <-timer.C:
+				break collect
+			case <-s.done:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.wg.Add(1)
+		go func(batch []*task) {
+			defer s.wg.Done()
+			s.runBatch(batch)
+		}(batch)
+	}
+}
+
+// runBatch partitions a window by options signature and dispatches one
+// SolveBatch per group on the shared pool. The batch context is
+// refcounted over the member tasks' contexts: it cancels only when every
+// member has been abandoned, which is how a client disconnect propagates
+// down to tile-level kernel abort without killing co-batched strangers.
+func (s *Server) runBatch(batch []*task) {
+	groups := make(map[string][]*task)
+	for _, t := range batch {
+		groups[t.sig] = append(groups[t.sig], t)
+	}
+	// Dispatch groups concurrently: signatures are independent solves,
+	// and serialising them would head-of-line block a window's small
+	// requests behind an unrelated large batch.
+	var gwg sync.WaitGroup
+	for _, group := range groups {
+		gwg.Add(1)
+		go func(group []*task) {
+			defer gwg.Done()
+			s.runGroup(group)
+		}(group)
+	}
+	gwg.Wait()
+}
+
+// runGroup dispatches one options-signature group as a SolveBatch call.
+func (s *Server) runGroup(group []*task) {
+	bctx, cancel := context.WithCancel(context.Background())
+	remaining := int64(len(group))
+	var pending atomic.Int64
+	pending.Store(remaining)
+	for _, t := range group {
+		go func(done <-chan struct{}) {
+			<-done
+			if pending.Add(-1) == 0 {
+				cancel()
+			}
+		}(t.ctx.Done())
+	}
+
+	instances := make([]*sublineardp.Instance, len(group))
+	for i, t := range group {
+		instances[i] = t.in
+	}
+	lead := group[0]
+	opts := append(append([]sublineardp.Option(nil), lead.opts...),
+		sublineardp.WithEngine(lead.engine),
+		sublineardp.WithPool(s.cfg.Pool),
+		sublineardp.WithConcurrency(s.cfg.Concurrency),
+	)
+	s.met.batches.Add(1)
+	s.met.batchSolves.Add(int64(len(group)))
+	sols, err := sublineardp.SolveBatch(bctx, instances, opts...)
+	if sols == nil {
+		sols = make([]*sublineardp.Solution, len(group))
+	}
+	for i, t := range group {
+		if sols[i] != nil {
+			t.res <- taskResult{sol: sols[i]}
+			continue
+		}
+		terr := t.ctx.Err()
+		if terr == nil {
+			terr = bctx.Err()
+		}
+		if terr == nil {
+			if err != nil {
+				terr = err
+			} else {
+				terr = errors.New("solve produced no solution")
+			}
+		}
+		t.res <- taskResult{err: terr}
+	}
+	cancel() // the watcher normally fires it; this makes vet-visible cleanup unconditional
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(wire.ErrorBody{Error: err.Error(), Code: code})
+}

@@ -1,0 +1,302 @@
+// Package wire defines the JSON request/response format of the dpserved
+// HTTP API — the network representation of an Instance and a Solution.
+//
+// Instances cross the wire as their defining parameters (matrix
+// dimensions, OBST weights, polygon vertices), never as closures, so a
+// decoded request rebuilds its instance through the same constructors
+// in-process callers use and inherits their canonical encoding — the
+// property the serving cache's correctness rests on (FuzzCanonicalHash).
+//
+// The format is frozen by golden-file tests (testdata/*.json, refreshed
+// with `go test ./internal/wire -update`): changing a field name or the
+// rendering of a value is a wire-format break and fails the suite.
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"sublineardp"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+)
+
+// Instance kinds accepted on the wire.
+const (
+	KindMatrixChain    = "matrixchain"
+	KindOBST           = "obst"
+	KindTriangulation  = "triangulation"
+	KindWTriangulation = "wtriangulation"
+)
+
+// Point is a polygon vertex on the wire.
+type Point struct {
+	X int64 `json:"x"`
+	Y int64 `json:"y"`
+}
+
+// Options carries the solver configuration of one request. Every field
+// is optional; the zero value means "server default". Enum fields use
+// the dpsolve CLI spellings.
+type Options struct {
+	// Engine is a registry name ("auto", "sequential", "hlv-banded", ...).
+	Engine string `json:"engine,omitempty"`
+	// Mode is "sync" or "chaotic".
+	Mode string `json:"mode,omitempty"`
+	// Termination is "fixed", "w-stable" or "wpw-stable".
+	Termination string `json:"termination,omitempty"`
+	// Semiring is "min-plus", "max-plus" or "bool-plan".
+	Semiring      string `json:"semiring,omitempty"`
+	MaxIterations int    `json:"max_iterations,omitempty"`
+	BandRadius    int    `json:"band_radius,omitempty"`
+	Window        bool   `json:"window,omitempty"`
+	TileSize      int    `json:"tile_size,omitempty"`
+	Workers       int    `json:"workers,omitempty"`
+	AutoCutoff    int    `json:"auto_cutoff,omitempty"`
+}
+
+// Request is one solve request. Exactly the parameter fields of its Kind
+// may be set: Dims for matrixchain, Alpha/Beta for obst, Points for
+// triangulation, Weights for wtriangulation.
+type Request struct {
+	// ID is an opaque client correlation tag echoed on the response.
+	ID      string  `json:"id,omitempty"`
+	Kind    string  `json:"kind"`
+	Dims    []int   `json:"dims,omitempty"`
+	Alpha   []int64 `json:"alpha,omitempty"`
+	Beta    []int64 `json:"beta,omitempty"`
+	Points  []Point `json:"points,omitempty"`
+	Weights []int64 `json:"weights,omitempty"`
+	Options Options `json:"options,omitzero"`
+	// WantTree requests the optimal parenthesization in Response.Tree
+	// (adds an O(n^2) reconstruction on the serving path).
+	WantTree bool `json:"want_tree,omitempty"`
+}
+
+// Response is the outcome of one solve request.
+type Response struct {
+	ID     string `json:"id,omitempty"`
+	Kind   string `json:"kind"`
+	N      int    `json:"n"`
+	Engine string `json:"engine"`
+	Cost   int64  `json:"cost"`
+	// TableDigest is the hex SHA-256 of the full converged cost table
+	// (TableDigest function), so clients — and the e2e suite — can check
+	// bitwise agreement with a local solve without shipping O(n^2) values.
+	TableDigest  string `json:"table_digest"`
+	Iterations   int    `json:"iterations,omitempty"`
+	StoppedEarly bool   `json:"stopped_early,omitempty"`
+	BandRadius   int    `json:"band_radius,omitempty"`
+	Tree         string `json:"tree,omitempty"`
+	// Cached reports the solution came from the server's canonical
+	// instance cache; Coalesced that this request folded into an
+	// identical in-flight solve. At most one is set.
+	Cached    bool `json:"cached,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// ElapsedMicros is the server-side solve (or wait) duration.
+	ElapsedMicros int64 `json:"elapsed_us"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Code  int    `json:"code"`
+}
+
+// N returns the instance size the request describes, without building
+// the instance (0 for malformed parameter sets).
+func (r *Request) N() int {
+	switch r.Kind {
+	case KindMatrixChain:
+		return len(r.Dims) - 1
+	case KindOBST:
+		return len(r.Beta) + 1
+	case KindTriangulation:
+		return len(r.Points) - 1
+	case KindWTriangulation:
+		return len(r.Weights) - 1
+	}
+	return 0
+}
+
+// Validate checks the request is well formed and its instance size is
+// within maxN (<= 0 means unbounded). It mirrors the constructor
+// preconditions as errors so a malformed request is a 400, not a panic.
+func (r *Request) Validate(maxN int) error {
+	switch r.Kind {
+	case KindMatrixChain:
+		if len(r.Dims) < 2 {
+			return fmt.Errorf("wire: matrixchain needs >= 2 dims, got %d", len(r.Dims))
+		}
+		for _, d := range r.Dims {
+			if d <= 0 {
+				return fmt.Errorf("wire: nonpositive matrix dimension %d", d)
+			}
+		}
+	case KindOBST:
+		if len(r.Beta) < 1 {
+			return fmt.Errorf("wire: obst needs >= 1 beta weight")
+		}
+		if len(r.Alpha) != len(r.Beta)+1 {
+			return fmt.Errorf("wire: obst needs len(alpha) == len(beta)+1, got %d and %d",
+				len(r.Alpha), len(r.Beta))
+		}
+		for _, v := range r.Alpha {
+			if v < 0 {
+				return fmt.Errorf("wire: negative alpha weight %d", v)
+			}
+		}
+		for _, v := range r.Beta {
+			if v < 0 {
+				return fmt.Errorf("wire: negative beta weight %d", v)
+			}
+		}
+	case KindTriangulation:
+		if len(r.Points) < 3 {
+			return fmt.Errorf("wire: triangulation needs >= 3 points, got %d", len(r.Points))
+		}
+	case KindWTriangulation:
+		if len(r.Weights) < 3 {
+			return fmt.Errorf("wire: wtriangulation needs >= 3 weights, got %d", len(r.Weights))
+		}
+		for _, w := range r.Weights {
+			if w <= 0 {
+				return fmt.Errorf("wire: nonpositive vertex weight %d", w)
+			}
+		}
+	case "":
+		return fmt.Errorf("wire: missing kind")
+	default:
+		return fmt.Errorf("wire: unknown kind %q", r.Kind)
+	}
+	if maxN > 0 && r.N() > maxN {
+		return fmt.Errorf("wire: instance size n=%d exceeds the server limit n=%d", r.N(), maxN)
+	}
+	if _, err := r.SolverOptions(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Instance builds the recurrence instance the request describes, through
+// the same constructors in-process callers use. Call Validate first; a
+// malformed request may panic here exactly as a malformed constructor
+// call would.
+func (r *Request) Instance() (*recurrence.Instance, error) {
+	switch r.Kind {
+	case KindMatrixChain:
+		return problems.MatrixChain(r.Dims), nil
+	case KindOBST:
+		return problems.OBST(r.Alpha, r.Beta), nil
+	case KindTriangulation:
+		vs := make([]problems.Point, len(r.Points))
+		for i, p := range r.Points {
+			vs[i] = problems.Point{X: p.X, Y: p.Y}
+		}
+		return problems.Triangulation(vs), nil
+	case KindWTriangulation:
+		return problems.WeightedTriangulation(r.Weights), nil
+	}
+	return nil, fmt.Errorf("wire: unknown kind %q", r.Kind)
+}
+
+// SolverOptions maps the wire options onto functional options for
+// NewSolver/SolveBatch, rejecting unknown enum spellings. The engine
+// name is returned by Engine(), not here, because NewSolver takes it
+// positionally.
+func (r *Request) SolverOptions() ([]sublineardp.Option, error) {
+	o := r.Options
+	var opts []sublineardp.Option
+	switch o.Mode {
+	case "", "sync":
+	case "chaotic":
+		opts = append(opts, sublineardp.WithMode(sublineardp.Chaotic))
+	default:
+		return nil, fmt.Errorf("wire: unknown mode %q", o.Mode)
+	}
+	switch o.Termination {
+	case "", "fixed":
+	case "w-stable":
+		opts = append(opts, sublineardp.WithTermination(sublineardp.WStable))
+	case "wpw-stable":
+		opts = append(opts, sublineardp.WithTermination(sublineardp.WPWStable))
+	default:
+		return nil, fmt.Errorf("wire: unknown termination %q", o.Termination)
+	}
+	switch o.Semiring {
+	case "", "min-plus":
+	case "max-plus":
+		opts = append(opts, sublineardp.WithSemiring(sublineardp.MaxPlus))
+	case "bool-plan":
+		opts = append(opts, sublineardp.WithSemiring(sublineardp.BoolPlan))
+	default:
+		return nil, fmt.Errorf("wire: unknown semiring %q", o.Semiring)
+	}
+	if o.MaxIterations > 0 {
+		opts = append(opts, sublineardp.WithMaxIterations(o.MaxIterations))
+	}
+	if o.BandRadius > 0 {
+		opts = append(opts, sublineardp.WithBandRadius(o.BandRadius))
+	}
+	if o.Window {
+		opts = append(opts, sublineardp.WithWindow(true))
+	}
+	if o.TileSize > 0 {
+		opts = append(opts, sublineardp.WithTileSize(o.TileSize))
+	}
+	if o.Workers > 0 {
+		opts = append(opts, sublineardp.WithWorkers(o.Workers))
+	}
+	if o.AutoCutoff > 0 {
+		opts = append(opts, sublineardp.WithAutoCutoff(o.AutoCutoff))
+	}
+	return opts, nil
+}
+
+// Engine returns the requested engine registry name ("" = server's
+// default).
+func (r *Request) Engine() string { return r.Options.Engine }
+
+// NewResponse renders a Solution as the wire response for its request.
+// Tree reconstruction runs only when the request asked for it and the
+// solve used the default min-plus algebra (other semirings' tables are
+// not recurrence fixed points, so there is no tree to extract).
+func NewResponse(r *Request, sol *sublineardp.Solution) *Response {
+	resp := &Response{
+		ID:            r.ID,
+		Kind:          r.Kind,
+		N:             sol.N(),
+		Engine:        sol.Engine,
+		Cost:          int64(sol.Cost()),
+		TableDigest:   TableDigest(sol.Table),
+		Iterations:    sol.Iterations,
+		StoppedEarly:  sol.StoppedEarly,
+		BandRadius:    sol.BandRadius,
+		Cached:        sol.Cached,
+		ElapsedMicros: sol.Elapsed.Microseconds(),
+	}
+	if r.WantTree && (r.Options.Semiring == "" || r.Options.Semiring == "min-plus") {
+		if tr, err := sol.Tree(); err == nil {
+			resp.Tree = tr.Encode()
+		}
+	}
+	return resp
+}
+
+// TableDigest returns the hex SHA-256 over the table's size and every
+// normalised upper-triangle entry in row-major order — the bitwise
+// identity of a solve result.
+func TableDigest(t *recurrence.Table) string {
+	h := sha256.New()
+	var buf [binary.MaxVarintLen64]byte
+	h.Write(buf[:binary.PutVarint(buf[:], int64(t.N))])
+	for i := 0; i <= t.N; i++ {
+		for j := i + 1; j <= t.N; j++ {
+			h.Write(buf[:binary.PutVarint(buf[:], int64(cost.Norm(t.At(i, j))))])
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

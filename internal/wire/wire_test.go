@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sublineardp"
+	"sublineardp/internal/problems"
+)
+
+// -update refreshes the golden fixtures. The fixtures freeze the wire
+// format: a diff here is an API break and must be deliberate.
+var update = flag.Bool("update", false, "rewrite golden wire fixtures")
+
+// goldenCases are the frozen request/response exemplars, one per kind
+// plus the serving-specific response variants.
+func goldenCases() map[string]any {
+	return map[string]any{
+		"request_matrixchain.json": &Request{
+			ID:   "req-1",
+			Kind: KindMatrixChain,
+			Dims: []int{30, 35, 15, 5, 10, 20, 25},
+			Options: Options{
+				Engine: "hlv-banded", Termination: "w-stable", BandRadius: 6,
+			},
+			WantTree: true,
+		},
+		"request_obst.json": &Request{
+			ID:    "req-2",
+			Kind:  KindOBST,
+			Alpha: []int64{1, 2, 1, 0, 1},
+			Beta:  []int64{4, 2, 6, 3},
+		},
+		"request_triangulation.json": &Request{
+			Kind: KindTriangulation,
+			Points: []Point{
+				{X: 1000, Y: 0}, {X: 309, Y: 951}, {X: -809, Y: 588},
+				{X: -809, Y: -588}, {X: 309, Y: -951},
+			},
+			Options: Options{Engine: "sequential"},
+		},
+		"request_wtriangulation.json": &Request{
+			Kind:    KindWTriangulation,
+			Weights: []int64{30, 35, 15, 5, 10, 20, 25},
+			Options: Options{Mode: "chaotic", MaxIterations: 12},
+		},
+		"response_solved.json": &Response{
+			ID: "req-1", Kind: KindMatrixChain, N: 6, Engine: "hlv-banded",
+			Cost: 15125, TableDigest: "6a0e2e343d2a1c47a2b95245b1c0ab05e5b35058ee3b93dcbeb18f9d7154f4bc",
+			Iterations: 5, StoppedEarly: true, BandRadius: 6,
+			Tree: "((1 . (2 . 3)) . ((4 . 5) . 6))", ElapsedMicros: 1234,
+		},
+		"response_cached.json": &Response{
+			ID: "req-9", Kind: KindOBST, N: 5, Engine: "sequential",
+			Cost: 42, TableDigest: "1f2a7c3fcdd9d0b57c2b578b0ba4eddc66c2a31ba4fa40ad0cd1d14c9b4eeb95",
+			Cached: true, ElapsedMicros: 11,
+		},
+		"response_coalesced.json": &Response{
+			Kind: KindMatrixChain, N: 64, Engine: "hlv-banded",
+			Cost: 99481, TableDigest: "0ab4d19933b09c9fe36a9287ba1cbd02e85c1c0b06158be64b2b0207ec2356f8",
+			Iterations: 9, Coalesced: true, ElapsedMicros: 52017,
+		},
+		"error_bad_request.json": &ErrorBody{
+			Error: `wire: obst needs len(alpha) == len(beta)+1, got 2 and 4`, Code: 400,
+		},
+	}
+}
+
+func TestGoldenWireFormat(t *testing.T) {
+	for name, v := range goldenCases() {
+		t.Run(name, func(t *testing.T) {
+			got, err := json.MarshalIndent(v, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", name)
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go test ./internal/wire -update`): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("wire format drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+			}
+			// Decode must round-trip back to the identical value: the
+			// format carries everything the type does.
+			back := reflect.New(reflect.TypeOf(v).Elem()).Interface()
+			if err := json.Unmarshal(want, back); err != nil {
+				t.Fatalf("golden file does not decode: %v", err)
+			}
+			if !reflect.DeepEqual(v, back) {
+				t.Errorf("decode(%s) != original:\n got %+v\nwant %+v", name, back, v)
+			}
+		})
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	bad := []Request{
+		{},
+		{Kind: "povray"},
+		{Kind: KindMatrixChain, Dims: []int{5}},
+		{Kind: KindMatrixChain, Dims: []int{5, 0, 3}},
+		{Kind: KindOBST, Alpha: []int64{1, 1}, Beta: []int64{1, 1, 1, 1}},
+		{Kind: KindOBST, Alpha: []int64{1, -2}, Beta: []int64{1}},
+		{Kind: KindTriangulation, Points: []Point{{X: 1}, {Y: 1}}},
+		{Kind: KindWTriangulation, Weights: []int64{3, 0, 3}},
+		{Kind: KindMatrixChain, Dims: []int{2, 3, 4}, Options: Options{Mode: "frantic"}},
+		{Kind: KindMatrixChain, Dims: []int{2, 3, 4}, Options: Options{Termination: "never"}},
+		{Kind: KindMatrixChain, Dims: []int{2, 3, 4}, Options: Options{Semiring: "tropical?"}},
+	}
+	for i, r := range bad {
+		if err := r.Validate(0); err == nil {
+			t.Errorf("case %d (%+v): Validate accepted a malformed request", i, r)
+		}
+	}
+	ok := Request{Kind: KindMatrixChain, Dims: []int{30, 35, 15, 5, 10, 20, 25}}
+	if err := ok.Validate(0); err != nil {
+		t.Errorf("valid request rejected: %v", err)
+	}
+	if err := ok.Validate(5); err == nil {
+		t.Error("Validate(maxN=5) accepted an n=6 instance")
+	}
+}
+
+func TestRequestInstanceMatchesDirectConstruction(t *testing.T) {
+	cases := []struct {
+		req    Request
+		direct func() *sublineardp.Instance
+	}{
+		{
+			Request{Kind: KindMatrixChain, Dims: []int{30, 35, 15, 5, 10, 20, 25}},
+			func() *sublineardp.Instance { return problems.MatrixChain([]int{30, 35, 15, 5, 10, 20, 25}) },
+		},
+		{
+			Request{Kind: KindOBST, Alpha: []int64{1, 2, 1, 0, 1}, Beta: []int64{4, 2, 6, 3}},
+			func() *sublineardp.Instance {
+				return problems.OBST([]int64{1, 2, 1, 0, 1}, []int64{4, 2, 6, 3})
+			},
+		},
+		{
+			Request{Kind: KindWTriangulation, Weights: []int64{3, 7, 2, 9}},
+			func() *sublineardp.Instance { return problems.WeightedTriangulation([]int64{3, 7, 2, 9}) },
+		},
+		{
+			Request{Kind: KindTriangulation, Points: []Point{{1000, 0}, {0, 1000}, {-1000, 0}, {0, -1000}}},
+			func() *sublineardp.Instance {
+				return problems.Triangulation([]problems.Point{
+					{X: 1000, Y: 0}, {X: 0, Y: 1000}, {X: -1000, Y: 0}, {X: 0, Y: -1000}})
+			},
+		},
+	}
+	solver := sublineardp.MustNewSolver(sublineardp.EngineSequential)
+	for _, tc := range cases {
+		t.Run(tc.req.Kind, func(t *testing.T) {
+			if err := tc.req.Validate(0); err != nil {
+				t.Fatal(err)
+			}
+			decoded, err := tc.req.Instance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct := tc.direct()
+			dc, ok1 := decoded.Canonical()
+			cc, ok2 := direct.Canonical()
+			if !ok1 || !ok2 {
+				t.Fatal("wire-built instance not canonicalisable")
+			}
+			if !bytes.Equal(dc, cc) {
+				t.Fatal("wire-built instance canonicalises differently from the direct constructor")
+			}
+			a, err := solver.Solve(context.Background(), decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := solver.Solve(context.Background(), direct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if TableDigest(a.Table) != TableDigest(b.Table) {
+				t.Fatal("wire-built instance solves to a different table")
+			}
+		})
+	}
+}
+
+func TestTableDigestDistinguishesTables(t *testing.T) {
+	s := sublineardp.MustNewSolver(sublineardp.EngineSequential)
+	a, err := s.Solve(context.Background(), problems.MatrixChain([]int{2, 3, 4, 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Solve(context.Background(), problems.MatrixChain([]int{2, 3, 4, 6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if TableDigest(a.Table) == TableDigest(b.Table) {
+		t.Fatal("different tables share a digest")
+	}
+	if TableDigest(a.Table) != TableDigest(a.Table.Clone()) {
+		t.Fatal("cloned table digests differently")
+	}
+}

@@ -68,6 +68,31 @@ func (s *Solver) Solve(ctx context.Context, in *Instance) (*Solution, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// WithTarget instrumentation is excluded from caching: Target is a
+	// table pointer whose content would have to be hashed to key it
+	// correctly, and a cached ConvergedAt recorded under a different
+	// target would be silently wrong.
+	if s.cfg.Cache != nil && s.cfg.Target == nil {
+		if key, ok := solveKey(in, s.engine.Name(), &s.cfg); ok {
+			start := time.Now()
+			sol, err := s.cfg.Cache.solve(ctx, key, func(fctx context.Context) (*Solution, error) {
+				return s.solveDirect(fctx, in)
+			})
+			if err != nil {
+				return nil, err
+			}
+			if sol.Cached {
+				sol.Elapsed = time.Since(start)
+			}
+			return sol, nil
+		}
+	}
+	return s.solveDirect(ctx, in)
+}
+
+// solveDirect runs the engine unconditionally — the compute path under
+// the cache protocol and the whole path when no cache is attached.
+func (s *Solver) solveDirect(ctx context.Context, in *Instance) (*Solution, error) {
 	start := time.Now()
 	sol, err := s.engine.Solve(ctx, in, &s.cfg)
 	if err != nil {

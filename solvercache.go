@@ -1,0 +1,115 @@
+package sublineardp
+
+import (
+	"context"
+
+	"sublineardp/internal/cache"
+)
+
+// Cache is a content-addressed solution cache with single-flight dedup:
+// a sharded LRU keyed by the instance's canonical encoding plus every
+// configuration field that can change the result. Attach one to a Solver
+// with WithCache and repeated solves of identical instances are served
+// from memory, while identical *in-flight* solves fold into one
+// computation — the same machinery cmd/dpserved runs behind its HTTP
+// front end, available to in-process users.
+//
+// Only canonicalisable instances participate (Instance.Canonical — the
+// matrixchain / obst / triangulation / wtriangulation constructors);
+// solves of opaque closure-backed instances bypass the cache entirely.
+// A Cache is safe for concurrent use and may back any number of Solvers.
+type Cache struct {
+	lru *cache.Sharded[*Solution]
+	sf  cache.Group[*Solution]
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's counters.
+type CacheStats struct {
+	// Hits / Misses count lookups against the resident LRU.
+	Hits, Misses int64
+	// Insertions / Updates / Evictions count LRU mutations.
+	Insertions, Updates, Evictions int64
+	// Solves counts computations actually executed; Coalesced counts
+	// callers that folded into an in-flight identical solve.
+	Solves, Coalesced int64
+}
+
+// NewCache returns a Cache holding at most capacity solutions
+// (capacity <= 0 picks 1024).
+func NewCache(capacity int) *Cache {
+	return &Cache{lru: cache.New[*Solution](capacity, 16)}
+}
+
+// Stats returns the cumulative counters.
+func (c *Cache) Stats() CacheStats {
+	ls := c.lru.Stats()
+	fs := c.sf.Stats()
+	return CacheStats{
+		Hits: ls.Hits, Misses: ls.Misses,
+		Insertions: ls.Insertions, Updates: ls.Updates, Evictions: ls.Evictions,
+		Solves: fs.Executions, Coalesced: fs.Dedups,
+	}
+}
+
+// Len returns the number of resident solutions.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// solveKey derives the content key for one solve: the instance's
+// canonical bytes plus every Config field that can alter the returned
+// Solution (engine routing, scheduling, iteration discipline, band,
+// algebra). Target is deliberately not keyed — Solver.Solve bypasses
+// the cache entirely when a target is set. It reports false for
+// instances that cannot be canonicalised.
+func solveKey(in *Instance, engineName string, cfg *Config) (cache.Key, bool) {
+	canon, ok := in.Canonical()
+	if !ok {
+		return cache.Key{}, false
+	}
+	srName := "min-plus"
+	if cfg.Semiring != nil {
+		srName = cfg.Semiring.Name()
+	}
+	h := cache.NewHasher().
+		Bytes("instance", canon).
+		String("engine", engineName).
+		Int64("workers", int64(cfg.Workers)).
+		Int64("tile", int64(cfg.TileSize)).
+		Int64("mode", int64(cfg.Mode)).
+		Int64("term", int64(cfg.Termination)).
+		Int64("maxiter", int64(cfg.MaxIterations)).
+		Int64("band", int64(cfg.BandRadius)).
+		Bool("window", cfg.Window).
+		Int64("autocutoff", int64(cfg.AutoCutoff)).
+		String("semiring", srName).
+		Bool("history", cfg.History)
+	return h.Sum(), true
+}
+
+// solve runs the cache protocol around compute: LRU lookup, then
+// single-flight execution on miss. Every path returns a caller-private
+// shallow copy (Cached tells hits and joins apart from led solves), so
+// no caller ever holds the pointer resident in the LRU.
+func (c *Cache) solve(ctx context.Context, key cache.Key, compute func(context.Context) (*Solution, error)) (*Solution, error) {
+	if sol, ok := c.lru.Get(key); ok {
+		cp := *sol
+		cp.Cached = true
+		return &cp, nil
+	}
+	sol, joined, err := c.sf.Do(ctx, key, func(fctx context.Context) (*Solution, error) {
+		s, err := compute(fctx)
+		if err != nil {
+			return nil, err
+		}
+		c.lru.Add(key, s)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Every caller — leader included — gets its own shallow copy: the
+	// pointer resident in the LRU must never be handed out, or a caller
+	// mutating "its" result would corrupt the cache.
+	cp := *sol
+	cp.Cached = joined
+	return &cp, nil
+}

@@ -1,0 +1,337 @@
+package sublineardp_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sublineardp"
+	"sublineardp/internal/problems"
+)
+
+// countingEngine wraps a registered engine and counts Solve executions,
+// optionally holding each solve until released — the instrument behind
+// the single-flight assertions.
+type countingEngine struct {
+	name    string
+	inner   sublineardp.Engine
+	calls   atomic.Int64
+	entered chan struct{} // receives one value per solve that starts
+	release chan struct{} // solves block here when non-nil
+}
+
+func (e *countingEngine) Name() string { return e.name }
+
+func (e *countingEngine) Solve(ctx context.Context, in *sublineardp.Instance, cfg *sublineardp.Config) (*sublineardp.Solution, error) {
+	e.calls.Add(1)
+	if e.entered != nil {
+		e.entered <- struct{}{}
+	}
+	if e.release != nil {
+		select {
+		case <-e.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return e.inner.Solve(ctx, in, cfg)
+}
+
+func newCountingEngine(t *testing.T, name string, blocking bool) *countingEngine {
+	t.Helper()
+	inner, ok := sublineardp.LookupEngine(sublineardp.EngineSequential)
+	if !ok {
+		t.Fatal("sequential engine missing")
+	}
+	e := &countingEngine{name: name, inner: inner}
+	if blocking {
+		e.entered = make(chan struct{}, 64)
+		e.release = make(chan struct{})
+	}
+	if err := sublineardp.RegisterEngine(e); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	return e
+}
+
+func TestCacheHitReturnsIdenticalSolution(t *testing.T) {
+	c := sublineardp.NewCache(16)
+	s, err := sublineardp.NewSolver(sublineardp.EngineSequential, sublineardp.WithCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := problems.CLRSMatrixChain()
+	first, err := s.Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first solve reported cached")
+	}
+	// A canonically equal but distinct instance value must hit.
+	again := problems.CLRSMatrixChain()
+	second, err := s.Solve(context.Background(), again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second solve missed the cache")
+	}
+	if second.Cost() != first.Cost() || !second.Table.Equal(first.Table) {
+		t.Fatal("cached solution differs from the original")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Solves != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 solve", st)
+	}
+}
+
+func TestCacheKeySeparatesConfigurations(t *testing.T) {
+	c := sublineardp.NewCache(16)
+	in := problems.RandomOBST(10, 50, 7)
+	ctx := context.Background()
+
+	base, err := sublineardp.NewSolver(sublineardp.EngineHLVBanded, sublineardp.WithCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Solve(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+
+	// Same engine, different band radius: must not hit.
+	banded, err := sublineardp.NewSolver(sublineardp.EngineHLVBanded,
+		sublineardp.WithCache(c), sublineardp.WithBandRadius(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := banded.Solve(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cached {
+		t.Fatal("different band radius hit the same cache entry")
+	}
+
+	// Different engine: must not hit either.
+	seq, err := sublineardp.NewSolver(sublineardp.EngineSequential, sublineardp.WithCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err = seq.Solve(ctx, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cached {
+		t.Fatal("different engine hit the same cache entry")
+	}
+	if st := c.Stats(); st.Solves != 3 {
+		t.Fatalf("stats %+v, want 3 distinct solves", st)
+	}
+}
+
+func TestCacheBypassesNonCanonicalInstances(t *testing.T) {
+	c := sublineardp.NewCache(16)
+	s, err := sublineardp.NewSolver(sublineardp.EngineSequential, sublineardp.WithCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := problems.RandomInstance(8, 40, 3) // closure-backed, no Canon
+	if _, ok := in.Canonical(); ok {
+		t.Fatal("RandomInstance unexpectedly canonicalisable; test needs a new subject")
+	}
+	for i := 0; i < 2; i++ {
+		sol, err := s.Solve(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Cached {
+			t.Fatal("non-canonical instance served from cache")
+		}
+	}
+	if st := c.Stats(); st.Hits+st.Misses+st.Solves != 0 {
+		t.Fatalf("cache touched by non-canonical solves: %+v", st)
+	}
+}
+
+// TestCacheSingleFlight proves the acceptance property in-process: k
+// concurrent identical solves execute the engine exactly once, and a
+// subsequent solve is a pure LRU hit with no engine involvement.
+func TestCacheSingleFlight(t *testing.T) {
+	eng := newCountingEngine(t, "counting-singleflight", true)
+	c := sublineardp.NewCache(16)
+	s, err := sublineardp.NewSolver(eng.Name(), sublineardp.WithCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := problems.CLRSMatrixChain()
+	want := problems.CLRSOptimalCost
+
+	const callers = 6
+	var wg sync.WaitGroup
+	var cachedCount atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sol, err := s.Solve(context.Background(), in)
+			if err != nil {
+				t.Errorf("solve: %v", err)
+				return
+			}
+			if sol.Cost() != want {
+				t.Errorf("cost %d, want %d", sol.Cost(), want)
+			}
+			if sol.Cached {
+				cachedCount.Add(1)
+			}
+		}()
+	}
+	<-eng.entered // the one leader is inside the engine
+	// Wait until the other callers have folded into the flight.
+	for c.Stats().Coalesced < callers-1 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(eng.release)
+	wg.Wait()
+
+	if got := eng.calls.Load(); got != 1 {
+		t.Fatalf("engine executed %d times for %d concurrent identical solves", got, callers)
+	}
+	if got := cachedCount.Load(); got != callers-1 {
+		t.Fatalf("%d callers saw Cached, want %d", got, callers-1)
+	}
+
+	// Now resident: the next solve must not touch the engine at all.
+	sol, err := s.Solve(context.Background(), problems.CLRSMatrixChain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.Cached || eng.calls.Load() != 1 {
+		t.Fatalf("LRU hit ran the engine (cached=%v calls=%d)", sol.Cached, eng.calls.Load())
+	}
+	st := c.Stats()
+	if st.Solves != 1 || st.Coalesced != callers-1 || st.Hits != 1 {
+		t.Fatalf("stats %+v inconsistent with 1 solve / %d coalesced / 1 hit", st, callers-1)
+	}
+}
+
+// TestCacheStressChurn churns a deliberately tiny cache with concurrent
+// hit/miss/evict traffic over real solves and asserts the single-flight
+// invariant end to end: the engine execution count equals the cache's
+// own Solves counter (no duplicate in-flight solves for identical keys),
+// and every returned solution is correct for its instance.
+func TestCacheStressChurn(t *testing.T) {
+	eng := newCountingEngine(t, "counting-stress", false)
+	c := sublineardp.NewCache(8) // far smaller than the keyspace: constant eviction
+	s, err := sublineardp.NewSolver(eng.Name(), sublineardp.WithCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keyspace = 32
+	instances := make([]*sublineardp.Instance, keyspace)
+	want := make([]sublineardp.Cost, keyspace)
+	for i := range instances {
+		instances[i] = problems.RandomMatrixChain(6, 20, int64(i))
+		sol, err := sublineardp.MustNewSolver(sublineardp.EngineSequential).
+			Solve(context.Background(), instances[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = sol.Cost()
+	}
+	const goroutines = 8
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := uint64(w + 1)
+			for op := 0; op < 300; op++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				i := int(rng % keyspace)
+				sol, err := s.Solve(context.Background(), instances[i])
+				if err != nil {
+					t.Errorf("solve %d: %v", i, err)
+					return
+				}
+				if sol.Cost() != want[i] {
+					t.Errorf("instance %d: cost %d, want %d", i, sol.Cost(), want[i])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if eng.calls.Load() != st.Solves {
+		t.Fatalf("engine ran %d times but cache recorded %d solves — duplicate in-flight solves",
+			eng.calls.Load(), st.Solves)
+	}
+	if st.Evictions == 0 || st.Hits == 0 {
+		t.Fatalf("stress run did not exercise evict/hit paths: %+v", st)
+	}
+}
+
+// TestCacheCancellationReachesEngine proves a caller cancellation
+// propagates through the cache's single-flight layer into the engine's
+// context once no caller remains.
+func TestCacheCancellationReachesEngine(t *testing.T) {
+	eng := newCountingEngine(t, "counting-stress-cancel", true)
+	c := sublineardp.NewCache(4)
+	s, err := sublineardp.NewSolver(eng.Name(), sublineardp.WithCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Solve(ctx, problems.CLRSMatrixChain())
+		errc <- err
+	}()
+	<-eng.entered // engine is mid-solve, parked on its context
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller error = %v, want context.Canceled", err)
+	}
+	// The engine itself unblocks via its own ctx (not eng.release, which
+	// stays open) — calls has settled at 1 and no goroutine leaks.
+	if eng.calls.Load() != 1 {
+		t.Fatalf("engine calls = %d, want 1", eng.calls.Load())
+	}
+}
+
+// TestCacheThroughSolveBatch threads one cache through a batch with
+// duplicated instances: the batch completes with every slot filled and
+// at most one underlying solve per distinct key.
+func TestCacheThroughSolveBatch(t *testing.T) {
+	eng := newCountingEngine(t, "counting-batch", false)
+	c := sublineardp.NewCache(64)
+	dimsA := []int{8, 7, 6, 5, 4}
+	dimsB := []int{3, 9, 2, 8}
+	var ins []*sublineardp.Instance
+	for i := 0; i < 6; i++ {
+		ins = append(ins, problems.MatrixChain(dimsA), problems.MatrixChain(dimsB))
+	}
+	sols, err := sublineardp.SolveBatch(context.Background(), ins,
+		sublineardp.WithEngine(eng.Name()), sublineardp.WithCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sol := range sols {
+		if sol == nil {
+			t.Fatalf("slot %d empty", i)
+		}
+	}
+	if got := eng.calls.Load(); got != 2 {
+		t.Fatalf("engine executed %d times for 2 distinct keys", got)
+	}
+	for i := 0; i < len(sols); i += 2 {
+		if sols[i].Cost() != sols[0].Cost() || sols[i+1].Cost() != sols[1].Cost() {
+			t.Fatalf("slot %d cost drifted", i)
+		}
+	}
+}

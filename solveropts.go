@@ -101,6 +101,12 @@ type Config struct {
 	// (0 = GOMAXPROCS). Ignored by single solves.
 	Concurrency int
 
+	// Cache, when non-nil, is a content-addressed solution cache with
+	// single-flight dedup consulted by every Solve of canonicalisable
+	// instances (WithCache). Cached solutions are shared: treat them as
+	// read-only.
+	Cache *Cache
+
 	// AutoCutoff is the instance size at or below which the "auto"
 	// engine picks "sequential" instead of "hlv-banded" (0 = the
 	// DefaultAutoCutoff). Small instances are solved faster by the
@@ -168,6 +174,14 @@ func WithSemiring(sr Semiring) Option { return func(c *Config) { c.Semiring = sr
 // WithConcurrency bounds how many instances SolveBatch works on at once
 // (0 = GOMAXPROCS).
 func WithConcurrency(n int) Option { return func(c *Config) { c.Concurrency = n } }
+
+// WithCache attaches a content-addressed solution cache (NewCache) to
+// the solve: repeated solves of canonically-equal instances under the
+// same configuration are served from memory, and identical in-flight
+// solves fold into one computation. Solution.Cached reports a solve that
+// did not run an engine. Instances without a canonical encoding
+// (Instance.Canonical) bypass the cache.
+func WithCache(c *Cache) Option { return func(cfg *Config) { cfg.Cache = c } }
 
 // WithAutoCutoff sets the instance size at or below which the "auto"
 // engine (and SolveBatch's default scheduling) picks the sequential
