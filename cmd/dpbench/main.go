@@ -40,6 +40,7 @@ func main() {
 		cross   = flag.Bool("crosscheck", false, "batch-solve a fixture set on every registered engine and report agreement")
 		jsonOut = flag.Bool("json", false, "benchmark the core engines and write a machine-readable perf baseline")
 		outPath = flag.String("out", "BENCH_core.json", "output path for -json")
+		ring    = flag.String("semiring", "", "algebra the -json core bench solves under (default min-plus)")
 	)
 	flag.Parse()
 
@@ -52,7 +53,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		if err := benchCore(*quick, *workers, *outPath); err != nil {
+		if err := benchCore(*quick, *workers, *outPath, *ring); err != nil {
 			fmt.Fprintf(os.Stderr, "dpbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -134,7 +135,15 @@ type benchFile struct {
 // buffer arena first, as in a serving process) and writes the JSON
 // artifact the CI perf-regression job uploads. hlv-dense stops at n=64:
 // its O(n^4) double buffer needs ~70 GB at n=256.
-func benchCore(quick bool, workers int, outPath string) error {
+func benchCore(quick bool, workers int, outPath, ring string) error {
+	var ringOpts []sublineardp.Option
+	if ring != "" && ring != "min-plus" {
+		sr, ok := sublineardp.LookupSemiring(ring)
+		if !ok {
+			return fmt.Errorf("unknown semiring %q (registered: %v)", ring, sublineardp.Semirings())
+		}
+		ringOpts = append(ringOpts, sublineardp.WithSemiring(sr))
+	}
 	type config struct {
 		engine string
 		sizes  []int
@@ -161,7 +170,8 @@ func benchCore(quick bool, workers int, outPath string) error {
 	seqNs := map[int]int64{}
 	ctx := context.Background()
 	for _, cfg := range configs {
-		solver, err := sublineardp.NewSolver(cfg.engine, sublineardp.WithWorkers(workers))
+		solver, err := sublineardp.NewSolver(cfg.engine,
+			append([]sublineardp.Option{sublineardp.WithWorkers(workers)}, ringOpts...)...)
 		if err != nil {
 			return err
 		}

@@ -7,7 +7,8 @@
 //	        -mix mlp:4,dictionary:4,polygon:2 -distinct 32 -out LOAD_summary.json
 //
 // The mix names the internal/workload families (mlp matrix chains,
-// Zipf-weighted dictionary OBSTs, sensor polygons) with integer weights;
+// Zipf-weighted dictionary OBSTs, sensor polygons, max-plus worstchain
+// bounds, bool-plan feasibility queries) with integer weights;
 // -distinct bounds how many distinct instances each family contributes,
 // which directly sets the cache-hit share of the run. The JSON summary
 // (-out) is uploaded as a CI artifact next to BENCH_core.json.
@@ -37,7 +38,7 @@ func main() {
 		addr     = flag.String("addr", "http://localhost:8080", "dpserved base URL")
 		duration = flag.Duration("duration", 10*time.Second, "how long to fire")
 		conc     = flag.Int("concurrency", 8, "concurrent client connections")
-		mix      = flag.String("mix", "mlp:4,dictionary:4,polygon:2", "family:weight list (mlp | dictionary | polygon)")
+		mix      = flag.String("mix", "mlp:4,dictionary:4,polygon:2,worstchain:1,boolplan:1", "family:weight list (mlp | dictionary | polygon | worstchain | boolplan)")
 		distinct = flag.Int("distinct", 32, "distinct instances per family (lower = more cache hits)")
 		size     = flag.Int("n", 48, "base instance size per request")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -147,8 +148,21 @@ func buildRequest(family string, n int, seed int64, rng *rand.Rand) (*wire.Reque
 			wpts[i] = wire.Point{X: p.X, Y: p.Y}
 		}
 		return &wire.Request{Kind: wire.KindTriangulation, Points: wpts}, nil
+	case "worstchain":
+		// workload.WorstCaseChain, rendered as its wire request.
+		return &wire.Request{Kind: wire.KindWorstChain, Dims: workload.WorstCaseChainDims(n, seed)}, nil
+	case "boolplan":
+		// workload.FeasibilityPlan, rendered as its wire request — sparse
+		// random bans, every fourth seed a deterministically infeasible
+		// span-2 wall.
+		spans := workload.FeasibilitySpans(n, seed)
+		forbidden := make([]wire.Span, len(spans))
+		for i, s := range spans {
+			forbidden[i] = wire.Span(s)
+		}
+		return &wire.Request{Kind: wire.KindBoolSplit, Count: n, Forbidden: forbidden}, nil
 	default:
-		return nil, fmt.Errorf("unknown workload family %q (mlp | dictionary | polygon)", family)
+		return nil, fmt.Errorf("unknown workload family %q (mlp | dictionary | polygon | worstchain | boolplan)", family)
 	}
 }
 

@@ -36,11 +36,12 @@ import (
 	"sublineardp/internal/txtplot"
 	"sublineardp/internal/verify"
 	"sublineardp/internal/wire"
+	"sublineardp/internal/workload"
 )
 
 func main() {
 	var (
-		problem = flag.String("problem", "matrixchain", "matrixchain | obst | triangulation | zigzag | balanced | skewed | random")
+		problem = flag.String("problem", "matrixchain", "matrixchain | obst | triangulation | zigzag | balanced | skewed | random | worstchain | boolsplit")
 		n       = flag.Int("n", 10, "instance size (ignored when -dims is given)")
 		seed    = flag.Int64("seed", 1, "random seed for generated instances")
 		dims    = flag.String("dims", "", "comma-separated matrix dimensions (matrixchain only)")
@@ -48,6 +49,7 @@ func main() {
 		algo    = flag.String("algo", "", "deprecated alias for -engine: seq | knuth | wavefront | dense | banded | rytter")
 		mode    = flag.String("mode", "sync", "sync | chaotic (hlv engines only)")
 		term    = flag.String("term", "fixed", "fixed | w-stable | wpw-stable")
+		ring    = flag.String("semiring", "", "algebra override: min-plus | max-plus | bool-plan | any registered name (default: the instance's)")
 		window  = flag.Bool("window", false, "windowed pebble schedule (hlv-banded only)")
 		workers = flag.Int("workers", 0, "goroutine count (0 = GOMAXPROCS)")
 		tile    = flag.Int("tile", 0, "kernel scheduling tile in (i,j) cells (0 = heuristic)")
@@ -86,8 +88,16 @@ func main() {
 	fmt.Printf("instance: %s (n=%d)\n", in.Name, in.N)
 
 	// Knuth's O(n^2) speedup is not an engine (it is only valid under the
-	// quadrangle inequality), so it stays a special case.
+	// quadrangle inequality, which is a min-plus property), so it stays a
+	// special case — and refuses any other algebra instead of silently
+	// answering the wrong question or panicking below the CLI surface.
 	if engineName == "knuth" {
+		if *ring != "" && *ring != "min-plus" {
+			fatal(fmt.Errorf("knuth is min-plus only (quadrangle inequality); drop -semiring %q", *ring))
+		}
+		if in.Algebra != "" && in.Algebra != "min-plus" {
+			fatal(fmt.Errorf("knuth is min-plus only (quadrangle inequality); instance %q declares %q", in.Name, in.Algebra))
+		}
 		runKnuth(in)
 		return
 	}
@@ -97,6 +107,14 @@ func main() {
 		sublineardp.WithTileSize(*tile),
 		sublineardp.WithWindow(*window),
 		sublineardp.WithHistory(*history),
+	}
+	var override sublineardp.Semiring
+	if *ring != "" {
+		var ok bool
+		if override, ok = sublineardp.LookupSemiring(*ring); !ok {
+			fatal(fmt.Errorf("unknown semiring %q (registered: %v)", *ring, sublineardp.Semirings()))
+		}
+		opts = append(opts, sublineardp.WithSemiring(override))
 	}
 	switch *mode {
 	case "sync":
@@ -132,7 +150,7 @@ func main() {
 	var seqRes *seq.Result
 	if !solvesSequentially {
 		var err error
-		seqRes, err = seq.SolveCtx(ctx, in)
+		seqRes, err = seq.SolveSemiringCtx(ctx, in, override)
 		if err != nil {
 			fatal(fmt.Errorf("sequential reference aborted: %w", err))
 		}
@@ -152,7 +170,7 @@ func main() {
 
 	if *tree && in.N <= 32 {
 		fmt.Println("optimal parenthesization:")
-		if seqRes != nil {
+		if seqRes != nil && seqRes.Feasible() {
 			fmt.Print(seqRes.Tree().Render(nil))
 		} else if tr, err := sol.Tree(); err == nil {
 			fmt.Print(tr.Render(nil))
@@ -253,6 +271,9 @@ func runKnuth(in *recurrence.Instance) {
 // itself was the sequential DP.
 func report(in *recurrence.Instance, sol *sublineardp.Solution, seqRes *seq.Result, history bool) {
 	fmt.Printf("engine: %s\n", sol.Engine)
+	if sol.Algebra != "" && sol.Algebra != "min-plus" {
+		fmt.Printf("algebra: %s\n", sol.Algebra)
+	}
 	fmt.Printf("optimum c(0,%d) = %d (%.2fms)\n", in.N, sol.Cost(), float64(sol.Elapsed.Microseconds())/1000)
 	if sol.Work > 0 {
 		fmt.Printf("work: %d candidate evaluations\n", sol.Work)
@@ -271,7 +292,11 @@ func report(in *recurrence.Instance, sol *sublineardp.Solution, seqRes *seq.Resu
 	if sol.Acct.Steps > 0 {
 		fmt.Printf("pram: %s\n", sol.Acct.String())
 	}
-	if rep := verify.Table(in, sol.Table); rep.OK() {
+	var srOverride sublineardp.Semiring
+	if sol.Algebra != "" {
+		srOverride, _ = sublineardp.LookupSemiring(sol.Algebra)
+	}
+	if rep := verify.TableSemiring(srOverride, in, sol.Table); rep.OK() {
 		fmt.Printf("verified: table is the exact fixed point of the recurrence (%d cells)\n", rep.Checked)
 	} else {
 		fmt.Printf("WARNING: verification failed: %v\n", rep.Err())
@@ -319,6 +344,21 @@ func buildInstance(problem string, n int, seed int64, dims string) (*recurrence.
 		return problems.Skewed(n), nil
 	case "random":
 		return problems.RandomInstance(n, 100, seed), nil
+	case "worstchain":
+		if dims != "" {
+			var ds []int
+			for _, part := range strings.Split(dims, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(part))
+				if err != nil {
+					return nil, fmt.Errorf("bad dimension %q: %v", part, err)
+				}
+				ds = append(ds, v)
+			}
+			return problems.WorstCaseMatrixChain(ds), nil
+		}
+		return workload.WorstCaseChain(n, seed), nil
+	case "boolsplit":
+		return workload.FeasibilityPlan(n, seed), nil
 	default:
 		return nil, fmt.Errorf("unknown problem %q", problem)
 	}

@@ -6,9 +6,11 @@ import (
 	"testing"
 
 	"sublineardp"
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/problems"
 	"sublineardp/internal/seq"
 	"sublineardp/internal/verify"
+	"sublineardp/internal/workload"
 )
 
 // The cross-engine conformance suite: every registered engine — built-in
@@ -87,6 +89,122 @@ func TestEngineConformance(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// The engine × generator × semiring matrix: every registered engine must
+// solve every generator family under every registered algebra to the
+// same optimum as the generic sequential reference, and its table must
+// be the exact fixed point of the recurrence under that algebra
+// (verify.TableSemiring — solver-independent, like verify.Table). This
+// is the contract that makes WithSemiring safe on any engine, and it
+// runs against the registry, so a third-party algebra admitted by
+// RegisterSemiring is held to it automatically.
+//
+// The matrix instances are smaller than conformanceInstances: the
+// O(n^6)-work rytter engine appears |algebras| times here.
+func TestEngineSemiringConformance(t *testing.T) {
+	instances := []*sublineardp.Instance{
+		problems.MatrixChain([]int{30, 35, 15, 5, 10, 20, 25}),
+		problems.RandomOBST(12, 40, 5),
+		problems.RandomShaped(13, 11),
+		problems.RandomInstance(15, 80, 9),
+	}
+	ctx := context.Background()
+	for _, algName := range sublineardp.Semirings() {
+		sr, ok := sublineardp.LookupSemiring(algName)
+		if !ok {
+			t.Fatalf("registered semiring %q not resolvable", algName)
+		}
+		wants := make([]*seq.Result, len(instances))
+		for i, in := range instances {
+			res, err := seq.SolveSemiringCtx(ctx, in, sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := verify.TableSemiring(sr, in, res.Table); !rep.OK() {
+				t.Fatalf("%s/%s: reference fails verification: %v", algName, in.Name, rep.Err())
+			}
+			wants[i] = res
+		}
+		for _, name := range sublineardp.Engines() {
+			if _, skip := nonconformingFixtures[name]; skip {
+				continue
+			}
+			t.Run(fmt.Sprintf("algebra=%s/engine=%s", algName, name), func(t *testing.T) {
+				solver, err := sublineardp.NewSolver(name, sublineardp.WithSemiring(sr))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, in := range instances {
+					sol, err := solver.Solve(ctx, in)
+					if err != nil {
+						t.Fatalf("%s: %v", in.Name, err)
+					}
+					if sol.Algebra != algName {
+						t.Errorf("%s: solution algebra %q, want %q", in.Name, sol.Algebra, algName)
+					}
+					if sol.Cost() != wants[i].Cost() {
+						t.Errorf("%s: optimum %d, sequential reference %d", in.Name, sol.Cost(), wants[i].Cost())
+					}
+					if rep := verify.TableSemiring(sr, in, sol.Table); !rep.OK() {
+						t.Errorf("%s: table is not a fixed point under %s: %v", in.Name, algName, rep.Err())
+					}
+				}
+			})
+		}
+	}
+}
+
+// The intrinsically non-min-plus families must route by their declared
+// Instance.Algebra with no WithSemiring at all, through every engine.
+func TestDeclaredAlgebraRoutesWithoutOverride(t *testing.T) {
+	instances := []*sublineardp.Instance{
+		problems.WorstCaseMatrixChain([]int{30, 35, 15, 5, 10, 20, 25}),
+		workload.FeasibilityPlan(14, 3),
+		workload.WorstCaseChain(12, 5),
+	}
+	ctx := context.Background()
+	for _, in := range instances {
+		want, err := seq.SolveSemiringCtx(ctx, in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range sublineardp.Engines() {
+			if _, skip := nonconformingFixtures[name]; skip {
+				continue
+			}
+			solver := sublineardp.MustNewSolver(name)
+			sol, err := solver.Solve(ctx, in)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, in.Name, err)
+			}
+			if sol.Algebra != in.Algebra {
+				t.Errorf("%s/%s: algebra %q, want declared %q", name, in.Name, sol.Algebra, in.Algebra)
+			}
+			if sol.Cost() != want.Cost() {
+				t.Errorf("%s/%s: optimum %d, reference %d", name, in.Name, sol.Cost(), want.Cost())
+			}
+			if rep := verify.TableSemiring(nil, in, sol.Table); !rep.OK() {
+				t.Errorf("%s/%s: not a fixed point: %v", name, in.Name, rep.Err())
+			}
+		}
+	}
+}
+
+// Every registered algebra must satisfy the semiring laws — part of the
+// conformance contract: RegisterSemiring enforces it at admission, and
+// this re-checks the registry as a whole (including the shipped
+// algebras' specialised kernels agreeing with their scalar ops).
+func TestRegisteredSemiringsSatisfyLaws(t *testing.T) {
+	for _, name := range sublineardp.Semirings() {
+		sr, ok := sublineardp.LookupSemiring(name)
+		if !ok {
+			t.Fatalf("registered semiring %q not resolvable", name)
+		}
+		if err := algebra.CheckLaws(sr); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
 	}
 }
 

@@ -7,11 +7,9 @@ import (
 	"sort"
 	"sync"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/core"
-	"sublineardp/internal/cost"
-	"sublineardp/internal/recurrence"
 	"sublineardp/internal/rytter"
-	"sublineardp/internal/semiring"
 	"sublineardp/internal/seq"
 	"sublineardp/internal/wavefront"
 )
@@ -20,7 +18,10 @@ import (
 // API. Implementations must be safe for concurrent use: SolveBatch calls
 // one Engine from many goroutines. Solve must honour ctx cancellation
 // (return ctx.Err() promptly) and must return a non-nil Solution exactly
-// when the error is nil.
+// when the error is nil. Every built-in engine consumes the one
+// recurrence.Instance type under any registered algebra: the effective
+// semiring is WithSemiring's override, else the instance's declared
+// Algebra, else min-plus.
 type Engine interface {
 	// Name is the registry key ("sequential", "hlv-banded", ...).
 	Name() string
@@ -49,8 +50,10 @@ const (
 	// EngineHLVBanded is the headline Section 5 algorithm storing only
 	// deficits within the 2*ceil(sqrt n) band.
 	EngineHLVBanded = "hlv-banded"
-	// EngineSemiring is the HLV iteration generalised to any idempotent
-	// semiring (WithSemiring; min-plus by default).
+	// EngineSemiring is a deprecated alias of the hlv-dense engine from
+	// when only one engine understood WithSemiring; every engine now
+	// evaluates any registered algebra. Kept registered so old clients
+	// and wire requests keep resolving.
 	EngineSemiring = "semiring"
 )
 
@@ -108,19 +111,19 @@ type EngineInfo struct {
 // options they interpret).
 var builtinInfo = map[string]EngineInfo{
 	EngineAuto: {Description: "size-based selector: sequential at n <= cutoff, else hlv-banded",
-		Options: "WithAutoCutoff + the chosen engine's options"},
+		Options: "WithAutoCutoff, WithSemiring + the chosen engine's options"},
 	EngineSequential: {Description: "classic O(n^3) dynamic program with O(n) tree reconstruction",
-		Options: "(none)"},
+		Options: "WithSemiring"},
 	EngineWavefront: {Description: "span-parallel linear-time baseline",
-		Options: "WithWorkers, WithPool"},
+		Options: "WithWorkers, WithPool, WithSemiring"},
 	EngineRytter: {Description: "Rytter's 1988 O(log^2 n) pointer-doubling baseline",
-		Options: "WithWorkers, WithPool, WithMaxIterations, WithTarget"},
+		Options: "WithWorkers, WithPool, WithMaxIterations, WithTarget, WithSemiring"},
 	EngineHLVDense: {Description: "paper Sections 2-4: full O(n^4) partial-weight array",
-		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithTarget, WithHistory"},
+		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithTarget, WithHistory, WithSemiring"},
 	EngineHLVBanded: {Description: "paper Section 5: deficits within 2*ceil(sqrt n), tiled pooled kernels",
-		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithBandRadius, WithWindow, WithTarget, WithHistory"},
-	EngineSemiring: {Description: "HLV iteration over any idempotent semiring",
-		Options: "WithSemiring, WithMaxIterations"},
+		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithBandRadius, WithWindow, WithTarget, WithHistory, WithSemiring"},
+	EngineSemiring: {Description: "deprecated alias of hlv-dense (every engine honours WithSemiring now)",
+		Options: "WithSemiring, WithMaxIterations + hlv-dense options"},
 }
 
 // EngineInfos returns one EngineInfo per registered engine, sorted by
@@ -147,12 +150,20 @@ func init() {
 		rytterEngine{},
 		hlvEngine{name: EngineHLVDense, variant: core.Dense},
 		hlvEngine{name: EngineHLVBanded, variant: core.Banded},
-		semiringEngine{},
+		hlvEngine{name: EngineSemiring, variant: core.Dense},
 	} {
 		if err := RegisterEngine(e); err != nil {
 			panic(err)
 		}
 	}
+}
+
+// resolveSemiring picks the algebra one solve runs under: the config's
+// explicit override, else the instance's declared algebra, else
+// min-plus. Engines use it for algebra-dependent result shaping; the
+// internal solvers re-resolve identically for their kernels.
+func resolveSemiring(cfg *Config, in *Instance) (algebra.Kernel, error) {
+	return algebra.Resolve(cfg.Semiring, in.Algebra)
 }
 
 // sequentialEngine wraps the O(n^3) baseline of internal/seq.
@@ -161,20 +172,25 @@ type sequentialEngine struct{}
 func (sequentialEngine) Name() string { return EngineSequential }
 
 func (sequentialEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
-	res, err := seq.SolveCtx(ctx, in)
+	sr, err := resolveSemiring(cfg, in)
+	if err != nil {
+		return nil, err
+	}
+	res, err := seq.SolveSemiringCtx(ctx, in, sr)
 	if err != nil {
 		return nil, err
 	}
 	return &Solution{
 		Engine:      EngineSequential,
+		Algebra:     sr.Name(),
 		Table:       res.Table,
 		Work:        res.Work,
 		ConvergedAt: -1,
 		instance:    in,
 		splits:      res.Split,
 		treeFn: func() (*Tree, error) {
-			if cost.IsInf(res.Cost()) {
-				return nil, errors.New("sublineardp: no finite optimum to reconstruct")
+			if !res.Feasible() {
+				return nil, errors.New("sublineardp: no optimum to reconstruct (root is the algebra's Zero)")
 			}
 			return res.Tree(), nil
 		},
@@ -187,12 +203,17 @@ type wavefrontEngine struct{}
 func (wavefrontEngine) Name() string { return EngineWavefront }
 
 func (wavefrontEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
-	res, err := wavefront.SolveCtx(ctx, in, wavefront.Options{Workers: cfg.Workers, Pool: cfg.Pool})
+	res, err := wavefront.SolveCtx(ctx, in, wavefront.Options{
+		Workers:  cfg.Workers,
+		Pool:     cfg.Pool,
+		Semiring: cfg.Semiring,
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &Solution{
 		Engine:      EngineWavefront,
+		Algebra:     algebra.ResolveName(cfg.Semiring, in.Algebra),
 		Table:       res.Table,
 		Acct:        res.Acct,
 		ConvergedAt: -1,
@@ -211,6 +232,7 @@ func (rytterEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solu
 		Pool:          cfg.Pool,
 		MaxIterations: cfg.MaxIterations,
 		Target:        cfg.Target,
+		Semiring:      cfg.Semiring,
 	})
 	if err != nil {
 		return nil, err
@@ -221,6 +243,7 @@ func (rytterEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solu
 	}
 	return &Solution{
 		Engine:       EngineRytter,
+		Algebra:      algebra.ResolveName(cfg.Semiring, in.Algebra),
 		Table:        res.Table,
 		Iterations:   res.Iterations,
 		StoppedEarly: res.Iterations < budget,
@@ -231,7 +254,9 @@ func (rytterEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solu
 }
 
 // hlvEngine wraps the paper's algorithm (internal/core) in either storage
-// variant.
+// variant. The same struct backs the deprecated "semiring" registry name
+// (dense variant), which is why the Solution echoes e.name rather than a
+// constant.
 type hlvEngine struct {
 	name    string
 	variant Variant
@@ -252,12 +277,14 @@ func (e hlvEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solut
 		Window:        cfg.Window,
 		Target:        cfg.Target,
 		History:       cfg.History,
+		Semiring:      cfg.Semiring,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &Solution{
 		Engine:       e.name,
+		Algebra:      algebra.ResolveName(cfg.Semiring, in.Algebra),
 		Table:        res.Table,
 		Iterations:   res.Iterations,
 		StoppedEarly: res.StoppedEarly,
@@ -269,48 +296,10 @@ func (e hlvEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solut
 	}, nil
 }
 
-// semiringEngine runs the HLV iteration over an arbitrary idempotent
-// semiring (internal/semiring). Under the default MinPlus algebra the
-// cost sentinel and the semiring's Zero coincide, so the instance's
-// values pass through unchanged and the result table is bit-identical to
-// the other engines'.
-type semiringEngine struct{}
-
-func (semiringEngine) Name() string { return EngineSemiring }
-
-func (semiringEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
-	sr := cfg.Semiring
-	if sr == nil {
-		sr = MinPlus
-	}
-	srIn := &semiring.Instance{
-		N:    in.N,
-		Name: in.Name,
-		Init: func(i int) int64 { return int64(in.Init(i)) },
-		F:    func(i, k, j int) int64 { return int64(in.F(i, k, j)) },
-	}
-	res, err := semiring.SolveHLVCtx(ctx, sr, srIn, cfg.MaxIterations)
-	if err != nil {
-		return nil, err
-	}
-	tbl := recurrence.NewTable(in.N)
-	for i := 0; i <= in.N; i++ {
-		for j := i + 1; j <= in.N; j++ {
-			tbl.Set(i, j, cost.Cost(res.At(i, j)))
-		}
-	}
-	return &Solution{
-		Engine:      EngineSemiring,
-		Table:       tbl,
-		Iterations:  res.Iterations,
-		ConvergedAt: -1,
-		instance:    in,
-	}, nil
-}
-
 // autoEngine is the size-based meta-engine: small instances go to the
-// sequential scan, large ones to the banded HLV iteration. The returned
-// Solution names the engine actually chosen.
+// sequential scan, large ones to the banded HLV iteration — under any
+// algebra, since both targets are generic. The returned Solution names
+// the engine actually chosen.
 type autoEngine struct{}
 
 func (autoEngine) Name() string { return EngineAuto }

@@ -1,6 +1,7 @@
 package sublineardp_test
 
 import (
+	"context"
 	"fmt"
 
 	"sublineardp"
@@ -64,4 +65,48 @@ func ExampleExtractTree() {
 	fmt.Println(sublineardp.TreeCost(in, tree) == res.Cost())
 	// Output:
 	// true
+}
+
+// Every engine is generic over an idempotent semiring: the same instance
+// solves under min-plus (the paper's algebra), max-plus (worst-case
+// parenthesization) or bool-plan via WithSemiring — or an instance can
+// declare its algebra itself, as the worst-case and feasibility
+// constructors do.
+func ExampleWithSemiring() {
+	ctx := context.Background()
+	dims := []int{30, 35, 15, 5, 10, 20, 25}
+
+	best := sublineardp.MustNewSolver(sublineardp.EngineHLVBanded)
+	sol, _ := best.Solve(ctx, sublineardp.NewMatrixChain(dims))
+	fmt.Println("best:", sol.Cost())
+
+	worst := sublineardp.MustNewSolver(sublineardp.EngineHLVBanded,
+		sublineardp.WithSemiring(sublineardp.MaxPlus))
+	sol, _ = worst.Solve(ctx, sublineardp.NewMatrixChain(dims))
+	fmt.Println("worst:", sol.Cost(), sol.Algebra)
+
+	// The declared-algebra constructor gives the same answer with no
+	// option at all.
+	sol, _ = best.Solve(ctx, sublineardp.NewWorstCaseMatrixChain(dims))
+	fmt.Println("declared:", sol.Cost())
+	// Output:
+	// best: 15125
+	// worst: 58000 max-plus
+	// declared: 58000
+}
+
+// Bool-plan feasibility: is there a parenthesization avoiding the
+// forbidden subexpressions? The sequential engine produces a witness.
+func ExampleNewForbiddenSplits() {
+	ctx := context.Background()
+	s := sublineardp.MustNewSolver(sublineardp.EngineSequential)
+
+	ok, _ := s.Solve(ctx, sublineardp.NewForbiddenSplits(4, [][2]int{{1, 3}}))
+	fmt.Println("avoiding (1,3):", ok.Cost())
+
+	no, _ := s.Solve(ctx, sublineardp.NewForbiddenSplits(4, [][2]int{{0, 2}, {1, 3}, {2, 4}}))
+	fmt.Println("avoiding all pairs:", no.Cost())
+	// Output:
+	// avoiding (1,3): 1
+	// avoiding all pairs: 0
 }

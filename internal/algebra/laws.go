@@ -1,0 +1,116 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing/quick"
+
+	"sublineardp/internal/cost"
+)
+
+// domain is a quick.Generator-compatible sample from a semiring's value
+// domain: random values normalised through the algebra's own
+// representation (so e.g. bool-plan only ever sees 0/1), mixed with the
+// boundary values the solvers actually produce.
+type domain struct {
+	sr Semiring
+	v  cost.Cost
+}
+
+func (d domain) Generate(rng *rand.Rand, _ int) reflect.Value {
+	k := Promote(d.sr)
+	var v cost.Cost
+	switch rng.Intn(8) {
+	case 0:
+		v = d.sr.Zero()
+	case 1:
+		v = d.sr.One()
+	case 2:
+		v = k.Norm(cost.Cost(rng.Int63n(5)))
+	default:
+		v = k.Norm(cost.Cost(rng.Int63n(1 << 40)))
+	}
+	return reflect.ValueOf(domain{d.sr, v})
+}
+
+// CheckLaws verifies the idempotent-semiring axioms the solvers rely on,
+// by randomised property testing over the algebra's own value domain:
+//
+//	Combine: idempotent, commutative, associative; Zero is its identity.
+//	Extend:  associative, commutes with itself is not required, but One
+//	         is its identity and Zero is absorbing.
+//	Extend distributes over Combine — the law that makes "Combine of
+//	Extend-accumulated partial trees" equal "the accumulated Combine",
+//	i.e. that lets a-square compose partial weights, and that implies
+//	Extend's monotonicity in the Combine order.
+//
+// Register runs it before admitting a third-party algebra; the
+// conformance suite re-runs it against every registered algebra.
+func CheckLaws(sr Semiring) error {
+	cfg := &quick.Config{
+		MaxCount: 400,
+		Values: func(vs []reflect.Value, rng *rand.Rand) {
+			for i := range vs {
+				vs[i] = domain{sr, 0}.Generate(rng, 0)
+			}
+		},
+	}
+	laws := []struct {
+		name string
+		fn   any
+	}{
+		{"Combine idempotent", func(a domain) bool {
+			return sr.Combine(a.v, a.v) == a.v
+		}},
+		{"Combine commutative", func(a, b domain) bool {
+			return sr.Combine(a.v, b.v) == sr.Combine(b.v, a.v)
+		}},
+		{"Combine associative", func(a, b, c domain) bool {
+			return sr.Combine(sr.Combine(a.v, b.v), c.v) == sr.Combine(a.v, sr.Combine(b.v, c.v))
+		}},
+		{"Zero is Combine identity", func(a domain) bool {
+			return sr.Combine(a.v, sr.Zero()) == a.v && sr.Combine(sr.Zero(), a.v) == a.v
+		}},
+		{"Extend associative", func(a, b, c domain) bool {
+			return sr.Extend(sr.Extend(a.v, b.v), c.v) == sr.Extend(a.v, sr.Extend(b.v, c.v))
+		}},
+		{"One is Extend identity", func(a domain) bool {
+			return sr.Extend(a.v, sr.One()) == a.v && sr.Extend(sr.One(), a.v) == a.v
+		}},
+		{"Zero absorbs Extend", func(a domain) bool {
+			return sr.Extend(a.v, sr.Zero()) == sr.Zero() && sr.Extend(sr.Zero(), a.v) == sr.Zero()
+		}},
+		{"Extend distributes over Combine", func(a, b, c domain) bool {
+			lhs := sr.Extend(a.v, sr.Combine(b.v, c.v))
+			rhs := sr.Combine(sr.Extend(a.v, b.v), sr.Extend(a.v, c.v))
+			return lhs == rhs
+		}},
+		{"Extend monotone in the Combine order", func(a, b, c domain) bool {
+			// Combine(a,b) == b means a does not improve on b; then
+			// Extend(a,c) must not improve on Extend(b,c).
+			if sr.Combine(a.v, b.v) != b.v {
+				return true
+			}
+			return sr.Combine(sr.Extend(a.v, c.v), sr.Extend(b.v, c.v)) == sr.Extend(b.v, c.v)
+		}},
+	}
+	for _, law := range laws {
+		if err := quick.Check(law.fn, cfg); err != nil {
+			return fmt.Errorf("%s: %v", law.name, err)
+		}
+	}
+	// The derived helpers must agree with their definitions when the
+	// algebra specialises them.
+	k := Promote(sr)
+	err := quick.Check(func(a, b domain) bool {
+		if k.Better(a.v, b.v) != (sr.Combine(a.v, b.v) != b.v) {
+			return false
+		}
+		return k.Relax2(a.v, b.v, sr.One()) == sr.Combine(a.v, b.v)
+	}, cfg)
+	if err != nil {
+		return fmt.Errorf("Better/Relax2 disagree with Combine: %v", err)
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/cost"
 	"sublineardp/internal/pebble"
 	"sublineardp/internal/pram"
@@ -13,8 +14,11 @@ import (
 // deficit (j-i)-(q-p) <= D are stored, D = 2*ceil(sqrt(n)) by default.
 // For a pair (i,j) of span L the stored gaps are indexed by
 // (d, a) with d = (p-i)+(j-q) <= min(D, L-1) and a = p-i <= d, laid out
-// triangularly after a per-pair base offset.
-type bandedState struct {
+// triangularly after a per-pair base offset. Like denseState it is
+// generic over the algebra; the deficit-band observation of Section 5 is
+// purely structural, so it holds for any idempotent semiring.
+type bandedState[S algebra.Kernel] struct {
+	sr       S
 	n, sz, D int
 	in       *recurrence.Instance
 	w        []cost.Cost
@@ -25,7 +29,7 @@ type bandedState struct {
 	pairs    []pair
 	rt       *runtime
 	sync     bool
-	legacy   bool // pin the reference a-square kernel (audit/chaotic/tests)
+	legacy   bool // pin the reference kernels (audit/chaotic/tests)
 	aud      *pram.Auditor
 
 	activateWork int64
@@ -43,7 +47,7 @@ type bandedState struct {
 }
 
 // dmax returns the largest storable deficit for a span-L pair.
-func (s *bandedState) dmax(L int) int {
+func (s *bandedState[S]) dmax(L int) int {
 	m := L - 1
 	if s.D < m {
 		m = s.D
@@ -57,16 +61,16 @@ func tri(m int) int { return m * (m + 1) / 2 }
 
 // cellIdx returns the storage index of gap (p,q) under pair (i,j). The
 // caller guarantees the deficit is within the band.
-func (s *bandedState) cellIdx(i, j, p, q int) int {
+func (s *bandedState[S]) cellIdx(i, j, p, q int) int {
 	d := (p - i) + (j - q)
 	return s.base[i*s.sz+j] + tri(d) + (p - i)
 }
 
-// get reads pw'(i,j,p,q), returning Inf for gaps outside the band.
-func (s *bandedState) get(buf []cost.Cost, i, j, p, q int) cost.Cost {
+// get reads pw'(i,j,p,q), returning Zero for gaps outside the band.
+func (s *bandedState[S]) get(buf []cost.Cost, i, j, p, q int) cost.Cost {
 	d := (p - i) + (j - q)
 	if d > s.dmax(j-i) {
-		return cost.Inf
+		return s.sr.Zero()
 	}
 	c := s.base[i*s.sz+j] + tri(d) + (p - i)
 	if s.aud != nil {
@@ -75,7 +79,7 @@ func (s *bandedState) get(buf []cost.Cost, i, j, p, q int) cost.Cost {
 	return buf[c]
 }
 
-func (s *bandedState) readW(i, j int) cost.Cost {
+func (s *bandedState[S]) readW(i, j int) cost.Cost {
 	c := i*s.sz + j
 	if s.aud != nil {
 		s.aud.Read(pram.Addr(epochTag(tagW, s.wEpoch), c))
@@ -83,14 +87,14 @@ func (s *bandedState) readW(i, j int) cost.Cost {
 	return s.w[c]
 }
 
-func (s *bandedState) writeEpochB(epoch uint8) uint8 {
+func (s *bandedState[S]) writeEpochB(epoch uint8) uint8 {
 	if s.sync {
 		return epoch ^ 1
 	}
 	return epoch
 }
 
-func newBandedState(in *recurrence.Instance, rt *runtime, syncMode bool, aud *pram.Auditor, bandRadius int, forceLegacy bool) *bandedState {
+func newBandedState[S algebra.Kernel](sr S, in *recurrence.Instance, rt *runtime, syncMode bool, aud *pram.Auditor, bandRadius int, forceLegacy bool) *bandedState[S] {
 	n := in.N
 	sz := n + 1
 	D := bandRadius
@@ -100,7 +104,8 @@ func newBandedState(in *recurrence.Instance, rt *runtime, syncMode bool, aud *pr
 	if D < 1 {
 		D = 1
 	}
-	s := &bandedState{
+	s := &bandedState[S]{
+		sr:     sr,
 		n:      n,
 		sz:     sz,
 		D:      D,
@@ -128,9 +133,10 @@ func newBandedState(in *recurrence.Instance, rt *runtime, syncMode bool, aud *pr
 		s.triTab[d] = tri(d)
 	}
 	s.buf = costArena.Get(total)
-	fillInf(rt, s.buf)
+	zero := sr.Zero()
+	fillValue(rt, s.buf, zero)
 	for i := range s.w {
-		s.w[i] = cost.Inf
+		s.w[i] = zero
 	}
 	if syncMode {
 		// Scratch halves come back dirty from the arena; every cell a
@@ -142,9 +148,10 @@ func newBandedState(in *recurrence.Instance, rt *runtime, syncMode bool, aud *pr
 	for i := 0; i < n; i++ {
 		s.w[i*sz+i+1] = in.Init(i)
 	}
-	// pw'(i,j,i,j) = 0: the (d=0, a=0) cell of every pair.
+	// pw'(i,j,i,j) = One: the (d=0, a=0) cell of every pair.
+	one := sr.One()
 	for _, pr := range s.pairs {
-		s.buf[s.base[int(pr.i)*sz+int(pr.j)]] = 0
+		s.buf[s.base[int(pr.i)*sz+int(pr.j)]] = one
 	}
 	s.computeCharges()
 	return s
@@ -152,7 +159,7 @@ func newBandedState(in *recurrence.Instance, rt *runtime, syncMode bool, aud *pr
 
 // release returns the state's buffers to the shared arenas. The state
 // must not be used afterwards.
-func (s *bandedState) release() {
+func (s *bandedState[S]) release() {
 	costArena.Put(s.w)
 	costArena.Put(s.wNext)
 	costArena.Put(s.buf)
@@ -162,7 +169,7 @@ func (s *bandedState) release() {
 	s.w, s.wNext, s.buf, s.bufNext, s.base, s.pairs = nil, nil, nil, nil, nil, nil
 }
 
-func (s *bandedState) computeCharges() {
+func (s *bandedState[S]) computeCharges() {
 	n := s.n
 	for L := 2; L <= n; L++ {
 		pairsL := int64(n + 1 - L)
@@ -199,7 +206,7 @@ func (s *bandedState) computeCharges() {
 // activate applies eq. (1a)/(1b) restricted to gaps inside the band: a
 // left gap (i,k) has deficit j-k, a right gap (k,j) deficit k-i, so only
 // the D splits nearest each end are touched — O(n^2 sqrt n) work.
-func (s *bandedState) activate(ctx context.Context) {
+func (s *bandedState[S]) activate(ctx context.Context) {
 	if s.aud != nil {
 		s.aud.BeginStep("a-activate")
 	}
@@ -216,24 +223,24 @@ func (s *bandedState) activate(ctx context.Context) {
 			// Left gaps (i,k): k from j-dm to j-1.
 			for k := max(i+1, j-dm); k < j; k++ {
 				c := s.cellIdx(i, j, i, k)
-				v := cost.Add(in.F(i, k, j), s.readW(k, j))
+				fv := in.F(i, k, j)
+				wkj := s.readW(k, j)
 				if s.aud != nil {
 					s.aud.Write(pram.Addr(epochTag(tagPW, s.pwEpoch), c))
 				}
-				if v < s.buf[c] {
-					s.buf[c] = v
+				if s.sr.RelaxAt(s.buf, c, fv, wkj) {
 					local++
 				}
 			}
 			// Right gaps (k,j): k from i+1 to i+dm.
 			for k := i + 1; k <= min(j-1, i+dm); k++ {
 				c := s.cellIdx(i, j, k, j)
-				v := cost.Add(in.F(i, k, j), s.readW(i, k))
+				fv := in.F(i, k, j)
+				wik := s.readW(i, k)
 				if s.aud != nil {
 					s.aud.Write(pram.Addr(epochTag(tagPW, s.pwEpoch), c))
 				}
-				if v < s.buf[c] {
-					s.buf[c] = v
+				if s.sr.RelaxAt(s.buf, c, fv, wik) {
 					local++
 				}
 			}
@@ -255,7 +262,7 @@ func (s *bandedState) activate(ctx context.Context) {
 // (banded_tiled.go); this body is the reference kernel, kept for the
 // auditor (which must see every logical read) and for chaotic mode
 // (which must keep its sweep order).
-func (s *bandedState) square(ctx context.Context) {
+func (s *bandedState[S]) square(ctx context.Context) {
 	if s.aud != nil {
 		s.aud.BeginStep("a-square")
 	}
@@ -297,8 +304,8 @@ func (s *bandedState) square(ctx context.Context) {
 							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c1))
 							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c2))
 						}
-						v := cost.Add(src[c1], src[c2])
-						if v < best {
+						v := s.sr.Extend(src[c1], src[c2])
+						if s.sr.Better(v, best) {
 							best = v
 						}
 					}
@@ -312,8 +319,8 @@ func (s *bandedState) square(ctx context.Context) {
 							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c3))
 							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c4))
 						}
-						v := cost.Add(src[c3], src[c4])
-						if v < best {
+						v := s.sr.Extend(src[c3], src[c4])
+						if s.sr.Better(v, best) {
 							best = v
 						}
 					}
@@ -342,11 +349,15 @@ func (s *bandedState) square(ctx context.Context) {
 }
 
 // pebble applies eq. (3) over the banded gaps plus the direct combine
-// min_k f(i,k,j)+w'(i,k)+w'(k,j). The combine stands in for the activate
-// edges the band cannot store (gaps whose sibling subtree exceeds D); in
-// the pebbling game it is the activate-then-pebble move at a node whose
-// children are both pebbled, so Lemma 3.3's schedule is preserved.
-func (s *bandedState) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
+// Combine_k Extend3(f(i,k,j), w'(i,k), w'(k,j)). The combine stands in
+// for the activate edges the band cannot store (gaps whose sibling
+// subtree exceeds D); in the pebbling game it is the activate-then-pebble
+// move at a node whose children are both pebbled, so Lemma 3.3's schedule
+// is preserved. The synchronous no-audit path reduces the banded gaps
+// with one bulk ReduceRelax sweep (the d=0 trivial gap it includes is
+// harmless: pw'(i,j,i,j) stays at One, so its candidate equals the old
+// value); the scalar body is kept for the auditor and chaotic mode.
+func (s *bandedState[S]) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
 	if s.aud != nil {
 		s.aud.BeginStep("a-pebble")
 	}
@@ -357,6 +368,7 @@ func (s *bandedState) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
 		copy(s.wNext, s.w)
 		dst = s.wNext
 	}
+	sz := s.sz
 	changed := s.rt.forChanged(ctx, len(s.pairs), func(lo, hi int) int64 {
 		var local int64
 		for t := lo; t < hi; t++ {
@@ -366,28 +378,39 @@ func (s *bandedState) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
 			if span < 2 || span < loSpan || span > hiSpan {
 				continue
 			}
-			c := i*s.sz + j
+			c := i*sz + j
 			best := src[c] // own-cell RMW: not a shared read
 			dm := s.dmax(span)
 			basec := s.base[c]
-			for d := 1; d <= dm; d++ {
-				for a := 0; a <= d; a++ {
-					p := i + a
-					q := j - (d - a)
-					pc := basec + tri(d) + a
-					if s.aud != nil {
-						s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), pc))
-					}
-					v := cost.Add(s.buf[pc], s.readW(p, q))
-					if v < best {
-						best = v
+			if !s.legacy {
+				best = s.sr.ReduceRelax(best, s.buf, s.w, algebra.ReduceShape{
+					M: dm + 1, Cnt0: 1, CntInc: 1,
+					A: basec, AStartStep: 1, AStartInc: 1, AStep: 1,
+					B: i*sz + j, BStartStep: -1, BStep: sz + 1,
+				})
+				for k := i + 1; k < j; k++ {
+					best = s.sr.Relax3(best, in.F(i, k, j), s.w[i*sz+k], s.w[k*sz+j])
+				}
+			} else {
+				for d := 1; d <= dm; d++ {
+					for a := 0; a <= d; a++ {
+						p := i + a
+						q := j - (d - a)
+						pc := basec + tri(d) + a
+						if s.aud != nil {
+							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), pc))
+						}
+						v := s.sr.Extend(s.buf[pc], s.readW(p, q))
+						if s.sr.Better(v, best) {
+							best = v
+						}
 					}
 				}
-			}
-			for k := i + 1; k < j; k++ {
-				v := cost.Add3(in.F(i, k, j), s.readW(i, k), s.readW(k, j))
-				if v < best {
-					best = v
+				for k := i + 1; k < j; k++ {
+					v := s.sr.Extend3(in.F(i, k, j), s.readW(i, k), s.readW(k, j))
+					if s.sr.Better(v, best) {
+						best = v
+					}
 				}
 			}
 			if s.aud != nil {
@@ -410,7 +433,7 @@ func (s *bandedState) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
 	return changed
 }
 
-func (s *bandedState) charge(acct *pram.Accounting, loSpan, hiSpan int) {
+func (s *bandedState[S]) charge(acct *pram.Accounting, loSpan, hiSpan int) {
 	acct.ChargeUnit(s.activateWork)
 	acct.ChargeReduce(s.squareCells, s.squareMaxM+1, s.squareWork)
 	var cells, work, maxM int64
@@ -426,7 +449,7 @@ func (s *bandedState) charge(acct *pram.Accounting, loSpan, hiSpan int) {
 	acct.ChargeReduce(cells, maxM, work)
 }
 
-func (s *bandedState) wTable() *recurrence.Table {
+func (s *bandedState[S]) wTable() *recurrence.Table {
 	t := recurrence.NewTable(s.n)
 	for i := 0; i <= s.n; i++ {
 		for j := i + 1; j <= s.n; j++ {
@@ -436,10 +459,10 @@ func (s *bandedState) wTable() *recurrence.Table {
 	return t
 }
 
-func (s *bandedState) wEquals(t *recurrence.Table) bool {
+func (s *bandedState[S]) wEquals(t *recurrence.Table) bool {
 	for i := 0; i <= s.n; i++ {
 		for j := i + 1; j <= s.n; j++ {
-			if cost.Norm(s.w[i*s.sz+j]) != cost.Norm(t.At(i, j)) {
+			if s.sr.Norm(s.w[i*s.sz+j]) != s.sr.Norm(t.At(i, j)) {
 				return false
 			}
 		}
@@ -447,11 +470,11 @@ func (s *bandedState) wEquals(t *recurrence.Table) bool {
 	return true
 }
 
-func (s *bandedState) finiteW() int {
+func (s *bandedState[S]) finiteW() int {
 	c := 0
 	for i := 0; i <= s.n; i++ {
 		for j := i + 1; j <= s.n; j++ {
-			if !cost.IsInf(s.w[i*s.sz+j]) {
+			if !s.sr.IsZero(s.w[i*s.sz+j]) {
 				c++
 			}
 		}
@@ -459,7 +482,7 @@ func (s *bandedState) finiteW() int {
 	return c
 }
 
-func (s *bandedState) setTrackPW(on bool) { s.trackPWChanges = on }
-func (s *bandedState) pwChanged() int64   { return s.pwChangedThisIter }
-func (s *bandedState) resetPWChanged()    { s.pwChangedThisIter = 0 }
-func (s *bandedState) bandRadius() int    { return s.D }
+func (s *bandedState[S]) setTrackPW(on bool) { s.trackPWChanges = on }
+func (s *bandedState[S]) pwChanged() int64   { return s.pwChangedThisIter }
+func (s *bandedState[S]) resetPWChanged()    { s.pwChangedThisIter = 0 }
+func (s *bandedState[S]) bandRadius() int    { return s.D }

@@ -3,30 +3,34 @@ package core
 import (
 	"context"
 
-	"sublineardp/internal/cost"
+	"sublineardp/internal/algebra"
 )
 
 // squareTiled is the cache-tiled a-square kernel for the synchronous
 // no-audit path. A banded cell is addressed by its deficit split
 // (a, e) = (p-i, j-q) with a+e = d <= dmax, and the kernel runs one pass
-// per form of eq. (2c), each in the loop order that keeps that form's
-// composition blocks resident:
+// per form of eq. (2c), each organised so one scalar factor is revisited
+// by a whole run of cells while hot:
 //
-//	pass 1  first form, (e, a, rr) order: the candidate block of pair
-//	        (i+rr, j-e) is revisited by every a > rr while hot, and the
-//	        pair's own triangle rows stay cached
-//	pass 2  second form, (a, e, y) order: the candidate blocks of pairs
-//	        (i+a, j-y) are memory-adjacent (consecutive j) and revisited
-//	        by every e > y
+//	pass 0  dst <- src over the pair's contiguous banded block
+//	pass 1  first form, (e, rr, a) order: per intermediate (i+rr, j-e)
+//	        the factor pw'(i,j,r,q) is a scalar and the candidate block
+//	        of pair (r,q) is walked in step with the destination cells
+//	pass 2  second form, (a, y, e) order: per intermediate (i+a, j-y)
+//	        the factor pw'(i,j,p,x) is a scalar against the candidate
+//	        block of pair (p,x)
 //
-// The reference kernel instead walks both forms per cell, touching a
-// fresh O(sqrt n)-element block per candidate with no reuse — at n=256
-// the band buffer is ~150 MB, so those misses dominate its runtime.
-// Infinite factors skip their inner loop (Add saturates; an Inf
-// candidate never wins), all candidate reads come from src, every banded
-// cell is written in pass 1 and only tightened in pass 2, so the result
-// is bitwise the reference kernel's.
-func (s *bandedState) squareTiled(ctx context.Context) {
+// Within the triangular (d, a) layout every index sequence is a
+// second-order arithmetic progression, so each (e,rr) / (a,y) run is one
+// RelaxPanel call on the algebra; the banded block offsets of the
+// partner pairs are gathered from base inside the primitive. The
+// reference kernel instead walks both forms per cell, touching a fresh
+// O(sqrt n)-element block per candidate with no reuse — at n=256 the
+// band buffer is ~150 MB, so those misses dominate its runtime.
+// Zero-valued scalars skip their run (an absorbed candidate never wins),
+// every banded cell is written by the pass-0 copy, and the passes only
+// tighten dst, so the result is bitwise the reference kernel's.
+func (s *bandedState[S]) squareTiled(ctx context.Context) {
 	src := s.buf
 	dst := s.bufNext
 	track := s.trackPWChanges
@@ -40,54 +44,36 @@ func (s *bandedState) squareTiled(ctx context.Context) {
 			i, j := int(pr.i), int(pr.j)
 			dm := s.dmax(j - i)
 			basec := base[i*sz+j]
-			// Pass 1: dst = min(src, first form) — intermediate (r, q)
-			// with r = i+rr, q = j-e.
-			for e := 0; e <= dm; e++ {
-				q := j - e
-				for a := 0; a+e <= dm; a++ {
-					c := basec + triTab[a+e] + a
-					best := src[c]
-					for rr := 0; rr < a; rr++ {
-						s1 := src[basec+triTab[rr+e]+rr] // pw'(i,j,r,q)
-						if s1 >= cost.Inf {
-							continue
-						}
-						ar := a - rr
-						v := s1 + src[base[(i+rr)*sz+q]+triTab[ar]+ar] // + pw'(r,q,p,q)
-						if v < best {
-							best = v
-						}
-					}
-					dst[c] = best
-				}
+			bl := triTab[dm+1]
+			copy(dst[basec:basec+bl], src[basec:basec+bl])
+			// Pass 1: dst = Combine(dst, first form) — intermediate
+			// (r, q) = (i+rr, j-e); destination cells a = rr+1..dm-e.
+			for e := 0; e < dm; e++ {
+				s.sr.RelaxPanel(dst, src, base, algebra.Panel{
+					M: dm - e, Cnt0: dm - e, CntInc: -1,
+					S1: basec + triTab[e], S1Step: e + 2, S1Inc: 1,
+					D: basec + triTab[e+1] + 1, DStartStep: e + 3, DStartInc: 1,
+					DStep: e + 3, DStepRow: 1, DInc: 1,
+					S: 2, SStep: 3, SInc: 1,
+					BaseIdx: i*sz + (j - e), BaseStep: sz,
+				})
 			}
-			// Pass 2: dst = min(dst, second form) — intermediate (p, x)
-			// with p = i+a, x = j-y.
-			for a := 0; a <= dm; a++ {
-				rowP := (i + a) * sz
-				for e := 1; a+e <= dm; e++ {
-					c := basec + triTab[a+e] + a
-					best := dst[c]
-					for y := 0; y < e; y++ {
-						s1 := src[basec+triTab[a+y]+a] // pw'(i,j,p,x)
-						if s1 >= cost.Inf {
-							continue
-						}
-						v := s1 + src[base[rowP+j-y]+triTab[e-y]] // + pw'(p,x,p,q)
-						if v < best {
-							best = v
-						}
-					}
-					if best != dst[c] {
-						dst[c] = best
-					}
-				}
-				if track {
-					for e := 0; a+e <= dm; e++ {
-						c := basec + triTab[a+e] + a
-						if dst[c] != src[c] {
-							local++
-						}
+			// Pass 2: dst = Combine(dst, second form) — intermediate
+			// (p, x) = (i+a, j-y); destination cells e = y+1..dm-a.
+			for a := 0; a < dm; a++ {
+				s.sr.RelaxPanel(dst, src, base, algebra.Panel{
+					M: dm - a, Cnt0: dm - a, CntInc: -1,
+					S1: basec + triTab[a] + a, S1Step: a + 1, S1Inc: 1,
+					D: basec + triTab[a+1] + a, DStartStep: a + 2, DStartInc: 1,
+					DStep: a + 2, DStepRow: 1, DInc: 1,
+					S: 1, SStep: 2, SInc: 1,
+					BaseIdx: (i+a)*sz + j, BaseStep: -1,
+				})
+			}
+			if track {
+				for c := basec; c < basec+bl; c++ {
+					if dst[c] != src[c] {
+						local++
 					}
 				}
 			}

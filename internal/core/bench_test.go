@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/problems"
 	"sublineardp/internal/recurrence"
 )
@@ -20,7 +21,7 @@ func benchInstance(n int) *recurrence.Instance {
 func BenchmarkOpDenseActivate(b *testing.B) {
 	for _, n := range []int{16, 32} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newDenseState(benchInstance(n), testRT(0), true, nil, false)
+			s := newDenseState(algebra.MinPlus{}, benchInstance(n), testRT(0), true, nil, false)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.activate(context.Background())
@@ -32,7 +33,7 @@ func BenchmarkOpDenseActivate(b *testing.B) {
 func BenchmarkOpDenseSquare(b *testing.B) {
 	for _, n := range []int{16, 32} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newDenseState(benchInstance(n), testRT(0), true, nil, false)
+			s := newDenseState(algebra.MinPlus{}, benchInstance(n), testRT(0), true, nil, false)
 			s.activate(context.Background())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -45,7 +46,7 @@ func BenchmarkOpDenseSquare(b *testing.B) {
 func BenchmarkOpDensePebble(b *testing.B) {
 	for _, n := range []int{16, 32} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newDenseState(benchInstance(n), testRT(0), true, nil, false)
+			s := newDenseState(algebra.MinPlus{}, benchInstance(n), testRT(0), true, nil, false)
 			s.activate(context.Background())
 			s.square(context.Background())
 			b.ResetTimer()
@@ -59,7 +60,7 @@ func BenchmarkOpDensePebble(b *testing.B) {
 func BenchmarkOpBandedActivate(b *testing.B) {
 	for _, n := range []int{32, 64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newBandedState(benchInstance(n), testRT(0), true, nil, 0, false)
+			s := newBandedState(algebra.MinPlus{}, benchInstance(n), testRT(0), true, nil, 0, false)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.activate(context.Background())
@@ -71,7 +72,7 @@ func BenchmarkOpBandedActivate(b *testing.B) {
 func BenchmarkOpBandedSquare(b *testing.B) {
 	for _, n := range []int{32, 64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newBandedState(benchInstance(n), testRT(0), true, nil, 0, false)
+			s := newBandedState(algebra.MinPlus{}, benchInstance(n), testRT(0), true, nil, 0, false)
 			s.activate(context.Background())
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -84,7 +85,7 @@ func BenchmarkOpBandedSquare(b *testing.B) {
 func BenchmarkOpBandedPebble(b *testing.B) {
 	for _, n := range []int{32, 64, 128} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
-			s := newBandedState(benchInstance(n), testRT(0), true, nil, 0, false)
+			s := newBandedState(algebra.MinPlus{}, benchInstance(n), testRT(0), true, nil, 0, false)
 			s.activate(context.Background())
 			s.square(context.Background())
 			b.ResetTimer()

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/cost"
 	"sublineardp/internal/pram"
 	"sublineardp/internal/recurrence"
@@ -26,8 +27,13 @@ type pair struct{ i, j int32 }
 func epochTag(tag, epoch uint8) uint8 { return tag | epoch<<3 }
 
 // denseState is the Sections 2-4 algorithm state: the full O(n^4) pw'
-// array plus the w' table, double-buffered for synchronous updates.
-type denseState struct {
+// array plus the w' table, double-buffered for synchronous updates. It is
+// generic over the algebra: sr's Combine/Extend/Zero replace min/+/Inf
+// everywhere, and the hot sweeps dispatch onto sr's bulk primitives so
+// the min-plus instantiation costs exactly what the specialised kernels
+// did.
+type denseState[S algebra.Kernel] struct {
+	sr     S
 	n, sz  int
 	in     *recurrence.Instance
 	w      []cost.Cost
@@ -37,7 +43,7 @@ type denseState struct {
 	pairs  []pair // all (i,j), i<j, internal spans first ordering irrelevant
 	rt     *runtime
 	sync   bool
-	legacy bool // pin the reference a-square kernel (audit/chaotic/tests)
+	legacy bool // pin the reference kernels (audit/chaotic/tests)
 	aud    *pram.Auditor
 
 	// Closed-form per-iteration accounting, computed once.
@@ -57,14 +63,15 @@ type denseState struct {
 	wEpoch, pwEpoch uint8
 }
 
-func (s *denseState) idx(i, j, p, q int) int {
+func (s *denseState[S]) idx(i, j, p, q int) int {
 	return ((i*s.sz+j)*s.sz+p)*s.sz + q
 }
 
-func newDenseState(in *recurrence.Instance, rt *runtime, syncMode bool, aud *pram.Auditor, forceLegacy bool) *denseState {
+func newDenseState[S algebra.Kernel](sr S, in *recurrence.Instance, rt *runtime, syncMode bool, aud *pram.Auditor, forceLegacy bool) *denseState[S] {
 	n := in.N
 	sz := n + 1
-	s := &denseState{
+	s := &denseState[S]{
+		sr:     sr,
 		n:      n,
 		sz:     sz,
 		in:     in,
@@ -82,19 +89,21 @@ func newDenseState(in *recurrence.Instance, rt *runtime, syncMode bool, aud *pra
 		s.wNext = costArena.Get(sz * sz)
 		s.pwNext = costArena.Get(sz * sz * sz * sz)
 	}
+	zero := sr.Zero()
 	for i := range s.w {
-		s.w[i] = cost.Inf
+		s.w[i] = zero
 	}
-	fillInf(s.rt, s.pw)
-	// Initialisation: w'(i,i+1) = init(i); pw'(i,j,i,j) = 0.
+	fillValue(s.rt, s.pw, zero)
+	// Initialisation: w'(i,i+1) = init(i); pw'(i,j,i,j) = One.
 	for i := 0; i < n; i++ {
 		s.w[i*sz+i+1] = in.Init(i)
 	}
+	one := sr.One()
 	s.pairs = pairArena.Get((n + 1) * n / 2)
 	t := 0
 	for i := 0; i <= n; i++ {
 		for j := i + 1; j <= n; j++ {
-			s.pw[s.idx(i, j, i, j)] = 0
+			s.pw[s.idx(i, j, i, j)] = one
 			s.pairs[t] = pair{int32(i), int32(j)}
 			t++
 		}
@@ -103,20 +112,20 @@ func newDenseState(in *recurrence.Instance, rt *runtime, syncMode bool, aud *pra
 	return s
 }
 
-// fillInf resets a (possibly recycled) cost buffer to all-Inf, in
-// parallel for the O(n^4) dense array.
-func fillInf(rt *runtime, buf []cost.Cost) {
+// fillValue resets a (possibly recycled) cost buffer to the algebra's
+// Zero, in parallel for the O(n^4) dense array.
+func fillValue(rt *runtime, buf []cost.Cost, zero cost.Cost) {
 	rt.pool.ForChunked(rt.workers, len(buf), 1<<16, func(lo, hi int) {
 		seg := buf[lo:hi]
 		for i := range seg {
-			seg[i] = cost.Inf
+			seg[i] = zero
 		}
 	})
 }
 
 // release returns the state's buffers to the shared arenas. The state
 // must not be used afterwards.
-func (s *denseState) release() {
+func (s *denseState[S]) release() {
 	costArena.Put(s.w)
 	costArena.Put(s.wNext)
 	costArena.Put(s.pw)
@@ -131,7 +140,7 @@ func (s *denseState) release() {
 // activate touches every (i,k,j) twice; a square cell (i,j,p,q) has
 // (p-i)+(j-q) candidates; a pebble cell (i,j) has span*(span+1)/2
 // candidate gaps.
-func (s *denseState) computeCharges() {
+func (s *denseState[S]) computeCharges() {
 	n := int64(s.n)
 	// activate: all 0 <= i < k < j <= n, two min-updates each.
 	triples := (n + 1) * n * (n - 1) / 6
@@ -166,7 +175,7 @@ func (s *denseState) computeCharges() {
 }
 
 // readPW fetches a pw' cell, recording the read when auditing.
-func (s *denseState) readPW(buf []cost.Cost, i, j, p, q int) cost.Cost {
+func (s *denseState[S]) readPW(buf []cost.Cost, i, j, p, q int) cost.Cost {
 	c := s.idx(i, j, p, q)
 	if s.aud != nil {
 		s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c))
@@ -174,7 +183,7 @@ func (s *denseState) readPW(buf []cost.Cost, i, j, p, q int) cost.Cost {
 	return buf[c]
 }
 
-func (s *denseState) readW(i, j int) cost.Cost {
+func (s *denseState[S]) readW(i, j int) cost.Cost {
 	c := i*s.sz + j
 	if s.aud != nil {
 		s.aud.Read(pram.Addr(epochTag(tagW, s.wEpoch), c))
@@ -184,7 +193,7 @@ func (s *denseState) readW(i, j int) cost.Cost {
 
 // writeEpoch returns the epoch a synchronous step writes into: the other
 // buffer when double-buffered, the same one when updating in place.
-func (s *denseState) writeEpoch(epoch uint8, buffered bool) uint8 {
+func (s *denseState[S]) writeEpoch(epoch uint8, buffered bool) uint8 {
 	if s.sync && buffered {
 		return epoch ^ 1
 	}
@@ -195,7 +204,7 @@ func (s *denseState) writeEpoch(epoch uint8, buffered bool) uint8 {
 // own old value, so in-place update is synchronous-equivalent; writes to
 // distinct cells are produced by distinct (i,k,j) triples (exclusive
 // write), which the auditor verifies.
-func (s *denseState) activate(ctx context.Context) {
+func (s *denseState[S]) activate(ctx context.Context) {
 	if s.aud != nil {
 		s.aud.BeginStep("a-activate")
 	}
@@ -219,7 +228,7 @@ func (s *denseState) activate(ctx context.Context) {
 // Each cell is read-modify-written by exactly one (i,k,j) triple: a
 // processor-local RMW, so only the write is recorded for the
 // exclusive-write audit.
-func (s *denseState) activatePair(in *recurrence.Instance, t int, changed *int64) {
+func (s *denseState[S]) activatePair(in *recurrence.Instance, t int, changed *int64) {
 	pr := s.pairs[t]
 	i, j := int(pr.i), int(pr.j)
 	if j-i < 2 {
@@ -228,21 +237,19 @@ func (s *denseState) activatePair(in *recurrence.Instance, t int, changed *int64
 	for k := i + 1; k < j; k++ {
 		fv := in.F(i, k, j)
 		c1 := s.idx(i, j, i, k)
-		v1 := cost.Add(fv, s.readW(k, j))
+		wkj := s.readW(k, j)
 		if s.aud != nil {
 			s.aud.Write(pram.Addr(epochTag(tagPW, s.pwEpoch), c1))
 		}
-		if v1 < s.pw[c1] {
-			s.pw[c1] = v1
+		if s.sr.RelaxAt(s.pw, c1, fv, wkj) {
 			*changed++
 		}
 		c2 := s.idx(i, j, k, j)
-		v2 := cost.Add(fv, s.readW(i, k))
+		wik := s.readW(i, k)
 		if s.aud != nil {
 			s.aud.Write(pram.Addr(epochTag(tagPW, s.pwEpoch), c2))
 		}
-		if v2 < s.pw[c2] {
-			s.pw[c2] = v2
+		if s.sr.RelaxAt(s.pw, c2, fv, wik) {
 			*changed++
 		}
 	}
@@ -254,7 +261,7 @@ func (s *denseState) activatePair(in *recurrence.Instance, t int, changed *int64
 // no-audit path runs the cache-tiled kernel (dense_tiled.go); this body
 // is the reference kernel, kept for the auditor (which must see every
 // logical read) and for chaotic mode (which must keep its sweep order).
-func (s *denseState) square(ctx context.Context) {
+func (s *denseState[S]) square(ctx context.Context) {
 	if s.aud != nil {
 		s.aud.BeginStep("a-square")
 	}
@@ -293,8 +300,8 @@ func (s *denseState) square(ctx context.Context) {
 							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c1))
 							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c2))
 						}
-						v := cost.Add(src[c1], src[c2])
-						if v < best {
+						v := s.sr.Extend(src[c1], src[c2])
+						if s.sr.Better(v, best) {
 							best = v
 						}
 						c1 += sz
@@ -310,8 +317,8 @@ func (s *denseState) square(ctx context.Context) {
 							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c3))
 							s.aud.Read(pram.Addr(epochTag(tagPW, s.pwEpoch), c4))
 						}
-						v := cost.Add(src[c3], src[c4])
-						if v < best {
+						v := s.sr.Extend(src[c3], src[c4])
+						if s.sr.Better(v, best) {
 							best = v
 						}
 						c3++
@@ -344,9 +351,14 @@ func (s *denseState) square(ctx context.Context) {
 // pebble performs one a-pebble over the given span range [loSpan, hiSpan]
 // (the full range for the unwindowed schedule). Following eq. (3) the min
 // excludes the trivial gap (p,q) == (i,j); monotonicity of w' and pw'
-// makes that equivalent to keeping the old value in the min. It returns
-// the number of w' entries that changed.
-func (s *denseState) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
+// makes that equivalent to keeping the old value in the min — and since
+// pw'(i,j,i,j) stays at One forever (no activate edge or composition
+// targets it), the trivial candidate Extend(One, w'(i,j)) equals the old
+// value, so the fast panel path below may include it harmlessly. The
+// synchronous no-audit path reduces each cell with one bulk ReduceRelax
+// sweep; the scalar body is kept for the auditor and chaotic mode. It
+// returns the number of w' entries that changed.
+func (s *denseState[S]) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
 	if s.aud != nil {
 		s.aud.BeginStep("a-pebble")
 	}
@@ -356,6 +368,8 @@ func (s *denseState) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
 		copy(s.wNext, s.w)
 		dst = s.wNext
 	}
+	sz := s.sz
+	sz2 := sz * sz
 	changed := s.rt.forChanged(ctx, len(s.pairs), func(lo, hi int) int64 {
 		var local int64
 		for t := lo; t < hi; t++ {
@@ -365,19 +379,27 @@ func (s *denseState) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
 			if span < 2 || span < loSpan || span > hiSpan {
 				continue
 			}
-			best := src[i*s.sz+j] // own-cell RMW: not a shared read
-			for p := i; p <= j; p++ {
-				for q := p + 1; q <= j; q++ {
-					if p == i && q == j {
-						continue
-					}
-					v := cost.Add(s.readPW(s.pw, i, j, p, q), s.readW(p, q))
-					if v < best {
-						best = v
+			c := i*sz + j
+			best := src[c] // own-cell RMW: not a shared read
+			if !s.legacy {
+				best = s.sr.ReduceRelax(best, s.pw, s.w, algebra.ReduceShape{
+					M: span, Cnt0: span, CntInc: -1,
+					A: (i*sz+j)*sz2 + i*sz + i + 1, AStartStep: sz + 1, AStep: 1,
+					B: i*sz + i + 1, BStartStep: sz + 1, BStep: 1,
+				})
+			} else {
+				for p := i; p <= j; p++ {
+					for q := p + 1; q <= j; q++ {
+						if p == i && q == j {
+							continue
+						}
+						v := s.sr.Extend(s.readPW(s.pw, i, j, p, q), s.readW(p, q))
+						if s.sr.Better(v, best) {
+							best = v
+						}
 					}
 				}
 			}
-			c := i*s.sz + j
 			if s.aud != nil {
 				s.aud.Write(pram.Addr(epochTag(tagW, s.writeEpoch(s.wEpoch, true)), c))
 			}
@@ -399,7 +421,7 @@ func (s *denseState) pebble(ctx context.Context, loSpan, hiSpan int) int64 {
 }
 
 // charge adds one full iteration's PRAM costs to acct.
-func (s *denseState) charge(acct *pram.Accounting, loSpan, hiSpan int) {
+func (s *denseState[S]) charge(acct *pram.Accounting, loSpan, hiSpan int) {
 	acct.ChargeUnit(s.activateWork)
 	acct.ChargeReduce(s.squareCells, s.squareMaxM+1, s.squareWork)
 	// Pebble work depends on the window; recompute for partial windows.
@@ -421,7 +443,7 @@ func (s *denseState) charge(acct *pram.Accounting, loSpan, hiSpan int) {
 }
 
 // wTable copies the current w' into a Table.
-func (s *denseState) wTable() *recurrence.Table {
+func (s *denseState[S]) wTable() *recurrence.Table {
 	t := recurrence.NewTable(s.n)
 	for i := 0; i <= s.n; i++ {
 		for j := i + 1; j <= s.n; j++ {
@@ -432,10 +454,10 @@ func (s *denseState) wTable() *recurrence.Table {
 }
 
 // wEquals reports whether the current w' matches the target table.
-func (s *denseState) wEquals(t *recurrence.Table) bool {
+func (s *denseState[S]) wEquals(t *recurrence.Table) bool {
 	for i := 0; i <= s.n; i++ {
 		for j := i + 1; j <= s.n; j++ {
-			if cost.Norm(s.w[i*s.sz+j]) != cost.Norm(t.At(i, j)) {
+			if s.sr.Norm(s.w[i*s.sz+j]) != s.sr.Norm(t.At(i, j)) {
 				return false
 			}
 		}
@@ -443,12 +465,12 @@ func (s *denseState) wEquals(t *recurrence.Table) bool {
 	return true
 }
 
-// finiteW counts finite w' entries (history statistic).
-func (s *denseState) finiteW() int {
+// finiteW counts present (non-Zero) w' entries (history statistic).
+func (s *denseState[S]) finiteW() int {
 	c := 0
 	for i := 0; i <= s.n; i++ {
 		for j := i + 1; j <= s.n; j++ {
-			if !cost.IsInf(s.w[i*s.sz+j]) {
+			if !s.sr.IsZero(s.w[i*s.sz+j]) {
 				c++
 			}
 		}
@@ -456,7 +478,7 @@ func (s *denseState) finiteW() int {
 	return c
 }
 
-func (s *denseState) setTrackPW(on bool) { s.trackPWChanges = on }
-func (s *denseState) pwChanged() int64   { return s.pwChangedThisIter }
-func (s *denseState) resetPWChanged()    { s.pwChangedThisIter = 0 }
-func (s *denseState) bandRadius() int    { return 0 }
+func (s *denseState[S]) setTrackPW(on bool) { s.trackPWChanges = on }
+func (s *denseState[S]) pwChanged() int64   { return s.pwChangedThisIter }
+func (s *denseState[S]) resetPWChanged()    { s.pwChangedThisIter = 0 }
+func (s *denseState[S]) bandRadius() int    { return 0 }

@@ -2,16 +2,14 @@ package core
 
 import (
 	"context"
-
-	"sublineardp/internal/cost"
 )
 
 // squareTiled is the cache-tiled a-square kernel for the synchronous
-// no-audit path. It computes exactly the reference kernel's min (eq. 2c)
-// but sweeps the iteration space in composition-major order, one pass per
-// form of the equation, so the inner loops walk memory at unit or
-// single-row stride instead of jumping O(n^3)-element strides per
-// candidate:
+// no-audit path. It computes exactly the reference kernel's Combine
+// (eq. 2c) but sweeps the iteration space in composition-major order,
+// one pass per form of the equation, so the inner loops walk memory at
+// unit or single-row stride instead of jumping O(n^3)-element strides
+// per candidate:
 //
 //	pass 0  dst <- src for every valid cell (contiguous row copies)
 //	pass 1  first form, (q, r, p) order: pw'(i,j,r,q) is a scalar per
@@ -21,13 +19,15 @@ import (
 //	        (p,x) and both pw'(p,x,p,q) and the destination row are
 //	        contiguous over q
 //
-// Infinite scalars skip their whole inner loop — early iterations are
-// Inf-dominated, so this prunes most of the O(n^5) candidate space while
-// computing the identical min (Add saturates at Inf; an Inf candidate
-// can never win). All candidate reads come from src, every valid cell is
-// written, and the passes only tighten dst per cell, so the result is
-// bitwise the reference kernel's.
-func (s *denseState) squareTiled(ctx context.Context) {
+// Each (q,r) / (p,x) panel dispatches as one RelaxPanel call on the
+// algebra, whose per-semiring body is the specialised scalar loop —
+// Zero-valued scalars skip their whole panel row, pruning most of the
+// O(n^5) candidate space in the Zero-dominated early iterations while
+// computing the identical Combine (an absorbed candidate can never win).
+// All candidate reads come from src, every valid cell is written by the
+// pass-0 copy, and the passes only tighten dst per cell, so the result
+// is bitwise the reference kernel's.
+func (s *denseState[S]) squareTiled(ctx context.Context) {
 	src := s.pw
 	dst := s.pwNext
 	track := s.trackPWChanges
@@ -44,40 +44,28 @@ func (s *denseState) squareTiled(ctx context.Context) {
 				rowP := baseIJ + p*sz
 				copy(dst[rowP+p+1:rowP+j+1], src[rowP+p+1:rowP+j+1])
 			}
-			// First form of eq. (2c): intermediate (r,q).
-			for q := i + 1; q <= j; q++ {
-				colQ := baseIJ + q
-				for r := i; r < q; r++ {
-					s1 := src[colQ+r*sz] // pw'(i,j,r,q)
-					if s1 >= cost.Inf {
-						continue
-					}
-					rq := r*sz3 + q*sz2 + q // idx(r,q,p,q) - p*sz
-					for p := r + 1; p < q; p++ {
-						v := s1 + src[rq+p*sz]
-						if c := colQ + p*sz; v < dst[c] {
-							dst[c] = v
-						}
-					}
-				}
+			// First form of eq. (2c): intermediate (r,q). Per q, the
+			// scalar pw'(i,j,r,q) walks down the column (stride sz) and
+			// the destination/candidate columns share its stride.
+			for q := i + 2; q <= j; q++ {
+				s.sr.RelaxRows(dst, src,
+					q-i, q-1-i, -1, // rows r = i..q-1, p runs shrinking
+					baseIJ+q+i*sz, sz, // s1 = pw'(i,j,r,q)
+					baseIJ+q+(i+1)*sz, sz, // dst = pw'(i,j,p,q)
+					i*sz3+q*sz2+q+(i+1)*sz, sz3+sz, // src = pw'(r,q,p,q)
+					sz)
 			}
-			// Second form: intermediate (p,x).
+			// Second form: intermediate (p,x). Per p, the scalar
+			// pw'(i,j,p,x) walks the row (stride 1) and the
+			// destination/candidate rows are contiguous.
 			for p := i; p < j; p++ {
 				rowP := baseIJ + p*sz
-				px := p*sz3 + p*sz // idx(p,x,p,q) - x*sz2 - q
-				for x := p + 1; x <= j; x++ {
-					s1 := src[rowP+x] // pw'(i,j,p,x)
-					if s1 >= cost.Inf {
-						continue
-					}
-					row4 := px + x*sz2
-					for q := p + 1; q < x; q++ {
-						v := s1 + src[row4+q]
-						if c := rowP + q; v < dst[c] {
-							dst[c] = v
-						}
-					}
-				}
+				s.sr.RelaxRows(dst, src,
+					j-p, 0, 1, // rows x = p+1..j, q runs growing
+					rowP+p+1, 1, // s1 = pw'(i,j,p,x)
+					rowP+p+1, 0, // dst = pw'(i,j,p,q), fixed row
+					p*sz3+p*sz+(p+1)*sz2+p+1, sz2, // src = pw'(p,x,p,q)
+					1)
 			}
 			if track {
 				for p := i; p <= j; p++ {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/cost"
 	"sublineardp/internal/parutil"
 	"sublineardp/internal/pram"
@@ -126,6 +127,13 @@ type Options struct {
 	// synchronous step for CREW validation. Orders of magnitude slower;
 	// test sizes only.
 	Audit *pram.Auditor
+
+	// Semiring overrides the algebra the recurrence is evaluated over
+	// (nil = the instance's declared algebra, min-plus by default). Every
+	// kernel — dense, banded, tiled, reference — is generic over it; the
+	// shipped algebras run specialised bulk primitives, third-party ones
+	// a generic fallback.
+	Semiring algebra.Semiring
 
 	// Target, when non-nil, is the known-correct table (e.g. from
 	// seq.Solve); the run records in Result.ConvergedAt the first

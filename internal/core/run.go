@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/cost"
 	"sublineardp/internal/parutil"
 	"sublineardp/internal/pebble"
@@ -56,6 +57,19 @@ func (rt *runtime) forChanged(ctx context.Context, n int, body func(lo, hi int) 
 	return sum
 }
 
+// newEngine builds the storage variant's state at one concrete algebra
+// type — the single instantiation point of the generic kernels.
+func newEngine[S algebra.Kernel](sr S, in *recurrence.Instance, rt *runtime, opts Options) engine {
+	switch opts.Variant {
+	case Dense:
+		return newDenseState(sr, in, rt, opts.Mode == Synchronous, opts.Audit, opts.forceLegacyKernel)
+	case Banded:
+		return newBandedState(sr, in, rt, opts.Mode == Synchronous, opts.Audit, opts.BandRadius, opts.forceLegacyKernel)
+	default:
+		panic(fmt.Sprintf("core: unknown variant %v", opts.Variant))
+	}
+}
+
 // DefaultIterations returns the paper's worst-case iteration budget for
 // size n: 2*ceil(sqrt(n)).
 func DefaultIterations(n int) int {
@@ -100,14 +114,24 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Resu
 	}
 	rt := &runtime{pool: pool, workers: workers, tile: opts.TileSize}
 
+	// Resolve the algebra and instantiate the generic engine at the
+	// concrete type of each shipped semiring, so the bulk kernel
+	// primitives dispatch to their specialised bodies; anything else
+	// (promoted third-party algebras) runs through the Kernel interface.
+	k, err := algebra.Resolve(opts.Semiring, in.Algebra)
+	if err != nil {
+		return nil, err
+	}
 	var eng engine
-	switch opts.Variant {
-	case Dense:
-		eng = newDenseState(in, rt, opts.Mode == Synchronous, opts.Audit, opts.forceLegacyKernel)
-	case Banded:
-		eng = newBandedState(in, rt, opts.Mode == Synchronous, opts.Audit, opts.BandRadius, opts.forceLegacyKernel)
+	switch sr := k.(type) {
+	case algebra.MinPlus:
+		eng = newEngine(sr, in, rt, opts)
+	case algebra.MaxPlus:
+		eng = newEngine(sr, in, rt, opts)
+	case algebra.BoolPlan:
+		eng = newEngine(sr, in, rt, opts)
 	default:
-		panic(fmt.Sprintf("core: unknown variant %v", opts.Variant))
+		eng = newEngine[algebra.Kernel](k, in, rt, opts)
 	}
 	defer eng.release()
 

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"sublineardp/internal/algebra"
+	"sublineardp/internal/cost"
 	"sublineardp/internal/problems"
 	"sublineardp/internal/recurrence"
 )
@@ -61,4 +63,50 @@ func bandRadii(v Variant, n int) []int {
 	}
 	// Default D, a narrow band, and a band past n (stores everything).
 	return []int{0, 2, n + 1}
+}
+
+// The same bitwise tiled-vs-reference pin, across every registered
+// algebra: the panel kernels must agree with the generic reference sweep
+// not just for min-plus but under max-plus and bool-plan, at every
+// intermediate iteration.
+func TestTiledKernelMatchesReferenceAcrossSemirings(t *testing.T) {
+	for _, algName := range algebra.Names() {
+		sr, ok := algebra.Lookup(algName)
+		if !ok {
+			t.Fatalf("algebra %q not resolvable", algName)
+		}
+		base := problems.RandomMatrixChain(14, 40, 11).Materialize()
+		in := &recurrence.Instance{N: base.N, Name: base.Name, Init: base.Init, F: base.F}
+		if algName == "bool-plan" {
+			// 0/1 values with a mix of forbidden splits and leaves.
+			in.Init = func(i int) cost.Cost { return cost.Cost(1) }
+			in.F = func(i, k, j int) cost.Cost { return cost.Cost((i + 2*k + j) % 2) }
+		}
+		for _, variant := range []Variant{Dense, Banded} {
+			for _, radius := range bandRadii(variant, in.N) {
+				for it := 1; it <= DefaultIterations(in.N); it++ {
+					opts := Options{
+						Variant:       variant,
+						BandRadius:    radius,
+						MaxIterations: it,
+						History:       true,
+						Semiring:      sr,
+					}
+					fast := Solve(in, opts)
+					opts.forceLegacyKernel = true
+					ref := Solve(in, opts)
+					label := fmt.Sprintf("%s/%s/D=%d/iter=%d", algName, variant, radius, it)
+					if !fast.Table.Equal(ref.Table) {
+						t.Fatalf("%s: tiled kernel diverged: %v", label, fast.Table.Diff(ref.Table, 3))
+					}
+					for k := range fast.History {
+						if fast.History[k] != ref.History[k] {
+							t.Fatalf("%s: iteration stats diverged at %d: %+v vs %+v",
+								label, k+1, fast.History[k], ref.History[k])
+						}
+					}
+				}
+			}
+		}
+	}
 }

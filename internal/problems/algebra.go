@@ -1,0 +1,105 @@
+package problems
+
+import (
+	"fmt"
+	"sort"
+
+	"sublineardp/internal/algebra"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
+)
+
+// The families in this file are only expressible now that every engine
+// is generic over the algebra: they declare a non-min-plus semiring on
+// the instance itself, and their Canon hooks make them servable and
+// cacheable — the algebra tag folded into Instance.Canonical keeps them
+// from ever colliding with their min-plus twins.
+
+// WorstCaseMatrixChain returns the max-plus twin of MatrixChain: the
+// same decomposition costs, but the optimum sought is the *costliest*
+// parenthesization — the adversarial bound planners and schedulers
+// compare an evaluation order against ("how bad can an uninformed
+// association get"). c(0,n) is the maximal multiplication count.
+func WorstCaseMatrixChain(dims []int) *recurrence.Instance {
+	if len(dims) < 2 {
+		panic(fmt.Sprintf("problems: worst-case matrix chain needs >= 2 dimensions, got %d", len(dims)))
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("problems: nonpositive matrix dimension %d", d))
+		}
+	}
+	d := make([]int64, len(dims))
+	for i, v := range dims {
+		d[i] = int64(v)
+	}
+	return &recurrence.Instance{
+		N:       len(dims) - 1,
+		Name:    fmt.Sprintf("worstchain-n%d", len(dims)-1),
+		Algebra: algebra.NameMaxPlus,
+		Canon:   func() []byte { return canon("worstchain", d) },
+		Init:    func(i int) cost.Cost { return 0 },
+		F: func(i, k, j int) cost.Cost {
+			return cost.Cost(d[i] * d[k] * d[j])
+		},
+	}
+}
+
+// ForbiddenSplits returns the bool-plan feasibility family over n
+// objects: a parenthesization is sought that never creates any of the
+// forbidden subexpressions (i,j) — every split of a node (i,j) in the
+// list is banned (F = 0), and a forbidden leaf (i,i+1) is infeasible
+// outright (Init = 0). c(0,n) is 1 exactly when such a parenthesization
+// exists. Pairs must satisfy 0 <= i < j <= n; duplicates are tolerated.
+// The forbidden list is snapshotted, sorted and deduplicated, so the
+// canonical encoding is order-independent.
+func ForbiddenSplits(n int, forbidden [][2]int) *recurrence.Instance {
+	if n < 1 {
+		panic(fmt.Sprintf("problems: ForbiddenSplits needs n >= 1, got %d", n))
+	}
+	pairs := make([][2]int, len(forbidden))
+	copy(pairs, forbidden)
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= p[1] || p[1] > n {
+			panic(fmt.Sprintf("problems: forbidden pair (%d,%d) outside 0 <= i < j <= %d", p[0], p[1], n))
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a][0] != pairs[b][0] {
+			return pairs[a][0] < pairs[b][0]
+		}
+		return pairs[a][1] < pairs[b][1]
+	})
+	dedup := pairs[:0]
+	for i, p := range pairs {
+		if i == 0 || p != pairs[i-1] {
+			dedup = append(dedup, p)
+		}
+	}
+	pairs = dedup
+	sz := n + 1
+	banned := make(map[int]struct{}, len(pairs))
+	flat := make([]int64, 0, 2*len(pairs))
+	for _, p := range pairs {
+		banned[p[0]*sz+p[1]] = struct{}{}
+		flat = append(flat, int64(p[0]), int64(p[1]))
+	}
+	return &recurrence.Instance{
+		N:       n,
+		Name:    fmt.Sprintf("forbiddensplit-n%d-m%d", n, len(pairs)),
+		Algebra: algebra.NameBoolPlan,
+		Canon:   func() []byte { return canon("boolsplit", []int64{int64(n)}, flat) },
+		Init: func(i int) cost.Cost {
+			if _, bad := banned[i*sz+i+1]; bad {
+				return 0
+			}
+			return 1
+		},
+		F: func(i, k, j int) cost.Cost {
+			if _, bad := banned[i*sz+j]; bad {
+				return 0
+			}
+			return 1
+		},
+	}
+}

@@ -35,6 +35,16 @@ type Instance struct {
 	// Name labels the instance in experiment tables and error messages.
 	Name string
 
+	// Algebra names the idempotent semiring the recurrence is evaluated
+	// over ("" means "min-plus", the paper's algebra). Every engine
+	// resolves it through the algebra registry unless the caller
+	// overrides it with an explicit semiring option; constructors of
+	// intrinsically non-min-plus families (worst-case parenthesization,
+	// forbidden-split feasibility) set it. The name participates in the
+	// canonical encoding, so the same parameters under different
+	// algebras can never share a cache entry.
+	Algebra string
+
 	// Canon, when non-nil, returns a stable, self-describing byte
 	// encoding of the instance: two instances whose Canon bytes are equal
 	// must describe the same recurrence (identical N, Init and F on every
@@ -50,12 +60,29 @@ type Instance struct {
 // Canonical returns the instance's stable canonical encoding and true,
 // or nil and false when the instance has no Canon hook (and therefore
 // cannot be content-addressed). The bytes are safe to hash or compare:
-// equality implies every solver observes identical inputs.
+// equality implies every solver observes identical inputs — including
+// the algebra, which is folded in as a tag so min-plus and max-plus
+// solutions of the same parameters never collide in a cache.
+//
+// Min-plus instances (the default) keep exactly their Canon bytes, so
+// content hashes from before algebras existed remain stable. Any other
+// algebra is prefixed with "alg\x00<name>\x00"; Canon encodings start
+// with a varint kind-name length, and no registered kind is the 97
+// characters long a first byte of 'a' would imply, so the prefixed and
+// unprefixed spaces cannot collide.
 func (in *Instance) Canonical() ([]byte, bool) {
 	if in.Canon == nil {
 		return nil, false
 	}
-	return in.Canon(), true
+	c := in.Canon()
+	if in.Algebra == "" || in.Algebra == "min-plus" {
+		return c, true
+	}
+	tagged := make([]byte, 0, len(in.Algebra)+5+len(c))
+	tagged = append(tagged, "alg\x00"...)
+	tagged = append(tagged, in.Algebra...)
+	tagged = append(tagged, 0)
+	return append(tagged, c...), true
 }
 
 // Validate checks the structural preconditions the paper assumes:
@@ -113,10 +140,11 @@ func (in *Instance) Materialize() *Instance {
 		}
 	}
 	return &Instance{
-		N:     n,
-		Name:  in.Name,
-		Canon: in.Canon, // materialisation changes representation, not identity
-		Init:  func(i int) cost.Cost { return ini[i] },
+		N:       n,
+		Name:    in.Name,
+		Algebra: in.Algebra,
+		Canon:   in.Canon, // materialisation changes representation, not identity
+		Init:    func(i int) cost.Cost { return ini[i] },
 		F: func(i, k, j int) cost.Cost {
 			return f[(i*size+k)*size+j]
 		},

@@ -1,6 +1,7 @@
 package recurrence
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -163,5 +164,45 @@ func TestTableDiff(t *testing.T) {
 	}
 	if len(a.Diff(NewTable(7), 0)) != 1 {
 		t.Fatal("size mismatch not reported")
+	}
+}
+
+// The algebra participates in the canonical encoding — except for
+// min-plus, whose bytes must stay exactly the raw Canon output so
+// content hashes from before algebras existed remain stable.
+func TestCanonicalFoldsAlgebra(t *testing.T) {
+	canon := func() []byte { return []byte{1, 2, 3} }
+	minplus := &Instance{N: 2, Canon: canon}
+	explicit := &Instance{N: 2, Canon: canon, Algebra: "min-plus"}
+	maxplus := &Instance{N: 2, Canon: canon, Algebra: "max-plus"}
+	boolplan := &Instance{N: 2, Canon: canon, Algebra: "bool-plan"}
+
+	cm, ok := minplus.Canonical()
+	if !ok || !bytes.Equal(cm, []byte{1, 2, 3}) {
+		t.Fatalf("min-plus canonical %v altered", cm)
+	}
+	ce, _ := explicit.Canonical()
+	if !bytes.Equal(cm, ce) {
+		t.Fatal("explicit min-plus differs from default")
+	}
+	cx, _ := maxplus.Canonical()
+	cb, _ := boolplan.Canonical()
+	if bytes.Equal(cx, cm) || bytes.Equal(cb, cm) || bytes.Equal(cx, cb) {
+		t.Fatal("algebra tag does not separate canonical encodings")
+	}
+	if !bytes.HasSuffix(cx, []byte{1, 2, 3}) {
+		t.Fatal("tagged encoding does not preserve the Canon bytes")
+	}
+}
+
+func TestMaterializePreservesAlgebra(t *testing.T) {
+	in := &Instance{
+		N:       3,
+		Algebra: "max-plus",
+		Init:    func(i int) cost.Cost { return 1 },
+		F:       func(i, k, j int) cost.Cost { return 2 },
+	}
+	if got := in.Materialize().Algebra; got != "max-plus" {
+		t.Fatalf("Materialize dropped the algebra: %q", got)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"context"
 	"math/bits"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/cost"
 	"sublineardp/internal/parutil"
 	"sublineardp/internal/pram"
@@ -40,6 +41,10 @@ type Options struct {
 	// Pool is the persistent worker pool the moves dispatch onto
 	// (nil = the process-wide shared pool).
 	Pool *parutil.Pool
+	// Semiring overrides the algebra the recurrence is evaluated over
+	// (nil = the instance's declared algebra, min-plus by default). The
+	// pointer-doubling argument only needs idempotence, like HLV's.
+	Semiring algebra.Semiring
 }
 
 // Result carries the outcome.
@@ -62,6 +67,7 @@ func DefaultIterations(n int) int {
 }
 
 type state struct {
+	sr      algebra.Kernel
 	n, sz   int
 	in      *recurrence.Instance
 	w       []cost.Cost
@@ -91,7 +97,8 @@ func (s *state) forPairs(body func(t int)) {
 func Solve(in *recurrence.Instance, opts Options) *Result {
 	res, err := SolveCtx(context.Background(), in, opts)
 	if err != nil {
-		// Unreachable: the background context never cancels.
+		// Only reachable for an unregistered instance algebra; the
+		// background context never cancels.
 		panic(err)
 	}
 	return res
@@ -102,10 +109,15 @@ func Solve(in *recurrence.Instance, opts Options) *Result {
 // exist). A cancelled or expired context aborts with a nil Result and
 // ctx.Err().
 func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Result, error) {
+	sr, err := algebra.Resolve(opts.Semiring, in.Algebra)
+	if err != nil {
+		return nil, err
+	}
 	n := in.N
 	sz := n + 1
 	s := &state{
-		n: n, sz: sz, in: in,
+		sr: sr,
+		n:  n, sz: sz, in: in,
 		w:       make([]cost.Cost, sz*sz),
 		wNext:   make([]cost.Cost, sz*sz),
 		pw:      make([]cost.Cost, sz*sz*sz*sz),
@@ -116,18 +128,20 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Resu
 	if s.pool == nil {
 		s.pool = parutil.Default()
 	}
+	zero := sr.Zero()
 	for i := range s.w {
-		s.w[i] = cost.Inf
+		s.w[i] = zero
 	}
 	for i := range s.pw {
-		s.pw[i] = cost.Inf
+		s.pw[i] = zero
 	}
 	for i := 0; i < n; i++ {
 		s.w[i*sz+i+1] = in.Init(i)
 	}
+	one := sr.One()
 	for i := 0; i <= n; i++ {
 		for j := i + 1; j <= n; j++ {
-			s.pw[s.idx(i, j, i, j)] = 0
+			s.pw[s.idx(i, j, i, j)] = one
 			s.pairs = append(s.pairs, [2]int32{int32(i), int32(j)})
 		}
 	}
@@ -212,12 +226,8 @@ func (s *state) activate() {
 		}
 		for k := i + 1; k < j; k++ {
 			fv := in.F(i, k, j)
-			if c := s.idx(i, j, i, k); cost.Add(fv, s.w[k*s.sz+j]) < s.pw[c] {
-				s.pw[c] = cost.Add(fv, s.w[k*s.sz+j])
-			}
-			if c := s.idx(i, j, k, j); cost.Add(fv, s.w[i*s.sz+k]) < s.pw[c] {
-				s.pw[c] = cost.Add(fv, s.w[i*s.sz+k])
-			}
+			s.sr.RelaxAt(s.pw, s.idx(i, j, i, k), fv, s.w[k*s.sz+j])
+			s.sr.RelaxAt(s.pw, s.idx(i, j, k, j), fv, s.w[i*s.sz+k])
 		}
 	})
 }
@@ -235,10 +245,7 @@ func (s *state) square() {
 				best := src[c]
 				for r := i; r <= p; r++ {
 					for x := q; x <= j; x++ {
-						v := cost.Add(src[s.idx(i, j, r, x)], src[s.idx(r, x, p, q)])
-						if v < best {
-							best = v
-						}
+						best = s.sr.Relax2(best, src[s.idx(i, j, r, x)], src[s.idx(r, x, p, q)])
 					}
 				}
 				dst[c] = best
@@ -265,10 +272,7 @@ func (s *state) pebble() int64 {
 					if p == i && q == j {
 						continue
 					}
-					v := cost.Add(s.pw[s.idx(i, j, p, q)], s.w[p*s.sz+q])
-					if v < best {
-						best = v
-					}
+					best = s.sr.Relax2(best, s.pw[s.idx(i, j, p, q)], s.w[p*s.sz+q])
 				}
 			}
 			if best != s.w[c] {
@@ -285,7 +289,7 @@ func (s *state) pebble() int64 {
 func (s *state) wEquals(t *recurrence.Table) bool {
 	for i := 0; i <= s.n; i++ {
 		for j := i + 1; j <= s.n; j++ {
-			if cost.Norm(s.w[i*s.sz+j]) != cost.Norm(t.At(i, j)) {
+			if s.sr.Norm(s.w[i*s.sz+j]) != s.sr.Norm(t.At(i, j)) {
 				return false
 			}
 		}

@@ -1,4 +1,11 @@
-// Package semiring generalises the paper's algorithm beyond min-plus.
+// Package semiring is the deprecated predecessor of internal/algebra:
+// the original int64 semiring interface and a side-package solver that
+// pre-dated the generic engines. It survives as a thin compatibility
+// shim — the Semiring interface and three algebras keep their int64
+// signatures for old callers, and SolveHLV is now a wrapper over the
+// unified internal/core engines (see solve.go). New code should use
+// internal/algebra with recurrence.Instance.Algebra, or the root
+// WithSemiring option.
 //
 // Nothing in the a-activate / a-square / a-pebble scheme uses properties
 // of (min, +) other than: Combine is an idempotent, commutative,
@@ -9,10 +16,10 @@
 // optimum, and the pebbling-game argument bounds the iteration count by
 // 2*ceil(sqrt(n)) exactly as in the paper.
 //
-// This package implements the recurrence over any such idempotent
-// semiring and ships three: MinPlus (the paper), MaxPlus (maximum-cost
-// parenthesization, e.g. worst-case analysis of an evaluation order), and
-// BoolPlan (existence of a parenthesization avoiding forbidden splits).
+// The three algebras here — MinPlus (the paper), MaxPlus (maximum-cost
+// parenthesization), BoolPlan (forbidden-split feasibility) — mirror
+// their internal/algebra counterparts, which the wrappers map onto so
+// legacy solves still run the specialised kernels.
 //
 // Non-idempotent semirings — notably counting parenthesizations with
 // (+, *) — are deliberately NOT supported: iterating to a fixed point

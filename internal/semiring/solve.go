@@ -3,11 +3,61 @@ package semiring
 import (
 	"context"
 
-	"sublineardp/internal/pebble"
+	"sublineardp/internal/algebra"
+	"sublineardp/internal/core"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
 )
 
+// This file is the deprecated compatibility surface of the pre-unification
+// semiring solver: SolveSeq, SolveHLV and BruteForce keep their int64
+// signatures, but the parallel solve is now a thin wrapper over the same
+// generic internal/core engines every other caller uses — this package no
+// longer owns an iteration of its own.
+
+// bridge adapts this package's legacy int64 Semiring to the unified
+// algebra contract. The shipped algebras map onto their specialised
+// counterparts so wrapped solves still run the fast kernels; anything
+// else is promoted generically.
+func bridge(sr Semiring) algebra.Kernel {
+	switch sr.(type) {
+	case MinPlus:
+		return algebra.MinPlus{}
+	case MaxPlus:
+		return algebra.MaxPlus{}
+	case BoolPlan:
+		return algebra.BoolPlan{}
+	}
+	return algebra.Promote(bridged{sr})
+}
+
+// bridged lifts an arbitrary legacy semiring onto cost.Cost values.
+type bridged struct{ sr Semiring }
+
+func (b bridged) Combine(x, y cost.Cost) cost.Cost {
+	return cost.Cost(b.sr.Combine(int64(x), int64(y)))
+}
+func (b bridged) Extend(x, y cost.Cost) cost.Cost { return cost.Cost(b.sr.Extend(int64(x), int64(y))) }
+func (b bridged) Zero() cost.Cost                 { return cost.Cost(b.sr.Zero()) }
+func (b bridged) One() cost.Cost                  { return cost.Cost(b.sr.One()) }
+func (b bridged) Name() string                    { return b.sr.Name() }
+
+// unified rebuilds the legacy instance as a recurrence.Instance, the one
+// type every engine consumes.
+func unified(in *Instance) *recurrence.Instance {
+	return &recurrence.Instance{
+		N:    in.N,
+		Name: in.Name,
+		Init: func(i int) cost.Cost { return cost.Cost(in.Init(i)) },
+		F:    func(i, k, j int) cost.Cost { return cost.Cost(in.F(i, k, j)) },
+	}
+}
+
 // SolveSeq evaluates the recurrence span by span over the semiring — the
-// O(n^3) baseline generalised.
+// O(n^3) baseline generalised. Kept as an independent implementation: the
+// package tests use it as a solver-free cross-check of the unified path.
+//
+// Deprecated: use internal/seq.SolveSemiringCtx with a recurrence.Instance.
 func SolveSeq(sr Semiring, in *Instance) []int64 {
 	n := in.N
 	sz := n + 1
@@ -45,10 +95,11 @@ func (r *Result) At(i, j int) int64 { return r.W[i*(r.N+1)+j] }
 func (r *Result) Root() int64 { return r.At(0, r.N) }
 
 // SolveHLV runs the paper's three-operation iteration over the semiring
-// with dense partial-weight storage, for 2*ceil(sqrt(n)) iterations
-// (maxIters <= 0) or the given budget. The same pebbling-game argument
-// that proves the min-plus case carries over verbatim to any idempotent
-// semiring, which the package tests confirm against SolveSeq.
+// for 2*ceil(sqrt(n)) iterations (maxIters <= 0) or the given budget.
+//
+// Deprecated: use the unified engines — core.Solve with Options.Semiring,
+// or the root Solver API with WithSemiring. This wrapper routes through
+// exactly that path (the dense generic engine on the pooled runtime).
 func SolveHLV(sr Semiring, in *Instance, maxIters int) *Result {
 	res, err := SolveHLVCtx(context.Background(), sr, in, maxIters)
 	if err != nil {
@@ -58,99 +109,34 @@ func SolveHLV(sr Semiring, in *Instance, maxIters int) *Result {
 	return res
 }
 
-// SolveHLVCtx is SolveHLV with cooperative cancellation, checked before
-// every iteration. A cancelled or expired context aborts with a nil
-// Result and ctx.Err().
+// SolveHLVCtx is SolveHLV with cooperative cancellation. A cancelled or
+// expired context aborts with a nil Result and ctx.Err().
+//
+// Deprecated: see SolveHLV.
 func SolveHLVCtx(ctx context.Context, sr Semiring, in *Instance, maxIters int) (*Result, error) {
+	k := bridge(sr)
+	res, err := core.SolveCtx(ctx, unified(in), core.Options{
+		Variant:       core.Dense,
+		Semiring:      k,
+		MaxIterations: maxIters,
+		Termination:   core.FixedIterations,
+	})
+	if err != nil {
+		return nil, err
+	}
 	n := in.N
 	sz := n + 1
-	idx := func(i, j, p, q int) int { return ((i*sz+j)*sz+p)*sz + q }
-
-	w := make([]int64, sz*sz)
-	wNext := make([]int64, sz*sz)
-	pw := make([]int64, sz*sz*sz*sz)
-	pwNext := make([]int64, sz*sz*sz*sz)
-	for i := range w {
-		w[i] = sr.Zero()
+	out := &Result{N: n, Iterations: res.Iterations, W: make([]int64, sz*sz)}
+	zero := int64(k.Zero())
+	for i := range out.W {
+		out.W[i] = zero
 	}
-	for i := range pw {
-		pw[i] = sr.Zero()
-	}
-	for i := 0; i < n; i++ {
-		w[i*sz+i+1] = in.Init(i)
-	}
-	type pr struct{ i, j int }
-	var pairs []pr
 	for i := 0; i <= n; i++ {
 		for j := i + 1; j <= n; j++ {
-			pw[idx(i, j, i, j)] = sr.One()
-			pairs = append(pairs, pr{i, j})
+			out.W[i*sz+j] = int64(res.Table.At(i, j))
 		}
 	}
-
-	if maxIters <= 0 {
-		maxIters = pebble.LemmaBound(n)
-		if maxIters < 1 {
-			maxIters = 1
-		}
-	}
-	res := &Result{N: n}
-	for iter := 1; iter <= maxIters; iter++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// a-activate (in place: each cell is touched by one triple).
-		for _, p := range pairs {
-			i, j := p.i, p.j
-			for k := i + 1; k < j; k++ {
-				fv := in.F(i, k, j)
-				c1 := idx(i, j, i, k)
-				pw[c1] = sr.Combine(pw[c1], sr.Extend(fv, w[k*sz+j]))
-				c2 := idx(i, j, k, j)
-				pw[c2] = sr.Combine(pw[c2], sr.Extend(fv, w[i*sz+k]))
-			}
-		}
-		// a-square (double-buffered).
-		for _, pp := range pairs {
-			i, j := pp.i, pp.j
-			for p := i; p <= j; p++ {
-				for q := p + 1; q <= j; q++ {
-					c := idx(i, j, p, q)
-					acc := pw[c]
-					for r := i; r < p; r++ {
-						acc = sr.Combine(acc, sr.Extend(pw[idx(i, j, r, q)], pw[idx(r, q, p, q)]))
-					}
-					for x := q + 1; x <= j; x++ {
-						acc = sr.Combine(acc, sr.Extend(pw[idx(i, j, p, x)], pw[idx(p, x, p, q)]))
-					}
-					pwNext[c] = acc
-				}
-			}
-		}
-		pw, pwNext = pwNext, pw
-		// a-pebble (double-buffered).
-		copy(wNext, w)
-		for _, pp := range pairs {
-			i, j := pp.i, pp.j
-			if j-i < 2 {
-				continue
-			}
-			acc := w[i*sz+j]
-			for p := i; p <= j; p++ {
-				for q := p + 1; q <= j; q++ {
-					if p == i && q == j {
-						continue
-					}
-					acc = sr.Combine(acc, sr.Extend(pw[idx(i, j, p, q)], w[p*sz+q]))
-				}
-			}
-			wNext[i*sz+j] = acc
-		}
-		w, wNext = wNext, w
-		res.Iterations = iter
-	}
-	res.W = w
-	return res, nil
+	return out, nil
 }
 
 // BruteForce enumerates all parenthesizations recursively with

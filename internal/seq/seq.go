@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/btree"
 	"sublineardp/internal/cost"
 	"sublineardp/internal/recurrence"
@@ -23,14 +24,17 @@ type Result struct {
 	splits []int32 // split[k] choice per (i,j); -1 for leaves
 	N      int
 	Work   int64
+	zero   cost.Cost // the algebra's "no solution" value, for Tree gating
 }
 
-// Solve runs the O(n^3) dynamic program span by span. Ties between splits
-// resolve to the smallest k, making the reconstruction deterministic.
+// Solve runs the O(n^3) dynamic program span by span, under the
+// instance's declared algebra. Ties between splits resolve to the
+// smallest k, making the reconstruction deterministic.
 func Solve(in *recurrence.Instance) *Result {
 	res, err := SolveCtx(context.Background(), in)
 	if err != nil {
-		// Unreachable: the background context never cancels.
+		// Only reachable for an unregistered instance algebra; the
+		// background context never cancels.
 		panic(err)
 	}
 	return res
@@ -41,12 +45,27 @@ func Solve(in *recurrence.Instance) *Result {
 // is prompt even when Init/F are expensive callbacks). A cancelled or
 // expired context aborts with a nil Result and ctx.Err().
 func SolveCtx(ctx context.Context, in *recurrence.Instance) (*Result, error) {
+	return SolveSemiringCtx(ctx, in, nil)
+}
+
+// SolveSemiringCtx is SolveCtx under an explicit algebra override
+// (nil = the instance's declared algebra, min-plus by default). The
+// min-plus instantiation runs a dedicated scalar loop — it is the
+// auto-engine's small-instance serving path — and is bitwise what
+// SolveCtx always computed; every other algebra runs the same sweep
+// through the semiring's operations.
+func SolveSemiringCtx(ctx context.Context, in *recurrence.Instance, sr algebra.Semiring) (*Result, error) {
+	k, err := algebra.Resolve(sr, in.Algebra)
+	if err != nil {
+		return nil, err
+	}
 	n := in.N
 	size := n + 1
 	res := &Result{
 		Table:  recurrence.NewTable(n),
 		splits: make([]int32, size*size),
 		N:      n,
+		zero:   k.Zero(),
 	}
 	for i := range res.splits {
 		res.splits[i] = -1
@@ -54,10 +73,25 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance) (*Result, error) {
 	for i := 0; i < n; i++ {
 		res.Table.Set(i, i+1, in.Init(i))
 	}
+	if _, minPlus := k.(algebra.MinPlus); minPlus {
+		err = solveMinPlus(ctx, in, res)
+	} else {
+		err = solveSemiring(ctx, in, res, k)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// solveMinPlus is the concrete min-plus sweep.
+func solveMinPlus(ctx context.Context, in *recurrence.Instance, res *Result) error {
+	n := in.N
+	size := n + 1
 	for span := 2; span <= n; span++ {
 		for i := 0; i+span <= n; i++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 			j := i + span
 			best := cost.Inf
@@ -74,11 +108,49 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance) (*Result, error) {
 			res.splits[i*size+j] = bestK
 		}
 	}
-	return res, nil
+	return nil
+}
+
+// solveSemiring is the same sweep over an arbitrary algebra. Better is
+// strict, so ties keep the smallest k exactly like the min-plus loop.
+func solveSemiring(ctx context.Context, in *recurrence.Instance, res *Result, sr algebra.Kernel) error {
+	n := in.N
+	size := n + 1
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			j := i + span
+			best := sr.Zero()
+			bestK := int32(-1)
+			for k := i + 1; k < j; k++ {
+				v := sr.Extend3(in.F(i, k, j), res.Table.At(i, k), res.Table.At(k, j))
+				if sr.Better(v, best) {
+					best = v
+					bestK = int32(k)
+				}
+			}
+			res.Work += int64(span - 1)
+			res.Table.Set(i, j, best)
+			res.splits[i*size+j] = bestK
+		}
+	}
+	return nil
 }
 
 // Cost returns the optimal value c(0,n).
 func (r *Result) Cost() cost.Cost { return r.Table.Root() }
+
+// Feasible reports that the root holds a solution — its value is not the
+// algebra's Zero. For min-plus this is the classic "optimum is finite".
+func (r *Result) Feasible() bool {
+	root := r.Cost()
+	if r.zero == cost.Inf {
+		return !cost.IsInf(root)
+	}
+	return root != r.zero
+}
 
 // Split returns the optimal split point recorded for node (i,j), or -1
 // for leaves and never-computed spans.
@@ -87,11 +159,13 @@ func (r *Result) Split(i, j int) int {
 }
 
 // Tree reconstructs the optimal parenthesization tree from the split
-// table. It panics if the table contains no finite optimum (which cannot
-// happen for valid instances).
+// table. It panics if the table holds no solution — the root is the
+// algebra's Zero (Inf for min-plus), which cannot happen for valid
+// min-plus instances but is an ordinary outcome for e.g. an infeasible
+// bool-plan family; call Feasible first for those.
 func (r *Result) Tree() *btree.Tree {
-	if cost.IsInf(r.Cost()) {
-		panic("seq: no finite optimum to reconstruct")
+	if !r.Feasible() {
+		panic("seq: no optimum to reconstruct")
 	}
 	return btree.New(r.N, func(i, j int) int {
 		k := r.Split(i, j)
@@ -105,16 +179,21 @@ func (r *Result) Tree() *btree.Tree {
 // SolveKnuth runs Knuth's O(n^2) variant, which restricts the split search
 // for (i,j) to the range [split(i,j-1), split(i+1,j)]. The optimisation is
 // only valid for instances satisfying the quadrangle inequality and
-// monotonicity (OBST-style f that depends on (i,j) only); callers are
-// responsible for using it on such instances, and tests verify agreement
-// with Solve on them.
+// monotonicity (OBST-style f that depends on (i,j) only) under the
+// min-plus algebra — it panics on instances declaring any other algebra;
+// callers are responsible for using it on such instances, and tests
+// verify agreement with Solve on them.
 func SolveKnuth(in *recurrence.Instance) *Result {
+	if in.Algebra != "" && in.Algebra != algebra.NameMinPlus {
+		panic(fmt.Sprintf("seq: SolveKnuth requires min-plus, instance %q declares %q", in.Name, in.Algebra))
+	}
 	n := in.N
 	size := n + 1
 	res := &Result{
 		Table:  recurrence.NewTable(n),
 		splits: make([]int32, size*size),
 		N:      n,
+		zero:   cost.Inf,
 	}
 	for i := range res.splits {
 		res.splits[i] = -1

@@ -11,12 +11,16 @@ import (
 // independently-structured cross-check and the natural baseline for
 // workloads where only part of the table is needed.
 func SolveTopDown(in *recurrence.Instance) *Result {
+	if in.Algebra != "" && in.Algebra != "min-plus" {
+		panic("seq: SolveTopDown is a min-plus cross-check; instance declares " + in.Algebra)
+	}
 	n := in.N
 	size := n + 1
 	res := &Result{
 		Table:  recurrence.NewTable(n),
 		splits: make([]int32, size*size),
 		N:      n,
+		zero:   cost.Inf,
 	}
 	for i := range res.splits {
 		res.splits[i] = -1

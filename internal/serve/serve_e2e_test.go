@@ -440,3 +440,112 @@ func TestE2EClientDisconnectCancelsSolve(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestE2EAlgebraCacheSeparation is the algebra acceptance criterion
+// verbatim: a max-plus and a bool-plan request round-trip through the
+// serving stack and cache separately from their min-plus twins — the
+// same parameters under different algebras yield distinct TableDigests,
+// each cached under its own key, bitwise equal to direct Solver.Solve.
+func TestE2EAlgebraCacheSeparation(t *testing.T) {
+	srv, err := New(Config{BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startLoopback(t, srv)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	dims := []int{30, 35, 15, 5, 10, 20, 25}
+	reqs := []*wire.Request{
+		{ID: "mc-min", Kind: wire.KindMatrixChain, Dims: dims},
+		{ID: "mc-max", Kind: wire.KindMatrixChain, Dims: dims,
+			Options: wire.Options{Semiring: "max-plus"}},
+		{ID: "mc-bool", Kind: wire.KindMatrixChain, Dims: dims,
+			Options: wire.Options{Semiring: "bool-plan"}},
+		{ID: "worst", Kind: wire.KindWorstChain, Dims: dims},
+		{ID: "split-ok", Kind: wire.KindBoolSplit, Count: 6,
+			Forbidden: []wire.Span{{1, 3}}},
+		{ID: "split-no", Kind: wire.KindBoolSplit, Count: 4,
+			Forbidden: []wire.Span{{0, 2}, {1, 3}, {2, 4}}},
+	}
+
+	post := func(r *wire.Request) *wire.Response {
+		t.Helper()
+		body, _ := json.Marshal(r)
+		resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		defer resp.Body.Close()
+		var wr wire.Response
+		if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d decode %v", r.ID, resp.StatusCode, err)
+		}
+		return &wr
+	}
+
+	first := make(map[string]*wire.Response, len(reqs))
+	for _, r := range reqs {
+		wr := post(r)
+		if wr.Cached || wr.Coalesced {
+			t.Fatalf("%s: first request served from cache", r.ID)
+		}
+		// Bitwise agreement with a direct in-process solve of the same
+		// wire request.
+		wantDigest, wantCost := directDigest(t, r)
+		if wr.TableDigest != wantDigest || wr.Cost != wantCost {
+			t.Fatalf("%s: served (%d, %s) != direct solve (%d, %s)",
+				r.ID, wr.Cost, wr.TableDigest, wantCost, wantDigest)
+		}
+		first[r.ID] = wr
+	}
+
+	// Algebra metadata on the responses.
+	for id, alg := range map[string]string{
+		"mc-min": "", "mc-max": "max-plus", "mc-bool": "bool-plan",
+		"worst": "max-plus", "split-ok": "bool-plan", "split-no": "bool-plan",
+	} {
+		if first[id].Algebra != alg {
+			t.Errorf("%s: algebra %q, want %q", id, first[id].Algebra, alg)
+		}
+	}
+
+	// Identical parameters under different algebras are different
+	// solutions: pairwise-distinct digests across the matrixchain twins.
+	if first["mc-min"].TableDigest == first["mc-max"].TableDigest ||
+		first["mc-min"].TableDigest == first["mc-bool"].TableDigest ||
+		first["mc-max"].TableDigest == first["mc-bool"].TableDigest {
+		t.Fatal("algebra twins share a table digest")
+	}
+	// The worstchain kind and the max-plus override compute the same
+	// values (equal digests) from distinct cache entries.
+	if first["worst"].TableDigest != first["mc-max"].TableDigest {
+		t.Fatal("worstchain digest != matrixchain-under-max-plus digest")
+	}
+	// Bool-plan feasibility outcomes.
+	if first["split-ok"].Cost != 1 {
+		t.Fatalf("split-ok cost %d, want feasible 1", first["split-ok"].Cost)
+	}
+	if first["split-no"].Cost != 0 {
+		t.Fatalf("split-no cost %d, want infeasible 0", first["split-no"].Cost)
+	}
+
+	// A second identical round must hit the cache — one resident entry
+	// per (parameters, algebra) pair, never cross-served.
+	for _, r := range reqs {
+		wr := post(r)
+		if !wr.Cached {
+			t.Fatalf("%s: repeat not served from cache", r.ID)
+		}
+		if wr.TableDigest != first[r.ID].TableDigest || wr.Cost != first[r.ID].Cost {
+			t.Fatalf("%s: cached digest drifted", r.ID)
+		}
+	}
+
+	m := srv.Metrics()
+	if m.Solved != int64(len(reqs)) {
+		t.Fatalf("solved %d, want one per distinct (parameters, algebra) key (%d)", m.Solved, len(reqs))
+	}
+	if m.CacheHits != int64(len(reqs)) {
+		t.Fatalf("cache hits %d, want %d", m.CacheHits, len(reqs))
+	}
+}

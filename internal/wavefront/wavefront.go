@@ -16,6 +16,7 @@ package wavefront
 import (
 	"context"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/cost"
 	"sublineardp/internal/parutil"
 	"sublineardp/internal/pram"
@@ -29,6 +30,9 @@ type Options struct {
 	// Pool is the persistent worker pool the spans dispatch onto
 	// (nil = the process-wide shared pool).
 	Pool *parutil.Pool
+	// Semiring overrides the algebra the recurrence is evaluated over
+	// (nil = the instance's declared algebra, min-plus by default).
+	Semiring algebra.Semiring
 }
 
 // Result is a wavefront solve: the cost table plus PRAM accounting.
@@ -45,7 +49,8 @@ func (r *Result) Cost() cost.Cost { return r.Table.Root() }
 func Solve(in *recurrence.Instance, opt Options) *Result {
 	res, err := SolveCtx(context.Background(), in, opt)
 	if err != nil {
-		// Unreachable: the background context never cancels.
+		// Only reachable for an unregistered instance algebra; the
+		// background context never cancels.
 		panic(err)
 	}
 	return res
@@ -54,7 +59,14 @@ func Solve(in *recurrence.Instance, opt Options) *Result {
 // SolveCtx is Solve with cooperative cancellation, checked between spans
 // (each span is one parallel barrier, so this is the natural granularity).
 // A cancelled or expired context aborts with a nil Result and ctx.Err().
+// The sweep is generic over the algebra: the min-plus instantiation keeps
+// its dedicated scalar loop, other algebras run the same schedule through
+// the semiring's fused Relax3.
 func SolveCtx(ctx context.Context, in *recurrence.Instance, opt Options) (*Result, error) {
+	sr, err := algebra.Resolve(opt.Semiring, in.Algebra)
+	if err != nil {
+		return nil, err
+	}
 	n := in.N
 	res := &Result{Table: recurrence.NewTable(n)}
 	tbl := res.Table
@@ -66,6 +78,7 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opt Options) (*Resul
 	if pool == nil {
 		pool = parutil.Default()
 	}
+	_, minPlus := sr.(algebra.MinPlus)
 	for span := 2; span <= n; span++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -74,11 +87,19 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opt Options) (*Resul
 		pool.ForChunked(opt.Workers, cells, 0, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				j := i + span
-				best := cost.Inf
-				for k := i + 1; k < j; k++ {
-					v := cost.Add3(in.F(i, k, j), tbl.At(i, k), tbl.At(k, j))
-					if v < best {
-						best = v
+				var best cost.Cost
+				if minPlus {
+					best = cost.Inf
+					for k := i + 1; k < j; k++ {
+						v := cost.Add3(in.F(i, k, j), tbl.At(i, k), tbl.At(k, j))
+						if v < best {
+							best = v
+						}
+					}
+				} else {
+					best = sr.Zero()
+					for k := i + 1; k < j; k++ {
+						best = sr.Relax3(best, in.F(i, k, j), tbl.At(i, k), tbl.At(k, j))
 					}
 				}
 				tbl.Set(i, j, best)

@@ -30,7 +30,18 @@ const (
 	KindOBST           = "obst"
 	KindTriangulation  = "triangulation"
 	KindWTriangulation = "wtriangulation"
+	// KindWorstChain is the max-plus twin of matrixchain: the costliest
+	// parenthesization of the same dimension list (adversarial bound).
+	KindWorstChain = "worstchain"
+	// KindBoolSplit is the bool-plan forbidden-split feasibility family:
+	// does a parenthesization of `count` objects exist that avoids every
+	// forbidden subexpression (i,j)?
+	KindBoolSplit = "boolsplit"
 )
+
+// Span is a forbidden subexpression (i,j) of a boolsplit request,
+// encoded on the wire as the two-element array [i, j].
+type Span = [2]int
 
 // Point is a polygon vertex on the wire.
 type Point struct {
@@ -48,7 +59,11 @@ type Options struct {
 	Mode string `json:"mode,omitempty"`
 	// Termination is "fixed", "w-stable" or "wpw-stable".
 	Termination string `json:"termination,omitempty"`
-	// Semiring is "min-plus", "max-plus" or "bool-plan".
+	// Semiring overrides the algebra the recurrence is evaluated over —
+	// any name registered with RegisterSemiring ("min-plus", "max-plus",
+	// "bool-plan" shipped). Kinds with an intrinsic algebra (worstchain,
+	// boolsplit) need no override; setting one anyway wins, exactly as
+	// WithSemiring does in-process.
 	Semiring      string `json:"semiring,omitempty"`
 	MaxIterations int    `json:"max_iterations,omitempty"`
 	BandRadius    int    `json:"band_radius,omitempty"`
@@ -70,7 +85,11 @@ type Request struct {
 	Beta    []int64 `json:"beta,omitempty"`
 	Points  []Point `json:"points,omitempty"`
 	Weights []int64 `json:"weights,omitempty"`
-	Options Options `json:"options,omitzero"`
+	// Count and Forbidden parameterise boolsplit: n objects and the
+	// forbidden subexpressions.
+	Count     int     `json:"count,omitempty"`
+	Forbidden []Span  `json:"forbidden,omitempty"`
+	Options   Options `json:"options,omitzero"`
 	// WantTree requests the optimal parenthesization in Response.Tree
 	// (adds an O(n^2) reconstruction on the serving path).
 	WantTree bool `json:"want_tree,omitempty"`
@@ -91,6 +110,10 @@ type Response struct {
 	StoppedEarly bool   `json:"stopped_early,omitempty"`
 	BandRadius   int    `json:"band_radius,omitempty"`
 	Tree         string `json:"tree,omitempty"`
+	// Algebra names the semiring the solve ran under, omitted for the
+	// default min-plus — the key to reading Cost (minimal cost, maximal
+	// cost, or 0/1 feasibility).
+	Algebra string `json:"algebra,omitempty"`
 	// Cached reports the solution came from the server's canonical
 	// instance cache; Coalesced that this request folded into an
 	// identical in-flight solve. At most one is set.
@@ -110,7 +133,7 @@ type ErrorBody struct {
 // the instance (0 for malformed parameter sets).
 func (r *Request) N() int {
 	switch r.Kind {
-	case KindMatrixChain:
+	case KindMatrixChain, KindWorstChain:
 		return len(r.Dims) - 1
 	case KindOBST:
 		return len(r.Beta) + 1
@@ -118,6 +141,8 @@ func (r *Request) N() int {
 		return len(r.Points) - 1
 	case KindWTriangulation:
 		return len(r.Weights) - 1
+	case KindBoolSplit:
+		return r.Count
 	}
 	return 0
 }
@@ -127,13 +152,22 @@ func (r *Request) N() int {
 // preconditions as errors so a malformed request is a 400, not a panic.
 func (r *Request) Validate(maxN int) error {
 	switch r.Kind {
-	case KindMatrixChain:
+	case KindMatrixChain, KindWorstChain:
 		if len(r.Dims) < 2 {
-			return fmt.Errorf("wire: matrixchain needs >= 2 dims, got %d", len(r.Dims))
+			return fmt.Errorf("wire: %s needs >= 2 dims, got %d", r.Kind, len(r.Dims))
 		}
 		for _, d := range r.Dims {
 			if d <= 0 {
 				return fmt.Errorf("wire: nonpositive matrix dimension %d", d)
+			}
+		}
+	case KindBoolSplit:
+		if r.Count < 1 {
+			return fmt.Errorf("wire: boolsplit needs count >= 1, got %d", r.Count)
+		}
+		for _, p := range r.Forbidden {
+			if p[0] < 0 || p[0] >= p[1] || p[1] > r.Count {
+				return fmt.Errorf("wire: forbidden pair (%d,%d) outside 0 <= i < j <= %d", p[0], p[1], r.Count)
 			}
 		}
 	case KindOBST:
@@ -189,6 +223,10 @@ func (r *Request) Instance() (*recurrence.Instance, error) {
 	switch r.Kind {
 	case KindMatrixChain:
 		return problems.MatrixChain(r.Dims), nil
+	case KindWorstChain:
+		return problems.WorstCaseMatrixChain(r.Dims), nil
+	case KindBoolSplit:
+		return problems.ForbiddenSplits(r.Count, r.Forbidden), nil
 	case KindOBST:
 		return problems.OBST(r.Alpha, r.Beta), nil
 	case KindTriangulation:
@@ -228,12 +266,13 @@ func (r *Request) SolverOptions() ([]sublineardp.Option, error) {
 	}
 	switch o.Semiring {
 	case "", "min-plus":
-	case "max-plus":
-		opts = append(opts, sublineardp.WithSemiring(sublineardp.MaxPlus))
-	case "bool-plan":
-		opts = append(opts, sublineardp.WithSemiring(sublineardp.BoolPlan))
 	default:
-		return nil, fmt.Errorf("wire: unknown semiring %q", o.Semiring)
+		sr, ok := sublineardp.LookupSemiring(o.Semiring)
+		if !ok {
+			return nil, fmt.Errorf("wire: unknown semiring %q (registered: %v)",
+				o.Semiring, sublineardp.Semirings())
+		}
+		opts = append(opts, sublineardp.WithSemiring(sr))
 	}
 	if o.MaxIterations > 0 {
 		opts = append(opts, sublineardp.WithMaxIterations(o.MaxIterations))
@@ -262,8 +301,9 @@ func (r *Request) Engine() string { return r.Options.Engine }
 
 // NewResponse renders a Solution as the wire response for its request.
 // Tree reconstruction runs only when the request asked for it and the
-// solve used the default min-plus algebra (other semirings' tables are
-// not recurrence fixed points, so there is no tree to extract).
+// solve ran under the default min-plus algebra (the serving path
+// recovers trees from value tables, which is min-plus only; the algebra
+// is echoed in Response.Algebra either way).
 func NewResponse(r *Request, sol *sublineardp.Solution) *Response {
 	resp := &Response{
 		ID:            r.ID,
@@ -278,7 +318,10 @@ func NewResponse(r *Request, sol *sublineardp.Solution) *Response {
 		Cached:        sol.Cached,
 		ElapsedMicros: sol.Elapsed.Microseconds(),
 	}
-	if r.WantTree && (r.Options.Semiring == "" || r.Options.Semiring == "min-plus") {
+	if sol.Algebra != "" && sol.Algebra != "min-plus" {
+		resp.Algebra = sol.Algebra
+	}
+	if r.WantTree && (sol.Algebra == "" || sol.Algebra == "min-plus") {
 		if tr, err := sol.Tree(); err == nil {
 			resp.Tree = tr.Encode()
 		}

@@ -66,6 +66,33 @@ func goldenCases() map[string]any {
 			Cost: 99481, TableDigest: "0ab4d19933b09c9fe36a9287ba1cbd02e85c1c0b06158be64b2b0207ec2356f8",
 			Iterations: 9, Coalesced: true, ElapsedMicros: 52017,
 		},
+		"request_worstchain.json": &Request{
+			ID:   "req-w1",
+			Kind: KindWorstChain,
+			Dims: []int{30, 35, 15, 5, 10, 20, 25},
+		},
+		"request_boolsplit.json": &Request{
+			ID:        "req-b1",
+			Kind:      KindBoolSplit,
+			Count:     6,
+			Forbidden: []Span{{0, 3}, {2, 5}},
+			Options:   Options{Engine: "hlv-banded"},
+		},
+		"request_semiring_override.json": &Request{
+			Kind:    KindMatrixChain,
+			Dims:    []int{2, 3, 4, 5},
+			Options: Options{Semiring: "max-plus"},
+		},
+		"response_maxplus.json": &Response{
+			ID: "req-w1", Kind: KindWorstChain, N: 6, Engine: "hlv-banded",
+			Cost: 58000, TableDigest: "9c11361ff2a3fb415ad88d8f4329331ea0f1c4ab5a8b1a4ca41d1f84b9e01a02",
+			Iterations: 5, Algebra: "max-plus", ElapsedMicros: 321,
+		},
+		"response_boolplan.json": &Response{
+			ID: "req-b1", Kind: KindBoolSplit, N: 6, Engine: "sequential",
+			Cost: 1, TableDigest: "5511361ff2a3fb415ad88d8f4329331ea0f1c4ab5a8b1a4ca41d1f84b9e01a02",
+			Algebra: "bool-plan", Cached: true, ElapsedMicros: 17,
+		},
 		"error_bad_request.json": &ErrorBody{
 			Error: `wire: obst needs len(alpha) == len(beta)+1, got 2 and 4`, Code: 400,
 		},
@@ -120,6 +147,12 @@ func TestRequestValidate(t *testing.T) {
 		{Kind: KindMatrixChain, Dims: []int{2, 3, 4}, Options: Options{Mode: "frantic"}},
 		{Kind: KindMatrixChain, Dims: []int{2, 3, 4}, Options: Options{Termination: "never"}},
 		{Kind: KindMatrixChain, Dims: []int{2, 3, 4}, Options: Options{Semiring: "tropical?"}},
+		{Kind: KindWorstChain, Dims: []int{5}},
+		{Kind: KindWorstChain, Dims: []int{5, 0, 3}},
+		{Kind: KindBoolSplit},
+		{Kind: KindBoolSplit, Count: 4, Forbidden: []Span{{2, 2}}},
+		{Kind: KindBoolSplit, Count: 4, Forbidden: []Span{{-1, 2}}},
+		{Kind: KindBoolSplit, Count: 4, Forbidden: []Span{{1, 9}}},
 	}
 	for i, r := range bad {
 		if err := r.Validate(0); err == nil {
@@ -159,6 +192,18 @@ func TestRequestInstanceMatchesDirectConstruction(t *testing.T) {
 			func() *sublineardp.Instance {
 				return problems.Triangulation([]problems.Point{
 					{X: 1000, Y: 0}, {X: 0, Y: 1000}, {X: -1000, Y: 0}, {X: 0, Y: -1000}})
+			},
+		},
+		{
+			Request{Kind: KindWorstChain, Dims: []int{30, 35, 15, 5, 10, 20, 25}},
+			func() *sublineardp.Instance {
+				return problems.WorstCaseMatrixChain([]int{30, 35, 15, 5, 10, 20, 25})
+			},
+		},
+		{
+			Request{Kind: KindBoolSplit, Count: 6, Forbidden: []Span{{0, 3}, {2, 5}}},
+			func() *sublineardp.Instance {
+				return problems.ForbiddenSplits(6, [][2]int{{0, 3}, {2, 5}})
 			},
 		},
 	}

@@ -74,6 +74,76 @@ func MLPChain(layers int, inDim, hidden, outDim int) *recurrence.Instance {
 	return inst
 }
 
+// WorstCaseChainDims returns the dimension list of one WorstCaseChain
+// instance — exported separately so cmd/dploadgen can render the exact
+// same family as wire requests without duplicating the sampler.
+func WorstCaseChainDims(n int, seed int64) []int {
+	if n < 2 {
+		panic("workload: WorstCaseChain needs n >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dims := make([]int, n+1)
+	dims[0] = 1
+	for i := 1; i <= n; i++ {
+		dims[i] = 8 + rng.Intn(4*n)
+	}
+	return dims
+}
+
+// WorstCaseChain returns the max-plus twin of a realistic inference
+// chain: the adversarial evaluation-order bound for an MLP-shaped matrix
+// product with jittered layer widths. Planners fire these alongside the
+// min-plus mix to price the best-vs-worst association spread.
+func WorstCaseChain(n int, seed int64) *recurrence.Instance {
+	in := problems.WorstCaseMatrixChain(WorstCaseChainDims(n, seed))
+	in.Name = fmt.Sprintf("worstchain-n%d-s%d", n, seed)
+	return in
+}
+
+// FeasibilityPlan returns a bool-plan forbidden-split instance over n
+// objects — the shape of "can this product be evaluated without ever
+// materialising one of these intermediates" constraint queries. Three of
+// every four seeds ban a random ~n/3-sized span set (almost always
+// feasible: sparse bans rarely block all Catalan-many trees); every
+// fourth seed bans the complete span-2 layer, a constraint wall no tree
+// avoids (every parenthesization pairs two adjacent objects somewhere),
+// so load mixes deterministically exercise both outcomes end to end.
+func FeasibilityPlan(n int, seed int64) *recurrence.Instance {
+	in := problems.ForbiddenSplits(n, FeasibilitySpans(n, seed))
+	in.Name = fmt.Sprintf("feasibilityplan-n%d-s%d", n, seed)
+	return in
+}
+
+// FeasibilitySpans returns the forbidden-span set of one FeasibilityPlan
+// instance — exported separately so cmd/dploadgen can render the exact
+// same family as wire requests without duplicating the sampler.
+func FeasibilitySpans(n int, seed int64) [][2]int {
+	if n < 2 {
+		panic("workload: FeasibilityPlan needs n >= 2")
+	}
+	var forbidden [][2]int
+	if seed%4 == 3 {
+		for i := 0; i+2 <= n; i++ {
+			forbidden = append(forbidden, [2]int{i, i + 2})
+		}
+		return forbidden
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := 1 + n/3
+	for len(forbidden) < m {
+		i := rng.Intn(n)
+		j := i + 2 + rng.Intn(n-i) // spans >= 2: never ban a leaf outright
+		if j > n {
+			continue
+		}
+		if i == 0 && j == n {
+			continue // banning the root is a trivial infeasibility
+		}
+		forbidden = append(forbidden, [2]int{i, j})
+	}
+	return forbidden
+}
+
 // SensorPolygon returns a triangulation instance over a convex polygon
 // whose radii jitter around a circle — the "coverage mesh" shape used in
 // terrain and sensor-field triangulation demos.

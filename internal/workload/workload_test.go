@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -111,5 +112,54 @@ func TestWorkloadsAgreeProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+// The algebra families must declare their semirings, be canonicalisable
+// (servable/cacheable), and produce both outcomes across seeds.
+func TestWorstCaseChainGenerator(t *testing.T) {
+	in := WorstCaseChain(24, 7)
+	if in.Algebra != "max-plus" {
+		t.Fatalf("algebra = %q", in.Algebra)
+	}
+	if _, ok := in.Canonical(); !ok {
+		t.Fatal("worstchain instance not canonicalisable")
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic per seed.
+	a, _ := WorstCaseChain(24, 7).Canonical()
+	b, _ := in.Canonical()
+	if string(a) != string(b) {
+		t.Fatal("generator not deterministic")
+	}
+}
+
+func TestFeasibilityPlanGenerator(t *testing.T) {
+	feasible, infeasible := 0, 0
+	for seed := int64(0); seed < 24; seed++ {
+		in := FeasibilityPlan(16, seed)
+		if in.Algebra != "bool-plan" {
+			t.Fatalf("algebra = %q", in.Algebra)
+		}
+		if _, ok := in.Canonical(); !ok {
+			t.Fatal("feasibility instance not canonicalisable")
+		}
+		res, err := seq.SolveSemiringCtx(context.Background(), in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch res.Cost() {
+		case 1:
+			feasible++
+		case 0:
+			infeasible++
+		default:
+			t.Fatalf("seed %d: non-boolean root %d", seed, res.Cost())
+		}
+	}
+	if feasible == 0 || infeasible == 0 {
+		t.Fatalf("seeds one-sided: %d feasible, %d infeasible — the mix must exercise both", feasible, infeasible)
 	}
 }

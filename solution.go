@@ -23,6 +23,12 @@ type Solution struct {
 	// meta-engine it names the engine actually chosen.
 	Engine string
 
+	// Algebra names the semiring the solve ran under ("min-plus" unless
+	// the instance declared or WithSemiring selected another): the key to
+	// interpreting Table's values (minimal cost, maximal cost, 0/1
+	// feasibility, ...).
+	Algebra string
+
 	// Table holds the converged cost table c(i,j); Table.Root() is the
 	// optimum, also available as Cost().
 	Table *Table
@@ -80,18 +86,21 @@ func (s *Solution) Cost() Cost { return s.Table.Root() }
 func (s *Solution) N() int { return s.Table.N }
 
 // Tree reconstructs an optimal parenthesization. The sequential engine
-// recorded split points during the solve, so its reconstruction is O(n);
-// every other engine recovers the tree from the converged value table
-// (the paper's algorithm computes values only). It fails if the table is
-// not a fixed point of the recurrence — e.g. a run capped by
-// WithMaxIterations before convergence — or if the engine's values are
-// not min-plus costs (a non-default WithSemiring).
+// recorded split points during the solve, so its reconstruction is O(n)
+// under any algebra; every other engine recovers the tree from the
+// converged value table (the paper's algorithm computes values only),
+// which is implemented for the default min-plus algebra only. It fails
+// if the table is not a fixed point of the recurrence — e.g. a run
+// capped by WithMaxIterations before convergence.
 func (s *Solution) Tree() (*Tree, error) {
 	if s.treeFn != nil {
 		return s.treeFn()
 	}
 	if s.Table == nil || s.instance == nil {
 		return nil, errors.New("sublineardp: solution carries no instance to reconstruct from")
+	}
+	if s.Algebra != "" && s.Algebra != "min-plus" {
+		return nil, errors.New("sublineardp: table-based tree extraction is min-plus only; use the sequential engine for other algebras")
 	}
 	return recurrence.ExtractTree(s.instance, s.Table)
 }

@@ -3,6 +3,7 @@ package sublineardp
 import (
 	"context"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/cache"
 )
 
@@ -55,20 +56,28 @@ func (c *Cache) Stats() CacheStats {
 func (c *Cache) Len() int { return c.lru.Len() }
 
 // solveKey derives the content key for one solve: the instance's
-// canonical bytes plus every Config field that can alter the returned
-// Solution (engine routing, scheduling, iteration discipline, band,
-// algebra). Target is deliberately not keyed — Solver.Solve bypasses
-// the cache entirely when a target is set. It reports false for
-// instances that cannot be canonicalised.
+// canonical bytes (which already fold in the instance's declared
+// algebra) plus every Config field that can alter the returned Solution
+// (engine routing, scheduling, iteration discipline, band, and the
+// *effective* algebra — WithSemiring's override wins over the declared
+// one, exactly as the engines resolve it, so an override can never be
+// served a declared-algebra entry or vice versa). Target is deliberately
+// not keyed — Solver.Solve bypasses the cache entirely when a target is
+// set. It reports false for instances that cannot be canonicalised.
+//
+// Keying discipline (guarded by TestSolveKeySeparatesResultAffectingOptions):
+// every field below changes either the solved values, the engine
+// routing, or an observable Solution field, and every Config field with
+// that property must be below. Pool, Cache and Concurrency are execution
+// plumbing with no result effect and are deliberately unkeyed; Workers
+// and TileSize cannot change values either but stay keyed as scheduling
+// provenance (conservative, documented in DESIGN.md).
 func solveKey(in *Instance, engineName string, cfg *Config) (cache.Key, bool) {
 	canon, ok := in.Canonical()
 	if !ok {
 		return cache.Key{}, false
 	}
-	srName := "min-plus"
-	if cfg.Semiring != nil {
-		srName = cfg.Semiring.Name()
-	}
+	srName := algebra.ResolveName(cfg.Semiring, in.Algebra)
 	h := cache.NewHasher().
 		Bytes("instance", canon).
 		String("engine", engineName).

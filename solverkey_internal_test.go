@@ -1,0 +1,104 @@
+package sublineardp
+
+import (
+	"testing"
+
+	"sublineardp/internal/cache"
+	"sublineardp/internal/problems"
+)
+
+// The cache-key audit behind solveKey's keying discipline: two
+// configurations that differ in any result-affecting field must never
+// share a solve key, and identical inputs must (determinism). A shared
+// key here would mean one option set silently served another's solution
+// — the exact hazard the canonical cache must exclude.
+func TestSolveKeySeparatesResultAffectingOptions(t *testing.T) {
+	in := problems.CLRSMatrixChain()
+	base := Config{}
+
+	// One mutation per result-affecting Config field, each applied to a
+	// fresh copy of the base. Every mutation must move the key, and all
+	// keys (base included) must be pairwise distinct.
+	mutations := map[string]func(*Config){
+		"workers":      func(c *Config) { c.Workers = 3 },
+		"tile":         func(c *Config) { c.TileSize = 17 },
+		"mode":         func(c *Config) { c.Mode = Chaotic },
+		"termination":  func(c *Config) { c.Termination = WStable },
+		"termination2": func(c *Config) { c.Termination = WPWStable },
+		"maxiter":      func(c *Config) { c.MaxIterations = 5 },
+		"band":         func(c *Config) { c.BandRadius = 7 },
+		"window":       func(c *Config) { c.Window = true },
+		"autocutoff":   func(c *Config) { c.AutoCutoff = 10 },
+		"history":      func(c *Config) { c.History = true },
+		"semiring":     func(c *Config) { c.Semiring = MaxPlus },
+		"semiring2":    func(c *Config) { c.Semiring = BoolPlan },
+	}
+	keys := map[cache.Key]string{}
+	add := func(label string, key cache.Key) {
+		if prev, dup := keys[key]; dup {
+			t.Fatalf("option sets %q and %q share a solve key", prev, label)
+		}
+		keys[key] = label
+	}
+
+	baseKey, ok := solveKey(in, EngineAuto, &base)
+	if !ok {
+		t.Fatal("canonicalisable instance not keyed")
+	}
+	if again, _ := solveKey(in, EngineAuto, &base); again != baseKey {
+		t.Fatal("solve key is not deterministic")
+	}
+	add("base", baseKey)
+
+	for label, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		key, ok := solveKey(in, EngineAuto, &cfg)
+		if !ok {
+			t.Fatalf("%s: not keyed", label)
+		}
+		add(label, key)
+	}
+
+	// Engine routing is keyed through the engine name argument.
+	for _, engine := range []string{EngineSequential, EngineHLVBanded, EngineHLVDense} {
+		key, _ := solveKey(in, engine, &base)
+		add("engine="+engine, key)
+	}
+
+	// The canonically distinct algebra twin of the same parameters (the
+	// declared algebra lives in the canonical bytes, not only in the
+	// config override).
+	twin := problems.WorstCaseMatrixChain([]int{30, 35, 15, 5, 10, 20, 25})
+	twinKey, ok := solveKey(twin, EngineAuto, &base)
+	if !ok {
+		t.Fatal("worstchain twin not keyed")
+	}
+	add("worstchain-twin", twinKey)
+
+	// And the override spelling of the same algebra must coincide with
+	// neither min-plus nor the declared twin: the parameters hash
+	// differently (matrixchain vs worstchain canon) even though the
+	// effective algebra matches.
+	maxCfg := base
+	maxCfg.Semiring = MaxPlus
+	overrideKey, _ := solveKey(in, EngineAuto, &maxCfg)
+	if overrideKey == twinKey {
+		t.Fatal("override max-plus on matrixchain collides with declared worstchain")
+	}
+}
+
+// An explicit override must also separate from the instance's declared
+// algebra when they disagree — WithSemiring(MinPlus) on a worstchain
+// instance is a different computation than its declared max-plus solve.
+func TestSolveKeyOverrideBeatsDeclaredAlgebra(t *testing.T) {
+	twin := problems.WorstCaseMatrixChain([]int{2, 3, 4, 5})
+	declared, ok := solveKey(twin, EngineAuto, &Config{})
+	if !ok {
+		t.Fatal("not keyed")
+	}
+	overridden, _ := solveKey(twin, EngineAuto, &Config{Semiring: MinPlus})
+	if declared == overridden {
+		t.Fatal("min-plus override shares a key with the declared max-plus solve")
+	}
+}

@@ -1,9 +1,9 @@
 package sublineardp
 
 import (
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/core"
 	"sublineardp/internal/parutil"
-	"sublineardp/internal/semiring"
 )
 
 // Re-exported enum types, so functional options can be used without
@@ -16,9 +16,11 @@ type (
 	// Termination selects the stopping rule (FixedIterations | WStable |
 	// WPWStable).
 	Termination = core.Termination
-	// Semiring is an idempotent semiring over int64 values, the algebra
-	// the "semiring" engine iterates over.
-	Semiring = semiring.Semiring
+	// Semiring is an idempotent semiring over Cost values — the algebra
+	// every engine evaluates recurrence (*) over (WithSemiring; min-plus
+	// by default). Third-party algebras implement it and are admitted
+	// with RegisterSemiring, which validates the semiring axioms.
+	Semiring = algebra.Semiring
 	// IterStat is one iteration's summary, recorded under WithHistory.
 	IterStat = core.IterStat
 	// Pool is a persistent worker pool solves dispatch their parallel
@@ -34,12 +36,35 @@ type (
 func NewPool(width int) *Pool { return parutil.NewPool(width) }
 
 // The three semirings shipped with the repository, usable with
-// WithSemiring. MinPlus is the paper's algebra and the default.
+// WithSemiring. MinPlus is the paper's algebra and the default; MaxPlus
+// maximises total weight (worst-case parenthesization); BoolPlan decides
+// feasibility over 0/1 values (forbidden-split planning).
 var (
-	MinPlus  Semiring = semiring.MinPlus{}
-	MaxPlus  Semiring = semiring.MaxPlus{}
-	BoolPlan Semiring = semiring.BoolPlan{}
+	MinPlus  Semiring = algebra.MinPlus{}
+	MaxPlus  Semiring = algebra.MaxPlus{}
+	BoolPlan Semiring = algebra.BoolPlan{}
 )
+
+// RegisterSemiring admits a third-party algebra to the registry after
+// mechanically validating the idempotent-semiring axioms (idempotence,
+// commutativity, associativity, identities, absorption, distributivity,
+// monotonicity) by randomised property testing — a lawless algebra is
+// rejected here rather than silently mis-solved. Registered algebras are
+// resolvable by name from Instance.Algebra and the wire `semiring`
+// option, and are exercised by the engine conformance matrix.
+func RegisterSemiring(sr Semiring) error { return algebra.Register(sr) }
+
+// Semirings returns the sorted names of every registered algebra.
+func Semirings() []string { return algebra.Names() }
+
+// LookupSemiring resolves a registered algebra by name ("" = min-plus).
+func LookupSemiring(name string) (Semiring, bool) {
+	k, ok := algebra.Lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return k, true
+}
 
 // Config carries every knob a Solve or SolveBatch run can set. Engines
 // receive it read-only; third-party engines registered with
@@ -94,7 +119,9 @@ type Config struct {
 	// their table matches it. Never affects control flow.
 	Target *Table
 
-	// Semiring is the algebra of the "semiring" engine (nil = MinPlus).
+	// Semiring overrides the algebra every engine evaluates the
+	// recurrence over (nil = the instance's declared algebra, min-plus
+	// by default).
 	Semiring Semiring
 
 	// Concurrency bounds how many instances SolveBatch solves at once
@@ -167,8 +194,11 @@ func WithHistory(on bool) Option { return func(c *Config) { c.History = on } }
 // (Solution.ConvergedAt).
 func WithTarget(t *Table) Option { return func(c *Config) { c.Target = t } }
 
-// WithSemiring selects the algebra of the "semiring" engine
-// (nil = MinPlus, the paper's min-plus algebra).
+// WithSemiring selects the algebra the recurrence is evaluated over —
+// honoured by every engine, from the sequential scan to the banded tiled
+// kernels (nil = the instance's declared algebra, min-plus by default).
+// The algebra participates in cache keys, so min-plus and max-plus
+// solves of the same instance never share an entry.
 func WithSemiring(sr Semiring) Option { return func(c *Config) { c.Semiring = sr } }
 
 // WithConcurrency bounds how many instances SolveBatch works on at once

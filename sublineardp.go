@@ -29,12 +29,27 @@
 // with O(n) tree reconstruction), "wavefront" (the span-parallel
 // linear-time baseline), "rytter" (the 1988 O(log^2 n) baseline the
 // paper improves on), "hlv-dense" (Sections 2-4), "hlv-banded" (the
-// headline Section 5 variant), "semiring" (the iteration generalised to
-// any idempotent semiring, WithSemiring), and "auto" (size-based
-// selection). Engines are configured with functional options
-// (WithWorkers, WithTermination, WithBandRadius, WithHistory, ...),
-// honour context cancellation and deadlines mid-iteration, and custom
-// engines can be added with RegisterEngine.
+// headline Section 5 variant), and "auto" (size-based selection).
+// Engines are configured with functional options (WithWorkers,
+// WithTermination, WithBandRadius, WithHistory, ...), honour context
+// cancellation and deadlines mid-iteration, and custom engines can be
+// added with RegisterEngine.
+//
+// # Algebras
+//
+// Every engine — including the banded tiled kernels — is generic over an
+// idempotent semiring (internal/algebra): the recurrence's min and + are
+// just Combine and Extend. Three algebras ship: min-plus (the paper's,
+// the default), max-plus (worst-case parenthesization — see
+// NewWorstCaseMatrixChain), and bool-plan (0/1 feasibility under
+// forbidden splits — see NewForbiddenSplits). Select one per solve with
+// WithSemiring, or build instances that declare their own algebra; the
+// algebra is part of an instance's canonical identity, so caches never
+// conflate a min-plus solution with a max-plus one. Third-party algebras
+// register with RegisterSemiring, which validates the semiring axioms
+// mechanically, and are then held to the same engine conformance matrix
+// as the shipped ones. (The "semiring" engine name survives as a
+// deprecated alias of hlv-dense.)
 //
 // SolveBatch fans many instances across a worker pool with size-based
 // engine auto-selection — the serving building block:
@@ -120,6 +135,24 @@ func NewTriangulation(vs []Point) *Instance { return problems.Triangulation(vs) 
 // triangulation instance (isomorphic to matrix-chain ordering).
 func NewWeightedTriangulation(weights []int64) *Instance {
 	return problems.WeightedTriangulation(weights)
+}
+
+// NewWorstCaseMatrixChain returns the max-plus twin of NewMatrixChain:
+// the same decomposition costs, with the *costliest* parenthesization as
+// the optimum — the adversarial bound on an uninformed evaluation order.
+// The instance declares the max-plus algebra itself; no WithSemiring is
+// needed, and its cache identity never collides with the min-plus twin.
+func NewWorstCaseMatrixChain(dims []int) *Instance {
+	return problems.WorstCaseMatrixChain(dims)
+}
+
+// NewForbiddenSplits returns the bool-plan feasibility family: does a
+// parenthesization of n objects exist that never creates any of the
+// forbidden subexpressions (i,j)? Solution.Cost is 1 when feasible, 0
+// otherwise, and the sequential engine's Solution.Tree returns a witness
+// parenthesization when one exists.
+func NewForbiddenSplits(n int, forbidden [][2]int) *Instance {
+	return problems.ForbiddenSplits(n, forbidden)
 }
 
 // NewShaped returns an instance whose unique optimal parenthesization is
