@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"sublineardp"
+	"sublineardp/internal/blocked"
 	"sublineardp/internal/btree"
 	"sublineardp/internal/core"
 	"sublineardp/internal/exper"
@@ -305,6 +306,32 @@ func BenchmarkE13RuntimeServing(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				core.Solve(in, opts)
+			}
+		})
+	}
+}
+
+// E14 — the blocked engine past the HLV ceiling: one full solve per
+// iteration at sizes no partial-weight engine can load (hlv-dense would
+// need ~70 GB at n=256, ~18 TB at n=1024). Instances stay on their
+// constructor closure/FPanel form — an O(n^3) materialised F table
+// would itself be the memory ceiling here — so this measures exactly
+// what a serving process pays for a cold large instance. The CI bench
+// job smokes it at -benchtime 1x; BENCH_core.json carries the committed
+// trajectory including the sequential-baseline speedup.
+func BenchmarkE14BlockedLargeN(b *testing.B) {
+	for _, c := range []struct{ n, tile int }{
+		{256, 0},
+		{1024, 0},
+	} {
+		b.Run(fmt.Sprintf("engine=blocked/n=%d", c.n), func(b *testing.B) {
+			in := problems.RandomMatrixChain(c.n, 50, 1)
+			opts := blocked.Options{TileSize: c.tile}
+			blocked.Solve(in, opts) // warm the shared pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blocked.Solve(in, opts)
 			}
 		})
 	}

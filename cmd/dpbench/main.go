@@ -126,15 +126,29 @@ type benchFile struct {
 	Schema     string       `json:"schema"`
 	GoVersion  string       `json:"go_version"`
 	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers,omitempty"`
 	Quick      bool         `json:"quick"`
 	Results    []benchEntry `json:"results"`
 }
+
+// maxMaterializeN bounds the instances benchCore materialises: the flat
+// F table is O(n^3) memory, so sizes past it run on the constructors'
+// closure/FPanel form instead — which is also how a serving process
+// actually receives them. The bound is inclusive of n=1024 on purpose:
+// that row is the committed blocked-vs-sequential comparison and both
+// engines must see the identical representation — but it means a full
+// (non -quick) `dpbench -json` run transiently allocates ~8.6 GB per
+// n=1024 instance; regenerate the baseline on a machine with >= 10 GB
+// free, or use -quick (what CI does), which stays under n=128.
+const maxMaterializeN = 1024
 
 // benchCore measures the steady-state cost of one full solve per engine
 // and size on the pooled runtime (a warm-up solve populates the pool and
 // buffer arena first, as in a serving process) and writes the JSON
 // artifact the CI perf-regression job uploads. hlv-dense stops at n=64:
-// its O(n^4) double buffer needs ~70 GB at n=256.
+// its O(n^4) double buffer needs ~70 GB at n=256. The blocked engine is
+// the large-size track (n=1024 where the sequential baseline still
+// finishes, n=4096 where it is the only practical engine here).
 func benchCore(quick bool, workers int, outPath, ring string) error {
 	var ringOpts []sublineardp.Option
 	if ring != "" && ring != "min-plus" {
@@ -149,15 +163,17 @@ func benchCore(quick bool, workers int, outPath, ring string) error {
 		sizes  []int
 	}
 	configs := []config{
-		{sublineardp.EngineSequential, []int{32, 48, 64, 128, 256}},
+		{sublineardp.EngineSequential, []int{32, 48, 64, 128, 256, 1024}},
 		{sublineardp.EngineHLVDense, []int{32, 48, 64}},
 		{sublineardp.EngineHLVBanded, []int{64, 128, 256}},
+		{sublineardp.EngineBlocked, []int{256, 1024, 4096}},
 	}
 	if quick {
 		configs = []config{
 			{sublineardp.EngineSequential, []int{16, 32, 64}},
 			{sublineardp.EngineHLVDense, []int{16, 32}},
 			{sublineardp.EngineHLVBanded, []int{32, 64}},
+			{sublineardp.EngineBlocked, []int{64, 128}},
 		}
 	}
 
@@ -165,6 +181,7 @@ func benchCore(quick bool, workers int, outPath, ring string) error {
 		Schema:     "sublineardp/bench-core/v1",
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
 		Quick:      quick,
 	}
 	seqNs := map[int]int64{}
@@ -176,7 +193,14 @@ func benchCore(quick bool, workers int, outPath, ring string) error {
 			return err
 		}
 		for _, n := range cfg.sizes {
-			in := problems.RandomMatrixChain(n, 50, 1).Materialize()
+			in := problems.RandomMatrixChain(n, 50, 1)
+			if n <= maxMaterializeN {
+				if n >= 512 {
+					gb := 8 * float64(n+1) * float64(n+1) * float64(n+1) / (1 << 30)
+					fmt.Printf("%-12s n=%-4d materializing flat F table (~%.1f GB transient)\n", cfg.engine, n, gb)
+				}
+				in = in.Materialize()
+			}
 			warm, err := solver.Solve(ctx, in) // populates pool + arena
 			if err != nil {
 				return fmt.Errorf("%s n=%d: %w", cfg.engine, n, err)

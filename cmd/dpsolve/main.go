@@ -10,6 +10,7 @@
 //	dpsolve -problem triangulation -n 16 -engine rytter
 //	dpsolve -problem zigzag -n 25 -engine hlv-banded -window -history
 //	dpsolve -problem random -n 200 -engine auto -timeout 5s
+//	dpsolve -problem matrixchain -n 2048 -engine blocked -tile 128
 //	dpsolve -request req.json       # solve a dpserved wire request offline
 //
 // -engines lists the registry. The old -algo flag is kept as a
@@ -52,7 +53,7 @@ func main() {
 		ring    = flag.String("semiring", "", "algebra override: min-plus | max-plus | bool-plan | any registered name (default: the instance's)")
 		window  = flag.Bool("window", false, "windowed pebble schedule (hlv-banded only)")
 		workers = flag.Int("workers", 0, "goroutine count (0 = GOMAXPROCS)")
-		tile    = flag.Int("tile", 0, "kernel scheduling tile in (i,j) cells (0 = heuristic)")
+		tile    = flag.Int("tile", 0, "kernel scheduling tile: (i,j) cells per claim for the hlv engines, block edge B for blocked (0 = heuristic)")
 		timeout = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		history = flag.Bool("history", false, "print per-iteration convergence history")
 		tree    = flag.Bool("tree", true, "print the optimal parenthesization tree")

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"sublineardp/internal/algebra"
+	"sublineardp/internal/blocked"
 	"sublineardp/internal/core"
 	"sublineardp/internal/rytter"
 	"sublineardp/internal/seq"
@@ -33,8 +34,9 @@ type Engine interface {
 // Registry names of the built-in engines.
 const (
 	// EngineAuto picks an engine per instance by size: n <= AutoCutoff
-	// goes to the sequential scan, larger instances to the banded HLV
-	// iteration.
+	// goes to the sequential scan, mid-sized instances to the banded HLV
+	// iteration, and n > AutoLargeCutoff to the work-efficient blocked
+	// engine (the only parallel engine whose memory stays O(n^2)).
 	EngineAuto = "auto"
 	// EngineSequential is the classic O(n^3) dynamic program (records
 	// split points, so Solution.Tree is O(n)).
@@ -50,6 +52,11 @@ const (
 	// EngineHLVBanded is the headline Section 5 algorithm storing only
 	// deficits within the 2*ceil(sqrt n) band.
 	EngineHLVBanded = "hlv-banded"
+	// EngineBlocked is the work-efficient blocked engine: B x B tiles in
+	// anti-diagonal block-wavefront order, O(n^3) work and O(n^2) memory
+	// — the large-instance engine (n = 1024-4096 and beyond) where the
+	// HLV partial-weight arrays cannot even be allocated.
+	EngineBlocked = "blocked"
 	// EngineSemiring is a deprecated alias of the hlv-dense engine from
 	// when only one engine understood WithSemiring; every engine now
 	// evaluates any registered algebra. Kept registered so old clients
@@ -110,8 +117,8 @@ type EngineInfo struct {
 // generic entry (their RegisterEngine call site is the authority on the
 // options they interpret).
 var builtinInfo = map[string]EngineInfo{
-	EngineAuto: {Description: "size-based selector: sequential at n <= cutoff, else hlv-banded",
-		Options: "WithAutoCutoff, WithSemiring + the chosen engine's options"},
+	EngineAuto: {Description: "size-based selector: sequential at n <= cutoff, hlv-banded in the mid range, blocked above the large cutoff",
+		Options: "WithAutoCutoff, WithAutoLargeCutoff, WithSemiring + the chosen engine's options (iteration knobs apply only on the hlv tier)"},
 	EngineSequential: {Description: "classic O(n^3) dynamic program with O(n) tree reconstruction",
 		Options: "WithSemiring"},
 	EngineWavefront: {Description: "span-parallel linear-time baseline",
@@ -122,6 +129,8 @@ var builtinInfo = map[string]EngineInfo{
 		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithTarget, WithHistory, WithSemiring"},
 	EngineHLVBanded: {Description: "paper Section 5: deficits within 2*ceil(sqrt n), tiled pooled kernels",
 		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithBandRadius, WithWindow, WithTarget, WithHistory, WithSemiring"},
+	EngineBlocked: {Description: "work-efficient blocked wavefront: O(n^3) work, O(n^2) memory, solves n >= 1024",
+		Options: "WithWorkers, WithPool, WithTileSize (block edge B), WithSemiring"},
 	EngineSemiring: {Description: "deprecated alias of hlv-dense (every engine honours WithSemiring now)",
 		Options: "WithSemiring, WithMaxIterations + hlv-dense options"},
 }
@@ -151,6 +160,7 @@ func init() {
 		hlvEngine{name: EngineHLVDense, variant: core.Dense},
 		hlvEngine{name: EngineHLVBanded, variant: core.Banded},
 		hlvEngine{name: EngineSemiring, variant: core.Dense},
+		blockedEngine{},
 	} {
 		if err := RegisterEngine(e); err != nil {
 			panic(err)
@@ -296,10 +306,44 @@ func (e hlvEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solut
 	}, nil
 }
 
+// blockedEngine wraps the work-efficient blocked wavefront of
+// internal/blocked: the engine that breaks the HLV n=64 memory ceiling
+// (O(n^2) memory, O(n^3) work) and therefore the auto choice for large
+// instances.
+type blockedEngine struct{}
+
+func (blockedEngine) Name() string { return EngineBlocked }
+
+func (blockedEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
+	res, err := blocked.SolveCtx(ctx, in, blocked.Options{
+		Workers:  cfg.Workers,
+		Pool:     cfg.Pool,
+		TileSize: cfg.TileSize,
+		Semiring: cfg.Semiring,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Engine:      EngineBlocked,
+		Algebra:     algebra.ResolveName(cfg.Semiring, in.Algebra),
+		Table:       res.Table,
+		Acct:        res.Acct,
+		ConvergedAt: -1,
+		instance:    in,
+	}, nil
+}
+
 // autoEngine is the size-based meta-engine: small instances go to the
-// sequential scan, large ones to the banded HLV iteration — under any
-// algebra, since both targets are generic. The returned Solution names
-// the engine actually chosen.
+// sequential scan, mid-sized ones to the banded HLV iteration, large
+// ones to the blocked wavefront — under any algebra, since all three
+// targets are generic. The returned Solution names the engine actually
+// chosen. Routing is purely by size: options are interpreted by the
+// chosen engine, so the iteration-discipline knobs (WithTermination,
+// WithMaxIterations, WithHistory, WithTarget) take effect only when the
+// HLV tier is selected — exactly as they always vanished on the
+// sequential tier. Callers that need per-iteration instrumentation at
+// any size should name an HLV engine explicitly.
 type autoEngine struct{}
 
 func (autoEngine) Name() string { return EngineAuto }
@@ -314,9 +358,21 @@ func pickAuto(n int, cfg *Config) Engine {
 	if cutoff <= 0 {
 		cutoff = DefaultAutoCutoff
 	}
-	name := EngineHLVBanded
-	if n <= cutoff {
+	large := cfg.AutoLargeCutoff
+	if large <= 0 {
+		large = DefaultAutoLargeCutoff
+	}
+	if large < cutoff {
+		large = cutoff
+	}
+	var name string
+	switch {
+	case n <= cutoff:
 		name = EngineSequential
+	case n <= large:
+		name = EngineHLVBanded
+	default:
+		name = EngineBlocked
 	}
 	e, ok := LookupEngine(name)
 	if !ok {

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"sublineardp"
+	"sublineardp/internal/blocked"
 	"sublineardp/internal/btree"
 	"sublineardp/internal/core"
 	"sublineardp/internal/pebble"
@@ -93,6 +94,47 @@ func FuzzBandedMatchesDense(f *testing.F) {
 				t.Fatalf("banded D=%d undershoots dense at iteration %d (n=%d seed=%d): %v",
 					d, half, n, seed, err)
 			}
+		}
+	})
+}
+
+// FuzzBlockedMatchesSequential drives the blocked engine against the
+// sequential DP across tile-boundary shapes: block edges with
+// n mod B in {0, 1, B-1} (the partial-tile and off-by-one regimes where
+// the block-wavefront index arithmetic can go wrong), B = 1 (every
+// index its own block), B > n (a single in-tile closure), and shaped
+// spine instances whose optimal tree crosses every tile boundary. The
+// tables must match the sequential solver *bitwise* — not just on the
+// optimum — under the declared algebra, and pass the solver-independent
+// fixed-point verifier.
+func FuzzBlockedMatchesSequential(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(4), false) // n%B == 0
+	f.Add(int64(2), uint8(17), uint8(4), false) // n%B == 1
+	f.Add(int64(3), uint8(15), uint8(4), false) // n%B == B-1
+	f.Add(int64(4), uint8(12), uint8(1), false) // one index per block
+	f.Add(int64(5), uint8(9), uint8(14), false) // single tile (B > n)
+	f.Add(int64(6), uint8(24), uint8(5), true)  // spine across tile boundaries
+	f.Add(int64(7), uint8(26), uint8(0), false) // default tile heuristic
+	f.Fuzz(func(t *testing.T, seed int64, nn, tile uint8, shaped bool) {
+		n := int(nn)%28 + 2
+		b := int(tile) % (n + 3) // sweep past B = n+1, 0 = default
+		var in *sublineardp.Instance
+		if shaped {
+			in = problems.Shaped(btree.RandomSplit(n, newSeededRand(seed)))
+		} else {
+			in = problems.RandomInstance(n, 60, seed)
+		}
+		want := seq.Solve(in)
+		got := blocked.Solve(in, blocked.Options{TileSize: b})
+		wd, gd := want.Table.Data(), got.Table.Data()
+		for c := range wd {
+			if wd[c] != gd[c] {
+				t.Fatalf("blocked B=%d diverges from sequential bitwise on n=%d seed=%d shaped=%v: %v",
+					b, n, seed, shaped, got.Table.Diff(want.Table, 3))
+			}
+		}
+		if rep := verify.Table(in, got.Table); !rep.OK() {
+			t.Fatalf("blocked B=%d table not a fixed point (n=%d seed=%d): %v", b, n, seed, rep.Err())
 		}
 	})
 }

@@ -115,7 +115,40 @@ type Kernel interface {
 	RelaxPanel(dst, src []cost.Cost, base []int, p Panel)
 	RelaxRows(dst, src []cost.Cost, m, cnt0, cntInc, s1, s1Step, d, dStep, s, sStep, stride int)
 	ReduceRelax(best cost.Cost, a, b []cost.Cost, sh ReduceShape) cost.Cost
+
+	// RelaxSplitPanel and RelaxSplitRow are the blocked engine's bulk
+	// kernels: full three-operand relaxations of recurrence (*) against a
+	// flat row-major c table (stride = row length), sweeping j-contiguous
+	// destination runs — one indirect kernel call covers a whole panel of
+	// candidates, so only the per-candidate f evaluation remains inside
+	// the loop.
+	//
+	// RelaxSplitPanel accumulates one split run [ka,kb) into one output
+	// row, evaluating f through the instance callback per candidate: for
+	// every k in the run with a present tab[i*stride+k],
+	//
+	//	tab[i*stride+j] ⊕= f(i,k,j) ⊗ tab[i*stride+k] ⊗ tab[k*stride+j]
+	//
+	// for the m cells j = j0..j0+m-1. Callers guarantee i < ka and
+	// kb <= j0, so the destination segment never aliases a read.
+	//
+	// RelaxSplitRow is the single-split form with the f run already bulk
+	// evaluated (Instance.FPanel): dst, right and fRow are three parallel
+	// contiguous streams,
+	//
+	//	tab[i*stride+j0+t] ⊕= fRow[t] ⊗ tab[i*stride+k] ⊗ tab[k*stride+j0+t]
+	//
+	// Implementations must match the generic fold order
+	// Extend3(f, left, right) observably — reassociating is legal only
+	// when the concrete Extend commutes.
+	RelaxSplitPanel(tab []cost.Cost, stride, i, ka, kb, j0, m int, f SplitFunc)
+	RelaxSplitRow(tab []cost.Cost, stride, i, k, j0, m int, fRow []cost.Cost)
 }
+
+// SplitFunc evaluates the decomposition cost f(i,k,j) of splitting node
+// (i,j) at k — the shape of recurrence.Instance.F, threaded into the
+// blocked bulk primitives.
+type SplitFunc func(i, k, j int) cost.Cost
 
 // Panel describes the two-level iteration space shared by every
 // cache-tiled a-square sweep: an outer walk over candidate rows, each
@@ -325,6 +358,61 @@ func (MinPlus) ReduceRelax(best cost.Cost, a, b []cost.Cost, sh ReduceShape) cos
 	return best
 }
 
+// RelaxSplitPanel: the min-plus body is two contiguous streams (the
+// destination row segment and the k'th source row segment) plus one
+// scalar left factor per run row. left and f are pruned at Inf; source
+// cells are canonical (<= Inf), so a candidate through an Inf cell sums
+// above Inf and loses every `v < dst` test exactly as a saturated Inf
+// would — the discipline of RelaxPanel, bitwise-matching cost.Add3.
+func (MinPlus) RelaxSplitPanel(tab []cost.Cost, stride, i, ka, kb, j0, m int, f SplitFunc) {
+	if m <= 0 {
+		return
+	}
+	row := i * stride
+	dst := tab[row+j0 : row+j0+m]
+	for k := ka; k < kb; k++ {
+		left := tab[row+k]
+		if left >= posInf {
+			continue
+		}
+		src := tab[k*stride+j0 : k*stride+j0+m]
+		for t := range dst {
+			fv := f(i, k, j0+t)
+			if fv >= posInf {
+				continue
+			}
+			if v := left + fv + src[t]; v < dst[t] {
+				dst[t] = v
+			}
+		}
+	}
+}
+
+// RelaxSplitRow: the min-plus three-stream run — f pre-evaluated, left
+// scalar, right and dst contiguous. Same pruning discipline as
+// RelaxSplitPanel.
+func (MinPlus) RelaxSplitRow(tab []cost.Cost, stride, i, k, j0, m int, fRow []cost.Cost) {
+	if m <= 0 {
+		return
+	}
+	left := tab[i*stride+k]
+	if left >= posInf {
+		return
+	}
+	dst := tab[i*stride+j0 : i*stride+j0+m]
+	src := tab[k*stride+j0 : k*stride+j0+m]
+	fRow = fRow[:m]
+	for t := range dst {
+		fv := fRow[t]
+		if fv >= posInf {
+			continue
+		}
+		if v := left + fv + src[t]; v < dst[t] {
+			dst[t] = v
+		}
+	}
+}
+
 // MaxPlus maximises total weight: Combine = max, Extend = saturating +.
 // Estimates grow upward from -Inf; the optimum is the costliest tree
 // (worst-case parenthesization analysis).
@@ -491,6 +579,65 @@ func (MaxPlus) ReduceRelax(best cost.Cost, a, b []cost.Cost, sh ReduceShape) cos
 	return best
 }
 
+// RelaxSplitPanel relaxes upward with every factor pruned at -Inf (an
+// absent factor plus a large finite one would land inside the finite
+// range and wrongly win a max).
+func (MaxPlus) RelaxSplitPanel(tab []cost.Cost, stride, i, ka, kb, j0, m int, f SplitFunc) {
+	if m <= 0 {
+		return
+	}
+	row := i * stride
+	dst := tab[row+j0 : row+j0+m]
+	for k := ka; k < kb; k++ {
+		left := tab[row+k]
+		if left <= negInf {
+			continue
+		}
+		src := tab[k*stride+j0 : k*stride+j0+m]
+		for t := range dst {
+			r := src[t]
+			if r <= negInf {
+				continue
+			}
+			fv := f(i, k, j0+t)
+			if fv <= negInf {
+				continue
+			}
+			if v := left + fv + r; v > dst[t] {
+				dst[t] = v
+			}
+		}
+	}
+}
+
+// RelaxSplitRow relaxes the pre-evaluated run upward, pruning every
+// factor at -Inf.
+func (MaxPlus) RelaxSplitRow(tab []cost.Cost, stride, i, k, j0, m int, fRow []cost.Cost) {
+	if m <= 0 {
+		return
+	}
+	left := tab[i*stride+k]
+	if left <= negInf {
+		return
+	}
+	dst := tab[i*stride+j0 : i*stride+j0+m]
+	src := tab[k*stride+j0 : k*stride+j0+m]
+	fRow = fRow[:m]
+	for t := range dst {
+		r := src[t]
+		if r <= negInf {
+			continue
+		}
+		fv := fRow[t]
+		if fv <= negInf {
+			continue
+		}
+		if v := left + fv + r; v > dst[t] {
+			dst[t] = v
+		}
+	}
+}
+
 // BoolPlan decides feasibility: values are 0 (impossible) and nonzero
 // (possible, canonically 1); Combine = or, Extend = and. An instance
 // marks forbidden decompositions with F = 0 and allowed ones with F = 1.
@@ -628,6 +775,43 @@ func (BoolPlan) RelaxRows(dst, src []cost.Cost, m, cnt0, cntInc, s1i, s1Step, dS
 		s1i += s1Step
 		dStart += dStep
 		sStart += sStep
+	}
+}
+
+// RelaxSplitPanel turns on every cell of the run with a feasible
+// candidate; already-on cells skip the f evaluation entirely.
+func (BoolPlan) RelaxSplitPanel(tab []cost.Cost, stride, i, ka, kb, j0, m int, f SplitFunc) {
+	if m <= 0 {
+		return
+	}
+	row := i * stride
+	dst := tab[row+j0 : row+j0+m]
+	for k := ka; k < kb; k++ {
+		if tab[row+k] == 0 {
+			continue
+		}
+		src := tab[k*stride+j0 : k*stride+j0+m]
+		for t := range dst {
+			if dst[t] == 0 && src[t] != 0 && f(i, k, j0+t) != 0 {
+				dst[t] = 1
+			}
+		}
+	}
+}
+
+// RelaxSplitRow turns on every off cell of the pre-evaluated run whose
+// candidate is feasible.
+func (BoolPlan) RelaxSplitRow(tab []cost.Cost, stride, i, k, j0, m int, fRow []cost.Cost) {
+	if m <= 0 || tab[i*stride+k] == 0 {
+		return
+	}
+	dst := tab[i*stride+j0 : i*stride+j0+m]
+	src := tab[k*stride+j0 : k*stride+j0+m]
+	fRow = fRow[:m]
+	for t := range dst {
+		if dst[t] == 0 && src[t] != 0 && fRow[t] != 0 {
+			dst[t] = 1
+		}
 	}
 }
 

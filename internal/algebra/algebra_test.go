@@ -227,6 +227,64 @@ func TestRelaxRowsMatchesPanelEncoding(t *testing.T) {
 	}
 }
 
+// The blocked engine's split primitives must agree with the generic
+// reference walk on randomised table layouts — same contract as the
+// panel/reduce pinning above, including rows/cells that hold the
+// algebra's Zero.
+func TestSplitPrimitivesMatchGenericWalk(t *testing.T) {
+	kernels := []Kernel{MinPlus{}, MaxPlus{}, BoolPlan{}, derived{leftmost{}}}
+	rng := rand.New(rand.NewSource(99))
+	const stride = 16
+	for trial := 0; trial < 300; trial++ {
+		for _, k := range kernels {
+			tabA := make([]cost.Cost, stride*stride)
+			for i := range tabA {
+				tabA[i] = k.Norm(cost.Cost(rng.Int63n(60)))
+				if rng.Intn(4) == 0 {
+					tabA[i] = k.Zero()
+				}
+			}
+			f := func(i, s, j int) cost.Cost {
+				v := cost.Cost((i*7 + s*3 + j) % 11)
+				if v == 10 {
+					return k.Zero()
+				}
+				return v
+			}
+			// A legal panel layout: i < ka <= kb <= j0, run inside the row.
+			i := rng.Intn(4)
+			ka := i + 1 + rng.Intn(3)
+			kb := ka + rng.Intn(4)
+			j0 := kb + rng.Intn(3)
+			m := rng.Intn(stride - j0 + 1)
+			tabB := append([]cost.Cost(nil), tabA...)
+			k.RelaxSplitPanel(tabA, stride, i, ka, kb, j0, m, f)
+			relaxSplitPanelGeneric(k, tabB, stride, i, ka, kb, j0, m, f)
+			for c := range tabA {
+				if tabA[c] != tabB[c] {
+					t.Fatalf("%s: RelaxSplitPanel diverges from generic at %d (%d vs %d), i=%d ka=%d kb=%d j0=%d m=%d",
+						k.Name(), c, tabA[c], tabB[c], i, ka, kb, j0, m)
+				}
+			}
+
+			// RelaxSplitRow with a pre-evaluated f run of the same shape.
+			fRow := make([]cost.Cost, m)
+			for t := range fRow {
+				fRow[t] = f(i, ka, j0+t)
+			}
+			tabC := append([]cost.Cost(nil), tabA...)
+			k.RelaxSplitRow(tabA, stride, i, ka, j0, m, fRow)
+			relaxSplitRowGeneric(k, tabC, stride, i, ka, j0, m, fRow)
+			for c := range tabA {
+				if tabA[c] != tabC[c] {
+					t.Fatalf("%s: RelaxSplitRow diverges from generic at %d (%d vs %d), i=%d k=%d j0=%d m=%d",
+						k.Name(), c, tabA[c], tabC[c], i, ka, j0, m)
+				}
+			}
+		}
+	}
+}
+
 func TestScalarHelpers(t *testing.T) {
 	for _, k := range []Kernel{MinPlus{}, MaxPlus{}, BoolPlan{}} {
 		rng := rand.New(rand.NewSource(3))

@@ -157,6 +157,14 @@ func (d derived) ReduceRelax(best cost.Cost, a, b []cost.Cost, sh ReduceShape) c
 	return reduceRelaxGeneric(d, best, a, b, sh)
 }
 
+func (d derived) RelaxSplitPanel(tab []cost.Cost, stride, i, ka, kb, j0, m int, f SplitFunc) {
+	relaxSplitPanelGeneric(d, tab, stride, i, ka, kb, j0, m, f)
+}
+
+func (d derived) RelaxSplitRow(tab []cost.Cost, stride, i, k, j0, m int, fRow []cost.Cost) {
+	relaxSplitRowGeneric(d, tab, stride, i, k, j0, m, fRow)
+}
+
 // relaxPanelGeneric is the reference panel walk every specialised
 // RelaxPanel must agree with (the algebra package tests pin the shipped
 // ones against it).
@@ -194,6 +202,41 @@ func relaxPanelGeneric(k Kernel, dst, src []cost.Cost, base []int, p Panel) {
 		dStep0 += p.DStepRow
 		sStart += p.SStartStep
 		bi += p.BaseStep
+	}
+}
+
+// relaxSplitPanelGeneric is the reference walk every specialised
+// RelaxSplitPanel must agree with: candidates fold in the sequential
+// solver's order Extend3(f, left, right), so a non-commutative Extend
+// still observes exactly what seq.SolveSemiringCtx computes.
+func relaxSplitPanelGeneric(k Kernel, tab []cost.Cost, stride, i, ka, kb, j0, m int, f SplitFunc) {
+	row := i * stride
+	for s := ka; s < kb; s++ {
+		left := tab[row+s]
+		if k.IsZero(left) {
+			continue
+		}
+		for t := 0; t < m; t++ {
+			j := j0 + t
+			if v := k.Extend3(f(i, s, j), left, tab[s*stride+j]); k.Better(v, tab[row+j]) {
+				tab[row+j] = v
+			}
+		}
+	}
+}
+
+// relaxSplitRowGeneric is the reference walk of the pre-evaluated form.
+func relaxSplitRowGeneric(k Kernel, tab []cost.Cost, stride, i, s, j0, m int, fRow []cost.Cost) {
+	left := tab[i*stride+s]
+	if k.IsZero(left) {
+		return
+	}
+	row := i * stride
+	for t := 0; t < m; t++ {
+		j := j0 + t
+		if v := k.Extend3(fRow[t], left, tab[s*stride+j]); k.Better(v, tab[row+j]) {
+			tab[row+j] = v
+		}
 	}
 }
 

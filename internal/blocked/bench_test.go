@@ -1,0 +1,35 @@
+package blocked
+
+import (
+	"testing"
+
+	"sublineardp/internal/problems"
+	"sublineardp/internal/seq"
+)
+
+// Package-level rails on the constructor closure/FPanel path — the
+// form a serving process actually receives instances in (dpbench's
+// BENCH_core.json additionally measures the materialised form at
+// n <= 1024; an O(n^3) F table would itself be the ceiling past that).
+func benchmarkBlocked(b *testing.B, n, tile int) {
+	in := problems.RandomMatrixChain(n, 50, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Solve(in, Options{TileSize: tile})
+		_ = res.Table.Root()
+	}
+}
+
+func BenchmarkBlockedN256(b *testing.B)  { benchmarkBlocked(b, 256, 0) }
+func BenchmarkBlockedN1024(b *testing.B) { benchmarkBlocked(b, 1024, 0) }
+
+func BenchmarkSequentialN1024(b *testing.B) {
+	in := problems.RandomMatrixChain(1024, 50, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := seq.Solve(in)
+		_ = res.Table.Root()
+	}
+}

@@ -1,0 +1,368 @@
+// Package blocked implements the work-efficient blocked parallel engine
+// for recurrence (*): the c(i,j) triangle is partitioned into B×B tiles
+// processed in anti-diagonal block-wavefront order, so the whole solve
+// costs the sequential O(n^3) work and O(n^2) memory — one flat cost
+// table, no partial-weight arrays — while exposing (n/B)^2-way
+// parallelism per wavefront.
+//
+// This is the engine the paper's HLV scheme is missing at scale: HLV
+// buys O(sqrt n · log n) parallel *time* by paying O(n^4) work and
+// memory (the dense partial-weight array caps it at n=64 on commodity
+// memory), whereas the blocked schedule follows the work-efficient
+// divide-and-conquer line (Galil–Park blocking; arXiv:2404.16314's
+// near-work-optimal parallel DP; arXiv:2008.01938's block-wavefront
+// pipeline): depth O((n/B)·(B + log n)) with work exactly O(n^3).
+// n = 1024–4096 solves comfortably where hlv-dense cannot even allocate
+// n = 256.
+//
+// # Schedule
+//
+// Indices 0..n are split into nb = ceil((n+1)/B) blocks. Tile (I,J)
+// holds the cells (i,j) with i in block I, j in block J. A cell's
+// candidates k lie in blocks I..J, so tile (I,J) depends only on tiles
+// (I,K) and (K,J) with strictly smaller block distance — every tile of
+// block-diagonal d = J-I is independent once diagonals < d are final.
+// Per diagonal the engine runs two pooled phases:
+//
+//   - phase A (d >= 2): off-tile accumulation. For every tile row i and
+//     every strictly interior block K, one RelaxSplitPanel call folds the
+//     whole k-run of block K into the row — a GEMM-shaped sweep whose
+//     three streams (destination row, left factors, right row) are
+//     contiguous or scalar, which is what makes the engine faster per
+//     candidate than the column-striding sequential scan.
+//   - phase B: in-tile closure. Each tile serialises its own cells in
+//     dependency order (rows bottom-up, splits left to right) and applies
+//     every in-tile split as a forward j-run relaxation, so even the
+//     closure sweeps contiguous panels; all tiles of the diagonal close
+//     in parallel.
+//
+// The bulk primitives evaluate the instance's F inside the kernel body
+// (RelaxSplitPanel), or consume a pre-evaluated f run when the instance
+// provides a bulk form (Instance.FPanel → RelaxSplitRow), so every
+// registered algebra runs at one indirect call per panel and the
+// min-plus loops stay scalar-fast. Results are bitwise identical to
+// the sequential DP under every lawful algebra: candidates form the same
+// multiset and Combine is associative, commutative and idempotent.
+//
+// TileSize is the engine's processor knob: B ~ n/(4p) (the auto
+// default) spreads p workers across a wavefront, larger B trades
+// parallelism for lower barrier count (2(nb-1) barriers total) and
+// better in-tile and f-run locality.
+package blocked
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"sublineardp/internal/algebra"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/parutil"
+	"sublineardp/internal/pram"
+	"sublineardp/internal/recurrence"
+)
+
+// DefaultTileSize is the floor of the auto-sized block edge: large
+// enough that panel dispatch overhead vanishes and a tile pair (two
+// ~32 KB squares) stays cache-resident.
+const DefaultTileSize = 64
+
+// maxAutoTileSize caps the auto-sized block edge: past ~512 the f-run
+// locality gains flatten while the barrier count is already tiny.
+const maxAutoTileSize = 512
+
+// fbufArena recycles the per-worker f-run scratch (length B) across
+// work units and solves: phase dispatch claims single-unit chunks for
+// cancellation latency, so without recycling each claimed tile row
+// would allocate a fresh buffer.
+var fbufArena parutil.Arena[cost.Cost]
+
+// Options configures a blocked solve. The zero value is a valid default
+// configuration.
+type Options struct {
+	// Workers is the goroutine count per pooled phase (0 = pool width).
+	Workers int
+	// Pool is the persistent worker pool the wavefront phases dispatch
+	// onto (nil = the process-wide shared pool).
+	Pool *parutil.Pool
+	// TileSize is the block edge B. Non-positive values select the auto
+	// size (~(n+1)/(4·procs) clamped to [DefaultTileSize,
+	// maxAutoTileSize] — see EffectiveTileSize); explicit values are
+	// capped at n+1 (one tile).
+	TileSize int
+	// Semiring overrides the algebra the recurrence is evaluated over
+	// (nil = the instance's declared algebra, min-plus by default).
+	Semiring algebra.Semiring
+}
+
+// Result is a blocked solve: the converged cost table, PRAM accounting,
+// and the effective block edge.
+type Result struct {
+	Table *recurrence.Table
+	Acct  pram.Accounting
+	// TileSize echoes the effective block edge B of the run.
+	TileSize int
+}
+
+// Cost returns c(0,n).
+func (r *Result) Cost() cost.Cost { return r.Table.Root() }
+
+// EffectiveTileSize resolves the block edge a solve of size n runs
+// with on a machine with procs usable processors. An explicit tile
+// wins; otherwise B targets about four wavefront tiles per processor
+// ((n+1)/(4·procs) — enough tiles to balance, few enough barriers and
+// long enough contiguous f runs), clamped to
+// [DefaultTileSize, maxAutoTileSize]. On few cores this grows B with n
+// (locality is all that matters); on wide machines it shrinks toward
+// the floor to keep every worker fed.
+func EffectiveTileSize(n, tile, procs int) int {
+	b := tile
+	if b <= 0 {
+		if procs < 1 {
+			procs = 1
+		}
+		b = (n + 1) / (4 * procs)
+		if b < DefaultTileSize {
+			b = DefaultTileSize
+		}
+		if b > maxAutoTileSize {
+			b = maxAutoTileSize
+		}
+	}
+	if b > n+1 {
+		b = n + 1
+	}
+	return b
+}
+
+// Solve runs the blocked engine; the result table equals the sequential
+// DP table bitwise (the conformance matrix and fuzz rails pin this).
+func Solve(in *recurrence.Instance, opt Options) *Result {
+	res, err := SolveCtx(context.Background(), in, opt)
+	if err != nil {
+		// Only reachable for an unregistered instance algebra; the
+		// background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// SolveCtx is Solve with cooperative cancellation: the context is
+// checked between block diagonals and by the worker pool before each
+// claimed work unit, so cancellation latency is bounded by one in-flight
+// tile row rather than one wavefront.
+func SolveCtx(ctx context.Context, in *recurrence.Instance, opt Options) (*Result, error) {
+	if in == nil || in.N < 1 {
+		panic(fmt.Sprintf("blocked: invalid instance %+v", in))
+	}
+	k, err := algebra.Resolve(opt.Semiring, in.Algebra)
+	if err != nil {
+		return nil, err
+	}
+	// Instantiate the generic driver at the concrete type of each shipped
+	// semiring so the bulk primitives dispatch to their specialised
+	// bodies; promoted third-party algebras run through the interface.
+	switch sr := k.(type) {
+	case algebra.MinPlus:
+		return run(ctx, sr, in, opt)
+	case algebra.MaxPlus:
+		return run(ctx, sr, in, opt)
+	case algebra.BoolPlan:
+		return run(ctx, sr, in, opt)
+	default:
+		return run[algebra.Kernel](ctx, k, in, opt)
+	}
+}
+
+// run is the block-wavefront driver at one concrete algebra type.
+func run[S algebra.Kernel](ctx context.Context, sr S, in *recurrence.Instance, opt Options) (*Result, error) {
+	n := in.N
+	pool := opt.Pool
+	if pool == nil {
+		pool = parutil.Default()
+	}
+	workers := opt.Workers
+	// The auto tile sizing cares about real parallelism: an explicit
+	// Workers beyond GOMAXPROCS oversubscribes goroutines, it does not
+	// add processors.
+	procs := workers
+	if procs <= 0 {
+		procs = pool.Workers()
+	}
+	if g := runtime.GOMAXPROCS(0); procs > g {
+		procs = g
+	}
+	b := EffectiveTileSize(n, opt.TileSize, procs)
+	size := n + 1
+	nb := (size + b - 1) / b
+
+	tbl := recurrence.NewTable(n)
+	data, stride := tbl.Data(), tbl.Stride()
+	// NewTable pre-fills with Inf — min-plus's Zero. Any other algebra
+	// re-seeds exactly the cells the recurrence computes (i < j), keeping
+	// the untouched lower triangle bitwise identical to the sequential
+	// table.
+	if zero := sr.Zero(); zero != cost.Inf {
+		for i := 0; i < n; i++ {
+			row := i * stride
+			for j := i + 1; j <= n; j++ {
+				data[row+j] = zero
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		data[i*stride+i+1] = in.Init(i)
+	}
+
+	f := algebra.SplitFunc(in.F)
+	res := &Result{Table: tbl, TileSize: b}
+	res.Acct.ChargeUnit(int64(n)) // the leaf init step
+
+	lo := func(B int) int { return B * b }
+	hi := func(B int) int {
+		v := (B + 1) * b
+		if v > size {
+			v = size
+		}
+		return v
+	}
+
+	// relaxRun folds split k into the m cells (i, j0..j0+m-1). With a
+	// bulk F (Instance.FPanel) the f run fills in one tight loop and the
+	// three-stream RelaxSplitRow consumes it; otherwise RelaxSplitPanel
+	// evaluates F per candidate inside the kernel body.
+	fPanel := in.FPanel
+	relaxRun := func(fbuf []cost.Cost, i, k, j0, m int) {
+		if m <= 0 {
+			return
+		}
+		if fPanel != nil {
+			fPanel(i, k, j0, fbuf[:m])
+			sr.RelaxSplitRow(data, stride, i, k, j0, m, fbuf)
+		} else {
+			sr.RelaxSplitPanel(data, stride, i, k, k+1, j0, m, f)
+		}
+	}
+
+	// closeTile runs the in-tile closure of tile (I,J) in dependency
+	// order (rows bottom-up; within a row, splits left to right, each
+	// final cell immediately forward-relaxed into the rest of its row —
+	// always j-contiguous runs) and returns its candidate count. For
+	// I == J this is the triangular DP of the block; off-diagonal tiles
+	// first fold their block-I splits (the rows below, already final),
+	// then sweep the block-J splits forward — the strictly interior
+	// blocks were folded in by phase A.
+	closeTile := func(fbuf []cost.Cost, I, J int) int64 {
+		i0, i1 := lo(I), hi(I)
+		j0, j1 := lo(J), hi(J)
+		var work int64
+		if I == J {
+			for i := i1 - 2; i >= i0; i-- {
+				for k := i + 1; k < j1-1; k++ {
+					m := j1 - k - 1
+					relaxRun(fbuf, i, k, k+1, m)
+					work += int64(m)
+				}
+			}
+			return work
+		}
+		m := j1 - j0
+		for i := i1 - 1; i >= i0; i-- {
+			if fPanel != nil {
+				for k := i + 1; k < i1; k++ {
+					relaxRun(fbuf, i, k, j0, m)
+				}
+			} else if i+1 < i1 {
+				sr.RelaxSplitPanel(data, stride, i, i+1, i1, j0, m, f)
+			}
+			work += int64(i1-i-1) * int64(m)
+			for k := j0; k < j1-1; k++ {
+				mk := j1 - k - 1
+				relaxRun(fbuf, i, k, k+1, mk)
+				work += int64(mk)
+			}
+		}
+		return work
+	}
+
+	for d := 0; d < nb; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tiles := nb - d
+
+		// Phase A: fold the strictly interior split blocks into every
+		// tile row of the diagonal, all rows in parallel. Row blocks of
+		// d >= 1 tiles are always full (only block nb-1 can be short),
+		// so unit u maps to tile u/b, row u%b.
+		if d >= 2 {
+			units := tiles * b
+			aWork, err := pool.SumInt64Ctx(ctx, workers, units, 1, func(ulo, uhi int) int64 {
+				fbuf := fbufArena.Get(b)
+				defer fbufArena.Put(fbuf)
+				var cnt int64
+				for u := ulo; u < uhi; u++ {
+					I := u / b
+					i := lo(I) + u%b
+					J := I + d
+					j0, m := lo(J), hi(J)-lo(J)
+					for K := I + 1; K < J; K++ {
+						if fPanel != nil {
+							for k := lo(K); k < hi(K); k++ {
+								relaxRun(fbuf, i, k, j0, m)
+							}
+						} else {
+							sr.RelaxSplitPanel(data, stride, i, lo(K), hi(K), j0, m, f)
+						}
+					}
+					cnt += int64(m) * int64(j0-hi(I))
+				}
+				return cnt
+			})
+			if err != nil {
+				return nil, err
+			}
+			aCells := int64(b) * (int64(tiles-1)*int64(b) + int64(hi(nb-1)-lo(nb-1)))
+			res.Acct.ChargeReduce(aCells, int64(d-1)*int64(b), aWork)
+		}
+
+		// Phase B: close every tile of the diagonal in parallel.
+		bWork, err := pool.SumInt64Ctx(ctx, workers, tiles, 1, func(tlo, thi int) int64 {
+			fbuf := fbufArena.Get(b)
+			defer fbufArena.Put(fbuf)
+			var cnt int64
+			for t := tlo; t < thi; t++ {
+				cnt += closeTile(fbuf, t, t+d)
+			}
+			return cnt
+		})
+		if err != nil {
+			return nil, err
+		}
+		if bWork > 0 {
+			// Charged as one synchronous fold per diagonal; the true
+			// in-tile closure depth is the O(B) dependency chain the
+			// package comment (and DESIGN.md's knob map) documents.
+			res.Acct.ChargeReduce(closedCells(d, b, nb, size), 2*int64(b), bWork)
+		}
+	}
+	return res, nil
+}
+
+// closedCells counts the cells phase B relaxes on block-diagonal d —
+// tile areas minus the leaf and empty spans the closure skips.
+func closedCells(d, b, nb, size int) int64 {
+	lastLen := int64(size - (nb-1)*b)
+	var cells int64
+	switch {
+	case d == 0:
+		full := int64(b)*(int64(b)-1)/2 - (int64(b) - 1)
+		cells = int64(nb-1)*full + lastLen*(lastLen-1)/2 - (lastLen - 1)
+	case d == 1:
+		// One corner cell per tile is the leaf (i1-1, i1).
+		cells = int64(nb-d-1)*(int64(b)*int64(b)-1) + int64(b)*lastLen - 1
+	default:
+		cells = int64(nb-d-1)*int64(b)*int64(b) + int64(b)*lastLen
+	}
+	return cells
+}

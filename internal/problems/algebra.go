@@ -42,6 +42,13 @@ func WorstCaseMatrixChain(dims []int) *recurrence.Instance {
 		F: func(i, k, j int) cost.Cost {
 			return cost.Cost(d[i] * d[k] * d[j])
 		},
+		FPanel: func(i, k, j0 int, dst []cost.Cost) {
+			dik := d[i] * d[k]
+			row := d[j0 : j0+len(dst)]
+			for t := range dst {
+				dst[t] = cost.Cost(dik * row[t])
+			}
+		},
 	}
 }
 
@@ -100,6 +107,15 @@ func ForbiddenSplits(n int, forbidden [][2]int) *recurrence.Instance {
 				return 0
 			}
 			return 1
+		},
+		FPanel: func(i, k, j0 int, dst []cost.Cost) {
+			for t := range dst {
+				if _, bad := banned[i*sz+j0+t]; bad {
+					dst[t] = 0
+				} else {
+					dst[t] = 1
+				}
+			}
 		},
 	}
 }

@@ -40,6 +40,13 @@ func MatrixChain(dims []int) *recurrence.Instance {
 		F: func(i, k, j int) cost.Cost {
 			return cost.Cost(d[i] * d[k] * d[j])
 		},
+		FPanel: func(i, k, j0 int, dst []cost.Cost) {
+			dik := d[i] * d[k]
+			row := d[j0 : j0+len(dst)]
+			for t := range dst {
+				dst[t] = cost.Cost(dik * row[t])
+			}
+		},
 	}
 }
 

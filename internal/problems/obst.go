@@ -64,6 +64,15 @@ func OBST(alpha, beta []int64) *recurrence.Instance {
 			// alpha indices i..j-1.
 			return cost.Cost((betaPre[j-1] - betaPre[i]) + (alphaPre[j] - alphaPre[i]))
 		},
+		FPanel: func(i, k, j0 int, dst []cost.Cost) {
+			// f is independent of k; same int64 sums as F, reassociated
+			// around the constant -(betaPre[i]+alphaPre[i]) term.
+			base := -(betaPre[i] + alphaPre[i])
+			for t := range dst {
+				j := j0 + t
+				dst[t] = cost.Cost(betaPre[j-1] + alphaPre[j] + base)
+			}
+		},
 	}
 }
 

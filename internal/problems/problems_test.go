@@ -6,6 +6,7 @@ import (
 
 	"sublineardp/internal/btree"
 	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
 )
 
 func TestMatrixChainCLRSShape(t *testing.T) {
@@ -220,6 +221,30 @@ func TestRandomInstanceValid(t *testing.T) {
 					t.Fatal("seeded RandomInstance not reproducible")
 				}
 			}
+		}
+	}
+}
+
+// Every constructor that ships a bulk FPanel must agree with its scalar
+// F on all arguments — Validate cross-checks the two cell by cell, and
+// materialisation must preserve the contract through its flat-copy form.
+func TestFPanelAgreesWithF(t *testing.T) {
+	ins := []*recurrence.Instance{
+		RandomMatrixChain(13, 40, 3),
+		RandomOBST(11, 30, 5),
+		Triangulation(RandomConvexPolygon(10, 800, 7)),
+		WeightedTriangulation([]int64{3, 1, 4, 1, 5, 9, 2, 6}),
+		WorstCaseMatrixChain([]int{7, 3, 9, 2, 5}),
+		ForbiddenSplits(9, [][2]int{{1, 3}, {2, 7}, {4, 5}}),
+		RandomMatrixChain(12, 25, 9).Materialize(),
+	}
+	for _, in := range ins {
+		if in.FPanel == nil {
+			t.Errorf("%s: no FPanel", in.Name)
+			continue
+		}
+		if err := in.Validate(); err != nil {
+			t.Errorf("%s: %v", in.Name, err)
 		}
 	}
 }

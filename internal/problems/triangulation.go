@@ -52,6 +52,13 @@ func Triangulation(vs []Point) *recurrence.Instance {
 		F: func(i, k, j int) cost.Cost {
 			return cost.Add3(dist(cvs[i], cvs[k]), dist(cvs[k], cvs[j]), dist(cvs[i], cvs[j]))
 		},
+		FPanel: func(i, k, j0 int, dst []cost.Cost) {
+			dik := dist(cvs[i], cvs[k])
+			for t := range dst {
+				j := j0 + t
+				dst[t] = cost.Add3(dik, dist(cvs[k], cvs[j]), dist(cvs[i], cvs[j]))
+			}
+		},
 	}
 }
 
@@ -77,6 +84,13 @@ func WeightedTriangulation(weights []int64) *recurrence.Instance {
 		Init:  func(i int) cost.Cost { return 0 },
 		F: func(i, k, j int) cost.Cost {
 			return cost.Cost(ws[i] * ws[k] * ws[j])
+		},
+		FPanel: func(i, k, j0 int, dst []cost.Cost) {
+			wik := ws[i] * ws[k]
+			row := ws[j0 : j0+len(dst)]
+			for t := range dst {
+				dst[t] = cost.Cost(wik * row[t])
+			}
 		},
 	}
 }

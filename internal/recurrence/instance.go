@@ -32,6 +32,16 @@ type Instance struct {
 	// into sons (i,k) and (k,j), for 0 <= i < k < j <= N.
 	F func(i, k, j int) cost.Cost
 
+	// FPanel, when non-nil, bulk-evaluates F over one j-run: it fills
+	// dst[t] = F(i, k, j0+t) for 0 <= t < len(dst), with every j0+t a
+	// valid third argument (i < k < j0). It is semantically redundant
+	// with F and must agree with it on every argument (Validate checks);
+	// engines that sweep j-contiguous candidate runs (the blocked
+	// engine's panels) use it to amortise the per-candidate closure call
+	// into one tight loop. Constructors whose f has a cheap row form set
+	// it; Materialize always provides one (a flat-table copy).
+	FPanel func(i, k, j0 int, dst []cost.Cost)
+
 	// Name labels the instance in experiment tables and error messages.
 	Name string
 
@@ -101,11 +111,23 @@ func (in *Instance) Validate() error {
 			return fmt.Errorf("recurrence: init(%d) = %d is negative", i, v)
 		}
 	}
+	var panelRow []cost.Cost
+	if in.FPanel != nil {
+		panelRow = make([]cost.Cost, in.N+1)
+	}
 	for i := 0; i <= in.N; i++ {
 		for k := i + 1; k <= in.N; k++ {
+			if panelRow != nil && k < in.N {
+				in.FPanel(i, k, k+1, panelRow[:in.N-k])
+			}
 			for j := k + 1; j <= in.N; j++ {
-				if v := in.F(i, k, j); v < 0 {
+				v := in.F(i, k, j)
+				if v < 0 {
 					return fmt.Errorf("recurrence: f(%d,%d,%d) = %d is negative", i, k, j, v)
+				}
+				if panelRow != nil && panelRow[j-k-1] != v {
+					return fmt.Errorf("recurrence: FPanel(%d,%d,%d) = %d disagrees with F = %d",
+						i, k, j, panelRow[j-k-1], v)
 				}
 			}
 		}
@@ -148,6 +170,10 @@ func (in *Instance) Materialize() *Instance {
 		F: func(i, k, j int) cost.Cost {
 			return f[(i*size+k)*size+j]
 		},
+		FPanel: func(i, k, j0 int, dst []cost.Cost) {
+			base := (i*size+k)*size + j0
+			copy(dst, f[base:base+len(dst)])
+		},
 	}
 }
 
@@ -171,6 +197,14 @@ func NewTable(n int) *Table {
 
 // At returns the entry for node (i,j).
 func (t *Table) At(i, j int) cost.Cost { return t.data[i*(t.N+1)+j] }
+
+// Data exposes the flat row-major backing slice (cell (i,j) lives at
+// i*Stride()+j) — the kernel-facing escape hatch the bulk primitives
+// operate on. Mutating it mutates the table.
+func (t *Table) Data() []cost.Cost { return t.data }
+
+// Stride returns the row length N+1 of the flat layout behind Data.
+func (t *Table) Stride() int { return t.N + 1 }
 
 // Set stores v at node (i,j).
 func (t *Table) Set(i, j int, v cost.Cost) { t.data[i*(t.N+1)+j] = v }

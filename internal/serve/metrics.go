@@ -10,9 +10,15 @@ import (
 
 // metrics is the server's observability surface, exposed in Prometheus
 // text format on /metrics. Counters are cumulative; the e2e suite
-// asserts arithmetic identities over them (every 200 response is exactly
-// one of cache hit, coalesced join, or solved lead), so a new code path
-// that produces responses must increment exactly one of those three.
+// asserts arithmetic identities over them:
+//
+//	requests == ok + clientGone + rejectedFull + badRequests
+//	            + timeouts + solveErrors      (every request resolves once)
+//	ok       == cacheHits + coalesced + solved (every 200 is exactly one)
+//
+// so a new code path that finishes a request must increment exactly one
+// of the first-identity counters, and a path that produces a 200 exactly
+// one of hit / coalesced / solved.
 type metrics struct {
 	requests     atomic.Int64 // /solve requests received
 	ok           atomic.Int64 // 200 responses written

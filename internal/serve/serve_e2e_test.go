@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -438,6 +439,97 @@ func TestE2EClientDisconnectCancelsSolve(t *testing.T) {
 			t.Fatalf("client_gone counter never incremented: %+v", srv.Metrics())
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestE2EOverloadCounterIdentity drives the server into overload and
+// asserts the full counter balance: every request resolves as exactly
+// one of admitted (ok/clientGone/timeout/solveError), shed (503 from a
+// full admission queue) or rejected (400), so
+// admitted + shed + rejected == requests — the identity /metrics
+// monitoring depends on, now including the overload paths the happy-path
+// suite above never exercises.
+func TestE2EOverloadCounterIdentity(t *testing.T) {
+	eng := registerBlockEngine(t, "e2e-block-overload")
+	srv, err := New(Config{QueueDepth: 1, BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startLoopback(t, srv)
+
+	// The leader occupies the only admission slot, parked inside the
+	// engine, so the server is saturated for the rest of the test.
+	leadBody, _ := json.Marshal(&wire.Request{Kind: wire.KindMatrixChain,
+		Dims: []int{4, 5, 6, 7}, Options: wire.Options{Engine: "e2e-block-overload"}})
+	leaderDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(leadBody))
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("leader status %d", resp.StatusCode)
+			}
+		}
+		leaderDone <- err
+	}()
+	<-eng.entered
+
+	// Overload traffic: distinct well-formed instances must shed with
+	// 503 while the queue is full — counted, not dropped.
+	const overload = 20
+	for i := 0; i < overload; i++ {
+		body, _ := json.Marshal(&wire.Request{Kind: wire.KindMatrixChain,
+			Dims: []int{2 + i, 3 + i, 4 + i}})
+		resp, err := http.Post(base+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("overload request %d: status %d, want 503", i, resp.StatusCode)
+		}
+	}
+
+	// Invalid traffic: rejected with 400 before admission — also counted.
+	badBodies := []string{
+		"{nope",
+		`{"kind":"matrixchain","dims":[2,3],"options":{"engine":"no-such-engine"}}`,
+		`{"kind":"matrixchain"}`,
+	}
+	for i, body := range badBodies {
+		resp, err := http.Post(base+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad request %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+
+	close(eng.release)
+	if err := <-leaderDone; err != nil {
+		t.Fatal(err)
+	}
+
+	m := srv.Metrics()
+	if m.RejectedFull != overload {
+		t.Errorf("shed %d, want %d", m.RejectedFull, overload)
+	}
+	if m.BadRequests != int64(len(badBodies)) {
+		t.Errorf("rejected %d, want %d", m.BadRequests, len(badBodies))
+	}
+	admitted := m.OK + m.ClientGone + m.Timeouts + m.SolveErrors
+	if admitted+m.RejectedFull+m.BadRequests != m.Requests {
+		t.Errorf("overload identity broken: admitted %d + shed %d + rejected %d != requests %d (%+v)",
+			admitted, m.RejectedFull, m.BadRequests, m.Requests, m)
+	}
+	if m.CacheHits+m.Coalesced+m.Solved != m.OK {
+		t.Errorf("200 identity broken under overload: hits %d + coalesced %d + solved %d != ok %d",
+			m.CacheHits, m.Coalesced, m.Solved, m.OK)
+	}
+	if m.QueueDepth != 0 {
+		t.Errorf("queue depth %d after drain", m.QueueDepth)
 	}
 }
 

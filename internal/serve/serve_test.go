@@ -176,6 +176,9 @@ func TestResourcePolicyRejections(t *testing.T) {
 	accepted := []*wire.Request{
 		// Same size is fine on the banded engine...
 		{Kind: wire.KindMatrixChain, Dims: bigDims, Options: wire.Options{Engine: "hlv-banded"}},
+		// ...and on the O(n^2)-memory blocked engine, which is exempt
+		// from the heavy cap by design — it exists for big instances.
+		{Kind: wire.KindMatrixChain, Dims: bigDims, Options: wire.Options{Engine: "blocked"}},
 		// ...and a small instance is fine on a heavy engine.
 		{Kind: wire.KindMatrixChain, Dims: []int{2, 3, 4}, Options: wire.Options{Engine: "hlv-dense", Workers: 8}},
 	}

@@ -317,6 +317,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	resp.Cached = via == viaCacheHit
 	resp.Coalesced = via == viaCoalesced
 	resp.ElapsedMicros = time.Since(start).Microseconds()
+	// Marshal before counting: a request must resolve as exactly one of
+	// ok / clientGone / shed / rejected / timeout / solveError for the
+	// /metrics identity to balance, so the ok and hit/coalesced/solved
+	// counters only move once the response bytes are actually written.
+	blob, err := json.Marshal(resp)
+	if err != nil {
+		s.met.solveErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(append(blob, '\n')); err != nil {
+		s.met.clientGone.Add(1)
+		return
+	}
 	s.met.ok.Add(1)
 	s.met.observeLatency(time.Since(start).Seconds())
 	switch via {
@@ -326,10 +341,6 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.met.coalesced.Add(1)
 	default:
 		s.met.solved.Add(1)
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		s.met.clientGone.Add(1)
 	}
 }
 
@@ -343,7 +354,11 @@ const (
 
 // heavyMemoryEngines names the built-ins whose working set grows as
 // O(n^4) — the ones Config.MaxNHeavy bounds. The auto engine never
-// routes to any of them.
+// routes to any of them. The blocked engine is deliberately exempt:
+// its O(n^2) table is the same memory class MaxN already bounds, so
+// explicit "blocked" requests serve the full n <= MaxN range — that is
+// the engine large instances are meant to name
+// (TestResourcePolicyRejections pins the exemption).
 var heavyMemoryEngines = map[string]bool{
 	sublineardp.EngineHLVDense: true,
 	sublineardp.EngineRytter:   true,
@@ -367,9 +382,9 @@ func solveKey(in *sublineardp.Instance, sig string) (cache.Key, bool) {
 // SolveBatch call.
 func optionsSig(engine string, o wire.Options) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%s|%s|%s|%d|%d|%v|%d|%d|%d",
+	fmt.Fprintf(&b, "%s|%s|%s|%s|%d|%d|%v|%d|%d|%d|%d",
 		engine, o.Mode, o.Termination, o.Semiring, o.MaxIterations,
-		o.BandRadius, o.Window, o.TileSize, o.Workers, o.AutoCutoff)
+		o.BandRadius, o.Window, o.TileSize, o.Workers, o.AutoCutoff, o.AutoLargeCutoff)
 	return b.String()
 }
 

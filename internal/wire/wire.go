@@ -71,6 +71,9 @@ type Options struct {
 	TileSize      int    `json:"tile_size,omitempty"`
 	Workers       int    `json:"workers,omitempty"`
 	AutoCutoff    int    `json:"auto_cutoff,omitempty"`
+	// AutoLargeCutoff is the auto engine's blocked-engine threshold
+	// (WithAutoLargeCutoff).
+	AutoLargeCutoff int `json:"auto_large_cutoff,omitempty"`
 }
 
 // Request is one solve request. Exactly the parameter fields of its Kind
@@ -291,6 +294,9 @@ func (r *Request) SolverOptions() ([]sublineardp.Option, error) {
 	}
 	if o.AutoCutoff > 0 {
 		opts = append(opts, sublineardp.WithAutoCutoff(o.AutoCutoff))
+	}
+	if o.AutoLargeCutoff > 0 {
+		opts = append(opts, sublineardp.WithAutoLargeCutoff(o.AutoLargeCutoff))
 	}
 	return opts, nil
 }

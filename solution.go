@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"sublineardp/internal/cost"
 	"sublineardp/internal/pram"
 	"sublineardp/internal/recurrence"
 )
@@ -79,11 +80,30 @@ type Solution struct {
 	splits   func(i, j int) int
 }
 
-// Cost returns the computed optimum c(0,n).
-func (s *Solution) Cost() Cost { return s.Table.Root() }
+// Cost returns the computed optimum c(0,n). On a solution without a
+// table — the zero value, or an error-path partial — it returns the
+// algebra's Zero ("no solution": Inf for min-plus, -Inf for max-plus, 0
+// for bool-plan) instead of panicking.
+func (s *Solution) Cost() Cost {
+	if s == nil || s.Table == nil {
+		if s != nil {
+			if sr, ok := LookupSemiring(s.Algebra); ok {
+				return sr.Zero()
+			}
+		}
+		return Inf
+	}
+	return s.Table.Root()
+}
 
-// N returns the instance size the solution answers for.
-func (s *Solution) N() int { return s.Table.N }
+// N returns the instance size the solution answers for, or 0 for a
+// solution without a table (the zero value, or an error-path partial).
+func (s *Solution) N() int {
+	if s == nil || s.Table == nil {
+		return 0
+	}
+	return s.Table.N
+}
 
 // Tree reconstructs an optimal parenthesization. The sequential engine
 // recorded split points during the solve, so its reconstruction is O(n)
@@ -105,11 +125,36 @@ func (s *Solution) Tree() (*Tree, error) {
 	return recurrence.ExtractTree(s.instance, s.Table)
 }
 
-// Split returns the optimal split point of node (i,j) when the engine
-// recorded one (sequential engine only), or -1 otherwise.
+// Split returns the optimal split point of node (i,j): the smallest k
+// realising c(i,j), matching the sequential engine's tie-breaking. The
+// sequential engine recorded its splits during the solve; every other
+// engine recovers the split from the converged value table, exactly as
+// Tree does — implemented for the default min-plus algebra only. It
+// returns -1 when the split is genuinely unavailable: leaves and
+// out-of-range spans, non-min-plus solves without recorded splits, an
+// unreachable (infinite) node, or a table that is not a fixed point at
+// (i,j) (e.g. a run capped by WithMaxIterations before convergence).
 func (s *Solution) Split(i, j int) int {
-	if s.splits == nil {
+	if s == nil || s.Table == nil || i < 0 || j > s.Table.N || j-i < 2 {
 		return -1
 	}
-	return s.splits(i, j)
+	if s.splits != nil {
+		return s.splits(i, j)
+	}
+	if s.instance == nil {
+		return -1
+	}
+	if s.Algebra != "" && s.Algebra != "min-plus" {
+		return -1
+	}
+	target := s.Table.At(i, j)
+	if cost.IsInf(target) {
+		return -1
+	}
+	for k := i + 1; k < j; k++ {
+		if cost.Add3(s.instance.F(i, k, j), s.Table.At(i, k), s.Table.At(k, j)) == target {
+			return k
+		}
+	}
+	return -1
 }

@@ -187,6 +187,17 @@ func TestAutoEngineSelectsBySize(t *testing.T) {
 		t.Errorf("n=%d routed to %q, want hlv-banded", large.N, solLarge.Engine)
 	}
 
+	// Above the large cutoff the work-efficient blocked engine takes
+	// over — the only parallel engine whose memory stays O(n^2).
+	huge := sublineardp.NewShaped(sublineardp.CompleteTree(300))
+	solHuge, err := s.Solve(context.Background(), huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solHuge.Engine != sublineardp.EngineBlocked {
+		t.Errorf("n=%d routed to %q, want blocked", huge.N, solHuge.Engine)
+	}
+
 	// A custom cutoff flips the small instance to the parallel engine.
 	tight := sublineardp.MustNewSolver(sublineardp.EngineAuto, sublineardp.WithAutoCutoff(4))
 	sol, err := tight.Solve(context.Background(), small)
@@ -195,6 +206,16 @@ func TestAutoEngineSelectsBySize(t *testing.T) {
 	}
 	if sol.Engine != sublineardp.EngineHLVBanded {
 		t.Errorf("cutoff=4: n=%d routed to %q, want hlv-banded", small.N, sol.Engine)
+	}
+
+	// A custom large cutoff flips the mid-sized instance to blocked.
+	wide := sublineardp.MustNewSolver(sublineardp.EngineAuto, sublineardp.WithAutoLargeCutoff(70))
+	sol, err = wide.Solve(context.Background(), large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Engine != sublineardp.EngineBlocked {
+		t.Errorf("large-cutoff=70: n=%d routed to %q, want blocked", large.N, sol.Engine)
 	}
 }
 

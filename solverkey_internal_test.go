@@ -29,6 +29,7 @@ func TestSolveKeySeparatesResultAffectingOptions(t *testing.T) {
 		"band":         func(c *Config) { c.BandRadius = 7 },
 		"window":       func(c *Config) { c.Window = true },
 		"autocutoff":   func(c *Config) { c.AutoCutoff = 10 },
+		"autolarge":    func(c *Config) { c.AutoLargeCutoff = 512 },
 		"history":      func(c *Config) { c.History = true },
 		"semiring":     func(c *Config) { c.Semiring = MaxPlus },
 		"semiring2":    func(c *Config) { c.Semiring = BoolPlan },
@@ -61,7 +62,7 @@ func TestSolveKeySeparatesResultAffectingOptions(t *testing.T) {
 	}
 
 	// Engine routing is keyed through the engine name argument.
-	for _, engine := range []string{EngineSequential, EngineHLVBanded, EngineHLVDense} {
+	for _, engine := range []string{EngineSequential, EngineHLVBanded, EngineHLVDense, EngineBlocked} {
 		key, _ := solveKey(in, engine, &base)
 		add("engine="+engine, key)
 	}
