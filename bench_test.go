@@ -6,6 +6,7 @@
 package sublineardp_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -334,6 +335,40 @@ func BenchmarkE14BlockedLargeN(b *testing.B) {
 				blocked.Solve(in, opts)
 			}
 		})
+	}
+}
+
+// E15 — the chain recurrence class: the LLP async engine vs the
+// sequential reference over segmented-least-squares instances, the
+// committed comparison BENCH_core.json carries as chain-sequential /
+// chain-llp. Candidates grow as O(n^2) with an O(1) transition, so this
+// measures the engines' fold machinery (bulk FRow + ReduceRelax runs vs
+// the per-candidate reference loop), not instance construction. The CI
+// bench job smokes it at -benchtime 1x.
+func BenchmarkE15ChainLLP(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		xs, ys := problems.RandomSeries(n, 1)
+		c := problems.SegmentedLeastSquares(xs, ys, 1000)
+		for _, engine := range []string{sublineardp.ChainEngineSequential, sublineardp.ChainEngineLLP} {
+			b.Run(fmt.Sprintf("engine=chain-%s/n=%d", engine, n), func(b *testing.B) {
+				solver := sublineardp.MustNewChainSolver(engine, sublineardp.WithWorkers(4))
+				ctx := context.Background()
+				warm, err := solver.Solve(ctx, c) // warm the shared pool
+				if err != nil {
+					b.Fatal(err)
+				}
+				if warm.Work != c.NumCandidates() {
+					b.Fatalf("work %d != candidate count %d: engine not work-efficient", warm.Work, c.NumCandidates())
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := solver.Solve(ctx, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,222 @@
+package sublineardp_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sublineardp"
+	"sublineardp/internal/problems"
+)
+
+func TestChainSolverUnknownEngine(t *testing.T) {
+	if _, err := sublineardp.NewChainSolver("no-such-chain-engine"); err == nil {
+		t.Fatal("unknown chain engine accepted")
+	}
+}
+
+func TestChainSolverRejectsInvalidChain(t *testing.T) {
+	s := sublineardp.MustNewChainSolver("")
+	if _, err := s.Solve(context.Background(), nil); err == nil {
+		t.Fatal("nil chain accepted")
+	}
+	if _, err := s.Solve(context.Background(), &sublineardp.Chain{N: 0}); err == nil {
+		t.Fatal("N=0 chain accepted")
+	}
+}
+
+func TestChainAutoRouting(t *testing.T) {
+	small := problems.RandomChain(10, 20, 0, 1)
+	s := sublineardp.MustNewChainSolver(sublineardp.ChainEngineAuto)
+	sol, err := s.Solve(context.Background(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Engine != sublineardp.ChainEngineSequential {
+		t.Fatalf("auto routed n=10 to %q, want sequential", sol.Engine)
+	}
+	// Lowering the cutoff reroutes the same chain to the LLP engine.
+	s = sublineardp.MustNewChainSolver(sublineardp.ChainEngineAuto, sublineardp.WithAutoCutoff(4))
+	if sol, err = s.Solve(context.Background(), small); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Engine != sublineardp.ChainEngineLLP {
+		t.Fatalf("auto with cutoff 4 routed n=10 to %q, want llp", sol.Engine)
+	}
+}
+
+func TestChainEnginesRegistered(t *testing.T) {
+	got := sublineardp.ChainEngines()
+	for _, want := range []string{"auto", "llp", "sequential"} {
+		found := false
+		for _, name := range got {
+			if name == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("chain engine %q missing from registry %v", want, got)
+		}
+	}
+}
+
+func TestChainPathAgreesAcrossEngines(t *testing.T) {
+	xs, ys := problems.RandomSeries(30, 9)
+	c := problems.SegmentedLeastSquares(xs, ys, 800)
+	ctx := context.Background()
+	seqSol, err := sublineardp.MustNewChainSolver(sublineardp.ChainEngineSequential).Solve(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llpSol, err := sublineardp.MustNewChainSolver(sublineardp.ChainEngineLLP, sublineardp.WithWorkers(3)).Solve(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPath, err := seqSol.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPath, err := llpSol.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPath, wantPath) {
+		t.Fatalf("llp path %v, sequential path %v", gotPath, wantPath)
+	}
+	if gotPath[0] != 0 || gotPath[len(gotPath)-1] != c.N {
+		t.Fatalf("path %v does not span 0..%d", gotPath, c.N)
+	}
+}
+
+func TestChainSolutionNilSafety(t *testing.T) {
+	var s *sublineardp.ChainSolution
+	if s.Cost() != sublineardp.Inf {
+		t.Fatalf("nil solution Cost = %d, want Inf", s.Cost())
+	}
+	if s.N() != 0 {
+		t.Fatalf("nil solution N = %d, want 0", s.N())
+	}
+	if s.Feasible() {
+		t.Fatal("nil solution reports feasible")
+	}
+	zero := &sublineardp.ChainSolution{Algebra: "max-plus"}
+	if sr, _ := sublineardp.LookupSemiring("max-plus"); zero.Cost() != sr.Zero() {
+		t.Fatalf("vectorless max-plus solution Cost = %d, want the algebra's Zero", zero.Cost())
+	}
+}
+
+func TestChainCacheHitsAndSeparation(t *testing.T) {
+	cacheStore := sublineardp.NewCache(64)
+	ctx := context.Background()
+	c := problems.SubsetSum(30, []int64{4, 9, 13})
+	s := sublineardp.MustNewChainSolver(sublineardp.ChainEngineSequential, sublineardp.WithCache(cacheStore))
+
+	first, err := s.Solve(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first solve reported cached")
+	}
+	second, err := s.Solve(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second identical solve missed the cache")
+	}
+	if second.Cost() != first.Cost() || !second.Values.Equal(first.Values) {
+		t.Fatal("cached solution differs from the led solve")
+	}
+	stats := cacheStore.Stats()
+	if stats.Solves != 1 || stats.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 solve and 1 hit", stats)
+	}
+
+	// A different engine name keys separately.
+	llpSolver := sublineardp.MustNewChainSolver(sublineardp.ChainEngineLLP, sublineardp.WithCache(cacheStore))
+	sol, err := llpSolver.Solve(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cached {
+		t.Fatal("llp solve of a sequentially-cached chain reported cached")
+	}
+
+	// An interval instance with equal parameter bytes lives in the
+	// separate interval store: neither class can serve the other.
+	lenBefore := cacheStore.Len()
+	in := problems.MatrixChain([]int{30, 35, 15, 5, 10, 20, 25})
+	iSolver := sublineardp.MustNewSolver(sublineardp.EngineSequential, sublineardp.WithCache(cacheStore))
+	if _, err := iSolver.Solve(ctx, in); err != nil {
+		t.Fatal(err)
+	}
+	if cacheStore.Len() != lenBefore+1 {
+		t.Fatalf("interval solve changed cache length %d -> %d, want +1", lenBefore, cacheStore.Len())
+	}
+}
+
+func TestChainCacheKeyedBySemiringAndWindow(t *testing.T) {
+	cacheStore := sublineardp.NewCache(64)
+	ctx := context.Background()
+	xs, ys := problems.RandomSeries(12, 2)
+	c := problems.SegmentedLeastSquares(xs, ys, 100)
+
+	base := sublineardp.MustNewChainSolver(sublineardp.ChainEngineSequential, sublineardp.WithCache(cacheStore))
+	if _, err := base.Solve(ctx, c); err != nil {
+		t.Fatal(err)
+	}
+	over := sublineardp.MustNewChainSolver(sublineardp.ChainEngineSequential,
+		sublineardp.WithCache(cacheStore), sublineardp.WithSemiring(sublineardp.MaxPlus))
+	sol, err := over.Solve(ctx, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cached {
+		t.Fatal("max-plus override served the min-plus entry")
+	}
+
+	// Same parameters, different window ⇒ different canonical bytes.
+	windowed := *c
+	windowed.Window = 3
+	sol, err = base.Solve(ctx, &windowed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cached {
+		t.Fatal("windowed chain served the full-prefix entry")
+	}
+}
+
+func TestSolveChainBatch(t *testing.T) {
+	xs, ys := problems.RandomSeries(25, 4)
+	s, e, w := problems.RandomJobs(18, 6)
+	chains := []*sublineardp.Chain{
+		problems.SegmentedLeastSquares(xs, ys, 300),
+		nil,
+		problems.IntervalScheduling(s, e, w),
+		problems.SubsetSum(40, []int64{3, 11}),
+	}
+	sols, err := sublineardp.SolveChainBatch(context.Background(), chains, sublineardp.WithConcurrency(3))
+	if err == nil {
+		t.Fatal("batch with a nil chain returned no error")
+	}
+	if sols[1] != nil {
+		t.Fatal("nil chain produced a solution")
+	}
+	for i, c := range chains {
+		if c == nil {
+			continue
+		}
+		if sols[i] == nil {
+			t.Fatalf("chain %d has no solution", i)
+		}
+		direct, derr := sublineardp.MustNewChainSolver("").Solve(context.Background(), c)
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if sols[i].Cost() != direct.Cost() {
+			t.Fatalf("chain %d: batch cost %d, direct %d", i, sols[i].Cost(), direct.Cost())
+		}
+	}
+}

@@ -232,6 +232,63 @@ func benchCore(quick bool, workers int, outPath, ring string) error {
 		}
 	}
 
+	// Chain track: the 1D prefix recurrence class, sequential reference
+	// vs the LLP async engine over the same segmented-least-squares
+	// instances. Candidate counts grow as O(n^2) with an O(1) transition
+	// (prefix moments), so n=4096 is ~8.4M folds — the regime where the
+	// LLP engine's parallel sweeps must be work-competitive.
+	chainConfigs := []config{
+		{sublineardp.ChainEngineSequential, []int{256, 1024, 4096}},
+		{sublineardp.ChainEngineLLP, []int{256, 1024, 4096}},
+	}
+	if quick {
+		chainConfigs = []config{
+			{sublineardp.ChainEngineSequential, []int{64, 256}},
+			{sublineardp.ChainEngineLLP, []int{64, 256}},
+		}
+	}
+	chainSeqNs := map[int]int64{}
+	for _, cfg := range chainConfigs {
+		solver, err := sublineardp.NewChainSolver(cfg.engine,
+			append([]sublineardp.Option{sublineardp.WithWorkers(workers)}, ringOpts...)...)
+		if err != nil {
+			return err
+		}
+		label := "chain-" + cfg.engine
+		for _, n := range cfg.sizes {
+			xs, ys := problems.RandomSeries(n, 1)
+			c := problems.SegmentedLeastSquares(xs, ys, 1000)
+			warm, err := solver.Solve(ctx, c)
+			if err != nil {
+				return fmt.Errorf("%s n=%d: %w", label, n, err)
+			}
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := solver.Solve(ctx, c); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			entry := benchEntry{
+				Engine:      label,
+				N:           n,
+				Iterations:  warm.Sweeps,
+				NsPerOp:     r.NsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			}
+			if cfg.engine == sublineardp.ChainEngineSequential {
+				chainSeqNs[n] = r.NsPerOp()
+			} else if base, ok := chainSeqNs[n]; ok && r.NsPerOp() > 0 {
+				entry.SpeedupVsSequential = float64(base) / float64(r.NsPerOp())
+			}
+			file.Results = append(file.Results, entry)
+			fmt.Printf("%-16s n=%-4d %12d ns/op %10d B/op %6d allocs/op\n",
+				label, n, entry.NsPerOp, entry.BytesPerOp, entry.AllocsPerOp)
+		}
+	}
+
 	blob, err := json.MarshalIndent(&file, "", "  ")
 	if err != nil {
 		return err

@@ -8,7 +8,9 @@
 //
 // The mix names the internal/workload families (mlp matrix chains,
 // Zipf-weighted dictionary OBSTs, sensor polygons, max-plus worstchain
-// bounds, bool-plan feasibility queries) with integer weights;
+// bounds, bool-plan feasibility queries, plus the chain-kind families:
+// segls telemetry series, wis job schedules, subsetsum coin-feasibility
+// queries) with integer weights;
 // -distinct bounds how many distinct instances each family contributes,
 // which directly sets the cache-hit share of the run. The JSON summary
 // (-out) is uploaded as a CI artifact next to BENCH_core.json.
@@ -38,7 +40,7 @@ func main() {
 		addr     = flag.String("addr", "http://localhost:8080", "dpserved base URL")
 		duration = flag.Duration("duration", 10*time.Second, "how long to fire")
 		conc     = flag.Int("concurrency", 8, "concurrent client connections")
-		mix      = flag.String("mix", "mlp:4,dictionary:4,polygon:2,worstchain:1,boolplan:1", "family:weight list (mlp | dictionary | polygon | worstchain | boolplan)")
+		mix      = flag.String("mix", "mlp:4,dictionary:4,polygon:2,worstchain:1,boolplan:1", "family:weight list (mlp | dictionary | polygon | worstchain | boolplan | segls | wis | subsetsum)")
 		distinct = flag.Int("distinct", 32, "distinct instances per family (lower = more cache hits)")
 		size     = flag.Int("n", 48, "base instance size per request")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -161,8 +163,29 @@ func buildRequest(family string, n int, seed int64, rng *rand.Rand) (*wire.Reque
 			forbidden[i] = wire.Span(s)
 		}
 		return &wire.Request{Kind: wire.KindBoolSplit, Count: n, Forbidden: forbidden}, nil
+	case "segls":
+		// workload.TelemetrySeries, rendered as its wire request.
+		xs, ys := problems.RandomSeries(n, seed)
+		pts := make([]wire.Point, len(xs))
+		for i := range xs {
+			pts[i] = wire.Point{X: xs[i], Y: ys[i]}
+		}
+		return &wire.Request{Kind: wire.KindSegLS, Points: pts, Penalty: 500 + (seed%7)*250}, nil
+	case "wis":
+		// workload.JobSchedule, rendered as its wire request.
+		starts, ends, weights := problems.RandomJobs(n, seed)
+		return &wire.Request{Kind: wire.KindWIS, Starts: starts, Ends: ends, Weights: weights}, nil
+	case "subsetsum":
+		// workload.CoinFeasibility, rendered as its wire request — every
+		// fourth seed a deterministically infeasible all-even coin system.
+		target := int64(n)
+		if target < 2 {
+			target = 2
+		}
+		return &wire.Request{Kind: wire.KindSubsetSum, Target: target,
+			Items: workload.CoinSystem(target, seed)}, nil
 	default:
-		return nil, fmt.Errorf("unknown workload family %q (mlp | dictionary | polygon | worstchain | boolplan)", family)
+		return nil, fmt.Errorf("unknown workload family %q (mlp | dictionary | polygon | worstchain | boolplan | segls | wis | subsetsum)", family)
 	}
 }
 

@@ -11,6 +11,8 @@
 //	dpsolve -problem zigzag -n 25 -engine hlv-banded -window -history
 //	dpsolve -problem random -n 200 -engine auto -timeout 5s
 //	dpsolve -problem matrixchain -n 2048 -engine blocked -tile 128
+//	dpsolve -problem segls -n 500 -engine llp -workers 4
+//	dpsolve -problem subsetsum -n 100 -seed 3
 //	dpsolve -request req.json       # solve a dpserved wire request offline
 //
 // -engines lists the registry. The old -algo flag is kept as a
@@ -42,7 +44,7 @@ import (
 
 func main() {
 	var (
-		problem = flag.String("problem", "matrixchain", "matrixchain | obst | triangulation | zigzag | balanced | skewed | random | worstchain | boolsplit")
+		problem = flag.String("problem", "matrixchain", "matrixchain | obst | triangulation | zigzag | balanced | skewed | random | worstchain | boolsplit | segls | wis | subsetsum")
 		n       = flag.Int("n", 10, "instance size (ignored when -dims is given)")
 		seed    = flag.Int64("seed", 1, "random seed for generated instances")
 		dims    = flag.String("dims", "", "comma-separated matrix dimensions (matrixchain only)")
@@ -73,6 +75,16 @@ func main() {
 		for _, info := range sublineardp.EngineInfos() {
 			fmt.Printf("%-12s %s\n", info.Name, info.Description)
 			fmt.Printf("%-12s options: %s\n", "", info.Options)
+		}
+		return
+	}
+
+	// The chain problems route through the chain engine registry
+	// (auto | sequential | llp) and print value-vector instrumentation.
+	switch *problem {
+	case "segls", "wis", "subsetsum":
+		if err := runChainProblem(*problem, *n, *seed, *engine, *ring, *workers, *timeout, *tree); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -184,6 +196,70 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
+// runChainProblem solves one chain-recurrence workload instance through
+// the public ChainSolver API — the 1D counterpart of the interval path
+// in main.
+func runChainProblem(problem string, n int, seed int64, engine, ring string, workers int, timeout time.Duration, showPath bool) error {
+	var c *sublineardp.Chain
+	switch problem {
+	case "segls":
+		c = workload.TelemetrySeries(n, seed)
+	case "wis":
+		c = workload.JobSchedule(n, seed)
+	case "subsetsum":
+		target := int64(n)
+		if target < 2 {
+			target = 2
+		}
+		c = workload.CoinFeasibility(target, seed)
+	}
+	fmt.Printf("instance: %s (n=%d, %d candidates)\n", c.Name, c.N, c.NumCandidates())
+
+	opts := []sublineardp.Option{sublineardp.WithWorkers(workers)}
+	var override sublineardp.Semiring
+	if ring != "" {
+		var ok bool
+		if override, ok = sublineardp.LookupSemiring(ring); !ok {
+			return fmt.Errorf("unknown semiring %q (registered: %v)", ring, sublineardp.Semirings())
+		}
+		opts = append(opts, sublineardp.WithSemiring(override))
+	}
+	solver, err := sublineardp.NewChainSolver(engine, opts...)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	sol, err := solver.Solve(ctx, c)
+	if err != nil {
+		return fmt.Errorf("solve aborted: %w", err)
+	}
+	fmt.Printf("engine: %s\n", sol.Engine)
+	if sol.Algebra != "" && sol.Algebra != "min-plus" {
+		fmt.Printf("algebra: %s\n", sol.Algebra)
+	}
+	fmt.Printf("optimum c(%d) = %d (%.2fms)\n", c.N, sol.Cost(), float64(sol.Elapsed.Microseconds())/1000)
+	fmt.Printf("work: %d candidate evaluations\n", sol.Work)
+	if sol.Sweeps > 0 {
+		fmt.Printf("llp sweeps: %d\n", sol.Sweeps)
+	}
+	if rep := verify.Chain(override, c, sol.Values); rep.OK() {
+		fmt.Printf("verified: vector is the exact fixed point of the recurrence (%d cells)\n", rep.Checked)
+	} else {
+		fmt.Printf("WARNING: verification failed: %v\n", rep.Err())
+	}
+	if showPath && sol.Feasible() {
+		if path, err := sol.Path(); err == nil {
+			fmt.Printf("optimal breakpoints: %v\n", path)
+		}
+	}
+	return nil
+}
+
 // runWireRequest solves one dpserved wire request locally and prints the
 // wire response — the same codec the server speaks (internal/wire), so a
 // request file can be debugged offline and its response diffed against a
@@ -211,6 +287,29 @@ func runWireRequest(path string, timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if wire.IsChainKind(req.Kind) {
+		c, err := req.ChainInstance()
+		if err != nil {
+			return err
+		}
+		solver, err := sublineardp.NewChainSolver(engine, opts...)
+		if err != nil {
+			return err
+		}
+		sol, err := solver.Solve(ctx, c)
+		if err != nil {
+			return fmt.Errorf("solve aborted: %w", err)
+		}
+		return enc.Encode(wire.NewChainResponse(&req, sol))
+	}
 	in, err := req.Instance()
 	if err != nil {
 		return err
@@ -219,18 +318,10 @@ func runWireRequest(path string, timeout time.Duration) error {
 	if err != nil {
 		return err
 	}
-	ctx := context.Background()
-	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
-	}
 	sol, err := solver.Solve(ctx, in)
 	if err != nil {
 		return fmt.Errorf("solve aborted: %w", err)
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
 	return enc.Encode(wire.NewResponse(&req, sol))
 }
 

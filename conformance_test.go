@@ -236,3 +236,131 @@ func TestThirdPartyEngineMeetsConformance(t *testing.T) {
 		}
 	}
 }
+
+// chainConformanceInstances spans every chain generator family: the
+// three shipped problems (each declaring its own algebra), plus neutral
+// random chains — full-prefix and windowed — that are lawful under any
+// registered algebra. Sizes cross the LLP engine's worker-interleave
+// boundaries.
+func chainConformanceInstances() []*sublineardp.Chain {
+	xs, ys := problems.RandomSeries(40, 3)
+	s, e, w := problems.RandomJobs(37, 5)
+	return []*sublineardp.Chain{
+		problems.SegmentedLeastSquares(xs, ys, 500),
+		problems.IntervalScheduling(s, e, w),
+		problems.SubsetSum(53, []int64{4, 9, 13}),
+		problems.RandomChain(45, 60, 0, 7),
+		problems.RandomChain(45, 60, 6, 8),
+	}
+}
+
+// The chain engine × generator conformance suite: every registered
+// chain engine must, on every chain generator family, produce the
+// sequential reference's vector bitwise (not just the same optimum —
+// the LLP acceptance bar) and a vector that is the exact fixed point of
+// the chain recurrence under the solver-independent verify.Chain.
+func TestChainEngineConformance(t *testing.T) {
+	chains := chainConformanceInstances()
+	wants := make([]*seq.ChainResult, len(chains))
+	for i, c := range chains {
+		res, err := seq.SolveChainCtx(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep := verify.Chain(nil, c, res.Values); !rep.OK() {
+			t.Fatalf("reference vector for %s fails verification: %v", c.Name, rep.Err())
+		}
+		wants[i] = res
+	}
+
+	ctx := context.Background()
+	for _, name := range sublineardp.ChainEngines() {
+		t.Run(fmt.Sprintf("engine=%s", name), func(t *testing.T) {
+			for _, workers := range []int{1, 3} {
+				solver, err := sublineardp.NewChainSolver(name, sublineardp.WithWorkers(workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, c := range chains {
+					sol, err := solver.Solve(ctx, c)
+					if err != nil {
+						t.Fatalf("%s: %v", c.Name, err)
+					}
+					if sol.Algebra != c.Algebra && !(c.Algebra == "" && sol.Algebra == "min-plus") {
+						t.Errorf("%s: algebra %q, want declared %q", c.Name, sol.Algebra, c.Algebra)
+					}
+					for j := 0; j <= c.N; j++ {
+						if sol.Values.At(j) != wants[i].Values.At(j) {
+							t.Fatalf("%s workers=%d: c(%d) = %d, sequential %d",
+								c.Name, workers, j, sol.Values.At(j), wants[i].Values.At(j))
+						}
+					}
+					if sol.Work != wants[i].Work {
+						t.Errorf("%s workers=%d: work %d, sequential %d — not work-efficient",
+							c.Name, workers, sol.Work, wants[i].Work)
+					}
+					if rep := verify.Chain(nil, c, sol.Values); !rep.OK() {
+						t.Errorf("%s: vector is not a fixed point: %v", c.Name, rep.Err())
+					}
+				}
+			}
+		})
+	}
+}
+
+// The chain engine × generator × semiring matrix: every registered
+// chain engine must solve the neutral chain generators under every
+// registered algebra bitwise to the generic sequential reference, with
+// the fixed point certified by verify.Chain under that algebra. The
+// shipped families run under their declared algebras above; the neutral
+// random chains here make the matrix total, including third-party
+// algebras admitted by RegisterSemiring.
+func TestChainEngineSemiringConformance(t *testing.T) {
+	chains := []*sublineardp.Chain{
+		problems.RandomChain(31, 50, 0, 21),
+		problems.RandomChain(34, 50, 5, 22),
+	}
+	ctx := context.Background()
+	for _, algName := range sublineardp.Semirings() {
+		sr, ok := sublineardp.LookupSemiring(algName)
+		if !ok {
+			t.Fatalf("registered semiring %q not resolvable", algName)
+		}
+		wants := make([]*seq.ChainResult, len(chains))
+		for i, c := range chains {
+			res, err := seq.SolveChainSemiringCtx(ctx, c, sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep := verify.Chain(sr, c, res.Values); !rep.OK() {
+				t.Fatalf("%s/%s: reference fails verification: %v", algName, c.Name, rep.Err())
+			}
+			wants[i] = res
+		}
+		for _, name := range sublineardp.ChainEngines() {
+			t.Run(fmt.Sprintf("algebra=%s/engine=%s", algName, name), func(t *testing.T) {
+				solver, err := sublineardp.NewChainSolver(name, sublineardp.WithSemiring(sr), sublineardp.WithWorkers(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, c := range chains {
+					sol, err := solver.Solve(ctx, c)
+					if err != nil {
+						t.Fatalf("%s: %v", c.Name, err)
+					}
+					if sol.Algebra != algName {
+						t.Errorf("%s: solution algebra %q, want %q", c.Name, sol.Algebra, algName)
+					}
+					for j := 0; j <= c.N; j++ {
+						if sol.Values.At(j) != wants[i].Values.At(j) {
+							t.Fatalf("%s: c(%d) = %d, sequential %d", c.Name, j, sol.Values.At(j), wants[i].Values.At(j))
+						}
+					}
+					if rep := verify.Chain(sr, c, sol.Values); !rep.OK() {
+						t.Errorf("%s: vector is not a fixed point under %s: %v", c.Name, algName, rep.Err())
+					}
+				}
+			})
+		}
+	}
+}

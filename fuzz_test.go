@@ -1,6 +1,7 @@
 package sublineardp_test
 
 import (
+	"context"
 	mrand "math/rand"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"sublineardp/internal/blocked"
 	"sublineardp/internal/btree"
 	"sublineardp/internal/core"
+	"sublineardp/internal/llp"
 	"sublineardp/internal/pebble"
 	"sublineardp/internal/problems"
 	"sublineardp/internal/seq"
@@ -135,6 +137,70 @@ func FuzzBlockedMatchesSequential(f *testing.F) {
 		}
 		if rep := verify.Table(in, got.Table); !rep.OK() {
 			t.Fatalf("blocked B=%d table not a fixed point (n=%d seed=%d): %v", b, n, seed, rep.Err())
+		}
+	})
+}
+
+// FuzzLLPMatchesSequentialChain drives the asynchronous LLP chain
+// engine against the sequential prefix scan across chain lengths,
+// candidate windows, worker counts, all three shipped chain families
+// and the neutral random family — and, for every one of them, across
+// every registered semiring via WithSemiring. The vectors must match
+// the sequential solver *bitwise* (the finite-F discipline of
+// recurrence.Chain makes that exact under any algebra), the LLP work
+// count must equal the sequential candidate count (work efficiency),
+// and the vector must pass the solver-independent verify.Chain fixed
+// point check.
+func FuzzLLPMatchesSequentialChain(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(0), uint8(0), uint8(2))  // small segls
+	f.Add(int64(2), uint8(20), uint8(0), uint8(1), uint8(4)) // wis, more workers than cores
+	f.Add(int64(3), uint8(30), uint8(0), uint8(2), uint8(1)) // subset sum, single worker
+	f.Add(int64(4), uint8(47), uint8(3), uint8(3), uint8(3)) // windowed random chain
+	f.Add(int64(5), uint8(1), uint8(1), uint8(3), uint8(9))  // n=1 edge, workers > n
+	f.Add(int64(6), uint8(33), uint8(0), uint8(3), uint8(5)) // full-prefix random chain
+	f.Fuzz(func(t *testing.T, seed int64, nn, window, family, ww uint8) {
+		n := int(nn)%48 + 1
+		workers := int(ww)%9 + 1
+		var c *sublineardp.Chain
+		switch family % 4 {
+		case 0:
+			xs, ys := problems.RandomSeries(n, seed)
+			c = problems.SegmentedLeastSquares(xs, ys, int64(window)*100)
+		case 1:
+			s, e, w := problems.RandomJobs(n, seed)
+			c = problems.IntervalScheduling(s, e, w)
+		case 2:
+			c = problems.SubsetSum(int64(n), []int64{2, 5, int64(n)%7 + 1})
+		default:
+			c = problems.RandomChain(n, 50, int(window)%(n+1), seed)
+		}
+		for _, algName := range sublineardp.Semirings() {
+			sr, ok := sublineardp.LookupSemiring(algName)
+			if !ok {
+				t.Fatalf("registered semiring %q not resolvable", algName)
+			}
+			want, err := seq.SolveChainSemiringCtx(context.Background(), c, sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := llp.SolveCtx(context.Background(), c, llp.Options{Workers: workers, Semiring: sr})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wd, gd := want.Values.Data(), got.Values.Data()
+			for j := range wd {
+				if wd[j] != gd[j] {
+					t.Fatalf("llp diverges bitwise from sequential on %s alg=%s workers=%d: c(%d) = %d vs %d",
+						c.Name, algName, workers, j, gd[j], wd[j])
+				}
+			}
+			if got.Work != want.Work {
+				t.Fatalf("llp work %d != sequential %d on %s alg=%s workers=%d — not work-efficient",
+					got.Work, want.Work, c.Name, algName, workers)
+			}
+			if rep := verify.Chain(sr, c, got.Values); !rep.OK() {
+				t.Fatalf("llp vector not a fixed point on %s alg=%s: %v", c.Name, algName, rep.Err())
+			}
 		}
 	})
 }

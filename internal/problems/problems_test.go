@@ -237,6 +237,10 @@ func TestFPanelAgreesWithF(t *testing.T) {
 		WorstCaseMatrixChain([]int{7, 3, 9, 2, 5}),
 		ForbiddenSplits(9, [][2]int{{1, 3}, {2, 7}, {4, 5}}),
 		RandomMatrixChain(12, 25, 9).Materialize(),
+		Zigzag(10),
+		ShapedWithWeights(btree.Complete(9), 3, 2),
+		RandomShaped(11, 4),
+		RandomInstance(10, 30, 6),
 	}
 	for _, in := range ins {
 		if in.FPanel == nil {

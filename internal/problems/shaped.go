@@ -24,16 +24,32 @@ const ShapePenalty cost.Cost = 1 << 30
 // Shaped(btree.Zigzag(n)) realises the paper's Theta(sqrt n)-iteration
 // pathology, Shaped(btree.Complete(n)) its O(log n) easy case.
 func Shaped(t *btree.Tree) *recurrence.Instance {
+	return shaped(t, 0, 0)
+}
+
+// shaped builds the prescribed-tree instance shared by Shaped and
+// ShapedWithWeights. FPanel scans the panel's row of the split map once:
+// for fixed (i,k), at most one j in the panel can prescribe split k, so
+// the fill is "penalty everywhere, then patch the prescribed cells".
+func shaped(t *btree.Tree, nodeCost, leafCost cost.Cost) *recurrence.Instance {
 	splits := t.Splits()
 	return &recurrence.Instance{
 		N:    t.N,
 		Name: fmt.Sprintf("shaped-n%d-h%d", t.N, t.Height()),
-		Init: func(i int) cost.Cost { return 0 },
+		Init: func(i int) cost.Cost { return leafCost },
 		F: func(i, k, j int) cost.Cost {
 			if want, ok := splits[[2]int{i, j}]; ok && want == k {
-				return 0
+				return nodeCost
 			}
 			return ShapePenalty
+		},
+		FPanel: func(i, k, j0 int, dst []cost.Cost) {
+			for idx := range dst {
+				dst[idx] = ShapePenalty
+				if want, ok := splits[[2]int{i, j0 + idx}]; ok && want == k {
+					dst[idx] = nodeCost
+				}
+			}
 		},
 	}
 }
@@ -48,18 +64,9 @@ func ShapedWithWeights(t *btree.Tree, nodeCost, leafCost cost.Cost) *recurrence.
 	if nodeCost < 0 || leafCost < 0 {
 		panic("problems: shaped weights must be nonnegative")
 	}
-	splits := t.Splits()
-	return &recurrence.Instance{
-		N:    t.N,
-		Name: fmt.Sprintf("shapedw-n%d-h%d", t.N, t.Height()),
-		Init: func(i int) cost.Cost { return leafCost },
-		F: func(i, k, j int) cost.Cost {
-			if want, ok := splits[[2]int{i, j}]; ok && want == k {
-				return nodeCost
-			}
-			return ShapePenalty
-		},
-	}
+	in := shaped(t, nodeCost, leafCost)
+	in.Name = fmt.Sprintf("shapedw-n%d-h%d", t.N, t.Height())
+	return in
 }
 
 // Zigzag returns the worst-case instance of size n (optimal tree =
@@ -121,5 +128,8 @@ func RandomInstance(n, maxW int, seed int64) *recurrence.Instance {
 		Name: fmt.Sprintf("random-n%d-s%d", n, seed),
 		Init: func(i int) cost.Cost { return ini[i] },
 		F:    func(i, k, j int) cost.Cost { return f[(i*size+k)*size+j] },
+		FPanel: func(i, k, j0 int, dst []cost.Cost) {
+			copy(dst, f[(i*size+k)*size+j0:])
+		},
 	}
 }

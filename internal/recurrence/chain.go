@@ -1,0 +1,224 @@
+package recurrence
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sublineardp/internal/cost"
+)
+
+// Chain is the second recurrence class of this repository: a 1D prefix
+// dynamic program over indices 0..N with O(N)-candidate transitions,
+//
+//	c(0) = One
+//	c(j) = Combine_{Lo(j) <= k < j} Extend(c(k), F(k,j))    1 <= j <= N
+//
+// evaluated over any registered idempotent semiring, exactly as the
+// interval recurrence (*) is. Segmented least squares, weighted interval
+// scheduling and subset-sum feasibility are all members (see
+// internal/problems); internal/seq holds the sequential reference and
+// internal/llp the asynchronous LLP engine.
+//
+// F values should stay strictly inside the cost sentinels (|F| well
+// below cost.Inf): the bulk kernels assume finite transition weights, and
+// the shipped constructors encode "no transition" as a finite penalty in
+// the algebra's order rather than as the algebra's Zero. The zero Chain
+// is not usable: construct chains via internal/problems or fill all
+// fields.
+type Chain struct {
+	// N is the number of transition steps; the answer sought is c(N).
+	N int
+
+	// F gives the transition weight of extending prefix k to prefix j,
+	// for 0 <= k < j <= N.
+	F func(k, j int) cost.Cost
+
+	// FRow, when non-nil, bulk-evaluates F over one k-run: it fills
+	// dst[t] = F(k0+t, j) for 0 <= t < len(dst), with every k0+t < j.
+	// It is semantically redundant with F and must agree with it on
+	// every argument (Validate checks); the LLP engine folds candidate
+	// runs through it to amortise the per-candidate closure call into
+	// one tight loop, exactly as Instance.FPanel does for the blocked
+	// interval engine.
+	FRow func(j, k0 int, dst []cost.Cost)
+
+	// Window, when positive, restricts the candidate set of index j to
+	// k >= j-Window (Lo). Zero means the full prefix. Constructors whose
+	// F is Zero-valued beyond some reach set it (subset sum's largest
+	// item); it participates in the canonical encoding, so a windowed
+	// chain never shares a cache entry with its full-prefix twin.
+	Window int
+
+	// Name labels the chain in experiment tables and error messages.
+	Name string
+
+	// Algebra names the idempotent semiring the recurrence is evaluated
+	// over ("" means "min-plus"), with exactly Instance.Algebra's
+	// resolution and canonical-encoding semantics.
+	Algebra string
+
+	// Canon, when non-nil, returns a stable, self-describing byte
+	// encoding of the chain's defining parameters — the same contract as
+	// Instance.Canon (injective per kind, kind tag first). Window and
+	// Algebra are folded in by Canonical, not here.
+	Canon func() []byte
+}
+
+// Lo returns the smallest candidate index of position j under the
+// chain's window: max(0, j-Window), or 0 when no window is set.
+func (c *Chain) Lo(j int) int {
+	if c.Window > 0 && j-c.Window > 0 {
+		return j - c.Window
+	}
+	return 0
+}
+
+// Canonical returns the chain's stable canonical encoding and true, or
+// nil and false when the chain has no Canon hook. Like
+// Instance.Canonical it folds the algebra in as an "alg\x00<name>\x00"
+// prefix (min-plus stays untagged); a positive Window is additionally
+// folded as a "win\x00<uvarint>" prefix inside the algebra tag, so the
+// same parameters under different windows or algebras can never share a
+// cache entry. Canon encodings start with a varint kind-name length, so
+// neither prefix can collide with an untagged encoding (no registered
+// kind name is the 119 or 97 characters long a first byte of 'w' or 'a'
+// would imply).
+func (c *Chain) Canonical() ([]byte, bool) {
+	if c.Canon == nil {
+		return nil, false
+	}
+	b := c.Canon()
+	if c.Window > 0 {
+		tagged := make([]byte, 0, len(b)+4+binary.MaxVarintLen64)
+		tagged = append(tagged, "win\x00"...)
+		tagged = binary.AppendUvarint(tagged, uint64(c.Window))
+		b = append(tagged, b...)
+	}
+	if c.Algebra != "" && c.Algebra != "min-plus" {
+		tagged := make([]byte, 0, len(c.Algebra)+5+len(b))
+		tagged = append(tagged, "alg\x00"...)
+		tagged = append(tagged, c.Algebra...)
+		tagged = append(tagged, 0)
+		b = append(tagged, b...)
+	}
+	return b, true
+}
+
+// NumCandidates returns the total number of (k,j) transition pairs the
+// chain's window admits — the exact work of one full solve, the quantity
+// the LLP engine's work-efficiency is audited against.
+func (c *Chain) NumCandidates() int64 {
+	var total int64
+	for j := 1; j <= c.N; j++ {
+		total += int64(j - c.Lo(j))
+	}
+	return total
+}
+
+// Validate checks the structural preconditions: N >= 1, F present, a
+// nonnegative window, and FRow agreeing with F on every admitted (k,j)
+// pair. It evaluates every candidate, so it is O(N^2); intended for
+// tests and constructor-time checks at small sizes.
+func (c *Chain) Validate() error {
+	if c.N < 1 {
+		return fmt.Errorf("recurrence: chain %q has N=%d, need >= 1", c.Name, c.N)
+	}
+	if c.F == nil {
+		return errors.New("recurrence: chain F must be non-nil")
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("recurrence: chain %q has negative window %d", c.Name, c.Window)
+	}
+	var row []cost.Cost
+	if c.FRow != nil {
+		row = make([]cost.Cost, c.N)
+	}
+	for j := 1; j <= c.N; j++ {
+		lo := c.Lo(j)
+		if row != nil {
+			c.FRow(j, lo, row[:j-lo])
+		}
+		for k := lo; k < j; k++ {
+			v := c.F(k, j)
+			if row != nil && row[k-lo] != v {
+				return fmt.Errorf("recurrence: FRow(%d,%d)[%d] = %d disagrees with F(%d,%d) = %d",
+					j, lo, k-lo, row[k-lo], k, j, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Vector is the dense result of a chain solve: the values c(0)..c(N),
+// the 1D analogue of Table. Root — c(N) — is the value the recurrence
+// asks for.
+type Vector struct {
+	N    int
+	data []cost.Cost
+}
+
+// NewVector returns a vector for indices 0..n with every entry Inf
+// (engines overwrite every cell: c(0) with the algebra's One, the rest
+// with fold results).
+func NewVector(n int) *Vector {
+	v := &Vector{N: n, data: make([]cost.Cost, n+1)}
+	for i := range v.data {
+		v.data[i] = cost.Inf
+	}
+	return v
+}
+
+// At returns c(j).
+func (v *Vector) At(j int) cost.Cost { return v.data[j] }
+
+// Set stores x at index j.
+func (v *Vector) Set(j int, x cost.Cost) { v.data[j] = x }
+
+// Data exposes the flat backing slice (index j holds c(j)) — the
+// kernel-facing escape hatch the bulk primitives operate on. Mutating it
+// mutates the vector.
+func (v *Vector) Data() []cost.Cost { return v.data }
+
+// Root returns c(N), the value the recurrence asks for.
+func (v *Vector) Root() cost.Cost { return v.data[v.N] }
+
+// Equal reports whether two vectors agree on every index after
+// normalising infinities.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.N != o.N {
+		return false
+	}
+	for j := 0; j <= v.N; j++ {
+		if cost.Norm(v.data[j]) != cost.Norm(o.data[j]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the vector.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{N: v.N, data: make([]cost.Cost, len(v.data))}
+	copy(c.data, v.data)
+	return c
+}
+
+// Diff returns the indices on which the two vectors disagree, up to max
+// entries (max <= 0 means no limit).
+func (v *Vector) Diff(o *Vector, max int) []string {
+	if v.N != o.N {
+		return []string{fmt.Sprintf("size mismatch: N=%d vs N=%d", v.N, o.N)}
+	}
+	var out []string
+	for j := 0; j <= v.N; j++ {
+		a, b := cost.Norm(v.data[j]), cost.Norm(o.data[j])
+		if a != b {
+			out = append(out, fmt.Sprintf("c(%d): %d vs %d", j, a, b))
+			if max > 0 && len(out) >= max {
+				return out
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package seq
+
+import (
+	"context"
+	"fmt"
+
+	"sublineardp/internal/algebra"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
+)
+
+// ChainResult carries a sequential chain solve: the full value vector,
+// the predecessor table for witness reconstruction, and the exact number
+// of candidate evaluations (the work the LLP engine's work-efficiency is
+// audited against).
+type ChainResult struct {
+	Values *recurrence.Vector
+	preds  []int32 // best predecessor per index; -1 for c(0) and unreached cells
+	N      int
+	Work   int64
+	zero   cost.Cost
+}
+
+// SolveChain runs the O(sum of window sizes) prefix dynamic program
+// under the chain's declared algebra. Ties between predecessors resolve
+// to the smallest k, making the reconstruction deterministic.
+func SolveChain(c *recurrence.Chain) *ChainResult {
+	res, err := SolveChainCtx(context.Background(), c)
+	if err != nil {
+		// Only reachable for an unregistered chain algebra; the
+		// background context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// SolveChainCtx is SolveChain with cooperative cancellation, checked
+// once per index. A cancelled or expired context aborts with a nil
+// ChainResult and ctx.Err().
+func SolveChainCtx(ctx context.Context, c *recurrence.Chain) (*ChainResult, error) {
+	return SolveChainSemiringCtx(ctx, c, nil)
+}
+
+// SolveChainSemiringCtx is SolveChainCtx under an explicit algebra
+// override (nil = the chain's declared algebra, min-plus by default).
+// Each index folds its candidates in ascending k order through the
+// kernel's Combine/Extend — the same fold the LLP engine's bulk
+// ReduceRelax runs — so the two engines agree bitwise under any lawful
+// algebra with finite transition weights.
+func SolveChainSemiringCtx(ctx context.Context, c *recurrence.Chain, sr algebra.Semiring) (*ChainResult, error) {
+	k, err := algebra.Resolve(sr, c.Algebra)
+	if err != nil {
+		return nil, err
+	}
+	n := c.N
+	res := &ChainResult{
+		Values: recurrence.NewVector(n),
+		preds:  make([]int32, n+1),
+		N:      n,
+		zero:   k.Zero(),
+	}
+	for i := range res.preds {
+		res.preds[i] = -1
+	}
+	values := res.Values.Data()
+	values[0] = k.One()
+	for j := 1; j <= n; j++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		lo := c.Lo(j)
+		best := k.Zero()
+		bestK := int32(-1)
+		for kk := lo; kk < j; kk++ {
+			v := k.Extend(values[kk], c.F(kk, j))
+			// Strict improvement keeps the smallest k on ties; best
+			// advances by Combine, not replacement, so the fold matches
+			// the bulk kernels bitwise even for non-selective algebras.
+			if k.Better(v, best) {
+				bestK = int32(kk)
+			}
+			best = k.Combine(best, v)
+		}
+		res.Work += int64(j - lo)
+		values[j] = best
+		res.preds[j] = bestK
+	}
+	return res, nil
+}
+
+// Cost returns the optimal value c(N).
+func (r *ChainResult) Cost() cost.Cost { return r.Values.Root() }
+
+// Feasible reports that c(N) holds a solution — its value is not the
+// algebra's Zero.
+func (r *ChainResult) Feasible() bool {
+	root := r.Cost()
+	if r.zero == cost.Inf {
+		return !cost.IsInf(root)
+	}
+	return root != r.zero
+}
+
+// Pred returns the optimal predecessor recorded for index j, or -1 for
+// index 0 and indices no candidate realised.
+func (r *ChainResult) Pred(j int) int { return int(r.preds[j]) }
+
+// Path reconstructs the witness breakpoint sequence 0 = k_0 < k_1 < ...
+// < k_m = N by walking the predecessor table back from N. It panics when
+// the chain holds no solution (call Feasible first) or the predecessor
+// table is broken mid-walk.
+func (r *ChainResult) Path() []int {
+	if !r.Feasible() {
+		panic("seq: no chain optimum to reconstruct")
+	}
+	path := []int{r.N}
+	for j := r.N; j > 0; {
+		p := r.Pred(j)
+		if p < 0 || p >= j {
+			panic(fmt.Sprintf("seq: missing chain predecessor at index %d", j))
+		}
+		path = append(path, p)
+		j = p
+	}
+	// Reverse into ascending order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// BruteForceChain computes c(N) by exhaustive recursion over all
+// breakpoint sequences under the chain's declared algebra — exponential,
+// independent of the DP sweep order, the tiny-n ground truth for the
+// chain engines.
+func BruteForceChain(c *recurrence.Chain) cost.Cost {
+	k, err := algebra.Resolve(nil, c.Algebra)
+	if err != nil {
+		panic(err)
+	}
+	var rec func(j int) cost.Cost
+	rec = func(j int) cost.Cost {
+		if j == 0 {
+			return k.One()
+		}
+		best := k.Zero()
+		for kk := c.Lo(j); kk < j; kk++ {
+			best = k.Combine(best, k.Extend(rec(kk), c.F(kk, j)))
+		}
+		return best
+	}
+	return rec(c.N)
+}

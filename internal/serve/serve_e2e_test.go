@@ -641,3 +641,188 @@ func TestE2EAlgebraCacheSeparation(t *testing.T) {
 		t.Fatalf("cache hits %d, want %d", m.CacheHits, len(reqs))
 	}
 }
+
+// directChainDigest solves a chain request in-process through the
+// identical ChainSolver configuration and returns the expected vector
+// digest and cost.
+func directChainDigest(t *testing.T, req *wire.Request) (string, int64) {
+	t.Helper()
+	engine := req.Engine()
+	if engine == "" {
+		engine = sublineardp.ChainEngineAuto
+	}
+	opts, err := req.SolverOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := req.ChainInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := sublineardp.NewChainSolver(engine, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := solver.Solve(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wire.VectorDigest(sol.Values), int64(sol.Cost())
+}
+
+// TestE2EChainRoundTrip is the chain-kind acceptance criterion: segls /
+// wis / subsetsum requests round-trip through the full serving stack
+// bitwise identical to direct ChainSolver.Solve calls, chain and
+// interval requests occupy separate cache entries, and the counter
+// identity balances.
+func TestE2EChainRoundTrip(t *testing.T) {
+	srv, err := New(Config{BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startLoopback(t, srv)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	xs, ys := problems.RandomSeries(60, 11)
+	pts := make([]wire.Point, len(xs))
+	for i := range xs {
+		pts[i] = wire.Point{X: xs[i], Y: ys[i]}
+	}
+	starts, ends, weights := problems.RandomJobs(40, 12)
+	reqs := []*wire.Request{
+		{ID: "segls-auto", Kind: wire.KindSegLS, Points: pts, Penalty: 900, WantTree: true},
+		{ID: "segls-llp", Kind: wire.KindSegLS, Points: pts, Penalty: 900,
+			Options: wire.Options{Engine: "llp", Workers: 3}},
+		{ID: "wis", Kind: wire.KindWIS, Starts: starts, Ends: ends, Weights: weights},
+		{ID: "subsetsum", Kind: wire.KindSubsetSum, Target: 97, Items: []int64{6, 11, 19},
+			Options: wire.Options{Engine: "sequential"}},
+	}
+
+	post := func(r *wire.Request) *wire.Response {
+		t.Helper()
+		body, _ := json.Marshal(r)
+		resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		defer resp.Body.Close()
+		var wr wire.Response
+		if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d decode %v", r.ID, resp.StatusCode, err)
+		}
+		return &wr
+	}
+
+	first := make(map[string]*wire.Response, len(reqs))
+	for _, r := range reqs {
+		wr := post(r)
+		if wr.Cached || wr.Coalesced {
+			t.Fatalf("%s: first request served from cache", r.ID)
+		}
+		wantDigest, wantCost := directChainDigest(t, r)
+		if wr.TableDigest != wantDigest || wr.Cost != wantCost {
+			t.Fatalf("%s: served (%d, %s) != direct chain solve (%d, %s)",
+				r.ID, wr.Cost, wr.TableDigest, wantCost, wantDigest)
+		}
+		first[r.ID] = wr
+	}
+
+	// Engine routing and algebra metadata on the responses.
+	if got := first["segls-llp"].Engine; got != "llp" {
+		t.Errorf("segls-llp ran on %q, want llp", got)
+	}
+	if got := first["subsetsum"].Engine; got != "sequential" {
+		t.Errorf("subsetsum ran on %q, want sequential", got)
+	}
+	for id, alg := range map[string]string{
+		"segls-auto": "", "segls-llp": "", "wis": "max-plus", "subsetsum": "bool-plan",
+	} {
+		if first[id].Algebra != alg {
+			t.Errorf("%s: algebra %q, want %q", id, first[id].Algebra, alg)
+		}
+	}
+	// The two segls requests differ only in engine: identical values
+	// (bitwise — the LLP acceptance criterion over the wire), distinct
+	// cache entries.
+	if first["segls-auto"].TableDigest != first["segls-llp"].TableDigest {
+		t.Fatal("llp vector digest differs from the auto-routed solve")
+	}
+	// The optimal breakpoint path came back and spans the series.
+	if tree := first["segls-auto"].Tree; tree == "" ||
+		!strings.HasPrefix(tree, "0 ") || !strings.HasSuffix(tree, fmt.Sprintf(" %d", len(pts))) {
+		t.Fatalf("segls breakpoints %q do not span 0..%d", tree, len(pts))
+	}
+
+	// Repeats are cache hits, served bitwise-identically.
+	for _, r := range reqs {
+		wr := post(r)
+		if !wr.Cached {
+			t.Fatalf("%s: repeat not served from cache", r.ID)
+		}
+		if wr.TableDigest != first[r.ID].TableDigest || wr.Cost != first[r.ID].Cost {
+			t.Fatalf("%s: cached digest drifted", r.ID)
+		}
+	}
+
+	// Interval traffic lands in the separate interval store: a
+	// matrixchain request after the chain rounds is a fresh solve, and
+	// chain entries stay resident.
+	mc := &wire.Request{ID: "mc", Kind: wire.KindMatrixChain, Dims: []int{30, 35, 15, 5, 10, 20, 25}}
+	if wr := post(mc); wr.Cached || wr.Coalesced {
+		t.Fatal("interval request served from the chain rounds' cache")
+	}
+	if wr := post(reqs[0]); !wr.Cached {
+		t.Fatal("chain entry evicted by interval traffic")
+	}
+
+	m := srv.Metrics()
+	if m.CacheHits+m.Coalesced+m.Solved != m.OK {
+		t.Fatalf("counter identity broken: hits %d + coalesced %d + solved %d != ok %d",
+			m.CacheHits, m.Coalesced, m.Solved, m.OK)
+	}
+	// One solve per distinct (kind, parameters, options) key: 4 chain
+	// keys + 1 interval key.
+	if m.Solved != int64(len(reqs))+1 {
+		t.Fatalf("solved %d, want %d", m.Solved, len(reqs)+1)
+	}
+	if m.BatchInstances != m.Solved {
+		t.Fatalf("batch instances %d != solved %d", m.BatchInstances, m.Solved)
+	}
+	if m.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain", m.QueueDepth)
+	}
+}
+
+// TestE2EChainBadRequests pins the chain-kind 400 surface: malformed
+// parameters and unknown chain engines shed before admission.
+func TestE2EChainBadRequests(t *testing.T) {
+	srv, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startLoopback(t, srv)
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	bad := []*wire.Request{
+		{Kind: wire.KindSegLS, Penalty: 10},
+		{Kind: wire.KindSegLS, Points: []wire.Point{{X: 1}, {X: 1}}},
+		{Kind: wire.KindWIS, Starts: []int64{4}, Ends: []int64{2}, Weights: []int64{1}},
+		{Kind: wire.KindSubsetSum, Target: 5},
+		{Kind: wire.KindSubsetSum, Target: 5, Items: []int64{3},
+			Options: wire.Options{Engine: "hlv-banded"}}, // interval-only engine
+	}
+	for i, r := range bad {
+		body, _ := json.Marshal(r)
+		resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, resp.StatusCode)
+		}
+	}
+	if m := srv.Metrics(); m.BadRequests != int64(len(bad)) {
+		t.Fatalf("bad requests %d, want %d", m.BadRequests, len(bad))
+	}
+}

@@ -117,6 +117,12 @@ type Server struct {
 	lru   *cache.Sharded[*sublineardp.Solution] // nil when caching disabled
 	group cache.Group[*sublineardp.Solution]
 
+	// Chain requests (wire.IsChainKind) cache and single-flight in their
+	// own store, mirroring the class split in sublineardp.Cache: the two
+	// recurrence classes can never collide on an entry.
+	clru   *cache.Sharded[*sublineardp.ChainSolution] // nil when caching disabled
+	cgroup cache.Group[*sublineardp.ChainSolution]
+
 	slots   chan struct{} // admission tokens; buffered to QueueDepth
 	batchCh chan *task
 
@@ -126,7 +132,8 @@ type Server struct {
 }
 
 type task struct {
-	in     *sublineardp.Instance
+	in     *sublineardp.Instance // interval instance; nil for chain tasks
+	chain  *sublineardp.Chain    // chain instance; nil for interval tasks
 	engine string
 	opts   []sublineardp.Option
 	sig    string // options signature: tasks with equal sig share a SolveBatch
@@ -135,8 +142,9 @@ type task struct {
 }
 
 type taskResult struct {
-	sol *sublineardp.Solution
-	err error
+	sol  *sublineardp.Solution
+	csol *sublineardp.ChainSolution
+	err  error
 }
 
 // New validates the configuration and starts the batcher.
@@ -154,10 +162,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.CacheCapacity > 0 {
 		s.lru = cache.New[*sublineardp.Solution](cfg.CacheCapacity, 16)
+		s.clru = cache.New[*sublineardp.ChainSolution](cfg.CacheCapacity, 16)
 	}
 	entries := func() int { return 0 }
 	if s.lru != nil {
-		entries = s.lru.Len
+		entries = func() int { return s.lru.Len() + s.clru.Len() }
 	}
 	s.met = newMetrics(entries)
 	s.wg.Add(1)
@@ -234,20 +243,36 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	isChain := wire.IsChainKind(req.Kind)
 	engine := req.Engine()
-	if engine == "" {
-		engine = s.cfg.Engine
-	}
-	if _, ok := sublineardp.LookupEngine(engine); !ok {
-		s.met.badRequests.Add(1)
-		writeError(w, http.StatusBadRequest,
-			fmt.Errorf("unknown engine %q (registered: %v)", engine, sublineardp.Engines()))
-		return
+	if isChain {
+		// Chain kinds route through the chain engine registry; the
+		// configured interval default does not apply to them.
+		if engine == "" {
+			engine = sublineardp.ChainEngineAuto
+		}
+		if _, ok := sublineardp.LookupChainEngine(engine); !ok {
+			s.met.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown chain engine %q (registered: %v)", engine, sublineardp.ChainEngines()))
+			return
+		}
+	} else {
+		if engine == "" {
+			engine = s.cfg.Engine
+		}
+		if _, ok := sublineardp.LookupEngine(engine); !ok {
+			s.met.badRequests.Add(1)
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("unknown engine %q (registered: %v)", engine, sublineardp.Engines()))
+			return
+		}
 	}
 	// Engine-aware resource policy: the O(n^4)-memory engines get a
 	// stricter size bound, and the workers option is capped — both are
-	// single-request denial-of-service vectors otherwise.
-	if heavyMemoryEngines[engine] && s.cfg.MaxNHeavy > 0 && req.N() > s.cfg.MaxNHeavy {
+	// single-request denial-of-service vectors otherwise. Chain engines
+	// are O(n) memory, so MaxNHeavy never applies to them.
+	if !isChain && heavyMemoryEngines[engine] && s.cfg.MaxNHeavy > 0 && req.N() > s.cfg.MaxNHeavy {
 		s.met.badRequests.Add(1)
 		writeError(w, http.StatusBadRequest,
 			fmt.Errorf("engine %q is O(n^4) memory: instance size n=%d exceeds the server limit n=%d for it",
@@ -266,7 +291,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	in, err := req.Instance()
+	var in *sublineardp.Instance
+	var chain *sublineardp.Chain
+	if isChain {
+		chain, err = req.ChainInstance()
+	} else {
+		in, err = req.Instance()
+	}
 	if err != nil {
 		s.met.badRequests.Add(1)
 		writeError(w, http.StatusBadRequest, err)
@@ -295,7 +326,21 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	sol, via, err := s.solve(ctx, in, engine, &req, opts)
+	var resp *wire.Response
+	var route via
+	if isChain {
+		var csol *sublineardp.ChainSolution
+		csol, route, err = s.solveChain(ctx, chain, engine, &req, opts)
+		if err == nil {
+			resp = wire.NewChainResponse(&req, csol)
+		}
+	} else {
+		var sol *sublineardp.Solution
+		sol, route, err = s.solve(ctx, in, engine, &req, opts)
+		if err == nil {
+			resp = wire.NewResponse(&req, sol)
+		}
+	}
 	if err != nil {
 		switch {
 		case r.Context().Err() != nil:
@@ -312,10 +357,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-
-	resp := wire.NewResponse(&req, sol)
-	resp.Cached = via == viaCacheHit
-	resp.Coalesced = via == viaCoalesced
+	resp.Cached = route == viaCacheHit
+	resp.Coalesced = route == viaCoalesced
 	resp.ElapsedMicros = time.Since(start).Microseconds()
 	// Marshal before counting: a request must resolve as exactly one of
 	// ok / clientGone / shed / rejected / timeout / solveError for the
@@ -334,7 +377,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.ok.Add(1)
 	s.met.observeLatency(time.Since(start).Seconds())
-	switch via {
+	switch route {
 	case viaCacheHit:
 		s.met.cacheHits.Add(1)
 	case viaCoalesced:
@@ -423,6 +466,68 @@ func (s *Server) solve(ctx context.Context, in *sublineardp.Instance, engine str
 	return &cp, viaSolved, nil
 }
 
+// chainSolveKey is solveKey for chain requests. The "chain|" signature
+// prefix (set by the caller) plus the chain's own canonical domain tags
+// keep chain entries disjoint from interval ones.
+func chainSolveKey(c *sublineardp.Chain, sig string) (cache.Key, bool) {
+	canon, ok := c.Canonical()
+	if !ok {
+		return cache.Key{}, false
+	}
+	return cache.NewHasher().Bytes("chain", canon).String("opts", sig).Sum(), true
+}
+
+// solveChain runs the cache → single-flight → batcher protocol for one
+// admitted chain request, against the chain store.
+func (s *Server) solveChain(ctx context.Context, c *sublineardp.Chain, engine string, req *wire.Request, opts []sublineardp.Option) (*sublineardp.ChainSolution, via, error) {
+	// The signature prefix keeps chain tasks out of interval SolveBatch
+	// groups: runGroup dispatches a group by its head task's class.
+	sig := "chain|" + optionsSig(engine, req.Options)
+	key, keyed := chainSolveKey(c, sig)
+	if s.clru == nil || !keyed {
+		csol, err := s.submitChain(ctx, &task{chain: c, engine: engine, opts: opts, sig: sig, ctx: ctx})
+		return csol, viaSolved, err
+	}
+	if csol, ok := s.clru.Get(key); ok {
+		cp := *csol
+		return &cp, viaCacheHit, nil
+	}
+	csol, joined, err := s.cgroup.Do(ctx, key, func(fctx context.Context) (*sublineardp.ChainSolution, error) {
+		csol, err := s.submitChain(fctx, &task{chain: c, engine: engine, opts: opts, sig: sig, ctx: fctx})
+		if err != nil {
+			return nil, err
+		}
+		s.clru.Add(key, csol)
+		return csol, nil
+	})
+	if err != nil {
+		return nil, viaSolved, err
+	}
+	cp := *csol
+	if joined {
+		return &cp, viaCoalesced, nil
+	}
+	return &cp, viaSolved, nil
+}
+
+// submitChain is submit for chain tasks.
+func (s *Server) submitChain(ctx context.Context, t *task) (*sublineardp.ChainSolution, error) {
+	t.res = make(chan taskResult, 1)
+	select {
+	case s.batchCh <- t:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.done:
+		return nil, errors.New("server shutting down")
+	}
+	select {
+	case r := <-t.res:
+		return r.csol, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // submit hands a task to the batcher and waits for its result.
 func (s *Server) submit(ctx context.Context, t *task) (*sublineardp.Solution, error) {
 	t.res = make(chan taskResult, 1)
@@ -500,7 +605,10 @@ func (s *Server) runBatch(batch []*task) {
 	gwg.Wait()
 }
 
-// runGroup dispatches one options-signature group as a SolveBatch call.
+// runGroup dispatches one options-signature group as a SolveBatch (or,
+// for chain groups, SolveChainBatch) call. The "chain|" signature prefix
+// guarantees a group is homogeneous — its head task's class is the whole
+// group's class.
 func (s *Server) runGroup(group []*task) {
 	bctx, cancel := context.WithCancel(context.Background())
 	remaining := int64(len(group))
@@ -515,10 +623,6 @@ func (s *Server) runGroup(group []*task) {
 		}(t.ctx.Done())
 	}
 
-	instances := make([]*sublineardp.Instance, len(group))
-	for i, t := range group {
-		instances[i] = t.in
-	}
 	lead := group[0]
 	opts := append(append([]sublineardp.Option(nil), lead.opts...),
 		sublineardp.WithEngine(lead.engine),
@@ -527,15 +631,8 @@ func (s *Server) runGroup(group []*task) {
 	)
 	s.met.batches.Add(1)
 	s.met.batchSolves.Add(int64(len(group)))
-	sols, err := sublineardp.SolveBatch(bctx, instances, opts...)
-	if sols == nil {
-		sols = make([]*sublineardp.Solution, len(group))
-	}
-	for i, t := range group {
-		if sols[i] != nil {
-			t.res <- taskResult{sol: sols[i]}
-			continue
-		}
+
+	fail := func(t *task, err error) error {
 		terr := t.ctx.Err()
 		if terr == nil {
 			terr = bctx.Err()
@@ -547,7 +644,43 @@ func (s *Server) runGroup(group []*task) {
 				terr = errors.New("solve produced no solution")
 			}
 		}
-		t.res <- taskResult{err: terr}
+		return terr
+	}
+
+	if lead.chain != nil {
+		chains := make([]*sublineardp.Chain, len(group))
+		for i, t := range group {
+			chains[i] = t.chain
+		}
+		csols, err := sublineardp.SolveChainBatch(bctx, chains, opts...)
+		if csols == nil {
+			csols = make([]*sublineardp.ChainSolution, len(group))
+		}
+		for i, t := range group {
+			if csols[i] != nil {
+				t.res <- taskResult{csol: csols[i]}
+				continue
+			}
+			t.res <- taskResult{err: fail(t, err)}
+		}
+		cancel()
+		return
+	}
+
+	instances := make([]*sublineardp.Instance, len(group))
+	for i, t := range group {
+		instances[i] = t.in
+	}
+	sols, err := sublineardp.SolveBatch(bctx, instances, opts...)
+	if sols == nil {
+		sols = make([]*sublineardp.Solution, len(group))
+	}
+	for i, t := range group {
+		if sols[i] != nil {
+			t.res <- taskResult{sol: sols[i]}
+			continue
+		}
+		t.res <- taskResult{err: fail(t, err)}
 	}
 	cancel() // the watcher normally fires it; this makes vet-visible cleanup unconditional
 }

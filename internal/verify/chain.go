@@ -1,0 +1,51 @@
+package verify
+
+import (
+	"sublineardp/internal/algebra"
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
+)
+
+// Chain checks that v is the exact fixed point of the chain recurrence
+// for c under an arbitrary algebra: c(0) must equal One, and every index
+// j must equal the Combine over its admitted candidates k of
+// Extend(c(k), F(k,j)) — the chain analogue of TableSemiring, and the
+// gate both chain engines are held to. It shares no code with either
+// engine (the fold runs through Relax2, not ReduceRelax), so it catches
+// systematic bugs a solver-vs-solver comparison could miss. A nil sr
+// resolves the chain's declared algebra. Violations reuse the interval
+// vocabulary with I unused: "leaf" for c(0), "not-reached" when the
+// vector misses a value some candidate realises, "unrealisable" when it
+// claims a value no candidate realises.
+func Chain(sr algebra.Semiring, c *recurrence.Chain, v *recurrence.Vector) *Report {
+	k, err := algebra.Resolve(sr, c.Algebra)
+	if err != nil {
+		return &Report{Violations: []Violation{{Kind: "unresolvable-algebra"}}}
+	}
+	rep := &Report{}
+	if v.N != c.N {
+		rep.Violations = append(rep.Violations, Violation{Kind: "leaf", Got: cost.Cost(v.N), Want: cost.Cost(c.N)})
+		return rep
+	}
+	rep.Checked++
+	if got, want := k.Norm(v.At(0)), k.Norm(k.One()); got != want {
+		rep.Violations = append(rep.Violations, Violation{J: 0, Got: got, Want: want, Kind: "leaf"})
+	}
+	for j := 1; j <= c.N; j++ {
+		rep.Checked++
+		best := k.Zero()
+		for kk := c.Lo(j); kk < j; kk++ {
+			best = k.Relax2(best, v.At(kk), c.F(kk, j))
+		}
+		got := k.Norm(v.At(j))
+		best = k.Norm(best)
+		if got != best {
+			kind := "not-reached"
+			if k.Better(got, best) {
+				kind = "unrealisable"
+			}
+			rep.Violations = append(rep.Violations, Violation{J: j, Got: got, Want: best, Kind: kind})
+		}
+	}
+	return rep
+}

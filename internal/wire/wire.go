@@ -39,6 +39,32 @@ const (
 	KindBoolSplit = "boolsplit"
 )
 
+// Chain kinds: 1D prefix recurrences (recurrence.Chain) solved by the
+// chain engine registry (sequential / llp) rather than the interval one.
+const (
+	// KindSegLS is segmented least squares over the points in
+	// Request.Points (x strictly increasing) with per-segment penalty
+	// Request.Penalty. Min-plus.
+	KindSegLS = "segls"
+	// KindWIS is weighted interval scheduling over Starts/Ends/Weights.
+	// Max-plus.
+	KindWIS = "wis"
+	// KindSubsetSum asks whether Target is a nonnegative-integer
+	// combination of Items (coin-style, unbounded repetition). Bool-plan.
+	KindSubsetSum = "subsetsum"
+)
+
+// IsChainKind reports whether kind names a chain (1D prefix) recurrence
+// rather than an interval one — the routing predicate the serving layer
+// branches on.
+func IsChainKind(kind string) bool {
+	switch kind {
+	case KindSegLS, KindWIS, KindSubsetSum:
+		return true
+	}
+	return false
+}
+
 // Span is a forbidden subexpression (i,j) of a boolsplit request,
 // encoded on the wire as the two-element array [i, j].
 type Span = [2]int
@@ -90,9 +116,17 @@ type Request struct {
 	Weights []int64 `json:"weights,omitempty"`
 	// Count and Forbidden parameterise boolsplit: n objects and the
 	// forbidden subexpressions.
-	Count     int     `json:"count,omitempty"`
-	Forbidden []Span  `json:"forbidden,omitempty"`
-	Options   Options `json:"options,omitzero"`
+	Count     int    `json:"count,omitempty"`
+	Forbidden []Span `json:"forbidden,omitempty"`
+	// Penalty parameterises segls (per-segment cost; the points ride in
+	// Points). Starts/Ends carry the wis jobs, with Weights reused for
+	// the job weights. Target and Items parameterise subsetsum.
+	Penalty int64   `json:"penalty,omitempty"`
+	Starts  []int64 `json:"starts,omitempty"`
+	Ends    []int64 `json:"ends,omitempty"`
+	Target  int64   `json:"target,omitempty"`
+	Items   []int64 `json:"items,omitempty"`
+	Options Options `json:"options,omitzero"`
 	// WantTree requests the optimal parenthesization in Response.Tree
 	// (adds an O(n^2) reconstruction on the serving path).
 	WantTree bool `json:"want_tree,omitempty"`
@@ -146,6 +180,12 @@ func (r *Request) N() int {
 		return len(r.Weights) - 1
 	case KindBoolSplit:
 		return r.Count
+	case KindSegLS:
+		return len(r.Points)
+	case KindWIS:
+		return len(r.Starts)
+	case KindSubsetSum:
+		return int(r.Target)
 	}
 	return 0
 }
@@ -204,6 +244,44 @@ func (r *Request) Validate(maxN int) error {
 				return fmt.Errorf("wire: nonpositive vertex weight %d", w)
 			}
 		}
+	case KindSegLS:
+		if len(r.Points) < 1 {
+			return fmt.Errorf("wire: segls needs >= 1 point, got %d", len(r.Points))
+		}
+		if r.Penalty < 0 {
+			return fmt.Errorf("wire: negative segment penalty %d", r.Penalty)
+		}
+		for t := 1; t < len(r.Points); t++ {
+			if r.Points[t].X <= r.Points[t-1].X {
+				return fmt.Errorf("wire: segls xs must be strictly increasing, x[%d]=%d after %d",
+					t, r.Points[t].X, r.Points[t-1].X)
+			}
+		}
+	case KindWIS:
+		if len(r.Starts) < 1 || len(r.Starts) != len(r.Ends) || len(r.Starts) != len(r.Weights) {
+			return fmt.Errorf("wire: wis needs matching nonempty starts/ends/weights, got %d/%d/%d",
+				len(r.Starts), len(r.Ends), len(r.Weights))
+		}
+		for t := range r.Starts {
+			if r.Starts[t] >= r.Ends[t] {
+				return fmt.Errorf("wire: wis job %d has start %d >= end %d", t, r.Starts[t], r.Ends[t])
+			}
+			if r.Weights[t] < 0 {
+				return fmt.Errorf("wire: wis job %d has negative weight %d", t, r.Weights[t])
+			}
+		}
+	case KindSubsetSum:
+		if r.Target < 1 {
+			return fmt.Errorf("wire: subsetsum needs target >= 1, got %d", r.Target)
+		}
+		if len(r.Items) < 1 {
+			return fmt.Errorf("wire: subsetsum needs at least one item")
+		}
+		for _, it := range r.Items {
+			if it < 1 {
+				return fmt.Errorf("wire: subsetsum items must be positive, got %d", it)
+			}
+		}
 	case "":
 		return fmt.Errorf("wire: missing kind")
 	default:
@@ -241,7 +319,30 @@ func (r *Request) Instance() (*recurrence.Instance, error) {
 	case KindWTriangulation:
 		return problems.WeightedTriangulation(r.Weights), nil
 	}
+	if IsChainKind(r.Kind) {
+		return nil, fmt.Errorf("wire: %q is a chain kind; use ChainInstance", r.Kind)
+	}
 	return nil, fmt.Errorf("wire: unknown kind %q", r.Kind)
+}
+
+// ChainInstance builds the chain recurrence the request describes,
+// through the same constructors in-process callers use. Call Validate
+// first, exactly as with Instance.
+func (r *Request) ChainInstance() (*recurrence.Chain, error) {
+	switch r.Kind {
+	case KindSegLS:
+		xs := make([]int64, len(r.Points))
+		ys := make([]int64, len(r.Points))
+		for i, p := range r.Points {
+			xs[i], ys[i] = p.X, p.Y
+		}
+		return problems.SegmentedLeastSquares(xs, ys, r.Penalty), nil
+	case KindWIS:
+		return problems.IntervalScheduling(r.Starts, r.Ends, r.Weights), nil
+	case KindSubsetSum:
+		return problems.SubsetSum(r.Target, r.Items), nil
+	}
+	return nil, fmt.Errorf("wire: %q is not a chain kind", r.Kind)
 }
 
 // SolverOptions maps the wire options onto functional options for
@@ -335,6 +436,42 @@ func NewResponse(r *Request, sol *sublineardp.Solution) *Response {
 	return resp
 }
 
+// NewChainResponse renders a ChainSolution as the wire response for its
+// chain-kind request. TableDigest carries the VectorDigest of the value
+// vector (domain-separated from interval table digests); Iterations
+// carries the LLP engine's sweep count (0 for the sequential engine).
+// WantTree returns the optimal breakpoint sequence ("0 4 9 ... n",
+// space-separated) in Tree when the instance is feasible.
+func NewChainResponse(r *Request, sol *sublineardp.ChainSolution) *Response {
+	resp := &Response{
+		ID:            r.ID,
+		Kind:          r.Kind,
+		N:             sol.N(),
+		Engine:        sol.Engine,
+		Cost:          int64(sol.Cost()),
+		TableDigest:   VectorDigest(sol.Values),
+		Iterations:    sol.Sweeps,
+		Cached:        sol.Cached,
+		ElapsedMicros: sol.Elapsed.Microseconds(),
+	}
+	if sol.Algebra != "" && sol.Algebra != "min-plus" {
+		resp.Algebra = sol.Algebra
+	}
+	if r.WantTree && sol.Feasible() {
+		if path, err := sol.Path(); err == nil {
+			var b []byte
+			for i, p := range path {
+				if i > 0 {
+					b = append(b, ' ')
+				}
+				b = fmt.Appendf(b, "%d", p)
+			}
+			resp.Tree = string(b)
+		}
+	}
+	return resp
+}
+
 // TableDigest returns the hex SHA-256 over the table's size and every
 // normalised upper-triangle entry in row-major order — the bitwise
 // identity of a solve result.
@@ -346,6 +483,21 @@ func TableDigest(t *recurrence.Table) string {
 		for j := i + 1; j <= t.N; j++ {
 			h.Write(buf[:binary.PutVarint(buf[:], int64(cost.Norm(t.At(i, j))))])
 		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// VectorDigest is TableDigest for chain value vectors: the hex SHA-256
+// over a "chain" domain tag, the vector's size, and every normalised
+// value c(0..n) — so a chain digest can never collide with an interval
+// table digest even on identical payload bytes.
+func VectorDigest(v *recurrence.Vector) string {
+	h := sha256.New()
+	h.Write([]byte("chain"))
+	var buf [binary.MaxVarintLen64]byte
+	h.Write(buf[:binary.PutVarint(buf[:], int64(v.N))])
+	for j := 0; j <= v.N; j++ {
+		h.Write(buf[:binary.PutVarint(buf[:], int64(cost.Norm(v.At(j))))])
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -96,6 +96,35 @@ func goldenCases() map[string]any {
 		"error_bad_request.json": &ErrorBody{
 			Error: `wire: obst needs len(alpha) == len(beta)+1, got 2 and 4`, Code: 400,
 		},
+		"request_segls.json": &Request{
+			ID:   "req-c1",
+			Kind: KindSegLS,
+			Points: []Point{
+				{X: 0, Y: 0}, {X: 1, Y: 10}, {X: 2, Y: 20}, {X: 3, Y: 18}, {X: 4, Y: 16},
+			},
+			Penalty:  2500,
+			Options:  Options{Engine: "llp", Workers: 4},
+			WantTree: true,
+		},
+		"request_wis.json": &Request{
+			ID:      "req-c2",
+			Kind:    KindWIS,
+			Starts:  []int64{1, 3, 0, 5, 3, 5, 6, 8},
+			Ends:    []int64{4, 5, 6, 7, 9, 9, 10, 11},
+			Weights: []int64{3, 2, 5, 2, 4, 6, 2, 4},
+		},
+		"request_subsetsum.json": &Request{
+			ID:      "req-c3",
+			Kind:    KindSubsetSum,
+			Target:  30,
+			Items:   []int64{4, 9, 13},
+			Options: Options{Engine: "sequential"},
+		},
+		"response_chain.json": &Response{
+			ID: "req-c1", Kind: KindSegLS, N: 5, Engine: "llp",
+			Cost: 7500, TableDigest: "3c0e2e343d2a1c47a2b95245b1c0ab05e5b35058ee3b93dcbeb18f9d7154f4bc",
+			Iterations: 2, Tree: "0 2 5", ElapsedMicros: 87,
+		},
 	}
 }
 
@@ -153,6 +182,16 @@ func TestRequestValidate(t *testing.T) {
 		{Kind: KindBoolSplit, Count: 4, Forbidden: []Span{{2, 2}}},
 		{Kind: KindBoolSplit, Count: 4, Forbidden: []Span{{-1, 2}}},
 		{Kind: KindBoolSplit, Count: 4, Forbidden: []Span{{1, 9}}},
+		{Kind: KindSegLS},
+		{Kind: KindSegLS, Points: []Point{{X: 0}, {X: 0}}},
+		{Kind: KindSegLS, Points: []Point{{X: 0}, {X: 1}}, Penalty: -5},
+		{Kind: KindWIS},
+		{Kind: KindWIS, Starts: []int64{1, 2}, Ends: []int64{3}, Weights: []int64{1, 1}},
+		{Kind: KindWIS, Starts: []int64{5}, Ends: []int64{5}, Weights: []int64{1}},
+		{Kind: KindWIS, Starts: []int64{1}, Ends: []int64{2}, Weights: []int64{-1}},
+		{Kind: KindSubsetSum, Items: []int64{3}},
+		{Kind: KindSubsetSum, Target: 9},
+		{Kind: KindSubsetSum, Target: 9, Items: []int64{3, 0}},
 	}
 	for i, r := range bad {
 		if err := r.Validate(0); err == nil {
@@ -238,6 +277,118 @@ func TestRequestInstanceMatchesDirectConstruction(t *testing.T) {
 				t.Fatal("wire-built instance solves to a different table")
 			}
 		})
+	}
+}
+
+func TestChainRequestInstanceMatchesDirectConstruction(t *testing.T) {
+	cases := []struct {
+		req    Request
+		direct func() *sublineardp.Chain
+	}{
+		{
+			Request{Kind: KindSegLS, Penalty: 2500,
+				Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 10}, {X: 2, Y: 20}, {X: 3, Y: 18}, {X: 4, Y: 16}}},
+			func() *sublineardp.Chain {
+				return problems.SegmentedLeastSquares(
+					[]int64{0, 1, 2, 3, 4}, []int64{0, 10, 20, 18, 16}, 2500)
+			},
+		},
+		{
+			Request{Kind: KindWIS,
+				Starts:  []int64{1, 3, 0, 5, 3, 5, 6, 8},
+				Ends:    []int64{4, 5, 6, 7, 9, 9, 10, 11},
+				Weights: []int64{3, 2, 5, 2, 4, 6, 2, 4}},
+			func() *sublineardp.Chain {
+				return problems.IntervalScheduling(
+					[]int64{1, 3, 0, 5, 3, 5, 6, 8},
+					[]int64{4, 5, 6, 7, 9, 9, 10, 11},
+					[]int64{3, 2, 5, 2, 4, 6, 2, 4})
+			},
+		},
+		{
+			Request{Kind: KindSubsetSum, Target: 30, Items: []int64{4, 9, 13}},
+			func() *sublineardp.Chain { return problems.SubsetSum(30, []int64{4, 9, 13}) },
+		},
+	}
+	solver := sublineardp.MustNewChainSolver(sublineardp.ChainEngineSequential)
+	for _, tc := range cases {
+		t.Run(tc.req.Kind, func(t *testing.T) {
+			if !IsChainKind(tc.req.Kind) {
+				t.Fatalf("IsChainKind(%q) = false", tc.req.Kind)
+			}
+			if err := tc.req.Validate(0); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tc.req.Instance(); err == nil {
+				t.Fatal("Instance() accepted a chain kind")
+			}
+			decoded, err := tc.req.ChainInstance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct := tc.direct()
+			dc, ok1 := decoded.Canonical()
+			cc, ok2 := direct.Canonical()
+			if !ok1 || !ok2 {
+				t.Fatal("wire-built chain not canonicalisable")
+			}
+			if !bytes.Equal(dc, cc) {
+				t.Fatal("wire-built chain canonicalises differently from the direct constructor")
+			}
+			a, err := solver.Solve(context.Background(), decoded)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := solver.Solve(context.Background(), direct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if VectorDigest(a.Values) != VectorDigest(b.Values) {
+				t.Fatal("wire-built chain solves to a different value vector")
+			}
+			resp := NewChainResponse(&tc.req, a)
+			if resp.Kind != tc.req.Kind || resp.N != decoded.N || resp.TableDigest != VectorDigest(a.Values) {
+				t.Fatalf("NewChainResponse mismatch: %+v", resp)
+			}
+		})
+	}
+}
+
+func TestChainResponsePath(t *testing.T) {
+	req := Request{Kind: KindSegLS, Penalty: 2500, WantTree: true,
+		Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 5}, {X: 2, Y: 10}, {X: 3, Y: 15}}}
+	if err := req.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := req.ChainInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := sublineardp.MustNewChainSolver("").Solve(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := NewChainResponse(&req, sol)
+	if resp.Tree != "0 4" {
+		t.Fatalf("collinear points produced breakpoints %q, want \"0 4\"", resp.Tree)
+	}
+}
+
+func TestVectorDigestDomainSeparated(t *testing.T) {
+	s := sublineardp.MustNewChainSolver(sublineardp.ChainEngineSequential)
+	a, err := s.Solve(context.Background(), problems.SubsetSum(20, []int64{3, 7}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Solve(context.Background(), problems.SubsetSum(20, []int64{3, 8}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if VectorDigest(a.Values) == VectorDigest(b.Values) {
+		t.Fatal("different vectors share a digest")
+	}
+	if VectorDigest(a.Values) != VectorDigest(a.Values.Clone()) {
+		t.Fatal("cloned vector digests differently")
 	}
 }
 

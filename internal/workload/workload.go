@@ -4,6 +4,11 @@
 // compiler/search-structure construction via OBST, geometry via
 // triangulation). The generators are deterministic given a seed, so
 // experiments and benchmarks are reproducible.
+//
+// The chain families — TelemetrySeries (segmented least squares),
+// JobSchedule (weighted interval scheduling) and CoinFeasibility
+// (subset sum) — are the 1D prefix-recurrence counterparts, one per
+// registered semiring.
 package workload
 
 import (
@@ -142,6 +147,58 @@ func FeasibilitySpans(n int, seed int64) [][2]int {
 		forbidden = append(forbidden, [2]int{i, j})
 	}
 	return forbidden
+}
+
+// TelemetrySeries returns a segmented-least-squares chain over a noisy
+// piecewise-linear series — the "fit a changing trend with as few
+// segments as the penalty justifies" shape of telemetry compression and
+// changepoint detection. Min-plus.
+func TelemetrySeries(n int, seed int64) *recurrence.Chain {
+	xs, ys := problems.RandomSeries(n, seed)
+	c := problems.SegmentedLeastSquares(xs, ys, 500+(seed%7)*250)
+	c.Name = fmt.Sprintf("telemetry-series-n%d-s%d", n, seed)
+	return c
+}
+
+// JobSchedule returns a weighted-interval-scheduling chain over n jobs
+// with overlapping spans and skewed weights — the booking/reservation
+// shape where the optimum must skip locally attractive jobs. Max-plus.
+func JobSchedule(n int, seed int64) *recurrence.Chain {
+	starts, ends, weights := problems.RandomJobs(n, seed)
+	c := problems.IntervalScheduling(starts, ends, weights)
+	c.Name = fmt.Sprintf("job-schedule-n%d-s%d", n, seed)
+	return c
+}
+
+// CoinFeasibility returns a subset-sum chain asking whether `target` is
+// reachable from a small random coin system — the denomination-coverage
+// query shape. Every fourth seed uses a coprime-free system ({2k, 4k,
+// 6k}) against an odd target, a deterministic infeasibility, so load
+// mixes exercise both outcomes. Bool-plan.
+func CoinFeasibility(target int64, seed int64) *recurrence.Chain {
+	c := problems.SubsetSum(target, CoinSystem(target, seed))
+	c.Name = fmt.Sprintf("coin-feasibility-t%d-s%d", target, seed)
+	return c
+}
+
+// CoinSystem returns the item set of one CoinFeasibility instance —
+// exported separately so cmd/dploadgen can render the exact same family
+// as wire requests without duplicating the sampler.
+func CoinSystem(target int64, seed int64) []int64 {
+	if target < 2 {
+		panic("workload: CoinFeasibility needs target >= 2")
+	}
+	if seed%4 == 3 {
+		k := 1 + seed%3
+		return []int64{2 * k, 4 * k, 6 * k} // all even: odd targets unreachable
+	}
+	rng := rand.New(rand.NewSource(seed))
+	m := 2 + rng.Intn(3)
+	items := make([]int64, m)
+	for i := range items {
+		items[i] = 1 + rng.Int63n(target/2+1)
+	}
+	return items
 }
 
 // SensorPolygon returns a triangulation instance over a convex polygon

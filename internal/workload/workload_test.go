@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"sublineardp/internal/core"
+	"sublineardp/internal/llp"
 	"sublineardp/internal/recurrence"
 	"sublineardp/internal/seq"
 )
@@ -161,5 +162,45 @@ func TestFeasibilityPlanGenerator(t *testing.T) {
 	}
 	if feasible == 0 || infeasible == 0 {
 		t.Fatalf("seeds one-sided: %d feasible, %d infeasible — the mix must exercise both", feasible, infeasible)
+	}
+}
+
+// The chain families must declare their semirings, be canonicalisable
+// (servable/cacheable), validate, and agree between the sequential and
+// LLP engines.
+func TestChainWorkloadGenerators(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		for _, c := range []*recurrence.Chain{
+			TelemetrySeries(20, seed),
+			JobSchedule(18, seed),
+			CoinFeasibility(40+seed, seed),
+		} {
+			if c.Algebra == "" {
+				t.Fatalf("%s declares no algebra", c.Name)
+			}
+			if _, ok := c.Canonical(); !ok {
+				t.Fatalf("%s not canonicalisable", c.Name)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s: %v", c.Name, err)
+			}
+			want := seq.SolveChain(c)
+			got := llp.Solve(c, llp.Options{Workers: 3})
+			if !got.Values.Equal(want.Values) {
+				t.Fatalf("%s: llp values differ from sequential", c.Name)
+			}
+		}
+	}
+}
+
+func TestCoinFeasibilityBothOutcomes(t *testing.T) {
+	// seed%4==3 builds an all-even coin system: odd targets unreachable.
+	infeasible := CoinFeasibility(41, 3)
+	if got := seq.SolveChain(infeasible); got.Feasible() {
+		t.Fatal("all-even coins reached an odd target")
+	}
+	feasible := CoinFeasibility(40, 0)
+	if got := seq.SolveChain(feasible); !got.Feasible() {
+		t.Fatalf("%s unexpectedly infeasible", feasible.Name)
 	}
 }

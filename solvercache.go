@@ -19,9 +19,17 @@ import (
 // matrixchain / obst / triangulation / wtriangulation constructors);
 // solves of opaque closure-backed instances bypass the cache entirely.
 // A Cache is safe for concurrent use and may back any number of Solvers.
+//
+// Chain solves (ChainSolver, SolveChainBatch) share the same Cache
+// value but live in their own LRU and single-flight group: the two
+// recurrence classes can never collide on an entry, and each class gets
+// the full configured capacity.
 type Cache struct {
 	lru *cache.Sharded[*Solution]
 	sf  cache.Group[*Solution]
+
+	clru *cache.Sharded[*ChainSolution]
+	csf  cache.Group[*ChainSolution]
 }
 
 // CacheStats is a point-in-time snapshot of a Cache's counters.
@@ -38,22 +46,29 @@ type CacheStats struct {
 // NewCache returns a Cache holding at most capacity solutions
 // (capacity <= 0 picks 1024).
 func NewCache(capacity int) *Cache {
-	return &Cache{lru: cache.New[*Solution](capacity, 16)}
-}
-
-// Stats returns the cumulative counters.
-func (c *Cache) Stats() CacheStats {
-	ls := c.lru.Stats()
-	fs := c.sf.Stats()
-	return CacheStats{
-		Hits: ls.Hits, Misses: ls.Misses,
-		Insertions: ls.Insertions, Updates: ls.Updates, Evictions: ls.Evictions,
-		Solves: fs.Executions, Coalesced: fs.Dedups,
+	return &Cache{
+		lru:  cache.New[*Solution](capacity, 16),
+		clru: cache.New[*ChainSolution](capacity, 16),
 	}
 }
 
-// Len returns the number of resident solutions.
-func (c *Cache) Len() int { return c.lru.Len() }
+// Stats returns the cumulative counters, summed over the interval and
+// chain stores.
+func (c *Cache) Stats() CacheStats {
+	ls, cs := c.lru.Stats(), c.clru.Stats()
+	fs, cf := c.sf.Stats(), c.csf.Stats()
+	return CacheStats{
+		Hits: ls.Hits + cs.Hits, Misses: ls.Misses + cs.Misses,
+		Insertions: ls.Insertions + cs.Insertions,
+		Updates:    ls.Updates + cs.Updates,
+		Evictions:  ls.Evictions + cs.Evictions,
+		Solves:     fs.Executions + cf.Executions,
+		Coalesced:  fs.Dedups + cf.Dedups,
+	}
+}
+
+// Len returns the number of resident solutions (interval plus chain).
+func (c *Cache) Len() int { return c.lru.Len() + c.clru.Len() }
 
 // solveKey derives the content key for one solve: the instance's
 // canonical bytes (which already fold in the instance's declared
@@ -119,6 +134,31 @@ func (c *Cache) solve(ctx context.Context, key cache.Key, compute func(context.C
 	// Every caller — leader included — gets its own shallow copy: the
 	// pointer resident in the LRU must never be handed out, or a caller
 	// mutating "its" result would corrupt the cache.
+	cp := *sol
+	cp.Cached = joined
+	return &cp, nil
+}
+
+// solveChain is solve for the chain store: the identical protocol over
+// the chain LRU and single-flight group, with the same private
+// shallow-copy discipline.
+func (c *Cache) solveChain(ctx context.Context, key cache.Key, compute func(context.Context) (*ChainSolution, error)) (*ChainSolution, error) {
+	if sol, ok := c.clru.Get(key); ok {
+		cp := *sol
+		cp.Cached = true
+		return &cp, nil
+	}
+	sol, joined, err := c.csf.Do(ctx, key, func(fctx context.Context) (*ChainSolution, error) {
+		s, err := compute(fctx)
+		if err != nil {
+			return nil, err
+		}
+		c.clru.Add(key, s)
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	cp := *sol
 	cp.Cached = joined
 	return &cp, nil
