@@ -11,12 +11,14 @@ import (
 	"testing"
 
 	"sublineardp"
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/blocked"
 	"sublineardp/internal/btree"
 	"sublineardp/internal/core"
 	"sublineardp/internal/exper"
 	"sublineardp/internal/pebble"
 	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
 	"sublineardp/internal/rytter"
 	"sublineardp/internal/semiring"
 	"sublineardp/internal/seq"
@@ -369,6 +371,65 @@ func BenchmarkE15ChainLLP(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// E16 — solution-path extraction at scale: three reconstruction
+// strategies over one converged blocked solve. "recorded" walks the
+// split matrix recorded during the solve (WithSplits) in O(n); "lazy"
+// re-derives only the n-1 answer-tree spans from the value table (one
+// O(span) scan each); "eager" re-derives the split of every span — the
+// pre-recording ExtractTree cost, cubic in candidate scans, which is
+// why it runs only at the small size. The CI bench job smokes it at
+// -benchtime 1x.
+func BenchmarkE16PathExtraction(b *testing.B) {
+	kern := algebra.MinPlus{}
+	for _, n := range []int{1024, 4096} {
+		in := problems.RandomMatrixChain(n, 50, 1)
+		res := blocked.Solve(in, blocked.Options{RecordSplits: true})
+		b.Run(fmt.Sprintf("mode=recorded/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := recurrence.TreeFromSplits(in.N, res.Split); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("mode=lazy/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := recurrence.ExtractTreeSemiring(in, res.Table, kern); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if n > 1024 {
+			continue
+		}
+		b.Run(fmt.Sprintf("mode=eager/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for it := 0; it < b.N; it++ {
+				size := n + 1
+				splits := make([]int32, size*size)
+				for i := 0; i <= n; i++ {
+					for j := i + 2; j <= n; j++ {
+						target := kern.Norm(res.Table.At(i, j))
+						for k := i + 1; k < j; k++ {
+							v := kern.Extend3(in.F(i, k, j), res.Table.At(i, k), res.Table.At(k, j))
+							if !kern.IsZero(v) && kern.Norm(v) == target {
+								splits[i*size+j] = int32(k)
+								break
+							}
+						}
+					}
+				}
+				if _, err := recurrence.TreeFromSplits(n, func(i, j int) int {
+					return int(splits[i*size+j])
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -199,10 +199,13 @@ func (s *ChainSolution) Feasible() bool {
 // vector by re-scanning each index's candidates — O(total candidates),
 // smallest-k tie-breaking either way, so the two paths agree.
 func (s *ChainSolution) Path() ([]int, error) {
+	if s == nil {
+		return nil, errors.New("sublineardp: Path on a nil solution")
+	}
 	if s.pathFn != nil {
 		return s.pathFn()
 	}
-	if s == nil || s.Values == nil || s.chain == nil {
+	if s.Values == nil || s.chain == nil {
 		return nil, errors.New("sublineardp: solution carries no chain to reconstruct from")
 	}
 	if !s.Feasible() {

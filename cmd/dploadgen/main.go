@@ -10,7 +10,9 @@
 // Zipf-weighted dictionary OBSTs, sensor polygons, max-plus worstchain
 // bounds, bool-plan feasibility queries, plus the chain-kind families:
 // segls telemetry series, wis job schedules, subsetsum coin-feasibility
-// queries) with integer weights;
+// queries) with integer weights; the mlptree and seglspath variants are
+// the same instances asking for a reconstruction (return_splits), so
+// the mix can exercise the tree/path section of the response;
 // -distinct bounds how many distinct instances each family contributes,
 // which directly sets the cache-hit share of the run. The JSON summary
 // (-out) is uploaded as a CI artifact next to BENCH_core.json.
@@ -40,7 +42,7 @@ func main() {
 		addr     = flag.String("addr", "http://localhost:8080", "dpserved base URL")
 		duration = flag.Duration("duration", 10*time.Second, "how long to fire")
 		conc     = flag.Int("concurrency", 8, "concurrent client connections")
-		mix      = flag.String("mix", "mlp:4,dictionary:4,polygon:2,worstchain:1,boolplan:1", "family:weight list (mlp | dictionary | polygon | worstchain | boolplan | segls | wis | subsetsum)")
+		mix      = flag.String("mix", "mlp:4,dictionary:4,polygon:2,worstchain:1,boolplan:1,mlptree:1", "family:weight list (mlp | mlptree | dictionary | polygon | worstchain | boolplan | segls | seglspath | wis | subsetsum)")
 		distinct = flag.Int("distinct", 32, "distinct instances per family (lower = more cache hits)")
 		size     = flag.Int("n", 48, "base instance size per request")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -121,6 +123,26 @@ func buildMix(spec string, distinct, n int, seed int64) ([][]byte, error) {
 // mirroring the internal/workload generators parameter-for-parameter.
 func buildRequest(family string, n int, seed int64, rng *rand.Rand) (*wire.Request, error) {
 	switch family {
+	case "mlptree":
+		// The mlp family asking for the optimal parenthesization back —
+		// return_splits routes the solve through recorded splits and adds
+		// the reconstruction section (tree + digest) to every response,
+		// so the load includes serialising an n-leaf tree per miss.
+		req, err := buildRequest("mlp", n, seed, rng)
+		if err != nil {
+			return nil, err
+		}
+		req.ReturnSplits = true
+		return req, nil
+	case "seglspath":
+		// Chain-kind counterpart: segmented least squares with the optimal
+		// breakpoint list in the response.
+		req, err := buildRequest("segls", n, seed, rng)
+		if err != nil {
+			return nil, err
+		}
+		req.ReturnSplits = true
+		return req, nil
 	case "mlp":
 		// workload.MLPChain shape: 1 x in, hidden widths, out.
 		layers := 2 + rng.Intn(4)
@@ -185,7 +207,7 @@ func buildRequest(family string, n int, seed int64, rng *rand.Rand) (*wire.Reque
 		return &wire.Request{Kind: wire.KindSubsetSum, Target: target,
 			Items: workload.CoinSystem(target, seed)}, nil
 	default:
-		return nil, fmt.Errorf("unknown workload family %q (mlp | dictionary | polygon | worstchain | boolplan | segls | wis | subsetsum)", family)
+		return nil, fmt.Errorf("unknown workload family %q (mlp | mlptree | dictionary | polygon | worstchain | boolplan | segls | seglspath | wis | subsetsum)", family)
 	}
 }
 

@@ -59,6 +59,7 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 		history = flag.Bool("history", false, "print per-iteration convergence history")
 		tree    = flag.Bool("tree", true, "print the optimal parenthesization tree")
+		splits  = flag.Bool("splits", false, "record split points during the solve (blocked engine: O(n) tree reconstruction, no value change)")
 		list    = flag.Bool("engines", false, "list registered engines and exit")
 		request = flag.String("request", "", "solve a wire-format JSON request from this file ('-' = stdin) and print the wire response")
 	)
@@ -120,6 +121,7 @@ func main() {
 		sublineardp.WithTileSize(*tile),
 		sublineardp.WithWindow(*window),
 		sublineardp.WithHistory(*history),
+		sublineardp.WithSplits(*splits),
 	}
 	var override sublineardp.Semiring
 	if *ring != "" {
@@ -181,14 +183,34 @@ func main() {
 	}
 	report(in, sol, seqRes, *history)
 
-	if *tree && in.N <= 32 {
-		fmt.Println("optimal parenthesization:")
-		if seqRes != nil && seqRes.Feasible() {
-			fmt.Print(seqRes.Tree().Render(nil))
-		} else if tr, err := sol.Tree(); err == nil {
-			fmt.Print(tr.Render(nil))
-		}
+	if *tree {
+		printTree(in, sol, seqRes)
 	}
+}
+
+// printTree renders the optimal parenthesization. Small instances get
+// the full tree; larger ones get a one-line summary plus the wire-level
+// digest, so a served reconstruction can be checked against a local
+// solve without diffing an n-leaf rendering. The solution's own tree is
+// preferred (it is O(n) when splits were recorded); the sequential
+// reference is the fallback when the engine cannot reconstruct.
+func printTree(in *recurrence.Instance, sol *sublineardp.Solution, seqRes *seq.Result) {
+	tr, err := sol.Tree()
+	if err != nil {
+		if seqRes == nil || !seqRes.Feasible() {
+			fmt.Printf("no parenthesization: %v\n", err)
+			return
+		}
+		tr = seqRes.Tree()
+	}
+	if in.N <= 32 {
+		fmt.Println("optimal parenthesization:")
+		fmt.Print(tr.Render(nil))
+		return
+	}
+	root := tr.NodeBySpan(0, in.N)
+	fmt.Printf("optimal parenthesization: %d leaves, root split k=%d, height %d, digest %s\n",
+		in.N, tr.Split(root), tr.Height(), wire.TreeDigest(tr))
 }
 
 func fatal(err error) {

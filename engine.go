@@ -10,6 +10,7 @@ import (
 	"sublineardp/internal/algebra"
 	"sublineardp/internal/blocked"
 	"sublineardp/internal/core"
+	"sublineardp/internal/recurrence"
 	"sublineardp/internal/rytter"
 	"sublineardp/internal/seq"
 	"sublineardp/internal/wavefront"
@@ -130,7 +131,7 @@ var builtinInfo = map[string]EngineInfo{
 	EngineHLVBanded: {Description: "paper Section 5: deficits within 2*ceil(sqrt n), tiled pooled kernels",
 		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithBandRadius, WithWindow, WithTarget, WithHistory, WithSemiring"},
 	EngineBlocked: {Description: "work-efficient blocked wavefront: O(n^3) work, O(n^2) memory, solves n >= 1024",
-		Options: "WithWorkers, WithPool, WithTileSize (block edge B), WithSemiring"},
+		Options: "WithWorkers, WithPool, WithTileSize (block edge B), WithSemiring, WithSplits (O(n) tree reconstruction)"},
 	EngineSemiring: {Description: "deprecated alias of hlv-dense (every engine honours WithSemiring now)",
 		Options: "WithSemiring, WithMaxIterations + hlv-dense options"},
 }
@@ -316,22 +317,34 @@ func (blockedEngine) Name() string { return EngineBlocked }
 
 func (blockedEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
 	res, err := blocked.SolveCtx(ctx, in, blocked.Options{
-		Workers:  cfg.Workers,
-		Pool:     cfg.Pool,
-		TileSize: cfg.TileSize,
-		Semiring: cfg.Semiring,
+		Workers:      cfg.Workers,
+		Pool:         cfg.Pool,
+		TileSize:     cfg.TileSize,
+		Semiring:     cfg.Semiring,
+		RecordSplits: cfg.RecordSplits,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Solution{
+	sol := &Solution{
 		Engine:      EngineBlocked,
 		Algebra:     algebra.ResolveName(cfg.Semiring, in.Algebra),
 		Table:       res.Table,
 		Acct:        res.Acct,
 		ConvergedAt: -1,
 		instance:    in,
-	}, nil
+	}
+	if res.Splits != nil {
+		// WithSplits: O(n) reconstruction from the recorded matrix, the
+		// same smallest-k choices as the sequential engine under every
+		// algebra. An unreachable root records no split, which
+		// TreeFromSplits reports as an error rather than a panic.
+		sol.splits = res.Split
+		sol.treeFn = func() (*Tree, error) {
+			return recurrence.TreeFromSplits(in.N, res.Split)
+		}
+	}
+	return sol, nil
 }
 
 // autoEngine is the size-based meta-engine: small instances go to the

@@ -141,6 +141,45 @@ func FuzzBlockedMatchesSequential(f *testing.F) {
 	})
 }
 
+// FuzzRecordedSplitsTree pins the blocked engine's recorded splits
+// against the sequential engine's: the trees reconstructed from the two
+// recordings must be identical — same smallest-k tie-break — across
+// tile-boundary shapes, with the shaped spine instances forcing optimal
+// trees that cross every tile boundary. Random min-plus instances are
+// always feasible, so a tree always exists.
+func FuzzRecordedSplitsTree(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(4), false) // n%B == 0
+	f.Add(int64(2), uint8(17), uint8(4), false) // n%B == 1
+	f.Add(int64(3), uint8(12), uint8(1), false) // one index per block
+	f.Add(int64(4), uint8(9), uint8(14), false) // single tile (B > n)
+	f.Add(int64(5), uint8(24), uint8(5), true)  // spine across tile boundaries
+	f.Fuzz(func(t *testing.T, seed int64, nn, tile uint8, shaped bool) {
+		n := int(nn)%28 + 2
+		b := int(tile) % (n + 3)
+		var in *sublineardp.Instance
+		if shaped {
+			in = problems.Shaped(btree.RandomSplit(n, newSeededRand(seed)))
+		} else {
+			in = problems.RandomInstance(n, 60, seed)
+		}
+		want := sublineardp.SolveSequential(in).Tree()
+		sol, err := sublineardp.MustNewSolver(sublineardp.EngineBlocked,
+			sublineardp.WithSplits(true), sublineardp.WithTileSize(b)).
+			Solve(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sol.Tree()
+		if err != nil {
+			t.Fatalf("recorded-splits tree (n=%d B=%d seed=%d shaped=%v): %v", n, b, seed, shaped, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("recorded-splits tree diverges from sequential on n=%d B=%d seed=%d shaped=%v",
+				n, b, seed, shaped)
+		}
+	})
+}
+
 // FuzzLLPMatchesSequentialChain drives the asynchronous LLP chain
 // engine against the sequential prefix scan across chain lengths,
 // candidate windows, worker counts, all three shipped chain families

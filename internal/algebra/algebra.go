@@ -143,6 +143,28 @@ type Kernel interface {
 	// when the concrete Extend commutes.
 	RelaxSplitPanel(tab []cost.Cost, stride, i, ka, kb, j0, m int, f SplitFunc)
 	RelaxSplitRow(tab []cost.Cost, stride, i, k, j0, m int, fRow []cost.Cost)
+
+	// RelaxSplitPanelRec and RelaxSplitRowRec are the split-recording
+	// twins of RelaxSplitPanel/RelaxSplitRow: spl is an int32 matrix
+	// parallel to tab (same flat layout and stride, -1 meaning "no split
+	// recorded"), and alongside every value relaxation the primitives
+	// maintain spl[i*stride+j] = the smallest k whose candidate achieves
+	// the cell's current value:
+	//
+	//   - on a strict improvement, spl[d] = k;
+	//   - on a genuine tie (the candidate equals the cell and is not the
+	//     algebra's Zero), spl[d] = min(spl[d], k).
+	//
+	// The tie clause makes the recorded split independent of candidate
+	// evaluation order: the blocked engine folds candidates in
+	// non-ascending k order across its phases, yet — because each
+	// candidate is evaluated exactly once against final sub-values — the
+	// final recorded split is the smallest k achieving the optimum,
+	// exactly the sequential reference's first-strict-improver-in-
+	// ascending-k choice. Value writes must stay bitwise identical to the
+	// non-recording primitives (the conformance matrix gates this).
+	RelaxSplitPanelRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j0, m int, f SplitFunc)
+	RelaxSplitRowRec(tab []cost.Cost, spl []int32, stride, i, k, j0, m int, fRow []cost.Cost)
 }
 
 // SplitFunc evaluates the decomposition cost f(i,k,j) of splitting node
@@ -413,6 +435,73 @@ func (MinPlus) RelaxSplitRow(tab []cost.Cost, stride, i, k, j0, m int, fRow []co
 	}
 }
 
+// RelaxSplitPanelRec is RelaxSplitPanel with split recording. The raw
+// sum of pruned finite factors can still reach or exceed Inf (a
+// saturated candidate), so the tie clause additionally requires
+// v < Inf: a fabricated Inf == Inf match must never record a split.
+// Value writes are bit-for-bit those of RelaxSplitPanel.
+func (MinPlus) RelaxSplitPanelRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j0, m int, f SplitFunc) {
+	if m <= 0 {
+		return
+	}
+	row := i * stride
+	dst := tab[row+j0 : row+j0+m]
+	dsp := spl[row+j0 : row+j0+m]
+	for k := ka; k < kb; k++ {
+		left := tab[row+k]
+		if left >= posInf {
+			continue
+		}
+		src := tab[k*stride+j0 : k*stride+j0+m]
+		for t := range dst {
+			fv := f(i, k, j0+t)
+			if fv >= posInf {
+				continue
+			}
+			v := left + fv + src[t]
+			if v < dst[t] {
+				dst[t] = v
+				dsp[t] = int32(k)
+			} else if v == dst[t] && v < posInf {
+				if s := dsp[t]; s < 0 || int32(k) < s {
+					dsp[t] = int32(k)
+				}
+			}
+		}
+	}
+}
+
+// RelaxSplitRowRec is RelaxSplitRow with split recording, under
+// RelaxSplitPanelRec's tie discipline.
+func (MinPlus) RelaxSplitRowRec(tab []cost.Cost, spl []int32, stride, i, k, j0, m int, fRow []cost.Cost) {
+	if m <= 0 {
+		return
+	}
+	left := tab[i*stride+k]
+	if left >= posInf {
+		return
+	}
+	dst := tab[i*stride+j0 : i*stride+j0+m]
+	dsp := spl[i*stride+j0 : i*stride+j0+m]
+	src := tab[k*stride+j0 : k*stride+j0+m]
+	fRow = fRow[:m]
+	for t := range dst {
+		fv := fRow[t]
+		if fv >= posInf {
+			continue
+		}
+		v := left + fv + src[t]
+		if v < dst[t] {
+			dst[t] = v
+			dsp[t] = int32(k)
+		} else if v == dst[t] && v < posInf {
+			if s := dsp[t]; s < 0 || int32(k) < s {
+				dsp[t] = int32(k)
+			}
+		}
+	}
+}
+
 // MaxPlus maximises total weight: Combine = max, Extend = saturating +.
 // Estimates grow upward from -Inf; the optimum is the costliest tree
 // (worst-case parenthesization analysis).
@@ -638,6 +727,80 @@ func (MaxPlus) RelaxSplitRow(tab []cost.Cost, stride, i, k, j0, m int, fRow []co
 	}
 }
 
+// RelaxSplitPanelRec is RelaxSplitPanel with split recording. All three
+// factors are already pruned at -Inf, but the raw sum can still saturate
+// below -Inf in principle, so the tie clause mirrors min-plus with
+// v > -Inf. Value writes are bit-for-bit those of RelaxSplitPanel.
+func (MaxPlus) RelaxSplitPanelRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j0, m int, f SplitFunc) {
+	if m <= 0 {
+		return
+	}
+	row := i * stride
+	dst := tab[row+j0 : row+j0+m]
+	dsp := spl[row+j0 : row+j0+m]
+	for k := ka; k < kb; k++ {
+		left := tab[row+k]
+		if left <= negInf {
+			continue
+		}
+		src := tab[k*stride+j0 : k*stride+j0+m]
+		for t := range dst {
+			r := src[t]
+			if r <= negInf {
+				continue
+			}
+			fv := f(i, k, j0+t)
+			if fv <= negInf {
+				continue
+			}
+			v := left + fv + r
+			if v > dst[t] {
+				dst[t] = v
+				dsp[t] = int32(k)
+			} else if v == dst[t] && v > negInf {
+				if s := dsp[t]; s < 0 || int32(k) < s {
+					dsp[t] = int32(k)
+				}
+			}
+		}
+	}
+}
+
+// RelaxSplitRowRec is RelaxSplitRow with split recording, under
+// RelaxSplitPanelRec's tie discipline.
+func (MaxPlus) RelaxSplitRowRec(tab []cost.Cost, spl []int32, stride, i, k, j0, m int, fRow []cost.Cost) {
+	if m <= 0 {
+		return
+	}
+	left := tab[i*stride+k]
+	if left <= negInf {
+		return
+	}
+	dst := tab[i*stride+j0 : i*stride+j0+m]
+	dsp := spl[i*stride+j0 : i*stride+j0+m]
+	src := tab[k*stride+j0 : k*stride+j0+m]
+	fRow = fRow[:m]
+	for t := range dst {
+		r := src[t]
+		if r <= negInf {
+			continue
+		}
+		fv := fRow[t]
+		if fv <= negInf {
+			continue
+		}
+		v := left + fv + r
+		if v > dst[t] {
+			dst[t] = v
+			dsp[t] = int32(k)
+		} else if v == dst[t] && v > negInf {
+			if s := dsp[t]; s < 0 || int32(k) < s {
+				dsp[t] = int32(k)
+			}
+		}
+	}
+}
+
 // BoolPlan decides feasibility: values are 0 (impossible) and nonzero
 // (possible, canonically 1); Combine = or, Extend = and. An instance
 // marks forbidden decompositions with F = 0 and allowed ones with F = 1.
@@ -811,6 +974,65 @@ func (BoolPlan) RelaxSplitRow(tab []cost.Cost, stride, i, k, j0, m int, fRow []c
 	for t := range dst {
 		if dst[t] == 0 && src[t] != 0 && fRow[t] != 0 {
 			dst[t] = 1
+		}
+	}
+}
+
+// RelaxSplitPanelRec is RelaxSplitPanel with split recording. Unlike the
+// non-recording body it cannot skip the f evaluation once a cell is on:
+// a feasible candidate at a smaller k than the recorded split is a tie
+// that must lower the split. It still skips f whenever the recorded
+// split is already <= k. Value writes are bit-for-bit those of
+// RelaxSplitPanel.
+func (BoolPlan) RelaxSplitPanelRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j0, m int, f SplitFunc) {
+	if m <= 0 {
+		return
+	}
+	row := i * stride
+	dst := tab[row+j0 : row+j0+m]
+	dsp := spl[row+j0 : row+j0+m]
+	for k := ka; k < kb; k++ {
+		if tab[row+k] == 0 {
+			continue
+		}
+		src := tab[k*stride+j0 : k*stride+j0+m]
+		for t := range dst {
+			if dst[t] != 0 {
+				if s := dsp[t]; s >= 0 && s <= int32(k) {
+					continue
+				}
+				if src[t] != 0 && f(i, k, j0+t) != 0 {
+					dsp[t] = int32(k)
+				}
+			} else if src[t] != 0 && f(i, k, j0+t) != 0 {
+				dst[t] = 1
+				dsp[t] = int32(k)
+			}
+		}
+	}
+}
+
+// RelaxSplitRowRec is RelaxSplitRow with split recording, under
+// RelaxSplitPanelRec's tie discipline.
+func (BoolPlan) RelaxSplitRowRec(tab []cost.Cost, spl []int32, stride, i, k, j0, m int, fRow []cost.Cost) {
+	if m <= 0 || tab[i*stride+k] == 0 {
+		return
+	}
+	dst := tab[i*stride+j0 : i*stride+j0+m]
+	dsp := spl[i*stride+j0 : i*stride+j0+m]
+	src := tab[k*stride+j0 : k*stride+j0+m]
+	fRow = fRow[:m]
+	for t := range dst {
+		if dst[t] != 0 {
+			if s := dsp[t]; s >= 0 && s <= int32(k) {
+				continue
+			}
+			if src[t] != 0 && fRow[t] != 0 {
+				dsp[t] = int32(k)
+			}
+		} else if src[t] != 0 && fRow[t] != 0 {
+			dst[t] = 1
+			dsp[t] = int32(k)
 		}
 	}
 }

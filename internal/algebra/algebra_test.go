@@ -285,6 +285,83 @@ func TestSplitPrimitivesMatchGenericWalk(t *testing.T) {
 	}
 }
 
+// The recording split primitives must (a) agree with the generic
+// recording reference walk on both the value table and the split
+// matrix, and (b) write the exact same value bytes as the non-recording
+// primitives — recording is observable only through spl.
+func TestSplitRecPrimitivesMatchGenericWalk(t *testing.T) {
+	kernels := []Kernel{MinPlus{}, MaxPlus{}, BoolPlan{}, derived{leftmost{}}}
+	rng := rand.New(rand.NewSource(123))
+	const stride = 16
+	for trial := 0; trial < 300; trial++ {
+		for _, k := range kernels {
+			tabA := make([]cost.Cost, stride*stride)
+			splA := make([]int32, stride*stride)
+			for c := range tabA {
+				tabA[c] = k.Norm(cost.Cost(rng.Int63n(60)))
+				if rng.Intn(4) == 0 {
+					tabA[c] = k.Zero()
+				}
+				// A prior recording state: none, or some earlier split.
+				splA[c] = -1
+				if rng.Intn(3) == 0 {
+					splA[c] = int32(rng.Intn(8))
+				}
+			}
+			f := func(i, s, j int) cost.Cost {
+				v := cost.Cost((i*7 + s*3 + j) % 11)
+				if v == 10 {
+					return k.Zero()
+				}
+				return v
+			}
+			i := rng.Intn(4)
+			ka := i + 1 + rng.Intn(3)
+			kb := ka + rng.Intn(4)
+			j0 := kb + rng.Intn(3)
+			m := rng.Intn(stride - j0 + 1)
+			tabB := append([]cost.Cost(nil), tabA...)
+			splB := append([]int32(nil), splA...)
+			tabPlain := append([]cost.Cost(nil), tabA...)
+			k.RelaxSplitPanelRec(tabA, splA, stride, i, ka, kb, j0, m, f)
+			relaxSplitPanelRecGeneric(k, tabB, splB, stride, i, ka, kb, j0, m, f)
+			k.RelaxSplitPanel(tabPlain, stride, i, ka, kb, j0, m, f)
+			for c := range tabA {
+				if tabA[c] != tabB[c] || splA[c] != splB[c] {
+					t.Fatalf("%s: RelaxSplitPanelRec diverges from generic at %d (val %d vs %d, spl %d vs %d), i=%d ka=%d kb=%d j0=%d m=%d",
+						k.Name(), c, tabA[c], tabB[c], splA[c], splB[c], i, ka, kb, j0, m)
+				}
+				if tabA[c] != tabPlain[c] {
+					t.Fatalf("%s: recording changed a value at %d (%d vs %d), i=%d ka=%d kb=%d j0=%d m=%d",
+						k.Name(), c, tabA[c], tabPlain[c], i, ka, kb, j0, m)
+				}
+			}
+
+			// RelaxSplitRowRec with a pre-evaluated f run of the same shape.
+			fRow := make([]cost.Cost, m)
+			for t := range fRow {
+				fRow[t] = f(i, ka, j0+t)
+			}
+			tabC := append([]cost.Cost(nil), tabA...)
+			splC := append([]int32(nil), splA...)
+			tabPlain = append(tabPlain[:0], tabA...)
+			k.RelaxSplitRowRec(tabA, splA, stride, i, ka, j0, m, fRow)
+			relaxSplitRowRecGeneric(k, tabC, splC, stride, i, ka, j0, m, fRow)
+			k.RelaxSplitRow(tabPlain, stride, i, ka, j0, m, fRow)
+			for c := range tabA {
+				if tabA[c] != tabC[c] || splA[c] != splC[c] {
+					t.Fatalf("%s: RelaxSplitRowRec diverges from generic at %d (val %d vs %d, spl %d vs %d), i=%d k=%d j0=%d m=%d",
+						k.Name(), c, tabA[c], tabC[c], splA[c], splC[c], i, ka, j0, m)
+				}
+				if tabA[c] != tabPlain[c] {
+					t.Fatalf("%s: row recording changed a value at %d (%d vs %d), i=%d k=%d j0=%d m=%d",
+						k.Name(), c, tabA[c], tabPlain[c], i, ka, j0, m)
+				}
+			}
+		}
+	}
+}
+
 func TestScalarHelpers(t *testing.T) {
 	for _, k := range []Kernel{MinPlus{}, MaxPlus{}, BoolPlan{}} {
 		rng := rand.New(rand.NewSource(3))

@@ -165,6 +165,14 @@ func (d derived) RelaxSplitRow(tab []cost.Cost, stride, i, k, j0, m int, fRow []
 	relaxSplitRowGeneric(d, tab, stride, i, k, j0, m, fRow)
 }
 
+func (d derived) RelaxSplitPanelRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j0, m int, f SplitFunc) {
+	relaxSplitPanelRecGeneric(d, tab, spl, stride, i, ka, kb, j0, m, f)
+}
+
+func (d derived) RelaxSplitRowRec(tab []cost.Cost, spl []int32, stride, i, k, j0, m int, fRow []cost.Cost) {
+	relaxSplitRowRecGeneric(d, tab, spl, stride, i, k, j0, m, fRow)
+}
+
 // relaxPanelGeneric is the reference panel walk every specialised
 // RelaxPanel must agree with (the algebra package tests pin the shipped
 // ones against it).
@@ -236,6 +244,59 @@ func relaxSplitRowGeneric(k Kernel, tab []cost.Cost, stride, i, s, j0, m int, fR
 		j := j0 + t
 		if v := k.Extend3(fRow[t], left, tab[s*stride+j]); k.Better(v, tab[row+j]) {
 			tab[row+j] = v
+		}
+	}
+}
+
+// relaxSplitPanelRecGeneric is the reference recording walk every
+// specialised RelaxSplitPanelRec must agree with (the algebra package
+// tests pin the shipped ones against it). The tie clause — a candidate
+// that neither improves nor is improved by the cell, and is not Zero,
+// lowers the recorded split to min(current, k) — is what makes the
+// result independent of candidate evaluation order; see the Kernel
+// interface comment.
+func relaxSplitPanelRecGeneric(k Kernel, tab []cost.Cost, spl []int32, stride, i, ka, kb, j0, m int, f SplitFunc) {
+	row := i * stride
+	for s := ka; s < kb; s++ {
+		left := tab[row+s]
+		if k.IsZero(left) {
+			continue
+		}
+		for t := 0; t < m; t++ {
+			j := j0 + t
+			d := row + j
+			v := k.Extend3(f(i, s, j), left, tab[s*stride+j])
+			if k.Better(v, tab[d]) {
+				tab[d] = v
+				spl[d] = int32(s)
+			} else if !k.Better(tab[d], v) && !k.IsZero(v) {
+				if cur := spl[d]; cur < 0 || int32(s) < cur {
+					spl[d] = int32(s)
+				}
+			}
+		}
+	}
+}
+
+// relaxSplitRowRecGeneric is the reference recording walk of the
+// pre-evaluated form.
+func relaxSplitRowRecGeneric(k Kernel, tab []cost.Cost, spl []int32, stride, i, s, j0, m int, fRow []cost.Cost) {
+	left := tab[i*stride+s]
+	if k.IsZero(left) {
+		return
+	}
+	row := i * stride
+	for t := 0; t < m; t++ {
+		j := j0 + t
+		d := row + j
+		v := k.Extend3(fRow[t], left, tab[s*stride+j])
+		if k.Better(v, tab[d]) {
+			tab[d] = v
+			spl[d] = int32(s)
+		} else if !k.Better(tab[d], v) && !k.IsZero(v) {
+			if cur := spl[d]; cur < 0 || int32(s) < cur {
+				spl[d] = int32(s)
+			}
 		}
 	}
 }

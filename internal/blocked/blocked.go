@@ -93,6 +93,13 @@ type Options struct {
 	// Semiring overrides the algebra the recurrence is evaluated over
 	// (nil = the instance's declared algebra, min-plus by default).
 	Semiring algebra.Semiring
+	// RecordSplits also fills Result.Splits with the optimal split point
+	// of every computed span — the O(n) root-to-leaf reconstruction
+	// input, and the prerequisite for Knuth–Yao candidate pruning. Costs
+	// one int32 matrix (4·(n+1)^2 bytes, half the cost table) and one
+	// compare+store per candidate; the value table stays bitwise
+	// identical to a non-recording run.
+	RecordSplits bool
 }
 
 // Result is a blocked solve: the converged cost table, PRAM accounting,
@@ -102,10 +109,25 @@ type Result struct {
 	Acct  pram.Accounting
 	// TileSize echoes the effective block edge B of the run.
 	TileSize int
+	// Splits, filled when Options.RecordSplits is set, is the int32 split
+	// matrix parallel to the table (same flat layout and stride):
+	// Splits[i*stride+j] is the smallest k whose candidate achieves
+	// c(i,j), or -1 for leaves and spans no candidate reaches — exactly
+	// the sequential reference's smallest-k choice, under every algebra.
+	Splits []int32
 }
 
 // Cost returns c(0,n).
 func (r *Result) Cost() cost.Cost { return r.Table.Root() }
+
+// Split returns the recorded optimal split of span (i,j), or -1 when the
+// span is a leaf, unreachable, or splits were not recorded.
+func (r *Result) Split(i, j int) int {
+	if r.Splits == nil {
+		return -1
+	}
+	return int(r.Splits[i*r.Table.Stride()+j])
+}
 
 // EffectiveTileSize resolves the block edge a solve of size n runs
 // with on a machine with procs usable processors. An explicit tile
@@ -214,8 +236,20 @@ func run[S algebra.Kernel](ctx context.Context, sr S, in *recurrence.Instance, o
 		data[i*stride+i+1] = in.Init(i)
 	}
 
+	// The split matrix shares the table's flat layout; -1 marks "no
+	// candidate recorded". Recording is race-free for the same reason the
+	// value writes are: every kernel call writes only its own destination
+	// run, and parallel units own disjoint runs.
+	var splits []int32
+	if opt.RecordSplits {
+		splits = make([]int32, len(data))
+		for i := range splits {
+			splits[i] = -1
+		}
+	}
+
 	f := algebra.SplitFunc(in.F)
-	res := &Result{Table: tbl, TileSize: b}
+	res := &Result{Table: tbl, TileSize: b, Splits: splits}
 	res.Acct.ChargeUnit(int64(n)) // the leaf init step
 
 	lo := func(B int) int { return B * b }
@@ -238,9 +272,26 @@ func run[S algebra.Kernel](ctx context.Context, sr S, in *recurrence.Instance, o
 		}
 		if fPanel != nil {
 			fPanel(i, k, j0, fbuf[:m])
-			sr.RelaxSplitRow(data, stride, i, k, j0, m, fbuf)
+			if splits != nil {
+				sr.RelaxSplitRowRec(data, splits, stride, i, k, j0, m, fbuf)
+			} else {
+				sr.RelaxSplitRow(data, stride, i, k, j0, m, fbuf)
+			}
+		} else if splits != nil {
+			sr.RelaxSplitPanelRec(data, splits, stride, i, k, k+1, j0, m, f)
 		} else {
 			sr.RelaxSplitPanel(data, stride, i, k, k+1, j0, m, f)
+		}
+	}
+
+	// relaxPanel folds the split run [ka,kb) into row i's cells
+	// j0..j0+m-1, recording when the run asked for it — the multi-split
+	// form the phase A sweep and the off-diagonal block-I fold share.
+	relaxPanel := func(i, ka, kb, j0, m int) {
+		if splits != nil {
+			sr.RelaxSplitPanelRec(data, splits, stride, i, ka, kb, j0, m, f)
+		} else {
+			sr.RelaxSplitPanel(data, stride, i, ka, kb, j0, m, f)
 		}
 	}
 
@@ -273,7 +324,7 @@ func run[S algebra.Kernel](ctx context.Context, sr S, in *recurrence.Instance, o
 					relaxRun(fbuf, i, k, j0, m)
 				}
 			} else if i+1 < i1 {
-				sr.RelaxSplitPanel(data, stride, i, i+1, i1, j0, m, f)
+				relaxPanel(i, i+1, i1, j0, m)
 			}
 			work += int64(i1-i-1) * int64(m)
 			for k := j0; k < j1-1; k++ {
@@ -312,7 +363,7 @@ func run[S algebra.Kernel](ctx context.Context, sr S, in *recurrence.Instance, o
 								relaxRun(fbuf, i, k, j0, m)
 							}
 						} else {
-							sr.RelaxSplitPanel(data, stride, i, lo(K), hi(K), j0, m, f)
+							relaxPanel(i, lo(K), hi(K), j0, m)
 						}
 					}
 					cnt += int64(m) * int64(j0-hi(I))

@@ -101,6 +101,79 @@ func TestBlockedGenericKernelPath(t *testing.T) {
 	}
 }
 
+// Recording split points must be invisible to the value table — the
+// recording kernel bodies run the exact same arithmetic, so the bytes
+// match a non-recording solve — and must reproduce the sequential
+// engine's recorded splits exactly (smallest k achieving the optimum)
+// on every registered algebra, across tile boundaries.
+func TestBlockedRecordedSplitsMatchSequential(t *testing.T) {
+	instances := []*recurrence.Instance{
+		problems.RandomInstance(21, 70, 3),
+		problems.RandomMatrixChain(26, 50, 5),
+		problems.Zigzag(19),
+	}
+	ctx := context.Background()
+	for _, name := range algebra.Names() {
+		sr, _ := algebra.Lookup(name)
+		for _, in := range instances {
+			want, err := seq.SolveSemiringCtx(ctx, in, sr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tile := range []int{1, 4, 7, 64} {
+				plain, err := SolveCtx(ctx, in, Options{TileSize: tile, Semiring: sr})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plain.Splits != nil {
+					t.Fatalf("%s/%s tile=%d: splits recorded without RecordSplits", name, in.Name, tile)
+				}
+				rec, err := SolveCtx(ctx, in, Options{TileSize: tile, Semiring: sr, RecordSplits: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bitwiseEqual(rec.Table, plain.Table) {
+					t.Errorf("%s/%s tile=%d: recording changed the value table: %v",
+						name, in.Name, tile, rec.Table.Diff(plain.Table, 3))
+				}
+				for i := 0; i <= in.N; i++ {
+					for j := i + 2; j <= in.N; j++ {
+						if got, exp := rec.Split(i, j), want.Split(i, j); got != exp {
+							t.Errorf("%s/%s tile=%d: split(%d,%d) = %d, sequential recorded %d",
+								name, in.Name, tile, i, j, got, exp)
+						}
+					}
+					if i < in.N {
+						if got := rec.Split(i, i+1); got != -1 {
+							t.Errorf("%s/%s tile=%d: leaf split(%d,%d) = %d, want -1",
+								name, in.Name, tile, i, i+1, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// The interface (non-stenciled) recording path — via the generic
+// derived walkers — must agree with the concrete one.
+func TestBlockedRecordedSplitsGenericKernelPath(t *testing.T) {
+	in := problems.RandomMatrixChain(23, 60, 13)
+	want := seq.Solve(in)
+	rec, err := SolveCtx(context.Background(), in,
+		Options{TileSize: 4, Semiring: wrappedMinPlus{}, RecordSplits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= in.N; i++ {
+		for j := i + 2; j <= in.N; j++ {
+			if got, exp := rec.Split(i, j), want.Split(i, j); got != exp {
+				t.Errorf("generic split(%d,%d) = %d, sequential recorded %d", i, j, got, exp)
+			}
+		}
+	}
+}
+
 func TestBlockedCancellation(t *testing.T) {
 	in := problems.RandomInstance(220, 80, 1)
 	ctx, cancel := context.WithCancel(context.Background())

@@ -3,6 +3,7 @@ package recurrence
 import (
 	"fmt"
 
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/btree"
 	"sublineardp/internal/cost"
 )
@@ -28,41 +29,86 @@ func TreeCost(in *Instance, t *btree.Tree) cost.Cost {
 }
 
 // ExtractTree reconstructs an optimal parenthesization from a converged
-// cost table: for every internal span it picks the smallest split k with
-// c(i,j) = f(i,k,j) + c(i,k) + c(k,j). This is how a caller recovers the
-// actual solution from the parallel solver, which (like the paper)
-// computes values only; with the same smallest-k tie-breaking as the
-// sequential solver, the two reconstructions coincide.
-//
-// It returns an error if the table is not a fixed point of the recurrence
-// (e.g. the solver was stopped before convergence).
+// min-plus cost table. It is ExtractTreeSemiring under the paper's
+// algebra — see there for the reconstruction contract.
 func ExtractTree(in *Instance, t *Table) (*btree.Tree, error) {
+	return ExtractTreeSemiring(in, t, algebra.MinPlus{})
+}
+
+// ExtractTreeSemiring lazily reconstructs an optimal parenthesization
+// from a converged cost table under any algebra kernel: walking root to
+// leaf, each internal span (i,j) is resolved to its smallest split k
+// with c(i,j) = Extend3(f(i,k,j), c(i,k), c(k,j)) — the same smallest-k
+// tie-break as the sequential solver, so the two reconstructions
+// coincide. Only the n−1 internal spans of the answer tree are scanned
+// (O(n^2) candidate evaluations total), not all O(n^2) spans of the
+// table: reconstruction costs less than one table sweep.
+//
+// It returns an error when the root (or any span the walk reaches) holds
+// the algebra's Zero — no feasible tree exists, so there is nothing to
+// reconstruct — and when some reached span has no witnessing split (the
+// table is not a fixed point of the recurrence, e.g. the solver was
+// stopped before convergence).
+func ExtractTreeSemiring(in *Instance, t *Table, kern algebra.Kernel) (*btree.Tree, error) {
 	n := in.N
 	if t.N != n {
 		return nil, fmt.Errorf("recurrence: table size %d for instance with N=%d", t.N, n)
 	}
-	if cost.IsInf(t.Root()) {
-		return nil, fmt.Errorf("recurrence: root value is not finite")
-	}
-	// Precompute all splits first so failures surface as errors, not
-	// panics inside btree.New.
-	splits := make(map[[2]int]int)
-	for i := 0; i <= n; i++ {
-		for j := i + 2; j <= n; j++ {
-			target := t.At(i, j)
-			found := -1
-			for k := i + 1; k < j; k++ {
-				if cost.Add3(in.F(i, k, j), t.At(i, k), t.At(k, j)) == target {
-					found = k
-					break
-				}
-			}
-			if found < 0 {
-				return nil, fmt.Errorf("recurrence: table is not a fixed point at (%d,%d); was the solver stopped early?", i, j)
-			}
-			splits[[2]int{i, j}] = found
+	splits := make(map[[2]int]int, n)
+	stack := [][2]int{{0, n}}
+	for len(stack) > 0 {
+		span := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		i, j := span[0], span[1]
+		if j <= i+1 {
+			continue
 		}
+		target := kern.Norm(t.At(i, j))
+		if kern.IsZero(target) {
+			return nil, fmt.Errorf("recurrence: span (%d,%d) is unreachable (value is the algebra's zero); no tree to reconstruct", i, j)
+		}
+		found := -1
+		for k := i + 1; k < j; k++ {
+			v := kern.Extend3(in.F(i, k, j), t.At(i, k), t.At(k, j))
+			if !kern.IsZero(v) && kern.Norm(v) == target {
+				found = k
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("recurrence: table is not a fixed point at (%d,%d); was the solver stopped early?", i, j)
+		}
+		splits[span] = found
+		stack = append(stack, [2]int{i, found}, [2]int{found, j})
 	}
-	tree := btree.New(n, btree.FromSplits(splits))
-	return tree, nil
+	return btree.New(n, btree.FromSplits(splits)), nil
+}
+
+// TreeFromSplits builds the parenthesization tree a recorded split
+// matrix encodes, walking root to leaf: split(i,j) must return the
+// chosen k of every internal span the walk reaches (leaves are never
+// queried). A negative or out-of-range split is reported as an error —
+// the span was never reached by any feasible candidate, so the recording
+// engine found no tree.
+func TreeFromSplits(n int, split func(i, j int) int) (*btree.Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("recurrence: TreeFromSplits needs n >= 1, got %d", n)
+	}
+	splits := make(map[[2]int]int, n)
+	stack := [][2]int{{0, n}}
+	for len(stack) > 0 {
+		span := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		i, j := span[0], span[1]
+		if j <= i+1 {
+			continue
+		}
+		k := split(i, j)
+		if k <= i || k >= j {
+			return nil, fmt.Errorf("recurrence: no recorded split for span (%d,%d) (got %d); span unreachable or splits not recorded", i, j, k)
+		}
+		splits[span] = k
+		stack = append(stack, [2]int{i, k}, [2]int{k, j})
+	}
+	return btree.New(n, btree.FromSplits(splits)), nil
 }

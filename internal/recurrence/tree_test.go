@@ -79,10 +79,50 @@ func TestExtractTreeRoundTrip(t *testing.T) {
 func TestExtractTreeRejectsNonFixpoint(t *testing.T) {
 	in := fixedInstance(6)
 	tbl := solvedTable(in)
-	tbl.Set(1, 4, tbl.At(1, 4)+1) // perturb: no split can realise this value
+	// Perturb the root: the lazy walk always visits it, and no split can
+	// realise the shifted value.
+	tbl.Set(0, 6, tbl.At(0, 6)+1)
 	_, err := ExtractTree(in, tbl)
 	if err == nil || !strings.Contains(err.Error(), "fixed point") {
 		t.Fatalf("perturbed table accepted: %v", err)
+	}
+}
+
+// Extraction is lazy — only spans of the answer tree are scanned — so a
+// corruption off the optimal path goes unvisited and reconstruction
+// still succeeds, returning the (intact) optimal tree.
+func TestExtractTreeIgnoresOffPathCells(t *testing.T) {
+	in := fixedInstance(11)
+	tbl := solvedTable(in)
+	want, err := ExtractTree(in, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a span that is not a node of the optimal tree and corrupt it.
+	onPath := make(map[[2]int]bool)
+	for v := int32(0); v < int32(want.Len()); v++ {
+		i, j := want.Span(v)
+		onPath[[2]int{i, j}] = true
+	}
+	corrupted := false
+	for i := 0; i <= 11 && !corrupted; i++ {
+		for j := i + 2; j <= 11; j++ {
+			if !onPath[[2]int{i, j}] {
+				tbl.Set(i, j, tbl.At(i, j)+1)
+				corrupted = true
+				break
+			}
+		}
+	}
+	if !corrupted {
+		t.Fatal("every span on the optimal path?")
+	}
+	got, err := ExtractTree(in, tbl)
+	if err != nil {
+		t.Fatalf("off-path corruption broke lazy extraction: %v", err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("off-path corruption changed the extracted tree")
 	}
 }
 

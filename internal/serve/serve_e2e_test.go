@@ -793,6 +793,157 @@ func TestE2EChainRoundTrip(t *testing.T) {
 	}
 }
 
+// TestE2EReconstructionRoundTrip pins the return_splits surface end to
+// end: served trees and paths match direct solves digest-for-digest,
+// cache hits keep answering with the reconstruction (the cached
+// Solution carries its recorded splits, so every hit re-derives the
+// tree in O(n)), and return_splits participates in the cache key — a
+// plain twin of a splits-recording request is a separate entry.
+func TestE2EReconstructionRoundTrip(t *testing.T) {
+	srv, err := New(Config{BatchWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := startLoopback(t, srv)
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	post := func(r *wire.Request) *wire.Response {
+		t.Helper()
+		body, _ := json.Marshal(r)
+		resp, err := client.Post(base+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", r.ID, err)
+		}
+		defer resp.Body.Close()
+		var wr wire.Response
+		if err := json.NewDecoder(resp.Body).Decode(&wr); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d decode %v", r.ID, resp.StatusCode, err)
+		}
+		return &wr
+	}
+
+	// A matrix chain big enough to route blocked-sized work through the
+	// batcher, solved with recorded splits.
+	rng := rand.New(rand.NewSource(21))
+	dims := make([]int, 81)
+	for i := range dims {
+		dims[i] = 1 + rng.Intn(60)
+	}
+	treq := &wire.Request{ID: "mc-tree", Kind: wire.KindMatrixChain, Dims: dims,
+		Options: wire.Options{Engine: "blocked"}, ReturnSplits: true}
+
+	in, err := treq.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sublineardp.SolveSequential(in).Tree()
+
+	first := post(treq)
+	if first.Cached || first.Coalesced {
+		t.Fatal("first request served from cache")
+	}
+	if first.Reconstruction == nil || first.Reconstruction.Error != "" {
+		t.Fatalf("no reconstruction served: %+v", first.Reconstruction)
+	}
+	if first.Reconstruction.Tree != want.Encode() {
+		t.Fatal("served tree differs from direct sequential solve")
+	}
+	if first.Reconstruction.Digest != wire.TreeDigest(want) {
+		t.Fatalf("served tree digest %q, want %q", first.Reconstruction.Digest, wire.TreeDigest(want))
+	}
+
+	// The cache hit still reconstructs — from the cached solution's
+	// recorded splits, byte-identically.
+	hit := post(treq)
+	if !hit.Cached {
+		t.Fatal("repeat not served from cache")
+	}
+	if hit.Reconstruction == nil || hit.Reconstruction.Tree != first.Reconstruction.Tree ||
+		hit.Reconstruction.Digest != first.Reconstruction.Digest {
+		t.Fatalf("cached reconstruction drifted: %+v", hit.Reconstruction)
+	}
+
+	// The same instance without return_splits is a different cache
+	// entry (recording is keyed), and answers without the section.
+	plain := &wire.Request{ID: "mc-plain", Kind: wire.KindMatrixChain, Dims: dims,
+		Options: wire.Options{Engine: "blocked"}}
+	pw := post(plain)
+	if pw.Cached || pw.Coalesced {
+		t.Fatal("plain twin shared the splits-recording cache entry")
+	}
+	if pw.Reconstruction != nil {
+		t.Fatalf("plain request grew a reconstruction: %+v", pw.Reconstruction)
+	}
+	if pw.TableDigest != first.TableDigest {
+		t.Fatal("recording changed the value table digest")
+	}
+
+	// Chain kind: the breakpoint path round-trips with its digest.
+	xs, ys := problems.RandomSeries(50, 31)
+	pts := make([]wire.Point, len(xs))
+	for i := range xs {
+		pts[i] = wire.Point{X: xs[i], Y: ys[i]}
+	}
+	creq := &wire.Request{ID: "segls-path", Kind: wire.KindSegLS, Points: pts,
+		Penalty: 900, ReturnSplits: true}
+	cfirst := post(creq)
+	if cfirst.Reconstruction == nil || cfirst.Reconstruction.Error != "" {
+		t.Fatalf("no chain reconstruction served: %+v", cfirst.Reconstruction)
+	}
+	cc, err := creq.ChainInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	csol, err := sublineardp.MustNewChainSolver("").Solve(context.Background(), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPath, err := csol.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfirst.Reconstruction.Digest != wire.PathDigest(wantPath) {
+		t.Fatalf("served path digest %q, want %q", cfirst.Reconstruction.Digest, wire.PathDigest(wantPath))
+	}
+	if chit := post(creq); !chit.Cached || chit.Reconstruction == nil ||
+		chit.Reconstruction.Digest != cfirst.Reconstruction.Digest {
+		t.Fatal("cached chain reconstruction drifted")
+	}
+
+	// chain_window is part of the problem statement: the windowed twin
+	// never shares a cache entry with the full-prefix solve.
+	starts, ends, weights := problems.RandomJobs(40, 12)
+	full := &wire.Request{ID: "wis-full", Kind: wire.KindWIS,
+		Starts: starts, Ends: ends, Weights: weights}
+	windowed := &wire.Request{ID: "wis-win", Kind: wire.KindWIS,
+		Starts: starts, Ends: ends, Weights: weights, ChainWindow: 5}
+	if fw := post(full); fw.Cached || fw.Coalesced {
+		t.Fatal("first full-prefix request served from cache")
+	}
+	ww := post(windowed)
+	if ww.Cached || ww.Coalesced {
+		t.Fatal("windowed request served from the full-prefix cache entry")
+	}
+	wc, err := windowed.ChainInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsol, err := sublineardp.MustNewChainSolver("").Solve(context.Background(), wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ww.Cost != int64(wsol.Cost()) || ww.TableDigest != wire.VectorDigest(wsol.Values) {
+		t.Fatalf("windowed solve (%d, %s) != direct (%d, %s)",
+			ww.Cost, ww.TableDigest, wsol.Cost(), wire.VectorDigest(wsol.Values))
+	}
+
+	m := srv.Metrics()
+	if m.CacheHits+m.Coalesced+m.Solved != m.OK {
+		t.Fatalf("counter identity broken: hits %d + coalesced %d + solved %d != ok %d",
+			m.CacheHits, m.Coalesced, m.Solved, m.OK)
+	}
+}
+
 // TestE2EChainBadRequests pins the chain-kind 400 surface: malformed
 // parameters and unknown chain engines shed before admission.
 func TestE2EChainBadRequests(t *testing.T) {

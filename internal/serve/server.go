@@ -422,19 +422,24 @@ func solveKey(in *sublineardp.Instance, sig string) (cache.Key, bool) {
 // optionsSig renders the solving configuration of a request into the
 // string that both content-addresses it (with the instance) and groups
 // batcher tasks: tasks with equal signatures are safe to fold into one
-// SolveBatch call.
-func optionsSig(engine string, o wire.Options) string {
+// SolveBatch call. splits mirrors the root solveKey's RecordSplits
+// keying: a split-recording solve carries reconstruction state a
+// non-recording one does not, so the two never share a cache entry
+// (chain requests always pass false — reconstruction there reads the
+// value vector and does not change the solve).
+func optionsSig(engine string, o wire.Options, splits bool) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%s|%s|%s|%d|%d|%v|%d|%d|%d|%d",
+	fmt.Fprintf(&b, "%s|%s|%s|%s|%d|%d|%v|%d|%d|%d|%d|%v",
 		engine, o.Mode, o.Termination, o.Semiring, o.MaxIterations,
-		o.BandRadius, o.Window, o.TileSize, o.Workers, o.AutoCutoff, o.AutoLargeCutoff)
+		o.BandRadius, o.Window, o.TileSize, o.Workers, o.AutoCutoff, o.AutoLargeCutoff,
+		splits)
 	return b.String()
 }
 
 // solve runs the cache → single-flight → batcher protocol for one
 // admitted request.
 func (s *Server) solve(ctx context.Context, in *sublineardp.Instance, engine string, req *wire.Request, opts []sublineardp.Option) (*sublineardp.Solution, via, error) {
-	sig := optionsSig(engine, req.Options)
+	sig := optionsSig(engine, req.Options, req.ReturnSplits)
 	key, keyed := solveKey(in, sig)
 	if s.lru == nil || !keyed {
 		sol, err := s.submit(ctx, &task{in: in, engine: engine, opts: opts, sig: sig, ctx: ctx})
@@ -482,7 +487,7 @@ func chainSolveKey(c *sublineardp.Chain, sig string) (cache.Key, bool) {
 func (s *Server) solveChain(ctx context.Context, c *sublineardp.Chain, engine string, req *wire.Request, opts []sublineardp.Option) (*sublineardp.ChainSolution, via, error) {
 	// The signature prefix keeps chain tasks out of interval SolveBatch
 	// groups: runGroup dispatches a group by its head task's class.
-	sig := "chain|" + optionsSig(engine, req.Options)
+	sig := "chain|" + optionsSig(engine, req.Options, false)
 	key, keyed := chainSolveKey(c, sig)
 	if s.clru == nil || !keyed {
 		csol, err := s.submitChain(ctx, &task{chain: c, engine: engine, opts: opts, sig: sig, ctx: ctx})

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"sublineardp"
+	"sublineardp/internal/btree"
 	"sublineardp/internal/cost"
 	"sublineardp/internal/problems"
 	"sublineardp/internal/recurrence"
@@ -93,10 +94,14 @@ type Options struct {
 	Semiring      string `json:"semiring,omitempty"`
 	MaxIterations int    `json:"max_iterations,omitempty"`
 	BandRadius    int    `json:"band_radius,omitempty"`
-	Window        bool   `json:"window,omitempty"`
-	TileSize      int    `json:"tile_size,omitempty"`
-	Workers       int    `json:"workers,omitempty"`
-	AutoCutoff    int    `json:"auto_cutoff,omitempty"`
+	// Window toggles the HLV banded engine's Section 5 windowed pebble
+	// schedule (WithWindow) — a solver scheduling knob, not to be
+	// confused with Request.ChainWindow, which restricts a chain
+	// recurrence's candidate set and changes the answer.
+	Window     bool `json:"window,omitempty"`
+	TileSize   int  `json:"tile_size,omitempty"`
+	Workers    int  `json:"workers,omitempty"`
+	AutoCutoff int  `json:"auto_cutoff,omitempty"`
 	// AutoLargeCutoff is the auto engine's blocked-engine threshold
 	// (WithAutoLargeCutoff).
 	AutoLargeCutoff int `json:"auto_large_cutoff,omitempty"`
@@ -126,10 +131,26 @@ type Request struct {
 	Ends    []int64 `json:"ends,omitempty"`
 	Target  int64   `json:"target,omitempty"`
 	Items   []int64 `json:"items,omitempty"`
-	Options Options `json:"options,omitzero"`
+	// ChainWindow restricts the candidate set of a chain-kind request to
+	// k >= j-ChainWindow (recurrence.Chain.Window; 0 = full prefix). It
+	// is part of the problem statement — a windowed chain never shares a
+	// cache entry with its full-prefix twin — unlike Options.Window,
+	// which is an HLV scheduling knob that cannot change the answer.
+	ChainWindow int     `json:"chain_window,omitempty"`
+	Options     Options `json:"options,omitzero"`
 	// WantTree requests the optimal parenthesization in Response.Tree
-	// (adds an O(n^2) reconstruction on the serving path).
+	// (adds an O(n^2) reconstruction on the serving path). Deprecated in
+	// favour of ReturnSplits, which serves every algebra and records
+	// splits during large solves; kept for wire compatibility.
 	WantTree bool `json:"want_tree,omitempty"`
+	// ReturnSplits requests the solve record split points
+	// (sublineardp.WithSplits on interval kinds) and return the
+	// reconstruction — the optimal tree of an interval kind, the witness
+	// breakpoint path of a chain kind — in Response.Reconstruction, with
+	// its own digest. Works under every registered algebra, and on the
+	// blocked engine costs O(n) reconstruction instead of a table
+	// re-scan.
+	ReturnSplits bool `json:"return_splits,omitempty"`
 }
 
 // Response is the outcome of one solve request.
@@ -156,8 +177,35 @@ type Response struct {
 	// identical in-flight solve. At most one is set.
 	Cached    bool `json:"cached,omitempty"`
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Reconstruction carries the solution path when the request set
+	// ReturnSplits: the optimal tree (interval kinds) or witness
+	// breakpoint path (chain kinds) with its own digest, or the reason
+	// no path exists. Omitted entirely unless requested, so responses to
+	// old clients are byte-identical.
+	Reconstruction *Reconstruction `json:"reconstruction,omitempty"`
 	// ElapsedMicros is the server-side solve (or wait) duration.
 	ElapsedMicros int64 `json:"elapsed_us"`
+}
+
+// Reconstruction is the solution-path section of a response
+// (Request.ReturnSplits). Exactly one of Tree/Path is set on success;
+// Error reports a genuinely unavailable path (an infeasible instance, a
+// non-converged table) — the request itself still succeeds, values are
+// served either way.
+type Reconstruction struct {
+	// Tree is the optimal parenthesization of an interval kind in the
+	// btree S-expression encoding ("(k L R)" nodes, "." leaves).
+	Tree string `json:"tree,omitempty"`
+	// Path is the witness breakpoint sequence 0 = k_0 < ... < k_m = N of
+	// a chain kind.
+	Path []int `json:"path,omitempty"`
+	// Digest is the hex SHA-256 of the tree or path (TreeDigest /
+	// PathDigest — domain-separated from each other and from value
+	// digests), so clients can check reconstruction agreement without
+	// re-deriving it.
+	Digest string `json:"digest,omitempty"`
+	// Error is why no path could be reconstructed.
+	Error string `json:"error,omitempty"`
 }
 
 // ErrorBody is the JSON body of every non-2xx response.
@@ -287,6 +335,14 @@ func (r *Request) Validate(maxN int) error {
 	default:
 		return fmt.Errorf("wire: unknown kind %q", r.Kind)
 	}
+	if r.ChainWindow != 0 {
+		if !IsChainKind(r.Kind) {
+			return fmt.Errorf("wire: chain_window applies to chain kinds only, not %q", r.Kind)
+		}
+		if r.ChainWindow < 0 {
+			return fmt.Errorf("wire: negative chain_window %d", r.ChainWindow)
+		}
+	}
 	if maxN > 0 && r.N() > maxN {
 		return fmt.Errorf("wire: instance size n=%d exceeds the server limit n=%d", r.N(), maxN)
 	}
@@ -327,8 +383,12 @@ func (r *Request) Instance() (*recurrence.Instance, error) {
 
 // ChainInstance builds the chain recurrence the request describes,
 // through the same constructors in-process callers use. Call Validate
-// first, exactly as with Instance.
+// first, exactly as with Instance. A positive ChainWindow tightens the
+// constructor's window (constructors may already set one — subset sum's
+// largest item); it never widens a constructor window, which would admit
+// candidates the family's F does not define.
 func (r *Request) ChainInstance() (*recurrence.Chain, error) {
+	var c *recurrence.Chain
 	switch r.Kind {
 	case KindSegLS:
 		xs := make([]int64, len(r.Points))
@@ -336,13 +396,18 @@ func (r *Request) ChainInstance() (*recurrence.Chain, error) {
 		for i, p := range r.Points {
 			xs[i], ys[i] = p.X, p.Y
 		}
-		return problems.SegmentedLeastSquares(xs, ys, r.Penalty), nil
+		c = problems.SegmentedLeastSquares(xs, ys, r.Penalty)
 	case KindWIS:
-		return problems.IntervalScheduling(r.Starts, r.Ends, r.Weights), nil
+		c = problems.IntervalScheduling(r.Starts, r.Ends, r.Weights)
 	case KindSubsetSum:
-		return problems.SubsetSum(r.Target, r.Items), nil
+		c = problems.SubsetSum(r.Target, r.Items)
+	default:
+		return nil, fmt.Errorf("wire: %q is not a chain kind", r.Kind)
 	}
-	return nil, fmt.Errorf("wire: %q is not a chain kind", r.Kind)
+	if r.ChainWindow > 0 && (c.Window == 0 || r.ChainWindow < c.Window) {
+		c.Window = r.ChainWindow
+	}
+	return c, nil
 }
 
 // SolverOptions maps the wire options onto functional options for
@@ -399,6 +464,12 @@ func (r *Request) SolverOptions() ([]sublineardp.Option, error) {
 	if o.AutoLargeCutoff > 0 {
 		opts = append(opts, sublineardp.WithAutoLargeCutoff(o.AutoLargeCutoff))
 	}
+	if r.ReturnSplits && !IsChainKind(r.Kind) {
+		// Record splits during the solve so the reconstruction the
+		// response carries is O(n) on the recording engines. Chain solves
+		// reconstruct from the vector; no solver option needed.
+		opts = append(opts, sublineardp.WithSplits(true))
+	}
 	return opts, nil
 }
 
@@ -432,6 +503,16 @@ func NewResponse(r *Request, sol *sublineardp.Solution) *Response {
 		if tr, err := sol.Tree(); err == nil {
 			resp.Tree = tr.Encode()
 		}
+	}
+	if r.ReturnSplits {
+		rec := &Reconstruction{}
+		if tr, err := sol.Tree(); err == nil {
+			rec.Tree = tr.Encode()
+			rec.Digest = TreeDigest(tr)
+		} else {
+			rec.Error = err.Error()
+		}
+		resp.Reconstruction = rec
 	}
 	return resp
 }
@@ -469,6 +550,16 @@ func NewChainResponse(r *Request, sol *sublineardp.ChainSolution) *Response {
 			resp.Tree = string(b)
 		}
 	}
+	if r.ReturnSplits {
+		rec := &Reconstruction{}
+		if path, err := sol.Path(); err == nil {
+			rec.Path = path
+			rec.Digest = PathDigest(path)
+		} else {
+			rec.Error = err.Error()
+		}
+		resp.Reconstruction = rec
+	}
 	return resp
 }
 
@@ -483,6 +574,31 @@ func TableDigest(t *recurrence.Table) string {
 		for j := i + 1; j <= t.N; j++ {
 			h.Write(buf[:binary.PutVarint(buf[:], int64(cost.Norm(t.At(i, j))))])
 		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TreeDigest returns the hex SHA-256 over a "tree" domain tag and the
+// tree's S-expression encoding — the bitwise identity of a
+// reconstruction, separated from value digests (and from PathDigest) so
+// no two digest kinds can ever collide.
+func TreeDigest(t *btree.Tree) string {
+	h := sha256.New()
+	h.Write([]byte("tree"))
+	h.Write([]byte(t.Encode()))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// PathDigest is TreeDigest for chain witness paths: the hex SHA-256 over
+// a "path" domain tag, the breakpoint count, and every breakpoint as a
+// varint.
+func PathDigest(path []int) string {
+	h := sha256.New()
+	h.Write([]byte("path"))
+	var buf [binary.MaxVarintLen64]byte
+	h.Write(buf[:binary.PutVarint(buf[:], int64(len(path)))])
+	for _, p := range path {
+		h.Write(buf[:binary.PutVarint(buf[:], int64(p))])
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -125,6 +125,39 @@ func goldenCases() map[string]any {
 			Cost: 7500, TableDigest: "3c0e2e343d2a1c47a2b95245b1c0ab05e5b35058ee3b93dcbeb18f9d7154f4bc",
 			Iterations: 2, Tree: "0 2 5", ElapsedMicros: 87,
 		},
+		"request_chain_window.json": &Request{
+			ID:          "req-c4",
+			Kind:        KindWIS,
+			Starts:      []int64{1, 3, 0, 5, 3, 5, 6, 8},
+			Ends:        []int64{4, 5, 6, 7, 9, 9, 10, 11},
+			Weights:     []int64{3, 2, 5, 2, 4, 6, 2, 4},
+			ChainWindow: 3,
+		},
+		"request_return_splits.json": &Request{
+			ID:           "req-r1",
+			Kind:         KindMatrixChain,
+			Dims:         []int{30, 35, 15, 5, 10, 20, 25},
+			Options:      Options{Engine: "blocked"},
+			ReturnSplits: true,
+		},
+		"response_reconstruction.json": &Response{
+			ID: "req-r1", Kind: KindMatrixChain, N: 6, Engine: "blocked",
+			Cost: 15125, TableDigest: "6a0e2e343d2a1c47a2b95245b1c0ab05e5b35058ee3b93dcbeb18f9d7154f4bc",
+			ElapsedMicros: 412,
+			Reconstruction: &Reconstruction{
+				Tree:   "((1 . (2 . 3)) . ((4 . 5) . 6))",
+				Digest: "b1946ac92492d2347c6235b4d2611184b1946ac92492d2347c6235b4d2611184",
+			},
+		},
+		"response_chain_path.json": &Response{
+			ID: "req-c1", Kind: KindSegLS, N: 5, Engine: "llp",
+			Cost: 7500, TableDigest: "3c0e2e343d2a1c47a2b95245b1c0ab05e5b35058ee3b93dcbeb18f9d7154f4bc",
+			ElapsedMicros: 93,
+			Reconstruction: &Reconstruction{
+				Path:   []int{0, 2, 5},
+				Digest: "c2946ac92492d2347c6235b4d2611184b1946ac92492d2347c6235b4d2611184",
+			},
+		},
 	}
 }
 
@@ -371,6 +404,188 @@ func TestChainResponsePath(t *testing.T) {
 	resp := NewChainResponse(&req, sol)
 	if resp.Tree != "0 4" {
 		t.Fatalf("collinear points produced breakpoints %q, want \"0 4\"", resp.Tree)
+	}
+}
+
+// chain_window is part of the problem statement: Validate gates it to
+// chain kinds and non-negative values, and ChainInstance threads it as
+// a tightening-only constraint — a window wider than the constructor's
+// would admit candidates the family's F never defined.
+func TestChainWindowValidateAndThreading(t *testing.T) {
+	wis := Request{Kind: KindWIS,
+		Starts: []int64{1, 3, 0, 5}, Ends: []int64{4, 5, 6, 7}, Weights: []int64{3, 2, 5, 2}}
+
+	bad := wis
+	bad.ChainWindow = -2
+	if err := bad.Validate(0); err == nil {
+		t.Error("negative chain_window accepted")
+	}
+	interval := Request{Kind: KindMatrixChain, Dims: []int{2, 3, 4}, ChainWindow: 2}
+	if err := interval.Validate(0); err == nil {
+		t.Error("chain_window on an interval kind accepted")
+	}
+
+	// Full-prefix constructor (WIS): any positive window tightens.
+	wis.ChainWindow = 3
+	if err := wis.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := wis.ChainInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Window != 3 {
+		t.Errorf("wis chain_window=3: Window = %d, want 3", c.Window)
+	}
+
+	// Positive constructor window (subsetsum: max item = 13): a narrower
+	// request window tightens, a wider one is ignored.
+	ss := Request{Kind: KindSubsetSum, Target: 30, Items: []int64{4, 9, 13}}
+	ssc, err := ss.ChainInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := ssc.Window
+	if base <= 0 {
+		t.Fatalf("subsetsum constructor window = %d, want positive", base)
+	}
+	narrow := ss
+	narrow.ChainWindow = base - 1
+	if nc, err := narrow.ChainInstance(); err != nil || nc.Window != base-1 {
+		t.Errorf("narrow chain_window: Window = %d (err %v), want %d", nc.Window, err, base-1)
+	}
+	wide := ss
+	wide.ChainWindow = base + 10
+	if wc, err := wide.ChainInstance(); err != nil || wc.Window != base {
+		t.Errorf("wide chain_window widened the constructor window: Window = %d (err %v), want %d",
+			wc.Window, err, base)
+	}
+
+	// The tightened window changes the canonical encoding, so the two
+	// requests can never share a cache entry.
+	a, _ := wis.ChainInstance()
+	wis.ChainWindow = 0
+	b, _ := wis.ChainInstance()
+	ca, _ := a.Canonical()
+	cb, _ := b.Canonical()
+	if bytes.Equal(ca, cb) {
+		t.Error("windowed and full-prefix chains share a canonical encoding")
+	}
+}
+
+// return_splits on an interval kind adds the reconstruction section:
+// the served tree must match a direct solve, carry the matching digest,
+// and leave the frozen legacy fields untouched.
+func TestResponseReconstructionTree(t *testing.T) {
+	req := Request{Kind: KindMatrixChain, Dims: []int{30, 35, 15, 5, 10, 20, 25},
+		ReturnSplits: true, Options: Options{Engine: "blocked"}}
+	if err := req.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	in, err := req.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := req.SolverOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := sublineardp.MustNewSolver(req.Engine(), opts...).Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := NewResponse(&req, sol)
+	if resp.Reconstruction == nil {
+		t.Fatal("return_splits produced no reconstruction section")
+	}
+	want := sublineardp.SolveSequential(in).Tree()
+	if resp.Reconstruction.Tree != want.Encode() {
+		t.Errorf("served tree %q, direct solve %q", resp.Reconstruction.Tree, want.Encode())
+	}
+	if resp.Reconstruction.Digest != TreeDigest(want) {
+		t.Errorf("served tree digest %q, want %q", resp.Reconstruction.Digest, TreeDigest(want))
+	}
+	if resp.Reconstruction.Error != "" || resp.Reconstruction.Path != nil {
+		t.Errorf("interval reconstruction carries stray fields: %+v", resp.Reconstruction)
+	}
+	if resp.Tree != "" {
+		t.Errorf("return_splits leaked into the legacy want_tree field: %q", resp.Tree)
+	}
+
+	// An unreachable root reports the error in-band instead of failing
+	// the whole response.
+	walls := Request{Kind: KindBoolSplit, Count: 4,
+		Forbidden: []Span{{0, 2}, {1, 3}, {2, 4}}, ReturnSplits: true}
+	win, err := walls.Instance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wsol, err := sublineardp.MustNewSolver(walls.Engine()).Solve(context.Background(), win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wresp := NewResponse(&walls, wsol)
+	if wresp.Reconstruction == nil || wresp.Reconstruction.Error == "" {
+		t.Fatalf("infeasible instance: reconstruction = %+v, want in-band error", wresp.Reconstruction)
+	}
+	if wresp.Reconstruction.Tree != "" || wresp.Reconstruction.Digest != "" {
+		t.Errorf("infeasible instance fabricated a tree: %+v", wresp.Reconstruction)
+	}
+}
+
+// return_splits on a chain kind serves the breakpoint path with its own
+// digest, separate from the legacy want_tree text rendering.
+func TestChainResponseReconstructionPath(t *testing.T) {
+	req := Request{Kind: KindSegLS, Penalty: 2500, ReturnSplits: true,
+		Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 5}, {X: 2, Y: 10}, {X: 3, Y: 15}}}
+	if err := req.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	c, err := req.ChainInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := sublineardp.MustNewChainSolver("").Solve(context.Background(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := NewChainResponse(&req, sol)
+	if resp.Reconstruction == nil {
+		t.Fatal("return_splits produced no reconstruction section")
+	}
+	want, err := sol.Path()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resp.Reconstruction.Path, want) {
+		t.Errorf("served path %v, direct %v", resp.Reconstruction.Path, want)
+	}
+	if resp.Reconstruction.Digest != PathDigest(want) {
+		t.Errorf("served path digest %q, want %q", resp.Reconstruction.Digest, PathDigest(want))
+	}
+	if resp.Tree != "" {
+		t.Errorf("return_splits leaked into the legacy want_tree field: %q", resp.Tree)
+	}
+}
+
+// The three digest families are domain-separated: identical underlying
+// bytes can never collide across table/tree/path digests, and each
+// distinguishes distinct values.
+func TestTreeAndPathDigests(t *testing.T) {
+	in := problems.MatrixChain([]int{30, 35, 15, 5, 10, 20, 25})
+	tr := sublineardp.SolveSequential(in).Tree()
+	if TreeDigest(tr) != TreeDigest(tr) {
+		t.Fatal("TreeDigest not deterministic")
+	}
+	other := sublineardp.SolveSequential(problems.MatrixChain([]int{2, 9, 2, 9, 2, 9, 2})).Tree()
+	if TreeDigest(tr) == TreeDigest(other) {
+		t.Fatal("different trees share a digest")
+	}
+	if PathDigest([]int{0, 2, 5}) == PathDigest([]int{0, 3, 5}) {
+		t.Fatal("different paths share a digest")
+	}
+	if PathDigest([]int{0, 2, 5}) == PathDigest([]int{0, 2}) {
+		t.Fatal("prefix path shares a digest")
 	}
 }
 

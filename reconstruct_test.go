@@ -1,0 +1,183 @@
+package sublineardp_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sublineardp"
+	"sublineardp/internal/problems"
+)
+
+// The reconstruction matrix: the sequential engine's recorded splits,
+// the blocked engine's recorded splits (WithSplits), and the lazy
+// table-fallback walk must all produce the same tree — same smallest-k
+// tie-break — under every registered algebra, at sizes on both sides of
+// the auto engine's 64/256 cutoffs (so the recorded path is exercised
+// through every dispatch regime the serving layer uses).
+func TestTreeReconstructionAcrossEnginesAndAlgebras(t *testing.T) {
+	sizes := []int{40, 128, 300}
+	if testing.Short() {
+		sizes = sizes[:2]
+	}
+	ctx := context.Background()
+	for _, n := range sizes {
+		for _, ring := range sublineardp.Semirings() {
+			sr, ok := sublineardp.LookupSemiring(ring)
+			if !ok {
+				t.Fatalf("registered semiring %q not found", ring)
+			}
+			// Matrix chains are Zero-rooted under bool-plan (Init = 0 is
+			// that algebra's "infeasible"); give it a feasible forbidden-
+			// splits instance with non-trivial smallest feasible splits.
+			in := problems.RandomMatrixChain(n, 60, int64(n))
+			if ring == "bool-plan" {
+				in = problems.ForbiddenSplits(n, [][2]int{
+					{0, 2}, {1, 3}, {2, 5}, {4, 7}, {3, n - 1}, {n / 2, n - 2},
+				})
+			}
+			solve := func(opts ...sublineardp.Option) *sublineardp.Solution {
+				t.Helper()
+				opts = append(opts, sublineardp.WithSemiring(sr))
+				sol, err := sublineardp.MustNewSolver(sublineardp.EngineBlocked, opts...).Solve(ctx, in)
+				if err != nil {
+					t.Fatalf("n=%d %s: %v", n, ring, err)
+				}
+				return sol
+			}
+			seqSol, err := sublineardp.MustNewSolver(sublineardp.EngineSequential,
+				sublineardp.WithSemiring(sr)).Solve(ctx, in)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, ring, err)
+			}
+			blkRec := solve(sublineardp.WithSplits(true))
+			blkLazy := solve()
+
+			want, err := seqSol.Tree()
+			if err != nil {
+				t.Fatalf("n=%d %s: sequential tree: %v", n, ring, err)
+			}
+			for label, sol := range map[string]*sublineardp.Solution{
+				"blocked recorded": blkRec, "blocked lazy": blkLazy,
+			} {
+				tr, err := sol.Tree()
+				if err != nil {
+					t.Fatalf("n=%d %s %s: %v", n, ring, label, err)
+				}
+				if !tr.Equal(want) {
+					t.Errorf("n=%d %s: %s tree differs from sequential", n, ring, label)
+				}
+			}
+			// The Split surface answers identically too: recorded fast path
+			// (seq, blocked+WithSplits) and lazy table scan (plain blocked).
+			// Full matrix at the small size, spot spans above it.
+			spans := [][2]int{{0, n}, {0, n / 2}, {n / 3, n}, {1, 4}}
+			if n == sizes[0] {
+				spans = spans[:0]
+				for i := 0; i <= n; i++ {
+					for j := i + 2; j <= n; j++ {
+						spans = append(spans, [2]int{i, j})
+					}
+				}
+			}
+			for _, sp := range spans {
+				exp := seqSol.Split(sp[0], sp[1])
+				for label, sol := range map[string]*sublineardp.Solution{
+					"blocked recorded": blkRec, "blocked lazy": blkLazy,
+				} {
+					if got := sol.Split(sp[0], sp[1]); got != exp {
+						t.Errorf("n=%d %s: %s Split(%d,%d) = %d, sequential recorded %d",
+							n, ring, label, sp[0], sp[1], got, exp)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Nil and zero-value receivers must answer with errors, not panics —
+// Tree and Path used to read the reconstruction closure before the nil
+// check, so `var s *Solution; s.Tree()` crashed.
+func TestReconstructionNilReceivers(t *testing.T) {
+	var nilSol *sublineardp.Solution
+	if _, err := nilSol.Tree(); err == nil {
+		t.Error("nil Solution.Tree() returned no error")
+	}
+	var zeroSol sublineardp.Solution
+	if _, err := zeroSol.Tree(); err == nil {
+		t.Error("zero-value Solution.Tree() returned no error")
+	}
+	var nilChain *sublineardp.ChainSolution
+	if _, err := nilChain.Path(); err == nil {
+		t.Error("nil ChainSolution.Path() returned no error")
+	}
+	var zeroChain sublineardp.ChainSolution
+	if _, err := zeroChain.Path(); err == nil {
+		t.Error("zero-value ChainSolution.Path() returned no error")
+	}
+}
+
+// An unreachable root — the value is the algebra's Zero — must never be
+// "reconstructed": the recorded-splits walk finds no split, the lazy
+// walk refuses up front, and Split answers -1, instead of the old
+// behaviour of fabricating a subtree through saturated sums.
+func TestTreeUnreachableSpans(t *testing.T) {
+	ctx := context.Background()
+
+	// Bool-plan: wall off every span-2 window, so no parenthesization
+	// exists at all and c(0,n) = 0.
+	n := 8
+	var walls [][2]int
+	for i := 0; i+2 <= n; i++ {
+		walls = append(walls, [2]int{i, i + 2})
+	}
+	in := sublineardp.NewForbiddenSplits(n, walls)
+	for _, mk := range [][]sublineardp.Option{
+		{sublineardp.WithSplits(true)}, // blocked, recorded splits
+		nil,                            // blocked, lazy fallback
+	} {
+		sol, err := sublineardp.MustNewSolver(sublineardp.EngineBlocked, mk...).Solve(ctx, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Cost() != 0 {
+			t.Fatalf("fully-walled instance reported feasible (c = %d)", sol.Cost())
+		}
+		if _, err := sol.Tree(); err == nil {
+			t.Errorf("infeasible bool-plan instance (splits=%v) produced a tree", mk != nil)
+		}
+		if got := sol.Split(0, n); got != -1 {
+			t.Errorf("infeasible bool-plan Split(0,%d) = %d, want -1", n, got)
+		}
+	}
+
+	// Min-plus: one Inf leaf makes every containing span Inf. The lazy
+	// extractor must report the span unreachable — Add3 saturates, so a
+	// scan that compared raw sums would find a bogus "realising" split.
+	infLeaf := &sublineardp.Instance{
+		N:    6,
+		Name: "inf-leaf",
+		Init: func(i int) sublineardp.Cost {
+			if i == 3 {
+				return sublineardp.Inf
+			}
+			return 0
+		},
+		F: func(i, k, j int) sublineardp.Cost { return 1 },
+	}
+	sol, err := sublineardp.MustNewSolver(sublineardp.EngineSequential).Solve(ctx, infLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost() != sublineardp.Inf {
+		t.Fatalf("Inf-leaf instance reported feasible (c = %d)", sol.Cost())
+	}
+	if got := sol.Split(0, 6); got != -1 {
+		t.Errorf("Inf-leaf Split(0,6) = %d, want -1", got)
+	}
+	// Drive the lazy walk directly on the converged table.
+	if _, err := sublineardp.ExtractTree(infLeaf, sol.Table); err == nil ||
+		!strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("lazy extraction on Inf root: err = %v, want unreachable-span error", err)
+	}
+}

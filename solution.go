@@ -2,9 +2,10 @@ package sublineardp
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
-	"sublineardp/internal/cost"
+	"sublineardp/internal/algebra"
 	"sublineardp/internal/pram"
 	"sublineardp/internal/recurrence"
 )
@@ -73,8 +74,9 @@ type Solution struct {
 	// solve — rather than by running an engine.
 	Cached bool
 
-	// instance backs Tree(); treeFn and splits are fast reconstruction
-	// paths that only the sequential engine provides.
+	// instance backs the lazy table reconstruction of Tree/Split; treeFn
+	// and splits are the O(n) recorded-split fast paths the sequential
+	// engine (always) and the blocked engine (WithSplits) provide.
 	instance *Instance
 	treeFn   func() (*Tree, error)
 	splits   func(i, j int) int
@@ -106,33 +108,41 @@ func (s *Solution) N() int {
 }
 
 // Tree reconstructs an optimal parenthesization. The sequential engine
-// recorded split points during the solve, so its reconstruction is O(n)
-// under any algebra; every other engine recovers the tree from the
-// converged value table (the paper's algorithm computes values only),
-// which is implemented for the default min-plus algebra only. It fails
-// if the table is not a fixed point of the recurrence — e.g. a run
-// capped by WithMaxIterations before convergence.
+// (always) and the blocked engine (under WithSplits) recorded split
+// points during the solve, so their reconstruction is an O(n)
+// root-to-leaf walk under any algebra; every other solve recovers the
+// tree lazily from the converged value table (the paper's algorithm
+// computes values only) — n−1 span scans under the solve's registered
+// algebra, not the eager all-spans sweep. It fails on an unreachable
+// root (the algebra's Zero — no feasible tree exists) and if the table
+// is not a fixed point of the recurrence — e.g. a run capped by
+// WithMaxIterations before convergence.
 func (s *Solution) Tree() (*Tree, error) {
+	if s == nil {
+		return nil, errors.New("sublineardp: Tree on a nil solution")
+	}
 	if s.treeFn != nil {
 		return s.treeFn()
 	}
 	if s.Table == nil || s.instance == nil {
 		return nil, errors.New("sublineardp: solution carries no instance to reconstruct from")
 	}
-	if s.Algebra != "" && s.Algebra != "min-plus" {
-		return nil, errors.New("sublineardp: table-based tree extraction is min-plus only; use the sequential engine for other algebras")
+	kern, ok := algebra.Lookup(s.Algebra)
+	if !ok {
+		return nil, fmt.Errorf("sublineardp: cannot reconstruct under unregistered algebra %q", s.Algebra)
 	}
-	return recurrence.ExtractTree(s.instance, s.Table)
+	return recurrence.ExtractTreeSemiring(s.instance, s.Table, kern)
 }
 
 // Split returns the optimal split point of node (i,j): the smallest k
 // realising c(i,j), matching the sequential engine's tie-breaking. The
-// sequential engine recorded its splits during the solve; every other
-// engine recovers the split from the converged value table, exactly as
-// Tree does — implemented for the default min-plus algebra only. It
-// returns -1 when the split is genuinely unavailable: leaves and
-// out-of-range spans, non-min-plus solves without recorded splits, an
-// unreachable (infinite) node, or a table that is not a fixed point at
+// sequential engine (always) and the blocked engine (under WithSplits)
+// recorded their splits during the solve; every other solve recovers
+// the split from the converged value table under the solve's registered
+// algebra, exactly as Tree does. It returns -1 when the split is
+// genuinely unavailable: leaves and out-of-range spans, an unreachable
+// node (the algebra's Zero — saturated sums never fabricate a match),
+// an unregistered algebra, or a table that is not a fixed point at
 // (i,j) (e.g. a run capped by WithMaxIterations before convergence).
 func (s *Solution) Split(i, j int) int {
 	if s == nil || s.Table == nil || i < 0 || j > s.Table.N || j-i < 2 {
@@ -144,15 +154,17 @@ func (s *Solution) Split(i, j int) int {
 	if s.instance == nil {
 		return -1
 	}
-	if s.Algebra != "" && s.Algebra != "min-plus" {
+	kern, ok := algebra.Lookup(s.Algebra)
+	if !ok {
 		return -1
 	}
-	target := s.Table.At(i, j)
-	if cost.IsInf(target) {
+	target := kern.Norm(s.Table.At(i, j))
+	if kern.IsZero(target) {
 		return -1
 	}
 	for k := i + 1; k < j; k++ {
-		if cost.Add3(s.instance.F(i, k, j), s.Table.At(i, k), s.Table.At(k, j)) == target {
+		v := kern.Extend3(s.instance.F(i, k, j), s.Table.At(i, k), s.Table.At(k, j))
+		if !kern.IsZero(v) && kern.Norm(v) == target {
 			return k
 		}
 	}

@@ -106,7 +106,8 @@ func solveKey(in *Instance, engineName string, cfg *Config) (cache.Key, bool) {
 		Int64("autocutoff", int64(cfg.AutoCutoff)).
 		Int64("autolargecutoff", int64(cfg.AutoLargeCutoff)).
 		String("semiring", srName).
-		Bool("history", cfg.History)
+		Bool("history", cfg.History).
+		Bool("splits", cfg.RecordSplits)
 	return h.Sum(), true
 }
 

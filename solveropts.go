@@ -146,6 +146,15 @@ type Config struct {
 	// it). Past this size the HLV iteration's O(n^2.5) deficit store and
 	// per-iteration sweeps lose to the O(n^2)-memory blocked wavefront.
 	AutoLargeCutoff int
+
+	// RecordSplits asks the engine to record optimal split points during
+	// the solve, making Solution.Tree and Solution.Split O(n)
+	// reconstructions instead of table re-scans. Honoured by the blocked
+	// engine (one int32 matrix, 4·(n+1)^2 bytes, plus one compare+store
+	// per candidate — the value table stays bitwise identical); the
+	// sequential engine always records; other engines ignore it and fall
+	// back to lazy table reconstruction. Participates in cache keys.
+	RecordSplits bool
 }
 
 // DefaultAutoCutoff is the default small-instance threshold of the
@@ -234,6 +243,13 @@ func WithAutoCutoff(n int) Option { return func(c *Config) { c.AutoCutoff = n } 
 // engine routes to the work-efficient "blocked" engine instead of the
 // banded HLV iteration (0 = DefaultAutoLargeCutoff).
 func WithAutoLargeCutoff(n int) Option { return func(c *Config) { c.AutoLargeCutoff = n } }
+
+// WithSplits asks the engine to record optimal split points during the
+// solve, so Solution.Tree/Split reconstruct in O(n) instead of
+// re-scanning the table — the option that makes solution paths practical
+// at the sizes only the blocked engine can load. See
+// Config.RecordSplits for cost and engine coverage.
+func WithSplits(on bool) Option { return func(c *Config) { c.RecordSplits = on } }
 
 func buildConfig(opts []Option) Config {
 	var cfg Config
