@@ -433,6 +433,56 @@ func BenchmarkE16PathExtraction(b *testing.B) {
 	}
 }
 
+// E17 — the Knuth-Yao pruned engine: the O(n^2)-work claim measured
+// and asserted. Each pruned solve's charged work must stay inside the
+// 4*n^2 envelope (the telescoping windows cost ~2 candidates per cell;
+// the factor-4 slack absorbs clamping at the borders), and at the sizes
+// where the unpruned engine also runs, the pruned candidate count must
+// be strictly below the unpruned one. n=4096 — a ~25 s unpruned solve —
+// is the headline interactive win, so only the pruned engine runs
+// there. The CI bench job smokes this at -benchtime 1x; BENCH_core.json
+// carries the committed blocked-ky trajectory.
+func BenchmarkE17KnuthYao(b *testing.B) {
+	for _, c := range []struct {
+		n        int
+		unpruned bool
+	}{
+		{256, true},
+		{1024, true},
+		{4096, false},
+	} {
+		in := problems.RandomOBST(c.n-1, 50, 1) // n-1 keys -> in.N = c.n
+		opts := blocked.Options{}
+		var prunedWork int64
+		b.Run(fmt.Sprintf("engine=blocked-ky/n=%d", c.n), func(b *testing.B) {
+			res := blocked.SolveKY(in, opts) // warm the pool; audit the envelope
+			prunedWork = res.Acct.Work - int64(in.N)
+			if limit := 4 * int64(in.N) * int64(in.N); prunedWork > limit {
+				b.Fatalf("n=%d: pruned work %d exceeds the 4n^2 envelope %d", in.N, prunedWork, limit)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blocked.SolveKY(in, opts)
+			}
+		})
+		if !c.unpruned {
+			continue
+		}
+		b.Run(fmt.Sprintf("engine=blocked-unpruned/n=%d", c.n), func(b *testing.B) {
+			res := blocked.Solve(in, opts)
+			if unprunedWork := res.Acct.Work - int64(in.N); prunedWork >= unprunedWork {
+				b.Fatalf("n=%d: pruned work %d not below unpruned %d", in.N, prunedWork, unprunedWork)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blocked.Solve(in, opts)
+			}
+		})
+	}
+}
+
 // Ablation: windowed vs unwindowed pebble schedule (Section 5).
 func BenchmarkAblationWindow(b *testing.B) {
 	in := problems.Zigzag(64).Materialize()

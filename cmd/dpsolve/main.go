@@ -11,12 +11,14 @@
 //	dpsolve -problem zigzag -n 25 -engine hlv-banded -window -history
 //	dpsolve -problem random -n 200 -engine auto -timeout 5s
 //	dpsolve -problem matrixchain -n 2048 -engine blocked -tile 128
+//	dpsolve -problem obst -n 4096 -engine blocked-ky
 //	dpsolve -problem segls -n 500 -engine llp -workers 4
 //	dpsolve -problem subsetsum -n 100 -seed 3
 //	dpsolve -request req.json       # solve a dpserved wire request offline
 //
 // -engines lists the registry. The old -algo flag is kept as a
-// deprecated alias (seq|knuth|wavefront|dense|banded|rytter).
+// deprecated alias (seq|knuth|wavefront|dense|banded|rytter); "knuth"
+// resolves to the registered blocked-ky pruned engine.
 package main
 
 import (
@@ -101,19 +103,13 @@ func main() {
 	}
 	fmt.Printf("instance: %s (n=%d)\n", in.Name, in.N)
 
-	// Knuth's O(n^2) speedup is not an engine (it is only valid under the
-	// quadrangle inequality, which is a min-plus property), so it stays a
-	// special case — and refuses any other algebra instead of silently
-	// answering the wrong question or panicking below the CLI surface.
+	// Knuth's O(n^2) speedup is a registered engine now (blocked-ky);
+	// "knuth" survives as a deprecated alias that keeps its historical
+	// min-plus-only error texts.
 	if engineName == "knuth" {
-		if *ring != "" && *ring != "min-plus" {
-			fatal(fmt.Errorf("knuth is min-plus only (quadrangle inequality); drop -semiring %q", *ring))
+		if engineName, err = knuthAlias(*ring, in); err != nil {
+			fatal(err)
 		}
-		if in.Algebra != "" && in.Algebra != "min-plus" {
-			fatal(fmt.Errorf("knuth is min-plus only (quadrangle inequality); instance %q declares %q", in.Name, in.Algebra))
-		}
-		runKnuth(in)
-		return
 	}
 
 	opts := []sublineardp.Option{
@@ -347,8 +343,26 @@ func runWireRequest(path string, timeout time.Duration) error {
 	return enc.Encode(wire.NewResponse(&req, sol))
 }
 
+// knuthAlias resolves the deprecated "knuth" pseudo-engine to the
+// registered Knuth-Yao pruned engine. It used to bypass the registry
+// entirely (a special-cased seq.SolveKnuth run); the pruned blocked
+// engine is the same algorithm behind the real Engine interface, so the
+// alias now only preserves the historical min-plus-only error texts
+// (pinned by main_test.go) before handing over. Eligibility beyond the
+// algebra — the instance must declare convexity — is the engine's own
+// contract and surfaces as ErrConvexityRequired.
+func knuthAlias(ring string, in *recurrence.Instance) (string, error) {
+	if ring != "" && ring != "min-plus" {
+		return "", fmt.Errorf("knuth is min-plus only (quadrangle inequality); drop -semiring %q", ring)
+	}
+	if in.Algebra != "" && in.Algebra != "min-plus" {
+		return "", fmt.Errorf("knuth is min-plus only (quadrangle inequality); instance %q declares %q", in.Name, in.Algebra)
+	}
+	return sublineardp.EngineBlockedKY, nil
+}
+
 // resolveEngine folds the deprecated -algo spelling into the registry
-// namespace. "knuth" passes through for the special case in main.
+// namespace. "knuth" passes through for the alias handling in main.
 func resolveEngine(engine, algo string) (string, error) {
 	if engine != "" && algo != "" {
 		return "", fmt.Errorf("use either -engine or the deprecated -algo, not both")
@@ -369,15 +383,6 @@ func resolveEngine(engine, algo string) (string, error) {
 		return algo, nil
 	default:
 		return "", fmt.Errorf("unknown -algo %q", algo)
-	}
-}
-
-func runKnuth(in *recurrence.Instance) {
-	cubic := seq.Solve(in)
-	k := seq.SolveKnuth(in)
-	fmt.Printf("optimum c(0,%d) = %d (knuth work %d vs %d cubic)\n", in.N, k.Cost(), k.Work, cubic.Work)
-	if k.Cost() != cubic.Cost() {
-		fmt.Println("WARNING: Knuth speedup disagrees; instance may violate the quadrangle inequality")
 	}
 }
 

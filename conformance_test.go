@@ -2,6 +2,7 @@ package sublineardp_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"testing"
 
@@ -79,6 +80,12 @@ func TestEngineConformance(t *testing.T) {
 			for i, in := range instances {
 				sol, err := solver.Solve(ctx, in)
 				if err != nil {
+					if errors.Is(err, sublineardp.ErrConvexityRequired) && !in.Convex {
+						// The Knuth-Yao engine's contract is to refuse
+						// instances that do not declare convexity; on a
+						// declared one (RandomOBST above) it must solve.
+						continue
+					}
 					t.Fatalf("%s: %v", in.Name, err)
 				}
 				if sol.Cost() != wants[i].cost {
@@ -139,6 +146,12 @@ func TestEngineSemiringConformance(t *testing.T) {
 				for i, in := range instances {
 					sol, err := solver.Solve(ctx, in)
 					if err != nil {
+						if errors.Is(err, sublineardp.ErrConvexityRequired) &&
+							(!in.Convex || algName != "min-plus") {
+							// Refusal is the conforming outcome off the
+							// convex min-plus diagonal of the matrix.
+							continue
+						}
 						t.Fatalf("%s: %v", in.Name, err)
 					}
 					if sol.Algebra != algName {
@@ -177,6 +190,10 @@ func TestDeclaredAlgebraRoutesWithoutOverride(t *testing.T) {
 			solver := sublineardp.MustNewSolver(name)
 			sol, err := solver.Solve(ctx, in)
 			if err != nil {
+				if errors.Is(err, sublineardp.ErrConvexityRequired) &&
+					(!in.Convex || (in.Algebra != "" && in.Algebra != "min-plus")) {
+					continue
+				}
 				t.Fatalf("%s/%s: %v", name, in.Name, err)
 			}
 			if sol.Algebra != in.Algebra {
@@ -362,5 +379,132 @@ func TestChainEngineSemiringConformance(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// The pruned-engine conformance matrix: blocked-ky × every declared-
+// convex generator family × the tile-edge sweep must be bitwise
+// identical — values AND splits — to the unpruned recording blocked
+// engine and the sequential reference. This is the wall the O(n^2)
+// claim hides behind: a pruning bug cannot shave work without moving a
+// split or a value, and either moves trips this matrix.
+func TestKnuthYaoConformanceMatrix(t *testing.T) {
+	instances := []*sublineardp.Instance{
+		problems.KnuthExampleOBST(),
+		problems.RandomOBST(18, 40, 5),
+		problems.RandomOBST(33, 70, 6),
+		problems.RandomConvex(29, 15, 7),
+		problems.RandomConvex(64, 9, 8),
+	}
+	ctx := context.Background()
+	for _, in := range instances {
+		if !in.Convex {
+			t.Fatalf("%s: matrix fixture must declare Convex", in.Name)
+		}
+		want := sublineardp.SolveSequential(in)
+		for _, tile := range []int{0, 1, 4, 7, 64} {
+			pruned, err := sublineardp.MustNewSolver(sublineardp.EngineBlockedKY,
+				sublineardp.WithTileSize(tile)).Solve(ctx, in)
+			if err != nil {
+				t.Fatalf("%s tile=%d: %v", in.Name, tile, err)
+			}
+			unpruned, err := sublineardp.MustNewSolver(sublineardp.EngineBlocked,
+				sublineardp.WithTileSize(tile), sublineardp.WithSplits(true)).Solve(ctx, in)
+			if err != nil {
+				t.Fatalf("%s tile=%d: %v", in.Name, tile, err)
+			}
+			for i := 0; i <= in.N; i++ {
+				for j := i + 1; j <= in.N; j++ {
+					if g, e := pruned.Table.At(i, j), unpruned.Table.At(i, j); g != e {
+						t.Fatalf("%s tile=%d: value(%d,%d) = %d, unpruned %d", in.Name, tile, i, j, g, e)
+					}
+					if j >= i+2 {
+						if g, e := pruned.Split(i, j), unpruned.Split(i, j); g != e {
+							t.Fatalf("%s tile=%d: split(%d,%d) = %d, unpruned %d", in.Name, tile, i, j, g, e)
+						}
+						if g, e := pruned.Split(i, j), want.Split(i, j); g != e {
+							t.Fatalf("%s tile=%d: split(%d,%d) = %d, sequential %d", in.Name, tile, i, j, g, e)
+						}
+					}
+				}
+			}
+			if rep := verify.Table(in, pruned.Table); !rep.OK() {
+				t.Errorf("%s tile=%d: not a fixed point: %v", in.Name, tile, rep.Err())
+			}
+			tr, err := pruned.Tree()
+			if err != nil {
+				t.Fatalf("%s tile=%d: Tree: %v", in.Name, tile, err)
+			}
+			if err := verify.Tree(in, pruned.Table, tr); err != nil {
+				t.Errorf("%s tile=%d: %v", in.Name, tile, err)
+			}
+		}
+	}
+}
+
+// The negative half of the routing contract: an instance that does not
+// declare convexity must never reach the pruned engine — not through
+// auto, not through WithConvexity — and a declared one must route to it
+// through auto at every parallel tier.
+func TestConvexityRouting(t *testing.T) {
+	ctx := context.Background()
+
+	// auto on a non-convex instance keeps its size-tier choice.
+	chain := problems.RandomMatrixChain(100, 60, 2)
+	sol, err := sublineardp.MustNewSolver(sublineardp.EngineAuto).Solve(ctx, chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Engine == sublineardp.EngineBlockedKY {
+		t.Fatalf("auto routed non-convex %s to the pruned engine", chain.Name)
+	}
+
+	// auto on declared-convex min-plus prefers the pruned engine on both
+	// parallel tiers (mid and large), and keeps sequential below cutoff.
+	for _, n := range []int{100, 300} {
+		in := problems.RandomOBST(n, 50, int64(n))
+		sol, err := sublineardp.MustNewSolver(sublineardp.EngineAuto).Solve(ctx, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Engine != sublineardp.EngineBlockedKY {
+			t.Errorf("auto(%s, n=%d) chose %q, want %q", in.Name, n, sol.Engine, sublineardp.EngineBlockedKY)
+		}
+	}
+	small := problems.RandomOBST(12, 50, 3)
+	if sol, err = sublineardp.MustNewSolver(sublineardp.EngineAuto).Solve(ctx, small); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Engine != sublineardp.EngineSequential {
+		t.Errorf("auto below cutoff chose %q, want sequential", sol.Engine)
+	}
+
+	// WithConvexity forces the pruned engine at every size...
+	if sol, err = sublineardp.MustNewSolver(sublineardp.EngineAuto,
+		sublineardp.WithConvexity(true)).Solve(ctx, small); err != nil {
+		t.Fatal(err)
+	}
+	if sol.Engine != sublineardp.EngineBlockedKY {
+		t.Errorf("auto+WithConvexity chose %q, want %q", sol.Engine, sublineardp.EngineBlockedKY)
+	}
+
+	// ...and is a contract on every engine: undeclared instances fail
+	// with ErrConvexityRequired before any engine runs, as does a
+	// semiring override off min-plus.
+	for _, engine := range []string{sublineardp.EngineAuto, sublineardp.EngineSequential, sublineardp.EngineBlocked} {
+		_, err := sublineardp.MustNewSolver(engine, sublineardp.WithConvexity(true)).Solve(ctx, chain)
+		if !errors.Is(err, sublineardp.ErrConvexityRequired) {
+			t.Errorf("%s+WithConvexity on non-convex: err = %v, want ErrConvexityRequired", engine, err)
+		}
+	}
+	obst := problems.RandomOBST(20, 50, 4)
+	_, err = sublineardp.MustNewSolver(sublineardp.EngineBlockedKY,
+		sublineardp.WithSemiring(sublineardp.MaxPlus)).Solve(ctx, obst)
+	if !errors.Is(err, sublineardp.ErrConvexityRequired) {
+		t.Errorf("blocked-ky under max-plus: err = %v, want ErrConvexityRequired", err)
+	}
+	_, err = sublineardp.MustNewSolver(sublineardp.EngineBlockedKY).Solve(ctx, chain)
+	if !errors.Is(err, sublineardp.ErrConvexityRequired) {
+		t.Errorf("blocked-ky on non-convex: err = %v, want ErrConvexityRequired", err)
 	}
 }

@@ -58,6 +58,16 @@ const (
 	// — the large-instance engine (n = 1024-4096 and beyond) where the
 	// HLV partial-weight arrays cannot even be allocated.
 	EngineBlocked = "blocked"
+	// EngineBlockedKY is the Knuth-Yao pruned blocked engine: the same
+	// tile wavefront as "blocked", but each cell scans only the candidate
+	// window bounded by its neighbours' recorded splits — O(n^2) total
+	// work instead of O(n^3), with the value table and split matrix
+	// bitwise identical to the unpruned engine. Only instances declaring
+	// the convexity conditions (Instance.Convex) under min-plus are
+	// eligible; anything else fails with ErrConvexityRequired. Splits are
+	// always recorded (they are the pruning bounds), so Solution.Tree is
+	// O(n) without WithSplits.
+	EngineBlockedKY = "blocked-ky"
 	// EngineSemiring is a deprecated alias of the hlv-dense engine from
 	// when only one engine understood WithSemiring; every engine now
 	// evaluates any registered algebra. Kept registered so old clients
@@ -132,6 +142,8 @@ var builtinInfo = map[string]EngineInfo{
 		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithBandRadius, WithWindow, WithTarget, WithHistory, WithSemiring"},
 	EngineBlocked: {Description: "work-efficient blocked wavefront: O(n^3) work, O(n^2) memory, solves n >= 1024",
 		Options: "WithWorkers, WithPool, WithTileSize (block edge B), WithSemiring, WithSplits (O(n) tree reconstruction)"},
+	EngineBlockedKY: {Description: "Knuth-Yao pruned blocked wavefront: O(n^2) work on declared-convex min-plus instances, bitwise identical to blocked",
+		Options: "WithWorkers, WithPool, WithTileSize (block edge B); splits always recorded"},
 	EngineSemiring: {Description: "deprecated alias of hlv-dense (every engine honours WithSemiring now)",
 		Options: "WithSemiring, WithMaxIterations + hlv-dense options"},
 }
@@ -162,6 +174,7 @@ func init() {
 		hlvEngine{name: EngineHLVBanded, variant: core.Banded},
 		hlvEngine{name: EngineSemiring, variant: core.Dense},
 		blockedEngine{},
+		blockedKYEngine{},
 	} {
 		if err := RegisterEngine(e); err != nil {
 			panic(err)
@@ -347,6 +360,63 @@ func (blockedEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Sol
 	return sol, nil
 }
 
+// ErrConvexityRequired reports a solve that demanded Knuth-Yao pruning
+// — the "blocked-ky" engine, or WithConvexity(true) — on an instance
+// that is not eligible: it does not declare the convexity conditions
+// (Instance.Convex) or its effective algebra is not min-plus, the only
+// algebra the split-monotonicity theorem covers. Callers probing
+// eligibility should test with errors.Is.
+var ErrConvexityRequired = errors.New("sublineardp: Knuth-Yao pruning requires a declared-convex min-plus instance")
+
+// blockedKYEngine wraps the Knuth-Yao pruned blocked wavefront of
+// internal/blocked: O(n^2) work on declared-convex min-plus instances,
+// bitwise identical tables and splits to the unpruned engine.
+type blockedKYEngine struct{}
+
+func (blockedKYEngine) Name() string { return EngineBlockedKY }
+
+func (blockedKYEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
+	// Gate here with the package sentinel rather than relying on the
+	// internal error alone, so the registry boundary has one stable
+	// errors.Is target (the internal cause is kept in the chain).
+	sr, err := resolveSemiring(cfg, in)
+	if err != nil {
+		return nil, err
+	}
+	if !in.Convex {
+		return nil, fmt.Errorf("%w (instance %q does not declare Convex)", ErrConvexityRequired, in.Name)
+	}
+	if sr.Name() != algebra.NameMinPlus {
+		return nil, fmt.Errorf("%w (instance %q resolves to algebra %q)", ErrConvexityRequired, in.Name, sr.Name())
+	}
+	res, err := blocked.SolveKYCtx(ctx, in, blocked.Options{
+		Workers:  cfg.Workers,
+		Pool:     cfg.Pool,
+		TileSize: cfg.TileSize,
+		Semiring: cfg.Semiring,
+	})
+	if err != nil {
+		if errors.Is(err, blocked.ErrNotConvex) {
+			// Unreachable after the gate above; kept so the sentinel
+			// survives even if the internal eligibility rules tighten.
+			return nil, fmt.Errorf("%w: %w", ErrConvexityRequired, err)
+		}
+		return nil, err
+	}
+	return &Solution{
+		Engine:      EngineBlockedKY,
+		Algebra:     sr.Name(),
+		Table:       res.Table,
+		Acct:        res.Acct,
+		ConvergedAt: -1,
+		instance:    in,
+		splits:      res.Split,
+		treeFn: func() (*Tree, error) {
+			return recurrence.TreeFromSplits(in.N, res.Split)
+		},
+	}, nil
+}
+
 // autoEngine is the size-based meta-engine: small instances go to the
 // sequential scan, mid-sized ones to the banded HLV iteration, large
 // ones to the blocked wavefront — under any algebra, since all three
@@ -362,11 +432,17 @@ type autoEngine struct{}
 func (autoEngine) Name() string { return EngineAuto }
 
 func (autoEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
-	return pickAuto(in.N, cfg).Solve(ctx, in, cfg)
+	return pickAuto(in, cfg).Solve(ctx, in, cfg)
 }
 
-// pickAuto resolves the auto engine's choice for an instance of size n.
-func pickAuto(n int, cfg *Config) Engine {
+// pickAuto resolves the auto engine's choice for an instance. Size sets
+// the tier; a declared-convex min-plus instance above the sequential
+// cutoff takes the Knuth-Yao pruned engine instead of either parallel
+// tier (its O(n^2) work dominates both), and WithConvexity(true) forces
+// the pruned engine at every size — Solve has already rejected
+// ineligible instances by then.
+func pickAuto(in *Instance, cfg *Config) Engine {
+	n := in.N
 	cutoff := cfg.AutoCutoff
 	if cutoff <= 0 {
 		cutoff = DefaultAutoCutoff
@@ -378,8 +454,11 @@ func pickAuto(n int, cfg *Config) Engine {
 	if large < cutoff {
 		large = cutoff
 	}
+	kyEligible := in.Convex && algebra.ResolveName(cfg.Semiring, in.Algebra) == algebra.NameMinPlus
 	var name string
 	switch {
+	case kyEligible && (cfg.Convexity || n > cutoff):
+		name = EngineBlockedKY
 	case n <= cutoff:
 		name = EngineSequential
 	case n <= large:

@@ -2,6 +2,7 @@ package sublineardp_test
 
 import (
 	"context"
+	"errors"
 	mrand "math/rand"
 	"testing"
 
@@ -176,6 +177,79 @@ func FuzzRecordedSplitsTree(f *testing.F) {
 		if !got.Equal(want) {
 			t.Fatalf("recorded-splits tree diverges from sequential on n=%d B=%d seed=%d shaped=%v",
 				n, b, seed, shaped)
+		}
+	})
+}
+
+// FuzzKnuthYaoMatchesBlocked is the fuzz wall behind the O(n^2) claim:
+// on random declared-convex instances (OBST weights and density-built
+// RandomConvex vectors) across the same tile-boundary shapes as
+// FuzzBlockedMatchesSequential, the pruned engine must be *bitwise*
+// identical to the unpruned recording engine — value table AND split
+// matrix — while charging exactly seq.SolveKnuth's pruned candidate
+// count. Shaped spine instances do not declare convexity and must take
+// the rejection path, at both the internal and the registry boundary.
+func FuzzKnuthYaoMatchesBlocked(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(4), uint8(0), false) // n%B == 0, obst
+	f.Add(int64(2), uint8(17), uint8(4), uint8(1), false) // n%B == 1, convex-rand
+	f.Add(int64(3), uint8(15), uint8(4), uint8(0), false) // n%B == B-1
+	f.Add(int64(4), uint8(12), uint8(1), uint8(1), false) // one index per block
+	f.Add(int64(5), uint8(9), uint8(14), uint8(0), false) // single tile (B > n)
+	f.Add(int64(6), uint8(24), uint8(7), uint8(1), false) // odd tile edge
+	f.Add(int64(7), uint8(26), uint8(0), uint8(0), false) // default tile heuristic
+	f.Add(int64(8), uint8(20), uint8(5), uint8(0), true)  // shaped spine: rejection path
+	f.Fuzz(func(t *testing.T, seed int64, nn, tile, family uint8, shaped bool) {
+		n := int(nn)%28 + 2
+		b := int(tile) % (n + 3) // sweep past B = n+1, 0 = default
+		ctx := context.Background()
+		if shaped {
+			// Shaped spines satisfy no quadrangle inequality and declare
+			// none: pruning must refuse, never silently fall back.
+			in := problems.Shaped(btree.RandomSplit(n, newSeededRand(seed)))
+			if _, err := blocked.SolveKYCtx(ctx, in, blocked.Options{TileSize: b}); !errors.Is(err, blocked.ErrNotConvex) {
+				t.Fatalf("shaped spine n=%d seed=%d: err = %v, want ErrNotConvex", n, seed, err)
+			}
+			_, err := sublineardp.MustNewSolver(sublineardp.EngineBlockedKY,
+				sublineardp.WithTileSize(b)).Solve(ctx, in)
+			if !errors.Is(err, sublineardp.ErrConvexityRequired) {
+				t.Fatalf("shaped spine via registry n=%d seed=%d: err = %v, want ErrConvexityRequired", n, seed, err)
+			}
+			return
+		}
+		var in *sublineardp.Instance
+		if family%2 == 0 {
+			in = problems.RandomOBST(n, 60, seed) // n keys -> in.N = n+1 objects
+		} else {
+			in = problems.RandomConvex(n, 20, seed)
+		}
+		n = in.N
+		want := blocked.Solve(in, blocked.Options{TileSize: b, RecordSplits: true})
+		knuth := seq.SolveKnuth(in)
+		got := blocked.SolveKY(in, blocked.Options{TileSize: b})
+		wd, gd := want.Table.Data(), got.Table.Data()
+		for c := range wd {
+			if wd[c] != gd[c] {
+				t.Fatalf("pruned B=%d diverges from blocked bitwise on %s B=%d seed=%d: %v",
+					b, in.Name, b, seed, got.Table.Diff(want.Table, 3))
+			}
+		}
+		for i := 0; i <= n; i++ {
+			for j := i + 1; j <= n; j++ {
+				if g, e := got.Split(i, j), want.Split(i, j); g != e {
+					t.Fatalf("pruned split(%d,%d) = %d, unpruned recorded %d (%s B=%d seed=%d)",
+						i, j, g, e, in.Name, b, seed)
+				}
+				if g, e := got.Table.At(i, j), knuth.Table.At(i, j); g != e {
+					t.Fatalf("pruned value(%d,%d) = %d, seq.SolveKnuth %d (%s B=%d seed=%d)",
+						i, j, g, e, in.Name, b, seed)
+				}
+			}
+		}
+		if work := got.Acct.Work - int64(n); work != knuth.Work {
+			t.Fatalf("pruned work %d != seq.SolveKnuth %d (%s B=%d seed=%d)", work, knuth.Work, in.Name, b, seed)
+		}
+		if rep := verify.Table(in, got.Table); !rep.OK() {
+			t.Fatalf("pruned table not a fixed point (%s B=%d seed=%d): %v", in.Name, b, seed, rep.Err())
 		}
 	})
 }

@@ -165,6 +165,18 @@ type Kernel interface {
 	// non-recording primitives (the conformance matrix gates this).
 	RelaxSplitPanelRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j0, m int, f SplitFunc)
 	RelaxSplitRowRec(tab []cost.Cost, spl []int32, stride, i, k, j0, m int, fRow []cost.Cost)
+
+	// RelaxSplitCellRec is the range-clipped single-cell form the
+	// Knuth–Yao pruned engine closes cells with: it folds the candidate
+	// run k in [ka,kb) into the one destination cell (i,j), recording
+	// under RelaxSplitPanelRec's smallest-k tie discipline. Callers
+	// guarantee i < ka and kb <= j. It is exactly
+	// RelaxSplitPanelRec(tab, spl, stride, i, ka, kb, j, 1, f) — value
+	// writes bit-for-bit, recorded split identical — restated as its own
+	// primitive so a pruned sweep whose windows average O(1) candidates
+	// pays one direct call per cell instead of a panel dispatch, and so
+	// the clipped bounds are explicit in the engine's hot loop.
+	RelaxSplitCellRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j int, f SplitFunc)
 }
 
 // SplitFunc evaluates the decomposition cost f(i,k,j) of splitting node
@@ -502,6 +514,37 @@ func (MinPlus) RelaxSplitRowRec(tab []cost.Cost, spl []int32, stride, i, k, j0, 
 	}
 }
 
+// RelaxSplitCellRec is the min-plus clipped cell closure: one
+// destination cell, candidates [ka,kb), best and split carried in
+// registers and stored once. Pruning and tie discipline are those of
+// RelaxSplitPanelRec, so values and splits are bit-for-bit what the
+// m=1 panel form computes.
+func (MinPlus) RelaxSplitCellRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j int, f SplitFunc) {
+	row := i * stride
+	d := row + j
+	best, bs := tab[d], spl[d]
+	for k := ka; k < kb; k++ {
+		left := tab[row+k]
+		if left >= posInf {
+			continue
+		}
+		fv := f(i, k, j)
+		if fv >= posInf {
+			continue
+		}
+		v := left + fv + tab[k*stride+j]
+		if v < best {
+			best = v
+			bs = int32(k)
+		} else if v == best && v < posInf {
+			if bs < 0 || int32(k) < bs {
+				bs = int32(k)
+			}
+		}
+	}
+	tab[d], spl[d] = best, bs
+}
+
 // MaxPlus maximises total weight: Combine = max, Extend = saturating +.
 // Estimates grow upward from -Inf; the optimum is the costliest tree
 // (worst-case parenthesization analysis).
@@ -801,6 +844,38 @@ func (MaxPlus) RelaxSplitRowRec(tab []cost.Cost, spl []int32, stride, i, k, j0, 
 	}
 }
 
+// RelaxSplitCellRec is the max-plus clipped cell closure, pruning every
+// factor at -Inf under RelaxSplitPanelRec's tie discipline.
+func (MaxPlus) RelaxSplitCellRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j int, f SplitFunc) {
+	row := i * stride
+	d := row + j
+	best, bs := tab[d], spl[d]
+	for k := ka; k < kb; k++ {
+		left := tab[row+k]
+		if left <= negInf {
+			continue
+		}
+		r := tab[k*stride+j]
+		if r <= negInf {
+			continue
+		}
+		fv := f(i, k, j)
+		if fv <= negInf {
+			continue
+		}
+		v := left + fv + r
+		if v > best {
+			best = v
+			bs = int32(k)
+		} else if v == best && v > negInf {
+			if bs < 0 || int32(k) < bs {
+				bs = int32(k)
+			}
+		}
+	}
+	tab[d], spl[d] = best, bs
+}
+
 // BoolPlan decides feasibility: values are 0 (impossible) and nonzero
 // (possible, canonically 1); Combine = or, Extend = and. An instance
 // marks forbidden decompositions with F = 0 and allowed ones with F = 1.
@@ -1033,6 +1108,29 @@ func (BoolPlan) RelaxSplitRowRec(tab []cost.Cost, spl []int32, stride, i, k, j0,
 		} else if src[t] != 0 && fRow[t] != 0 {
 			dst[t] = 1
 			dsp[t] = int32(k)
+		}
+	}
+}
+
+// RelaxSplitCellRec is the bool-plan clipped cell closure: once the
+// cell is on with a recorded split at or below k the remaining
+// (ascending) candidates cannot lower it, so the scan stops early;
+// otherwise it follows RelaxSplitPanelRec's discipline exactly.
+func (BoolPlan) RelaxSplitCellRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j int, f SplitFunc) {
+	row := i * stride
+	d := row + j
+	for k := ka; k < kb; k++ {
+		if on := tab[d] != 0; on {
+			if s := spl[d]; s >= 0 && s <= int32(k) {
+				return
+			}
+		}
+		if tab[row+k] == 0 {
+			continue
+		}
+		if tab[k*stride+j] != 0 && f(i, k, j) != 0 {
+			tab[d] = 1
+			spl[d] = int32(k)
 		}
 	}
 }

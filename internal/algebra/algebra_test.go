@@ -362,6 +362,54 @@ func TestSplitRecPrimitivesMatchGenericWalk(t *testing.T) {
 	}
 }
 
+// RelaxSplitCellRec is specified as exactly the m=1 panel form — the
+// Knuth–Yao driver leans on that to stay bitwise identical to the
+// unpruned engine. Pin every kernel (and the derived fallback) against
+// RelaxSplitPanelRec on random prior states, including pre-recorded
+// splits and Zero-saturated cells.
+func TestRelaxSplitCellRecMatchesPanelForm(t *testing.T) {
+	kernels := []Kernel{MinPlus{}, MaxPlus{}, BoolPlan{}, derived{leftmost{}}}
+	rng := rand.New(rand.NewSource(321))
+	const stride = 16
+	for trial := 0; trial < 300; trial++ {
+		for _, k := range kernels {
+			tabA := make([]cost.Cost, stride*stride)
+			splA := make([]int32, stride*stride)
+			for c := range tabA {
+				tabA[c] = k.Norm(cost.Cost(rng.Int63n(60)))
+				if rng.Intn(4) == 0 {
+					tabA[c] = k.Zero()
+				}
+				splA[c] = -1
+				if rng.Intn(3) == 0 {
+					splA[c] = int32(rng.Intn(8))
+				}
+			}
+			f := func(i, s, j int) cost.Cost {
+				v := cost.Cost((i*5 + s*3 + j) % 11)
+				if v == 10 {
+					return k.Zero()
+				}
+				return v
+			}
+			i := rng.Intn(4)
+			ka := i + 1 + rng.Intn(3)
+			kb := ka + rng.Intn(4)
+			j := kb + rng.Intn(stride-kb)
+			tabB := append([]cost.Cost(nil), tabA...)
+			splB := append([]int32(nil), splA...)
+			k.RelaxSplitCellRec(tabA, splA, stride, i, ka, kb, j, f)
+			k.RelaxSplitPanelRec(tabB, splB, stride, i, ka, kb, j, 1, f)
+			for c := range tabA {
+				if tabA[c] != tabB[c] || splA[c] != splB[c] {
+					t.Fatalf("%s: RelaxSplitCellRec diverges from m=1 panel at %d (val %d vs %d, spl %d vs %d), i=%d ka=%d kb=%d j=%d",
+						k.Name(), c, tabA[c], tabB[c], splA[c], splB[c], i, ka, kb, j)
+				}
+			}
+		}
+	}
+}
+
 func TestScalarHelpers(t *testing.T) {
 	for _, k := range []Kernel{MinPlus{}, MaxPlus{}, BoolPlan{}} {
 		rng := rand.New(rand.NewSource(3))

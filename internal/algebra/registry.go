@@ -173,6 +173,10 @@ func (d derived) RelaxSplitRowRec(tab []cost.Cost, spl []int32, stride, i, k, j0
 	relaxSplitRowRecGeneric(d, tab, spl, stride, i, k, j0, m, fRow)
 }
 
+func (d derived) RelaxSplitCellRec(tab []cost.Cost, spl []int32, stride, i, ka, kb, j int, f SplitFunc) {
+	relaxSplitCellRecGeneric(d, tab, spl, stride, i, ka, kb, j, f)
+}
+
 // relaxPanelGeneric is the reference panel walk every specialised
 // RelaxPanel must agree with (the algebra package tests pin the shipped
 // ones against it).
@@ -299,6 +303,14 @@ func relaxSplitRowRecGeneric(k Kernel, tab []cost.Cost, spl []int32, stride, i, 
 			}
 		}
 	}
+}
+
+// relaxSplitCellRecGeneric is the reference walk of the clipped cell
+// closure: definitionally RelaxSplitPanelRec with a length-1 destination
+// run, so every specialised RelaxSplitCellRec is pinned against the
+// panel form rather than against a third body.
+func relaxSplitCellRecGeneric(k Kernel, tab []cost.Cost, spl []int32, stride, i, ka, kb, j int, f SplitFunc) {
+	relaxSplitPanelRecGeneric(k, tab, spl, stride, i, ka, kb, j, 1, f)
 }
 
 // reduceRelaxGeneric is the reference reduction walk.

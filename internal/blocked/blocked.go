@@ -53,7 +53,6 @@ package blocked
 import (
 	"context"
 	"fmt"
-	"runtime"
 
 	"sublineardp/internal/algebra"
 	"sublineardp/internal/cost"
@@ -199,21 +198,7 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opt Options) (*Resul
 // run is the block-wavefront driver at one concrete algebra type.
 func run[S algebra.Kernel](ctx context.Context, sr S, in *recurrence.Instance, opt Options) (*Result, error) {
 	n := in.N
-	pool := opt.Pool
-	if pool == nil {
-		pool = parutil.Default()
-	}
-	workers := opt.Workers
-	// The auto tile sizing cares about real parallelism: an explicit
-	// Workers beyond GOMAXPROCS oversubscribes goroutines, it does not
-	// add processors.
-	procs := workers
-	if procs <= 0 {
-		procs = pool.Workers()
-	}
-	if g := runtime.GOMAXPROCS(0); procs > g {
-		procs = g
-	}
+	pool, workers, procs := poolAndProcs(opt)
 	b := EffectiveTileSize(n, opt.TileSize, procs)
 	size := n + 1
 	nb := (size + b - 1) / b

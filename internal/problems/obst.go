@@ -55,10 +55,16 @@ func OBST(alpha, beta []int64) *recurrence.Instance {
 	alphaC := append([]int64(nil), alpha...)
 	betaC := append([]int64(nil), beta...)
 	return &recurrence.Instance{
-		N:     m + 1,
-		Name:  fmt.Sprintf("obst-m%d", m),
-		Canon: func() []byte { return canon("obst", alphaC, betaC) },
-		Init:  func(i int) cost.Cost { return cost.Cost(alphaC[i]) },
+		N:    m + 1,
+		Name: fmt.Sprintf("obst-m%d", m),
+		// f = W(i,j) is k-independent, W(i,i+1) = alpha[i] = init(i), and
+		// W is a sum of nonnegative weights over the keys and gaps of
+		// [i,j] — additive over interval contents, hence monotone and
+		// quadrangle-convex (with equality). That is exactly the Knuth–Yao
+		// precondition, so the pruned engines may trust the declaration.
+		Convex: true,
+		Canon:  func() []byte { return canon("obst", alphaC, betaC) },
+		Init:   func(i int) cost.Cost { return cost.Cost(alphaC[i]) },
 		F: func(i, k, j int) cost.Cost {
 			// Keys i+1..j-1 are beta indices i..j-2; gaps i..j-1 are
 			// alpha indices i..j-1.

@@ -65,6 +65,26 @@ type Instance struct {
 	// content-addressed caching, so it must be injective per kind — it
 	// always starts with a kind tag followed by the defining parameters.
 	Canon func() []byte
+
+	// Convex declares that the instance satisfies the Knuth–Yao
+	// conditions for recurrence (*) under min-plus: f(i,k,j) is
+	// independent of k — write it w(i,j), with w(i,i+1) = Init(i) — and w
+	// satisfies the quadrangle inequality
+	//
+	//	w(i,j) + w(i',j') <= w(i,j') + w(i',j)   for i <= i' <= j <= j'
+	//
+	// and is monotone on interval inclusion (w(i',j) <= w(i,j') whenever
+	// [i',j] ⊆ [i,j']). Under these conditions the smallest optimal split
+	// K(i,j) is monotone — K(i,j-1) <= K(i,j) <= K(i+1,j) — which is what
+	// licenses the pruned blocked-ky engine to scan only that candidate
+	// window. The declaration is a constructor-made promise (OBST-style
+	// families set it); Validate spot-checks it with a sampled auditor,
+	// internal/verify.QuadrangleInequality audits it thoroughly, and it
+	// participates in the canonical encoding so a declared-convex
+	// instance never shares a cache entry with its undeclared twin.
+	// Meaningful only under min-plus: Validate rejects the declaration on
+	// instances declaring any other algebra.
+	Convex bool
 }
 
 // Canonical returns the instance's stable canonical encoding and true,
@@ -79,32 +99,51 @@ type Instance struct {
 // algebra is prefixed with "alg\x00<name>\x00"; Canon encodings start
 // with a varint kind-name length, and no registered kind is the 97
 // characters long a first byte of 'a' would imply, so the prefixed and
-// unprefixed spaces cannot collide.
+// unprefixed spaces cannot collide. A declared-convex instance gets the
+// outermost prefix "qi\x00" (first byte 'q' = 113, colliding with no
+// kind-name length either): convexity is a routing-relevant claim about
+// the instance, so the declared and undeclared twins must never alias
+// one cache entry.
 func (in *Instance) Canonical() ([]byte, bool) {
 	if in.Canon == nil {
 		return nil, false
 	}
 	c := in.Canon()
-	if in.Algebra == "" || in.Algebra == "min-plus" {
-		return c, true
+	if in.Algebra != "" && in.Algebra != "min-plus" {
+		tagged := make([]byte, 0, len(in.Algebra)+5+len(c))
+		tagged = append(tagged, "alg\x00"...)
+		tagged = append(tagged, in.Algebra...)
+		tagged = append(tagged, 0)
+		c = append(tagged, c...)
 	}
-	tagged := make([]byte, 0, len(in.Algebra)+5+len(c))
-	tagged = append(tagged, "alg\x00"...)
-	tagged = append(tagged, in.Algebra...)
-	tagged = append(tagged, 0)
-	return append(tagged, c...), true
+	if in.Convex {
+		c = append([]byte("qi\x00"), c...)
+	}
+	return c, true
 }
 
 // Validate checks the structural preconditions the paper assumes:
 // N >= 1, callbacks present, and all init/f values nonnegative.
 // It evaluates every init value and every f triple, so it is O(N^3);
-// intended for tests and small experiment sizes.
+// intended for tests and small experiment sizes. When the instance
+// declares Convex it additionally runs a cheap sampled Knuth–Yao audit
+// (k-independence of f plus the quadrangle inequality and monotonicity
+// on deterministic sample quadruples); internal/verify's
+// QuadrangleInequality is the thorough version.
 func (in *Instance) Validate() error {
 	if in.N < 1 {
 		return fmt.Errorf("recurrence: instance %q has N=%d, need >= 1", in.Name, in.N)
 	}
 	if in.Init == nil || in.F == nil {
 		return errors.New("recurrence: Init and F must be non-nil")
+	}
+	if in.Convex {
+		if in.Algebra != "" && in.Algebra != "min-plus" {
+			return fmt.Errorf("recurrence: instance %q declares Convex under algebra %q; the Knuth–Yao conditions are defined for min-plus only", in.Name, in.Algebra)
+		}
+		if err := in.convexAudit(); err != nil {
+			return err
+		}
 	}
 	for i := 0; i < in.N; i++ {
 		if v := in.Init(i); v < 0 {
@@ -130,6 +169,64 @@ func (in *Instance) Validate() error {
 						i, k, j, panelRow[j-k-1], v)
 				}
 			}
+		}
+	}
+	return nil
+}
+
+// convexWeight probes the Knuth–Yao weight w(i,j) of a declared-convex
+// instance: Init for leaves, f(i,i+1,j) otherwise — legal because a
+// convex f is independent of its split argument (convexAudit checks
+// that first).
+func (in *Instance) convexWeight(i, j int) cost.Cost {
+	if j == i+1 {
+		return in.Init(i)
+	}
+	return in.F(i, i+1, j)
+}
+
+// convexAudit spot-checks the declared Knuth–Yao conditions on a fixed
+// deterministic sample: k-independence of f, then the quadrangle
+// inequality and interval monotonicity of w over sampled quadruples
+// i <= i' < j <= j'. A cheap gate — internal/verify.QuadrangleInequality
+// is the thorough randomized auditor.
+func (in *Instance) convexAudit() error {
+	n := in.N
+	// xorshift64*: deterministic, seedless, no math/rand dependency.
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(bound int) int {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return int((state * 0x2545f4914f6cdd1d >> 33) % uint64(bound))
+	}
+	samples := 8 * n
+	if samples > 512 {
+		samples = 512
+	}
+	for s := 0; s < samples && n >= 3; s++ {
+		i := next(n - 2)
+		j := i + 3 + next(n-i-2) // j in [i+3, n]
+		k1, k2 := i+1+next(j-i-1), i+1+next(j-i-1)
+		if a, b := in.F(i, k1, j), in.F(i, k2, j); a != b {
+			return fmt.Errorf("recurrence: instance %q declares Convex but f(%d,%d,%d)=%d != f(%d,%d,%d)=%d (f must not depend on the split)",
+				in.Name, i, k1, j, a, i, k2, j, b)
+		}
+	}
+	for s := 0; s < samples && n >= 2; s++ {
+		i := next(n)
+		ip := i + next(n-i)      // i' in [i, n-1]
+		j := ip + 1 + next(n-ip) // j in [i'+1, n]
+		jp := j + next(n-j+1)    // j' in [j, n]
+		a := in.convexWeight(i, j) + in.convexWeight(ip, jp)
+		b := in.convexWeight(i, jp) + in.convexWeight(ip, j)
+		if a > b {
+			return fmt.Errorf("recurrence: instance %q declares Convex but w(%d,%d)+w(%d,%d)=%d > w(%d,%d)+w(%d,%d)=%d violates the quadrangle inequality",
+				in.Name, i, j, ip, jp, a, i, jp, ip, j, b)
+		}
+		if in.convexWeight(ip, j) > in.convexWeight(i, jp) {
+			return fmt.Errorf("recurrence: instance %q declares Convex but w(%d,%d) > w(%d,%d) violates monotonicity on [%d,%d] ⊆ [%d,%d]",
+				in.Name, ip, j, i, jp, ip, j, i, jp)
 		}
 	}
 	return nil
@@ -165,6 +262,7 @@ func (in *Instance) Materialize() *Instance {
 		N:       n,
 		Name:    in.Name,
 		Algebra: in.Algebra,
+		Convex:  in.Convex,
 		Canon:   in.Canon, // materialisation changes representation, not identity
 		Init:    func(i int) cost.Cost { return ini[i] },
 		F: func(i, k, j int) cost.Cost {

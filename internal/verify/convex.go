@@ -1,0 +1,83 @@
+package verify
+
+import (
+	"math/rand"
+
+	"sublineardp/internal/cost"
+	"sublineardp/internal/recurrence"
+)
+
+// QuadrangleInequality audits the Knuth–Yao eligibility conditions an
+// instance asserts with Instance.Convex, by randomized sampling:
+//
+//  1. k-independence — F(i,k,j) must not depend on k, so a weight
+//     w(i,j) := F(i,·,j) exists at all ("k-dependent" violations);
+//  2. the quadrangle inequality — for i ≤ i' ≤ j ≤ j',
+//     w(i,j) + w(i',j') ≤ w(i,j') + w(i',j) ("quadrangle");
+//  3. monotonicity on the containment order — w(i',j) ≤ w(i,j')
+//     whenever [i',j] ⊆ [i,j'] ("monotone").
+//
+// Leaves use Init(i) as w(i,i+1), matching the pruned engine's reading
+// of the recurrence. Sampling is exhaustive only in expectation: a
+// passing report means no counterexample was found in `samples` draws,
+// not a proof — the bitwise conformance wall against the unpruned
+// engine is the ground truth. samples <= 0 picks min(8n, 512) draws,
+// the same budget Instance.Validate spends on declared instances.
+//
+// Note the deliberate scope: matrix-chain famously has a monotone,
+// QI-satisfying weight in the literature ONLY after rewriting the
+// recurrence; in this codebase's form its F(i,k,j) = d[i]·d[k]·d[j]
+// depends on k, so condition 1 fails and the auditor (correctly)
+// rejects it. OBST and the RandomConvex family pass.
+func QuadrangleInequality(in *recurrence.Instance, samples int, seed int64) *Report {
+	n := in.N
+	if samples <= 0 {
+		samples = 8 * n
+		if samples > 512 {
+			samples = 512
+		}
+	}
+	w := func(i, j int) cost.Cost {
+		if j == i+1 {
+			return in.Init(i)
+		}
+		return in.F(i, i+1, j)
+	}
+	rep := &Report{}
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < samples; s++ {
+		// Condition 1 needs a span with at least two interior splits.
+		if n >= 3 {
+			rep.Checked++
+			i := rng.Intn(n - 2)
+			j := i + 3 + rng.Intn(n-i-2)
+			k1 := i + 1 + rng.Intn(j-i-1)
+			k2 := i + 1 + rng.Intn(j-i-1)
+			if a, b := in.F(i, k1, j), in.F(i, k2, j); a != b {
+				rep.Violations = append(rep.Violations, Violation{
+					I: i, J: j, Got: a, Want: b, Kind: "k-dependent",
+				})
+			}
+		}
+		if n < 2 {
+			continue
+		}
+		// A random quadrangle i <= ip <= j <= jp on [0,n].
+		rep.Checked++
+		i := rng.Intn(n)
+		ip := i + rng.Intn(n-i)
+		j := ip + 1 + rng.Intn(n-ip)
+		jp := j + rng.Intn(n-j+1)
+		if a, b := w(i, j)+w(ip, jp), w(i, jp)+w(ip, j); a > b {
+			rep.Violations = append(rep.Violations, Violation{
+				I: i, J: jp, Got: a, Want: b, Kind: "quadrangle",
+			})
+		}
+		if a, b := w(ip, j), w(i, jp); a > b {
+			rep.Violations = append(rep.Violations, Violation{
+				I: ip, J: j, Got: a, Want: b, Kind: "monotone",
+			})
+		}
+	}
+	return rep
+}

@@ -1,0 +1,125 @@
+package verify_test
+
+import (
+	"testing"
+
+	"sublineardp/internal/cost"
+	"sublineardp/internal/problems"
+	"sublineardp/internal/recurrence"
+	"sublineardp/internal/verify"
+)
+
+// Families that declare Convex must survive the randomized audit: OBST
+// (additive interval weights, QI with equality) and RandomConvex
+// (density-built strict QI).
+func TestQuadrangleInequalityAcceptsConvexFamilies(t *testing.T) {
+	cases := []*recurrence.Instance{
+		problems.KnuthExampleOBST(),
+		problems.RandomOBST(37, 60, 5),
+		problems.RandomConvex(41, 20, 9),
+		problems.RandomConvex(2, 5, 1), // degenerate: no k-independence spans
+	}
+	for _, in := range cases {
+		if !in.Convex {
+			t.Fatalf("%s: expected a declared-Convex fixture", in.Name)
+		}
+		rep := verify.QuadrangleInequality(in, 4096, 77)
+		if !rep.OK() {
+			t.Errorf("%s: audit rejected a convex family: %v", in.Name, rep.Err())
+		}
+		if rep.Checked == 0 {
+			t.Errorf("%s: audit checked nothing", in.Name)
+		}
+	}
+}
+
+// Matrix chain is the documented deviation: the textbook QI result for
+// it applies to a REWRITTEN recurrence; in this codebase's form
+// F(i,k,j) = d[i]*d[k]*d[j] depends on k, so the auditor must reject it
+// with a k-dependent violation rather than bless it.
+func TestQuadrangleInequalityRejectsMatrixChain(t *testing.T) {
+	in := problems.RandomMatrixChain(24, 40, 11)
+	if in.Convex {
+		t.Fatal("matrix chain must not declare Convex")
+	}
+	rep := verify.QuadrangleInequality(in, 2048, 3)
+	if rep.OK() {
+		t.Fatal("audit accepted matrix chain, whose F depends on k")
+	}
+	seen := false
+	for _, v := range rep.Violations {
+		if v.Kind == "k-dependent" {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Errorf("expected a k-dependent violation, got %v", rep.Violations[0])
+	}
+}
+
+// A k-independent weight that breaks the quadrangle inequality (convex
+// in the wrong direction) must be caught by the QI probe specifically.
+func TestQuadrangleInequalityRejectsConcaveWeight(t *testing.T) {
+	const n = 20
+	w := func(i, j int) cost.Cost {
+		d := cost.Cost(j - i)
+		return -d * d // concave: quadrangle holds with the inequality flipped
+	}
+	in := &recurrence.Instance{
+		N:    n,
+		Name: "concave-fixture",
+		Init: func(i int) cost.Cost { return w(i, i+1) },
+		F:    func(i, k, j int) cost.Cost { return w(i, j) },
+	}
+	rep := verify.QuadrangleInequality(in, 2048, 3)
+	if rep.OK() {
+		t.Fatal("audit accepted a concave weight")
+	}
+	for _, v := range rep.Violations {
+		if v.Kind == "k-dependent" {
+			t.Fatalf("concave fixture is k-independent, got %v", v)
+		}
+	}
+}
+
+// A weight that shrinks as the interval grows must trip the
+// monotonicity probe.
+func TestQuadrangleInequalityRejectsNonMonotoneWeight(t *testing.T) {
+	const n = 16
+	w := func(i, j int) cost.Cost { return cost.Cost(100 - (j - i)) }
+	in := &recurrence.Instance{
+		N:    n,
+		Name: "antitone-fixture",
+		Init: func(i int) cost.Cost { return w(i, i+1) },
+		F:    func(i, k, j int) cost.Cost { return w(i, j) },
+	}
+	rep := verify.QuadrangleInequality(in, 2048, 3)
+	seen := false
+	for _, v := range rep.Violations {
+		if v.Kind == "monotone" {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Fatal("audit missed the monotonicity violation")
+	}
+}
+
+// Validate runs the cheap variant of this audit on declared instances:
+// a lying declaration must not survive Validate.
+func TestValidateCatchesFalseConvexityDeclaration(t *testing.T) {
+	base := problems.RandomMatrixChain(12, 30, 1)
+	lying := *base
+	lying.Convex = true
+	if err := lying.Validate(); err == nil {
+		t.Fatal("Validate accepted a falsely declared-Convex matrix chain")
+	}
+	if err := problems.RandomOBST(12, 50, 1).Validate(); err != nil {
+		t.Fatalf("Validate rejected OBST: %v", err)
+	}
+	if err := problems.RandomConvex(12, 9, 1).Validate(); err != nil {
+		t.Fatalf("Validate rejected RandomConvex: %v", err)
+	}
+}

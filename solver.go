@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"time"
+
+	"sublineardp/internal/algebra"
 )
 
 // Solver is the unified entry point to every algorithm in the
@@ -67,6 +69,17 @@ func (s *Solver) Solve(ctx context.Context, in *Instance) (*Solution, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// WithConvexity is a contract, not a hint: fail fast here — before
+	// the cache protocol — so an ineligible instance can never be served
+	// a cached result that pretended the pruned path ran.
+	if s.cfg.Convexity {
+		if !in.Convex {
+			return nil, fmt.Errorf("%w (instance %q does not declare Convex)", ErrConvexityRequired, in.Name)
+		}
+		if name := algebra.ResolveName(s.cfg.Semiring, in.Algebra); name != algebra.NameMinPlus {
+			return nil, fmt.Errorf("%w (instance %q resolves to algebra %q)", ErrConvexityRequired, in.Name, name)
+		}
 	}
 	// WithTarget instrumentation is excluded from caching: Target is a
 	// table pointer whose content would have to be hashed to key it

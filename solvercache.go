@@ -107,7 +107,8 @@ func solveKey(in *Instance, engineName string, cfg *Config) (cache.Key, bool) {
 		Int64("autolargecutoff", int64(cfg.AutoLargeCutoff)).
 		String("semiring", srName).
 		Bool("history", cfg.History).
-		Bool("splits", cfg.RecordSplits)
+		Bool("splits", cfg.RecordSplits).
+		Bool("convexity", cfg.Convexity)
 	return h.Sum(), true
 }
 

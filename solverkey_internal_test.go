@@ -33,6 +33,8 @@ func TestSolveKeySeparatesResultAffectingOptions(t *testing.T) {
 		"history":      func(c *Config) { c.History = true },
 		"semiring":     func(c *Config) { c.Semiring = MaxPlus },
 		"semiring2":    func(c *Config) { c.Semiring = BoolPlan },
+		"splits":       func(c *Config) { c.RecordSplits = true },
+		"convexity":    func(c *Config) { c.Convexity = true },
 	}
 	keys := map[cache.Key]string{}
 	add := func(label string, key cache.Key) {
@@ -62,7 +64,7 @@ func TestSolveKeySeparatesResultAffectingOptions(t *testing.T) {
 	}
 
 	// Engine routing is keyed through the engine name argument.
-	for _, engine := range []string{EngineSequential, EngineHLVBanded, EngineHLVDense, EngineBlocked} {
+	for _, engine := range []string{EngineSequential, EngineHLVBanded, EngineHLVDense, EngineBlocked, EngineBlockedKY} {
 		key, _ := solveKey(in, engine, &base)
 		add("engine="+engine, key)
 	}

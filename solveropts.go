@@ -147,6 +147,15 @@ type Config struct {
 	// per-iteration sweeps lose to the O(n^2)-memory blocked wavefront.
 	AutoLargeCutoff int
 
+	// Convexity demands the Knuth-Yao pruned path: Solve fails with
+	// ErrConvexityRequired unless the instance declares the convexity
+	// conditions (Instance.Convex) under min-plus, and the "auto" engine
+	// routes eligible instances to "blocked-ky" at every size. Off, auto
+	// still *prefers* the pruned engine for eligible instances above the
+	// sequential cutoff — this knob turns that preference into a
+	// contract. Participates in cache keys.
+	Convexity bool
+
 	// RecordSplits asks the engine to record optimal split points during
 	// the solve, making Solution.Tree and Solution.Split O(n)
 	// reconstructions instead of table re-scans. Honoured by the blocked
@@ -243,6 +252,14 @@ func WithAutoCutoff(n int) Option { return func(c *Config) { c.AutoCutoff = n } 
 // engine routes to the work-efficient "blocked" engine instead of the
 // banded HLV iteration (0 = DefaultAutoLargeCutoff).
 func WithAutoLargeCutoff(n int) Option { return func(c *Config) { c.AutoLargeCutoff = n } }
+
+// WithConvexity demands the Knuth-Yao pruned path: the solve fails with
+// ErrConvexityRequired unless the instance declares Instance.Convex and
+// resolves to min-plus, and the "auto" engine routes eligible instances
+// to the O(n^2)-work "blocked-ky" engine at every size. Use it when an
+// O(n^3) fallback would be a performance bug rather than a slow
+// success.
+func WithConvexity(on bool) Option { return func(c *Config) { c.Convexity = on } }
 
 // WithSplits asks the engine to record optimal split points during the
 // solve, so Solution.Tree/Split reconstruct in O(n) instead of
