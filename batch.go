@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"time"
 
+	"sublineardp/internal/blocked"
 	"sublineardp/internal/parutil"
 )
 
@@ -46,6 +48,10 @@ func SolveBatch(ctx context.Context, instances []*Instance, opts ...Option) ([]*
 	if workers > len(instances) {
 		workers = len(instances)
 	}
+	// Captured before the per-solve width is forced to 1: an overlapped
+	// pipe group IS the batch's parallelism (one shared scheduler), so it
+	// keeps the caller's intra-solve width (0 = pool width).
+	pipeWorkers := cfg.Workers
 	if cfg.Workers == 0 && workers > 1 {
 		cfg.Workers = 1
 	}
@@ -65,24 +71,99 @@ func SolveBatch(ctx context.Context, instances []*Instance, opts ...Option) ([]*
 	if len(instances) == 0 {
 		return out, nil
 	}
-
-	// The fan-out runs on the same pool as the solves; grain 1 claims one
-	// instance at a time so slow solves balance.
 	errs := make([]error, len(instances))
-	pool.ForChunked(workers, len(instances), 1, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			in := instances[i]
-			label := "<nil>"
-			if in != nil {
-				label = in.Name
+
+	// Cross-solve overlap: two or more instances destined for the
+	// pipelined blocked engine seed their tile graphs into one shared
+	// scheduler (blocked.SolvePipeBatchCtx) instead of running as fenced
+	// per-instance solves — one solve's tail tiles fill another's head.
+	// Only the plain path overlaps: a cache, a convergence target, or a
+	// convexity contract each need the per-instance Solve protocol.
+	var pipeIdx []int
+	inPipe := make([]bool, len(instances))
+	if cfg.Cache == nil && cfg.Target == nil && !cfg.Convexity {
+		for i, in := range instances {
+			if in == nil || in.N < 1 {
+				continue // the per-instance path reports the invalid instance
 			}
-			sol, err := solver.Solve(ctx, in)
-			if err != nil {
-				errs[i] = fmt.Errorf("instance %d (%s): %w", i, label, err)
-				continue
+			name := cfg.Engine
+			if name == EngineAuto {
+				name = pickAutoName(in, &cfg)
 			}
-			out[i] = sol
+			if name == EngineBlockedPipe {
+				pipeIdx = append(pipeIdx, i)
+			}
 		}
-	})
+		if len(pipeIdx) >= 2 {
+			for _, i := range pipeIdx {
+				inPipe[i] = true
+			}
+		} else {
+			pipeIdx = nil
+		}
+	}
+
+	var pipeDone chan struct{}
+	if pipeIdx != nil {
+		items := make([]blocked.BatchItem, len(pipeIdx))
+		for k, i := range pipeIdx {
+			items[k] = blocked.BatchItem{In: instances[i]}
+		}
+		pipeDone = make(chan struct{})
+		go func() {
+			defer close(pipeDone)
+			start := time.Now()
+			results, perrs := blocked.SolvePipeBatchCtx(ctx, items, blocked.Options{
+				Workers:      pipeWorkers,
+				Pool:         pool,
+				TileSize:     cfg.TileSize,
+				Semiring:     cfg.Semiring,
+				RecordSplits: cfg.RecordSplits,
+			})
+			elapsed := time.Since(start)
+			for k, i := range pipeIdx {
+				if perrs[k] != nil {
+					errs[i] = fmt.Errorf("instance %d (%s): %w", i, instances[i].Name, perrs[k])
+					continue
+				}
+				sol := blockedSolution(EngineBlockedPipe, instances[i], &cfg, results[k])
+				// The group ran as one graph; each solution reports the
+				// group's wall clock (and its joint Stats view).
+				sol.Elapsed = elapsed
+				out[i] = sol
+			}
+		}()
+	}
+
+	// The fan-out for the remaining instances runs on the same pool as
+	// the solves (and as the pipe group's graph); grain 1 claims one
+	// instance at a time so slow solves balance.
+	rest := make([]int, 0, len(instances))
+	for i := range instances {
+		if !inPipe[i] {
+			rest = append(rest, i)
+		}
+	}
+	if len(rest) > 0 {
+		pool.ForChunked(workers, len(rest), 1, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				i := rest[r]
+				in := instances[i]
+				label := "<nil>"
+				if in != nil {
+					label = in.Name
+				}
+				sol, err := solver.Solve(ctx, in)
+				if err != nil {
+					errs[i] = fmt.Errorf("instance %d (%s): %w", i, label, err)
+					continue
+				}
+				out[i] = sol
+			}
+		})
+	}
+	if pipeDone != nil {
+		<-pipeDone
+	}
 	return out, errors.Join(errs...)
 }

@@ -3,6 +3,8 @@ package sublineardp_test
 import (
 	"context"
 	"errors"
+	mrand "math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -124,4 +126,137 @@ func TestSolveBatchCancellation(t *testing.T) {
 	if elapsed > 500*time.Millisecond {
 		t.Errorf("cancelled batch took %v, want prompt return", elapsed)
 	}
+}
+
+// The cross-solve overlap acceptance wall: two large instances pushed
+// through SolveBatch on a 2-worker pool must run as one shared tile
+// scheduler — proven by the counters, not by timing. Both slots report
+// the same joint Stats view with zero barriers, and the joint task count
+// equals the sum of the two solo pipelined runs (tile-task counts are
+// deterministic functions of n and the tile size, so the equality can
+// only hold if both graphs drained through one scheduler). Tables stay
+// bitwise identical to the fenced blocked engine, and a mid-flight
+// cancellation must leave the pool reusable: the same batch re-run on
+// the same pool afterwards still passes every assertion.
+func TestPipelinedOverlapBatch(t *testing.T) {
+	const tile = 16
+	insA := sublineardp.NewShaped(sublineardp.ZigzagTree(300))
+	insB := sublineardp.NewMatrixChain(chainDims(281, 60, 7))
+	pool := sublineardp.NewPool(2)
+	defer pool.Close()
+
+	mustSolve := func(in *sublineardp.Instance, opts ...sublineardp.Option) *sublineardp.Solution {
+		t.Helper()
+		sol, err := sublineardp.MustNewSolver("", opts...).Solve(context.Background(), in)
+		if err != nil {
+			t.Fatalf("%s: %v", in.Name, err)
+		}
+		return sol
+	}
+	wantA := mustSolve(insA, sublineardp.WithEngine(sublineardp.EngineBlocked),
+		sublineardp.WithTileSize(tile))
+	wantB := mustSolve(insB, sublineardp.WithEngine(sublineardp.EngineBlocked),
+		sublineardp.WithTileSize(tile))
+
+	// Solo pipelined runs, for the deterministic task-count baseline.
+	soloOpts := []sublineardp.Option{
+		sublineardp.WithEngine(sublineardp.EngineBlockedPipe),
+		sublineardp.WithTileSize(tile),
+		sublineardp.WithWorkers(2),
+		sublineardp.WithPool(pool),
+	}
+	soloA := mustSolve(insA, soloOpts...)
+	soloB := mustSolve(insB, soloOpts...)
+
+	check := func(t *testing.T, sols []*sublineardp.Solution) {
+		t.Helper()
+		for i, want := range []*sublineardp.Solution{wantA, wantB} {
+			sol := sols[i]
+			if sol == nil {
+				t.Fatalf("slot %d is nil", i)
+			}
+			if sol.Engine != sublineardp.EngineBlockedPipe {
+				t.Fatalf("slot %d ran engine %q, want %q", i, sol.Engine, sublineardp.EngineBlockedPipe)
+			}
+			sd, wd := sol.Table.Data(), want.Table.Data()
+			for c := range sd {
+				if sd[c] != wd[c] {
+					t.Fatalf("slot %d diverges from the fenced blocked table bitwise: %v",
+						i, sol.Table.Diff(want.Table, 3))
+				}
+			}
+			if sol.Stats.Barriers != 0 {
+				t.Errorf("slot %d crossed %d barriers, want 0", i, sol.Stats.Barriers)
+			}
+		}
+		if sols[0].Stats != sols[1].Stats {
+			t.Errorf("overlapped slots report different Stats views (%+v vs %+v): not one shared scheduler",
+				sols[0].Stats, sols[1].Stats)
+		}
+		if joint, solo := sols[0].Stats.Tasks, soloA.Stats.Tasks+soloB.Stats.Tasks; joint != solo {
+			t.Errorf("joint scheduler ran %d tasks, solo runs total %d: graphs did not share one scheduler",
+				joint, solo)
+		}
+	}
+
+	batchOpts := []sublineardp.Option{
+		sublineardp.WithEngine(sublineardp.EngineBlockedPipe),
+		sublineardp.WithTileSize(tile),
+		sublineardp.WithWorkers(2),
+		sublineardp.WithPool(pool),
+	}
+	sols, err := sublineardp.SolveBatch(context.Background(), []*sublineardp.Instance{insA, insB}, batchOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, sols)
+
+	// Mid-flight cancellation: a poisoned twin of A cancels the batch
+	// context from inside its own cost callback, partway through the
+	// shared graph. The batch must fail with context.Canceled, any slot
+	// that does come back must still be bitwise correct, and the pool
+	// must come out unpoisoned — the clean batch re-runs on it verbatim.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	poisoned := *insA
+	poisoned.Name = "poisoned"
+	poisoned.FPanel = nil
+	baseF := insA.F
+	poisoned.F = func(i, k, j int) sublineardp.Cost {
+		if calls.Add(1) == 5000 {
+			cancel()
+		}
+		return baseF(i, k, j)
+	}
+	cancelled, err := sublineardp.SolveBatch(ctx, []*sublineardp.Instance{&poisoned, insB}, batchOpts...)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("poisoned batch err = %v, want context.Canceled", err)
+	}
+	if cancelled[1] != nil {
+		sd, wd := cancelled[1].Table.Data(), wantB.Table.Data()
+		for c := range sd {
+			if sd[c] != wd[c] {
+				t.Fatal("slot that survived the cancellation is corrupted")
+			}
+		}
+	}
+
+	sols, err = sublineardp.SolveBatch(context.Background(), []*sublineardp.Instance{insA, insB}, batchOpts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, sols)
+}
+
+// chainDims builds a deterministic dimension vector for an n-matrix
+// chain without pulling internal/problems into the external test
+// package.
+func chainDims(n, maxD int, seed int64) []int {
+	r := mrand.New(mrand.NewSource(seed))
+	dims := make([]int, n+1)
+	for i := range dims {
+		dims[i] = r.Intn(maxD) + 1
+	}
+	return dims
 }

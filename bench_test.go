@@ -483,6 +483,66 @@ func BenchmarkE17KnuthYao(b *testing.B) {
 	}
 }
 
+// E18 — the pipelined blocked engine: the barrier-free dependency-
+// counter schedule against the fenced wavefront it replaces, at the E14
+// sizes, plus the overlap only a shared scheduler can express — the
+// same two instances run fenced back-to-back and as one jointly-seeded
+// tile graph. Each pipelined run re-asserts its contract before timing:
+// zero barriers on the scheduler counters. The CI bench job smokes this
+// at -benchtime 1x; BENCH_core.json carries the committed blocked-pipe
+// and batch2 trajectories.
+func BenchmarkE18Pipelined(b *testing.B) {
+	opts := blocked.Options{Workers: 4} // the BENCH_core.json convention
+	for _, n := range []int{256, 1024} {
+		in := problems.RandomMatrixChain(n, 50, 1)
+		b.Run(fmt.Sprintf("engine=blocked/n=%d", n), func(b *testing.B) {
+			blocked.Solve(in, opts) // warm the shared pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blocked.Solve(in, opts)
+			}
+		})
+		b.Run(fmt.Sprintf("engine=blocked-pipe/n=%d", n), func(b *testing.B) {
+			res := blocked.SolvePipe(in, opts) // warm the pool; pin the contract
+			if res.Stats.Barriers != 0 {
+				b.Fatalf("n=%d: pipelined solve crossed %d barriers, want 0", n, res.Stats.Barriers)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				blocked.SolvePipe(in, opts)
+			}
+		})
+	}
+
+	insA := problems.RandomMatrixChain(512, 50, 1)
+	insB := problems.RandomMatrixChain(512, 50, 2)
+	items := []blocked.BatchItem{{In: insA}, {In: insB}}
+	ctx := context.Background()
+	b.Run("mode=batch2-fenced/n=512", func(b *testing.B) {
+		blocked.Solve(insA, opts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			blocked.Solve(insA, opts)
+			blocked.Solve(insB, opts)
+		}
+	})
+	b.Run("mode=batch2-overlapped/n=512", func(b *testing.B) {
+		if _, errs := blocked.SolvePipeBatchCtx(ctx, items, opts); errs[0] != nil || errs[1] != nil {
+			b.Fatal(errs)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, errs := blocked.SolvePipeBatchCtx(ctx, items, opts); errs[0] != nil || errs[1] != nil {
+				b.Fatal(errs)
+			}
+		}
+	})
+}
+
 // Ablation: windowed vs unwindowed pebble schedule (Section 5).
 func BenchmarkAblationWindow(b *testing.B) {
 	in := problems.Zigzag(64).Materialize()

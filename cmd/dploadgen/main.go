@@ -16,6 +16,17 @@
 // -distinct bounds how many distinct instances each family contributes,
 // which directly sets the cache-hit share of the run. The JSON summary
 // (-out) is uploaded as a CI artifact next to BENCH_core.json.
+//
+// The mlplarge family is the blocked-pipe tier's load: matrix chains of
+// at least n = 1024 regardless of -n, meant to run at low -distinct so
+// the server's batcher sees repeats of a few heavy instances and its
+// overlapped SolveBatch groups stay hot:
+//
+//	dploadgen -mix mlplarge:1 -distinct 2 -duration 30s -concurrency 4
+//
+// Large-instance runs shed and time out by design when the server is
+// saturated, so 503 (admission shed) and 504 (deadline) responses are
+// counted separately from hard errors and do not fail the run.
 package main
 
 import (
@@ -42,7 +53,7 @@ func main() {
 		addr     = flag.String("addr", "http://localhost:8080", "dpserved base URL")
 		duration = flag.Duration("duration", 10*time.Second, "how long to fire")
 		conc     = flag.Int("concurrency", 8, "concurrent client connections")
-		mix      = flag.String("mix", "mlp:4,dictionary:4,polygon:2,worstchain:1,boolplan:1,mlptree:1", "family:weight list (mlp | mlptree | dictionary | polygon | worstchain | boolplan | segls | seglspath | wis | subsetsum)")
+		mix      = flag.String("mix", "mlp:4,dictionary:4,polygon:2,worstchain:1,boolplan:1,mlptree:1", "family:weight list (mlp | mlptree | mlplarge | dictionary | polygon | worstchain | boolplan | segls | seglspath | wis | subsetsum)")
 		distinct = flag.Int("distinct", 32, "distinct instances per family (lower = more cache hits)")
 		size     = flag.Int("n", 48, "base instance size per request")
 		seed     = flag.Int64("seed", 1, "workload seed")
@@ -143,6 +154,17 @@ func buildRequest(family string, n int, seed int64, rng *rand.Rand) (*wire.Reque
 		}
 		req.ReturnSplits = true
 		return req, nil
+	case "mlplarge":
+		// The blocked-pipe tier's family: the mlp chain shape at n >= 1024
+		// no matter what -n says. Run it at low -distinct — a handful of
+		// heavy instances repeating is what fills the server's overlapped
+		// SolveBatch groups (and, warm, its cache) rather than a long tail
+		// of cold O(n^3) solves.
+		big := n
+		if big < 1024 {
+			big = 1024
+		}
+		return buildRequest("mlp", big, seed, rng)
 	case "mlp":
 		// workload.MLPChain shape: 1 x in, hidden widths, out.
 		layers := 2 + rng.Intn(4)
@@ -207,7 +229,7 @@ func buildRequest(family string, n int, seed int64, rng *rand.Rand) (*wire.Reque
 		return &wire.Request{Kind: wire.KindSubsetSum, Target: target,
 			Items: workload.CoinSystem(target, seed)}, nil
 	default:
-		return nil, fmt.Errorf("unknown workload family %q (mlp | mlptree | dictionary | polygon | worstchain | boolplan | segls | seglspath | wis | subsetsum)", family)
+		return nil, fmt.Errorf("unknown workload family %q (mlp | mlptree | mlplarge | dictionary | polygon | worstchain | boolplan | segls | seglspath | wis | subsetsum)", family)
 	}
 }
 
@@ -235,6 +257,8 @@ type Summary struct {
 	Concurrency  int     `json:"concurrency"`
 	Requests     int64   `json:"requests"`
 	Errors       int64   `json:"errors"`
+	Shed         int64   `json:"shed"`
+	Timeouts     int64   `json:"timeouts"`
 	CacheHits    int64   `json:"cache_hits"`
 	Coalesced    int64   `json:"coalesced"`
 	Solved       int64   `json:"solved"`
@@ -248,8 +272,8 @@ type Summary struct {
 func (s *Summary) print(w *os.File) {
 	fmt.Fprintf(w, "dploadgen: %d requests in %.1fs over %d connections (%.1f req/s)\n",
 		s.Requests, s.DurationSec, s.Concurrency, s.Throughput)
-	fmt.Fprintf(w, "  outcomes: %d solved, %d cache hits, %d coalesced, %d errors\n",
-		s.Solved, s.CacheHits, s.Coalesced, s.Errors)
+	fmt.Fprintf(w, "  outcomes: %d solved, %d cache hits, %d coalesced, %d shed, %d timeouts, %d errors\n",
+		s.Solved, s.CacheHits, s.Coalesced, s.Shed, s.Timeouts, s.Errors)
 	fmt.Fprintf(w, "  latency ms: p50 %.2f  p90 %.2f  p99 %.2f  max %.2f\n",
 		s.LatencyMsP50, s.LatencyMsP90, s.LatencyMsP99, s.LatencyMsMax)
 }
@@ -258,6 +282,8 @@ type sample struct {
 	micros    int64
 	cached    bool
 	coalesced bool
+	shed      bool // 503: admission queue full — expected under saturation
+	timeout   bool // 504: server-side deadline — expected for heavy mixes
 	err       bool
 }
 
@@ -282,10 +308,17 @@ func run(addr string, pool [][]byte, duration time.Duration, conc int, timeout t
 					s.err = true
 				} else {
 					var wr wire.Response
-					if resp.StatusCode != http.StatusOK ||
-						json.NewDecoder(resp.Body).Decode(&wr) != nil {
+					switch {
+					case resp.StatusCode == http.StatusServiceUnavailable:
+						// Back-pressure, not breakage: the server shed the
+						// request at admission.
+						s.shed = true
+					case resp.StatusCode == http.StatusGatewayTimeout:
+						s.timeout = true
+					case resp.StatusCode != http.StatusOK ||
+						json.NewDecoder(resp.Body).Decode(&wr) != nil:
 						s.err = true
-					} else {
+					default:
 						s.cached, s.coalesced = wr.Cached, wr.Coalesced
 					}
 					resp.Body.Close()
@@ -305,6 +338,10 @@ func run(addr string, pool [][]byte, duration time.Duration, conc int, timeout t
 			switch {
 			case s.err:
 				sum.Errors++
+			case s.shed:
+				sum.Shed++
+			case s.timeout:
+				sum.Timeouts++
 			case s.cached:
 				sum.CacheHits++
 			case s.coalesced:
@@ -312,7 +349,7 @@ func run(addr string, pool [][]byte, duration time.Duration, conc int, timeout t
 			default:
 				sum.Solved++
 			}
-			if !s.err {
+			if !s.err && !s.shed && !s.timeout {
 				lats = append(lats, s.micros)
 			}
 		}

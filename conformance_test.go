@@ -508,3 +508,69 @@ func TestConvexityRouting(t *testing.T) {
 		t.Errorf("blocked-ky on non-convex: err = %v, want ErrConvexityRequired", err)
 	}
 }
+
+// The pipelined-engine conformance matrix: blocked-pipe × every
+// registered algebra × the tile-edge sweep must be bitwise identical —
+// values AND recorded splits — to the fenced blocked engine, with the
+// fixed point certified under the algebra and the scheduler counters
+// proving the run was barrier-free. The dependency-counter schedule has
+// no way to cheat this: executing any tile before its last input is
+// final changes a fold's operand sequence, and that moves a value or a
+// split somewhere in the table.
+func TestPipelinedConformanceMatrix(t *testing.T) {
+	instances := []*sublineardp.Instance{
+		problems.RandomMatrixChain(26, 60, 11),
+		problems.RandomInstance(33, 80, 12),
+		problems.Zigzag(23),
+	}
+	ctx := context.Background()
+	for _, algName := range sublineardp.Semirings() {
+		sr, ok := sublineardp.LookupSemiring(algName)
+		if !ok {
+			t.Fatalf("registered semiring %q not resolvable", algName)
+		}
+		for _, in := range instances {
+			for _, tile := range []int{1, 4, 7, 64} {
+				piped, err := sublineardp.MustNewSolver(sublineardp.EngineBlockedPipe,
+					sublineardp.WithTileSize(tile), sublineardp.WithSemiring(sr),
+					sublineardp.WithSplits(true)).Solve(ctx, in)
+				if err != nil {
+					t.Fatalf("%s/%s tile=%d: pipe: %v", algName, in.Name, tile, err)
+				}
+				fenced, err := sublineardp.MustNewSolver(sublineardp.EngineBlocked,
+					sublineardp.WithTileSize(tile), sublineardp.WithSemiring(sr),
+					sublineardp.WithSplits(true)).Solve(ctx, in)
+				if err != nil {
+					t.Fatalf("%s/%s tile=%d: blocked: %v", algName, in.Name, tile, err)
+				}
+				pd, fd := piped.Table.Data(), fenced.Table.Data()
+				for c := range pd {
+					if pd[c] != fd[c] {
+						t.Fatalf("%s/%s tile=%d: pipelined table diverges from blocked bitwise: %v",
+							algName, in.Name, tile, piped.Table.Diff(fenced.Table, 3))
+					}
+				}
+				for i := 0; i <= in.N; i++ {
+					for j := i + 2; j <= in.N; j++ {
+						if g, e := piped.Split(i, j), fenced.Split(i, j); g != e {
+							t.Fatalf("%s/%s tile=%d: split(%d,%d) = %d, blocked %d",
+								algName, in.Name, tile, i, j, g, e)
+						}
+					}
+				}
+				if piped.Stats.Barriers != 0 {
+					t.Errorf("%s/%s tile=%d: pipelined solve crossed %d barriers, want 0",
+						algName, in.Name, tile, piped.Stats.Barriers)
+				}
+				if piped.Stats.Tasks == 0 {
+					t.Errorf("%s/%s tile=%d: pipelined solve reports zero scheduler tasks",
+						algName, in.Name, tile)
+				}
+				if rep := verify.TableSemiring(sr, in, piped.Table); !rep.OK() {
+					t.Errorf("%s/%s tile=%d: table is not a fixed point: %v",
+						algName, in.Name, tile, rep.Err())
+				}
+			}
+		}
+	}
+}

@@ -36,8 +36,11 @@ type Engine interface {
 const (
 	// EngineAuto picks an engine per instance by size: n <= AutoCutoff
 	// goes to the sequential scan, mid-sized instances to the banded HLV
-	// iteration, and n > AutoLargeCutoff to the work-efficient blocked
-	// engine (the only parallel engine whose memory stays O(n^2)).
+	// iteration, and n > AutoLargeCutoff to the barrier-free pipelined
+	// blocked engine (O(n^2) memory, zero wavefront barriers). The
+	// cutoffs default to the built-in constants; WithCalibration installs
+	// the measured, machine-local values a `dpbench -calibrate` pass
+	// derived.
 	EngineAuto = "auto"
 	// EngineSequential is the classic O(n^3) dynamic program (records
 	// split points, so Solution.Tree is O(n)).
@@ -58,6 +61,16 @@ const (
 	// — the large-instance engine (n = 1024-4096 and beyond) where the
 	// HLV partial-weight arrays cannot even be allocated.
 	EngineBlocked = "blocked"
+	// EngineBlockedPipe is the barrier-free pipelined blocked engine: the
+	// same tile decomposition as "blocked", executed as a dependency
+	// graph — every tile carries an atomic in-degree counter derived from
+	// the phase-A/phase-B read sets and dispatches the moment it drops to
+	// zero, so anti-diagonals stream into each other with no wavefront
+	// barriers (Solution.Stats reports 0 where "blocked" reports
+	// 2(nb−1)). Tables and recorded splits are bitwise identical to
+	// "blocked". SolveBatch seeds multiple instances' tile graphs into
+	// one shared scheduler so independent solves overlap on one pool.
+	EngineBlockedPipe = "blocked-pipe"
 	// EngineBlockedKY is the Knuth-Yao pruned blocked engine: the same
 	// tile wavefront as "blocked", but each cell scans only the candidate
 	// window bounded by its neighbours' recorded splits — O(n^2) total
@@ -142,6 +155,8 @@ var builtinInfo = map[string]EngineInfo{
 		Options: "WithWorkers, WithPool, WithTileSize, WithMode, WithTermination, WithMaxIterations, WithBandRadius, WithWindow, WithTarget, WithHistory, WithSemiring"},
 	EngineBlocked: {Description: "work-efficient blocked wavefront: O(n^3) work, O(n^2) memory, solves n >= 1024",
 		Options: "WithWorkers, WithPool, WithTileSize (block edge B), WithSemiring, WithSplits (O(n) tree reconstruction)"},
+	EngineBlockedPipe: {Description: "barrier-free pipelined blocked engine: per-tile dependency counters, 0 barriers, bitwise identical to blocked; overlaps independent solves in SolveBatch",
+		Options: "WithWorkers, WithPool, WithTileSize (block edge B), WithSemiring, WithSplits (O(n) tree reconstruction)"},
 	EngineBlockedKY: {Description: "Knuth-Yao pruned blocked wavefront: O(n^2) work on declared-convex min-plus instances, bitwise identical to blocked",
 		Options: "WithWorkers, WithPool, WithTileSize (block edge B); splits always recorded"},
 	EngineSemiring: {Description: "deprecated alias of hlv-dense (every engine honours WithSemiring now)",
@@ -174,6 +189,7 @@ func init() {
 		hlvEngine{name: EngineHLVBanded, variant: core.Banded},
 		hlvEngine{name: EngineSemiring, variant: core.Dense},
 		blockedEngine{},
+		blockedPipeEngine{},
 		blockedKYEngine{},
 	} {
 		if err := RegisterEngine(e); err != nil {
@@ -339,11 +355,19 @@ func (blockedEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Sol
 	if err != nil {
 		return nil, err
 	}
+	return blockedSolution(EngineBlocked, in, cfg, res), nil
+}
+
+// blockedSolution shapes a blocked.Result into a Solution — shared by
+// the barrier ("blocked") and pipelined ("blocked-pipe") engines, whose
+// results are bitwise interchangeable.
+func blockedSolution(engine string, in *Instance, cfg *Config, res *blocked.Result) *Solution {
 	sol := &Solution{
-		Engine:      EngineBlocked,
+		Engine:      engine,
 		Algebra:     algebra.ResolveName(cfg.Semiring, in.Algebra),
 		Table:       res.Table,
 		Acct:        res.Acct,
+		Stats:       res.Stats,
 		ConvergedAt: -1,
 		instance:    in,
 	}
@@ -357,7 +381,31 @@ func (blockedEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Sol
 			return recurrence.TreeFromSplits(in.N, res.Split)
 		}
 	}
-	return sol, nil
+	return sol
+}
+
+// blockedPipeEngine wraps the barrier-free pipelined driver of
+// internal/blocked: the same tile decomposition as blockedEngine run as
+// a dependency graph, bitwise-identical tables and splits, zero
+// barriers on Solution.Stats. SolveBatch routes groups of pipe-destined
+// instances through blocked.SolvePipeBatchCtx so their graphs share one
+// scheduler.
+type blockedPipeEngine struct{}
+
+func (blockedPipeEngine) Name() string { return EngineBlockedPipe }
+
+func (blockedPipeEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Solution, error) {
+	res, err := blocked.SolvePipeCtx(ctx, in, blocked.Options{
+		Workers:      cfg.Workers,
+		Pool:         cfg.Pool,
+		TileSize:     cfg.TileSize,
+		Semiring:     cfg.Semiring,
+		RecordSplits: cfg.RecordSplits,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return blockedSolution(EngineBlockedPipe, in, cfg, res), nil
 }
 
 // ErrConvexityRequired reports a solve that demanded Knuth-Yao pruning
@@ -408,6 +456,7 @@ func (blockedKYEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*S
 		Algebra:     sr.Name(),
 		Table:       res.Table,
 		Acct:        res.Acct,
+		Stats:       res.Stats,
 		ConvergedAt: -1,
 		instance:    in,
 		splits:      res.Split,
@@ -419,8 +468,8 @@ func (blockedKYEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*S
 
 // autoEngine is the size-based meta-engine: small instances go to the
 // sequential scan, mid-sized ones to the banded HLV iteration, large
-// ones to the blocked wavefront — under any algebra, since all three
-// targets are generic. The returned Solution names the engine actually
+// ones to the pipelined blocked engine — under any algebra, since all
+// three targets are generic. The returned Solution names the engine actually
 // chosen. Routing is purely by size: options are interpreted by the
 // chosen engine, so the iteration-discipline knobs (WithTermination,
 // WithMaxIterations, WithHistory, WithTarget) take effect only when the
@@ -442,6 +491,20 @@ func (autoEngine) Solve(ctx context.Context, in *Instance, cfg *Config) (*Soluti
 // the pruned engine at every size — Solve has already rejected
 // ineligible instances by then.
 func pickAuto(in *Instance, cfg *Config) Engine {
+	name := pickAutoName(in, cfg)
+	e, ok := LookupEngine(name)
+	if !ok {
+		// The built-ins are registered in init; this cannot fail.
+		panic(fmt.Sprintf("sublineardp: built-in engine %q missing", name))
+	}
+	return e
+}
+
+// pickAutoName is pickAuto's routing table by registry name — also what
+// SolveBatch consults to group pipe-destined instances into one shared
+// scheduler. The large tier routes to the pipelined blocked engine: same
+// bitwise tables as "blocked" with the wavefront barriers gone.
+func pickAutoName(in *Instance, cfg *Config) string {
 	n := in.N
 	cutoff := cfg.AutoCutoff
 	if cutoff <= 0 {
@@ -455,21 +518,14 @@ func pickAuto(in *Instance, cfg *Config) Engine {
 		large = cutoff
 	}
 	kyEligible := in.Convex && algebra.ResolveName(cfg.Semiring, in.Algebra) == algebra.NameMinPlus
-	var name string
 	switch {
 	case kyEligible && (cfg.Convexity || n > cutoff):
-		name = EngineBlockedKY
+		return EngineBlockedKY
 	case n <= cutoff:
-		name = EngineSequential
+		return EngineSequential
 	case n <= large:
-		name = EngineHLVBanded
+		return EngineHLVBanded
 	default:
-		name = EngineBlocked
+		return EngineBlockedPipe
 	}
-	e, ok := LookupEngine(name)
-	if !ok {
-		// The built-ins are registered in init; this cannot fail.
-		panic(fmt.Sprintf("sublineardp: built-in engine %q missing", name))
-	}
-	return e
 }

@@ -369,3 +369,49 @@ func FuzzParseNeverPanics(f *testing.F) {
 }
 
 func newSeededRand(seed int64) *mrand.Rand { return mrand.New(mrand.NewSource(seed)) }
+
+// FuzzPipelinedMatchesBlocked pins the dependency-counter schedule to
+// the barrier-fenced one it replaces: on arbitrary seeded instances and
+// tile sizes — boundary-aligned, off-by-one, single-tile, one index per
+// block — the pipelined engine's value table AND recorded splits must be
+// bitwise identical to blocked's. The counter graph admits every
+// topological order of the tile DAG; this wall is what forces all of
+// them to compute the same candidate sequences.
+func FuzzPipelinedMatchesBlocked(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(4), false) // n%B == 0
+	f.Add(int64(2), uint8(17), uint8(4), false) // n%B == 1
+	f.Add(int64(3), uint8(15), uint8(4), false) // n%B == B-1
+	f.Add(int64(4), uint8(12), uint8(1), false) // one index per block
+	f.Add(int64(5), uint8(9), uint8(14), false) // single tile (B > n)
+	f.Add(int64(6), uint8(24), uint8(5), true)  // spine across tile boundaries
+	f.Add(int64(7), uint8(26), uint8(0), false) // default tile heuristic
+	f.Fuzz(func(t *testing.T, seed int64, nn, tile uint8, shaped bool) {
+		n := int(nn)%28 + 2
+		b := int(tile) % (n + 3) // sweep past B = n+1, 0 = default
+		var in *sublineardp.Instance
+		if shaped {
+			in = problems.Shaped(btree.RandomSplit(n, newSeededRand(seed)))
+		} else {
+			in = problems.RandomInstance(n, 60, seed)
+		}
+		opt := blocked.Options{TileSize: b, RecordSplits: true}
+		want := blocked.Solve(in, opt)
+		got := blocked.SolvePipe(in, opt)
+		wd, gd := want.Table.Data(), got.Table.Data()
+		for c := range wd {
+			if wd[c] != gd[c] {
+				t.Fatalf("pipelined B=%d diverges from blocked bitwise on n=%d seed=%d shaped=%v: %v",
+					b, n, seed, shaped, got.Table.Diff(want.Table, 3))
+			}
+		}
+		for idx := range want.Splits {
+			if got.Splits[idx] != want.Splits[idx] {
+				t.Fatalf("pipelined B=%d split %d = %d, blocked %d (n=%d seed=%d shaped=%v)",
+					b, idx, got.Splits[idx], want.Splits[idx], n, seed, shaped)
+			}
+		}
+		if rep := verify.Table(in, got.Table); !rep.OK() {
+			t.Fatalf("pipelined B=%d table not a fixed point (n=%d seed=%d): %v", b, n, seed, rep.Err())
+		}
+	})
+}

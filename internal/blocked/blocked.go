@@ -114,6 +114,11 @@ type Result struct {
 	// c(i,j), or -1 for leaves and spans no candidate reaches — exactly
 	// the sequential reference's smallest-k choice, under every algebra.
 	Splits []int32
+	// Stats is the solve's scheduler observability snapshot: barrier
+	// count (2(nb−1) for the wavefront driver, 0 for the pipelined one),
+	// barrier-tail idle nanoseconds, and executed work units. For an
+	// overlapped batch every Result carries the shared scheduler's view.
+	Stats parutil.StatsView
 }
 
 // Cost returns c(0,n).
@@ -168,10 +173,12 @@ func Solve(in *recurrence.Instance, opt Options) *Result {
 	return res
 }
 
-// SolveCtx is Solve with cooperative cancellation: the context is
-// checked between block diagonals and by the worker pool before each
-// claimed work unit, so cancellation latency is bounded by one in-flight
-// tile row rather than one wavefront.
+// SolveCtx is Solve with cooperative cancellation: the worker pool
+// re-checks the context before each claimed work unit (one tile row in
+// phase A, one tile in phase B), so cancellation latency is bounded by
+// one in-flight tile row rather than one wavefront. That per-unit poll
+// is the only one — the driver does not double-poll per diagonal or per
+// cell.
 func SolveCtx(ctx context.Context, in *recurrence.Instance, opt Options) (*Result, error) {
 	if in == nil || in.N < 1 {
 		panic(fmt.Sprintf("blocked: invalid instance %+v", in))
@@ -195,180 +202,57 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opt Options) (*Resul
 	}
 }
 
-// run is the block-wavefront driver at one concrete algebra type.
+// run is the block-wavefront driver at one concrete algebra type. The
+// tile machinery (seeding, panel folds, in-tile closure) lives in
+// tileSolver and is shared verbatim with the pipelined driver; this
+// function owns only the barrier-stepped schedule — per diagonal, one
+// fenced phase-A dispatch then one fenced phase-B dispatch, 2(nb−1)
+// barriers total, each recorded on the solve's Stats.
 func run[S algebra.Kernel](ctx context.Context, sr S, in *recurrence.Instance, opt Options) (*Result, error) {
 	n := in.N
 	pool, workers, procs := poolAndProcs(opt)
 	b := EffectiveTileSize(n, opt.TileSize, procs)
-	size := n + 1
-	nb := (size + b - 1) / b
 
-	tbl := recurrence.NewTable(n)
-	data, stride := tbl.Data(), tbl.Stride()
-	// NewTable pre-fills with Inf — min-plus's Zero. Any other algebra
-	// re-seeds exactly the cells the recurrence computes (i < j), keeping
-	// the untouched lower triangle bitwise identical to the sequential
-	// table.
-	if zero := sr.Zero(); zero != cost.Inf {
-		for i := 0; i < n; i++ {
-			row := i * stride
-			for j := i + 1; j <= n; j++ {
-				data[row+j] = zero
-			}
-		}
-	}
-	for i := 0; i < n; i++ {
-		data[i*stride+i+1] = in.Init(i)
-	}
-
-	// The split matrix shares the table's flat layout; -1 marks "no
-	// candidate recorded". Recording is race-free for the same reason the
-	// value writes are: every kernel call writes only its own destination
-	// run, and parallel units own disjoint runs.
-	var splits []int32
-	if opt.RecordSplits {
-		splits = make([]int32, len(data))
-		for i := range splits {
-			splits[i] = -1
-		}
-	}
-
-	f := algebra.SplitFunc(in.F)
-	res := &Result{Table: tbl, TileSize: b, Splits: splits}
-	res.Acct.ChargeUnit(int64(n)) // the leaf init step
-
-	lo := func(B int) int { return B * b }
-	hi := func(B int) int {
-		v := (B + 1) * b
-		if v > size {
-			v = size
-		}
-		return v
-	}
-
-	// relaxRun folds split k into the m cells (i, j0..j0+m-1). With a
-	// bulk F (Instance.FPanel) the f run fills in one tight loop and the
-	// three-stream RelaxSplitRow consumes it; otherwise RelaxSplitPanel
-	// evaluates F per candidate inside the kernel body.
-	fPanel := in.FPanel
-	relaxRun := func(fbuf []cost.Cost, i, k, j0, m int) {
-		if m <= 0 {
-			return
-		}
-		if fPanel != nil {
-			fPanel(i, k, j0, fbuf[:m])
-			if splits != nil {
-				sr.RelaxSplitRowRec(data, splits, stride, i, k, j0, m, fbuf)
-			} else {
-				sr.RelaxSplitRow(data, stride, i, k, j0, m, fbuf)
-			}
-		} else if splits != nil {
-			sr.RelaxSplitPanelRec(data, splits, stride, i, k, k+1, j0, m, f)
-		} else {
-			sr.RelaxSplitPanel(data, stride, i, k, k+1, j0, m, f)
-		}
-	}
-
-	// relaxPanel folds the split run [ka,kb) into row i's cells
-	// j0..j0+m-1, recording when the run asked for it — the multi-split
-	// form the phase A sweep and the off-diagonal block-I fold share.
-	relaxPanel := func(i, ka, kb, j0, m int) {
-		if splits != nil {
-			sr.RelaxSplitPanelRec(data, splits, stride, i, ka, kb, j0, m, f)
-		} else {
-			sr.RelaxSplitPanel(data, stride, i, ka, kb, j0, m, f)
-		}
-	}
-
-	// closeTile runs the in-tile closure of tile (I,J) in dependency
-	// order (rows bottom-up; within a row, splits left to right, each
-	// final cell immediately forward-relaxed into the rest of its row —
-	// always j-contiguous runs) and returns its candidate count. For
-	// I == J this is the triangular DP of the block; off-diagonal tiles
-	// first fold their block-I splits (the rows below, already final),
-	// then sweep the block-J splits forward — the strictly interior
-	// blocks were folded in by phase A.
-	closeTile := func(fbuf []cost.Cost, I, J int) int64 {
-		i0, i1 := lo(I), hi(I)
-		j0, j1 := lo(J), hi(J)
-		var work int64
-		if I == J {
-			for i := i1 - 2; i >= i0; i-- {
-				for k := i + 1; k < j1-1; k++ {
-					m := j1 - k - 1
-					relaxRun(fbuf, i, k, k+1, m)
-					work += int64(m)
-				}
-			}
-			return work
-		}
-		m := j1 - j0
-		for i := i1 - 1; i >= i0; i-- {
-			if fPanel != nil {
-				for k := i + 1; k < i1; k++ {
-					relaxRun(fbuf, i, k, j0, m)
-				}
-			} else if i+1 < i1 {
-				relaxPanel(i, i+1, i1, j0, m)
-			}
-			work += int64(i1-i-1) * int64(m)
-			for k := j0; k < j1-1; k++ {
-				mk := j1 - k - 1
-				relaxRun(fbuf, i, k, k+1, mk)
-				work += int64(mk)
-			}
-		}
-		return work
-	}
+	ts := newTileSolver(sr, in, b, opt.RecordSplits)
+	nb, size := ts.nb, ts.size
+	res := ts.res
+	st := &parutil.Stats{}
+	defer func() { res.Stats = st.View() }()
 
 	for d := 0; d < nb; d++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		tiles := nb - d
 
 		// Phase A: fold the strictly interior split blocks into every
 		// tile row of the diagonal, all rows in parallel. Row blocks of
 		// d >= 1 tiles are always full (only block nb-1 can be short),
-		// so unit u maps to tile u/b, row u%b.
+		// so unit u maps to tile u/b, row u%b. The pool polls ctx before
+		// each claimed row; no extra per-diagonal poll is needed.
 		if d >= 2 {
 			units := tiles * b
-			aWork, err := pool.SumInt64Ctx(ctx, workers, units, 1, func(ulo, uhi int) int64 {
+			aWork, err := pool.SumInt64StatsCtx(ctx, st, workers, units, 1, func(ulo, uhi int) int64 {
 				fbuf := fbufArena.Get(b)
 				defer fbufArena.Put(fbuf)
 				var cnt int64
 				for u := ulo; u < uhi; u++ {
 					I := u / b
-					i := lo(I) + u%b
-					J := I + d
-					j0, m := lo(J), hi(J)-lo(J)
-					for K := I + 1; K < J; K++ {
-						if fPanel != nil {
-							for k := lo(K); k < hi(K); k++ {
-								relaxRun(fbuf, i, k, j0, m)
-							}
-						} else {
-							relaxPanel(i, lo(K), hi(K), j0, m)
-						}
-					}
-					cnt += int64(m) * int64(j0-hi(I))
+					cnt += ts.foldRowInterior(fbuf, ts.lo(I)+u%b, I, I+d)
 				}
 				return cnt
 			})
 			if err != nil {
 				return nil, err
 			}
-			aCells := int64(b) * (int64(tiles-1)*int64(b) + int64(hi(nb-1)-lo(nb-1)))
+			aCells := int64(b) * (int64(tiles-1)*int64(b) + int64(ts.hi(nb-1)-ts.lo(nb-1)))
 			res.Acct.ChargeReduce(aCells, int64(d-1)*int64(b), aWork)
 		}
 
 		// Phase B: close every tile of the diagonal in parallel.
-		bWork, err := pool.SumInt64Ctx(ctx, workers, tiles, 1, func(tlo, thi int) int64 {
+		bWork, err := pool.SumInt64StatsCtx(ctx, st, workers, tiles, 1, func(tlo, thi int) int64 {
 			fbuf := fbufArena.Get(b)
 			defer fbufArena.Put(fbuf)
 			var cnt int64
 			for t := tlo; t < thi; t++ {
-				cnt += closeTile(fbuf, t, t+d)
+				cnt += ts.closeTile(fbuf, t, t+d)
 			}
 			return cnt
 		})

@@ -157,12 +157,16 @@ func runKY[S algebra.Kernel](ctx context.Context, sr S, in *recurrence.Instance,
 		return work
 	}
 
+	st := &parutil.Stats{}
+	defer func() { res.Stats = st.View() }()
+
+	// One fenced dispatch per diagonal (nb barriers total). The pool
+	// polls ctx before each claimed tile; the former per-diagonal
+	// double-poll was redundant with that and with the dispatch's own
+	// ctx.Err() return, and is gone.
 	for d := 0; d < nb; d++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		tiles := nb - d
-		dWork, err := pool.SumInt64Ctx(ctx, workers, tiles, 1, func(tlo, thi int) int64 {
+		dWork, err := pool.SumInt64StatsCtx(ctx, st, workers, tiles, 1, func(tlo, thi int) int64 {
 			var cnt int64
 			for t := tlo; t < thi; t++ {
 				cnt += closeTileKY(t, t+d)

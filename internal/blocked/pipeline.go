@@ -1,0 +1,321 @@
+// Pipelined (barrier-free) execution of the blocked schedule.
+//
+// The wavefront driver in blocked.go fences every anti-diagonal twice
+// (phase A, phase B) — 2(nb−1) full-pool barriers per solve, each with an
+// idle tail while the last tile of a phase finishes. The pipelined driver
+// here runs the *same* tile decomposition as a dependency graph instead
+// (ROADMAP direction 2; the per-tile counter construction of the GPU
+// pipeline line, arXiv:2008.01938, with the nested-dataflow read-set
+// analysis of arXiv:1911.05333 deciding which edges are real): each tile
+// carries an atomic in-degree counter and is pushed onto a lock-free
+// ready stack the instant the counter hits zero, so diagonals stream into
+// each other and — because several solves may seed one shared graph —
+// independent solves overlap on one pool, one solve's tail filling
+// another's head.
+//
+// # Dependency edges
+//
+// Derived from the actual read sets of the two phases, not from the
+// wavefront order. Tile (I,J) with block distance d = J−I reads:
+//
+//   - phase A (d ≥ 2): left factors c(i,k) with k strictly interior —
+//     tiles (I,K), I < K < J — and right rows c(k,j) — tiles (K,J),
+//     I < K < J;
+//   - phase B closure: the block-I fold reads c(i,k) with i,k ∈ block I —
+//     tile (I,I) — and the block-J sweep reads c(k,j) with k,j ∈ block
+//     J — tile (J,J). (Its reads of tile (I,J) itself are intra-tile and
+//     ordered by the closure's own row/column discipline.)
+//
+// Union: (I,K) for I ≤ K < J and (K,J) for I < K ≤ J — exactly 2d
+// predecessors, so deps[(I,J)] starts at 2d, every completed tile
+// decrements its row to the right and its column upward, and the d = 0
+// diagonal tiles seed the graph. This is strictly weaker than the
+// wavefront's "whole diagonal d−1 first", which is why the schedule can
+// pipeline at all.
+//
+// # Why the tables stay bitwise identical
+//
+// Reordering tiles cannot reorder the folds a given cell sees: both
+// drivers call the shared tileSolver units — foldRowInterior folds the
+// interior blocks K in ascending order within one task, and closeTile
+// folds block-I rows then sweeps block-J forward — and a destination
+// cell's every write happens inside exactly one of those units. The
+// dependency edges above guarantee each unit's inputs are final before
+// it runs, so per cell the candidate sequence (and PR 7's smallest-k tie
+// discipline) is identical to the barrier engine's, hence bitwise-equal
+// tables and split matrices under every registered algebra. The
+// conformance matrix and FuzzPipelinedMatchesBlocked pin this.
+package blocked
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"sublineardp/internal/algebra"
+	"sublineardp/internal/parutil"
+	"sublineardp/internal/recurrence"
+)
+
+// BatchItem is one instance of an overlapped pipelined batch, with an
+// optional per-item context: cancelling it abandons that solve's
+// remaining tiles (which still resolve their successors' counters, so
+// the shared graph drains) without touching the other items.
+type BatchItem struct {
+	In  *recurrence.Instance
+	Ctx context.Context
+}
+
+// SolvePipe runs the pipelined engine; like Solve it panics on the only
+// reachable error (an unregistered instance algebra).
+func SolvePipe(in *recurrence.Instance, opt Options) *Result {
+	res, err := SolvePipeCtx(context.Background(), in, opt)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// SolvePipeCtx runs the pipelined engine for one instance: the blocked
+// tile decomposition executed as a dependency graph with no wavefront
+// barriers. The context is checked at tile-task granularity. The result
+// — table, splits, work ledger — is bitwise identical to SolveCtx's.
+func SolvePipeCtx(ctx context.Context, in *recurrence.Instance, opt Options) (*Result, error) {
+	res, errs := SolvePipeBatchCtx(ctx, []BatchItem{{In: in}}, opt)
+	if errs[0] != nil {
+		return nil, errs[0]
+	}
+	return res[0], nil
+}
+
+// SolvePipeBatchCtx seeds every item's tile graph into one shared
+// scheduler and drains them together, so independent solves overlap: the
+// pool never fences between one instance's diagonals or between
+// instances. Results and errors are positional. ctx cancels the whole
+// batch; BatchItem.Ctx cancels one item. Every successful Result carries
+// the shared scheduler's Stats view (the batch ran as one graph — its
+// counters are joint by construction).
+func SolvePipeBatchCtx(ctx context.Context, items []BatchItem, opt Options) ([]*Result, []error) {
+	results := make([]*Result, len(items))
+	errs := make([]error, len(items))
+	if len(items) == 0 {
+		return results, errs
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pool, workers, procs := poolAndProcs(opt)
+	runners := make([]pipeRunner, len(items))
+	live := false
+	for idx, it := range items {
+		if it.In == nil || it.In.N < 1 {
+			panic(fmt.Sprintf("blocked: invalid instance %+v", it.In))
+		}
+		ictx := it.Ctx
+		if ictx == nil {
+			ictx = ctx
+		}
+		r, err := newPipeRunner(ictx, it.In, opt, procs)
+		if err != nil {
+			errs[idx] = err
+			continue
+		}
+		runners[idx] = r
+		live = true
+	}
+	if !live {
+		return results, errs
+	}
+
+	st := &parutil.Stats{}
+	pool.RunGraph(ctx, workers, st, func(g *parutil.TaskGraph) {
+		for _, r := range runners {
+			if r != nil {
+				r.seed(g)
+			}
+		}
+	})
+	view := st.View()
+	for idx, r := range runners {
+		if r == nil {
+			continue
+		}
+		res, err := r.finish(ctx)
+		if err != nil {
+			errs[idx] = err
+			continue
+		}
+		res.Stats = view
+		results[idx] = res
+	}
+	return results, errs
+}
+
+// pipeRunner erases pipeSolve's algebra type parameter so one graph can
+// mix items over different semirings.
+type pipeRunner interface {
+	seed(g *parutil.TaskGraph)
+	finish(batchCtx context.Context) (*Result, error)
+}
+
+// newPipeRunner resolves the item's algebra and instantiates the driver
+// at the concrete kernel type, mirroring SolveCtx's dispatch.
+func newPipeRunner(ctx context.Context, in *recurrence.Instance, opt Options, procs int) (pipeRunner, error) {
+	k, err := algebra.Resolve(opt.Semiring, in.Algebra)
+	if err != nil {
+		return nil, err
+	}
+	b := EffectiveTileSize(in.N, opt.TileSize, procs)
+	switch sr := k.(type) {
+	case algebra.MinPlus:
+		return newPipeSolve(ctx, sr, in, opt, b), nil
+	case algebra.MaxPlus:
+		return newPipeSolve(ctx, sr, in, opt, b), nil
+	case algebra.BoolPlan:
+		return newPipeSolve(ctx, sr, in, opt, b), nil
+	default:
+		return newPipeSolve[algebra.Kernel](ctx, k, in, opt, b), nil
+	}
+}
+
+// pipeSolve is one instance's tile graph state. Tile (I,J) is flat index
+// I*nb+J.
+type pipeSolve[S algebra.Kernel] struct {
+	ts  *tileSolver[S]
+	ctx context.Context
+	// deps is the in-degree counter: 2(J−I) unfinished predecessor
+	// tiles. The task that moves it to zero owns submitting the tile.
+	deps []atomic.Int32
+	// aLeft counts the tile's outstanding phase-A row tasks; the last
+	// row submits the closure, which is the intra-tile A-before-B edge.
+	aLeft     []atomic.Int32
+	tilesLeft atomic.Int64
+	aWork     atomic.Int64
+	bWork     atomic.Int64
+	// failed records that some task observed the item's cancellation and
+	// skipped its compute — the table is not trustworthy past that point.
+	failed atomic.Bool
+}
+
+func newPipeSolve[S algebra.Kernel](ctx context.Context, sr S, in *recurrence.Instance, opt Options, b int) *pipeSolve[S] {
+	ts := newTileSolver(sr, in, b, opt.RecordSplits)
+	nb := ts.nb
+	p := &pipeSolve[S]{
+		ts:    ts,
+		ctx:   ctx,
+		deps:  make([]atomic.Int32, nb*nb),
+		aLeft: make([]atomic.Int32, nb*nb),
+	}
+	for I := 0; I < nb; I++ {
+		for J := I; J < nb; J++ {
+			id := I*nb + J
+			p.deps[id].Store(int32(2 * (J - I)))
+			if J-I >= 2 {
+				p.aLeft[id].Store(int32(ts.hi(I) - ts.lo(I)))
+			}
+		}
+	}
+	p.tilesLeft.Store(int64(nb) * int64(nb+1) / 2)
+	return p
+}
+
+// seed submits the in-degree-zero diagonal tiles.
+func (p *pipeSolve[S]) seed(g *parutil.TaskGraph) {
+	for T := 0; T < p.ts.nb; T++ {
+		T := T
+		g.Submit(func(g *parutil.TaskGraph) { p.closeTask(g, T, T) })
+	}
+}
+
+// ready fires when tile (I,J)'s last predecessor finished: far tiles fan
+// out into one phase-A task per row, near tiles (d < 2 — nothing
+// interior to fold) go straight to closure. A cancelled item skips the
+// fan-out and lets closeTask do bookkeeping only.
+func (p *pipeSolve[S]) ready(g *parutil.TaskGraph, I, J int) {
+	if J-I >= 2 && p.ctx.Err() == nil {
+		i0, i1 := p.ts.lo(I), p.ts.hi(I)
+		for i := i0; i < i1; i++ {
+			i := i
+			g.Submit(func(g *parutil.TaskGraph) { p.rowTask(g, i, I, J) })
+		}
+		return
+	}
+	g.Submit(func(g *parutil.TaskGraph) { p.closeTask(g, I, J) })
+}
+
+// rowTask is one phase-A unit: fold every strictly interior block into
+// row i of tile (I,J). The last row of the tile submits the closure.
+func (p *pipeSolve[S]) rowTask(g *parutil.TaskGraph, i, I, J int) {
+	if p.ctx.Err() == nil {
+		fbuf := fbufArena.Get(p.ts.b)
+		p.aWork.Add(p.ts.foldRowInterior(fbuf, i, I, J))
+		fbufArena.Put(fbuf)
+	} else {
+		p.failed.Store(true)
+	}
+	if p.aLeft[I*p.ts.nb+J].Add(-1) == 0 {
+		g.Submit(func(g *parutil.TaskGraph) { p.closeTask(g, I, J) })
+	}
+}
+
+// closeTask closes tile (I,J) and resolves its successors' counters:
+// the rest of row I to the right, the rest of column J upward. Counter
+// bookkeeping runs even for a cancelled item so a shared graph always
+// drains — cancellation abandons work, never wedges co-batched solves.
+func (p *pipeSolve[S]) closeTask(g *parutil.TaskGraph, I, J int) {
+	if p.ctx.Err() == nil {
+		fbuf := fbufArena.Get(p.ts.b)
+		p.bWork.Add(p.ts.closeTile(fbuf, I, J))
+		fbufArena.Put(fbuf)
+	} else {
+		p.failed.Store(true)
+	}
+	nb := p.ts.nb
+	for J2 := J + 1; J2 < nb; J2++ {
+		if p.deps[I*nb+J2].Add(-1) == 0 {
+			p.ready(g, I, J2)
+		}
+	}
+	for I2 := I - 1; I2 >= 0; I2-- {
+		if p.deps[I2*nb+J].Add(-1) == 0 {
+			p.ready(g, I2, J)
+		}
+	}
+	p.tilesLeft.Add(-1)
+}
+
+// finish validates completion and charges the work ledger. The Work
+// total (leaf units + phase-A + closure candidates) is identical to the
+// barrier driver's — the units return the same counts — while Time is
+// charged as one phase-A fold plus one closure fold for the whole solve
+// (the pipelined schedule has no per-diagonal fences to charge).
+func (p *pipeSolve[S]) finish(batchCtx context.Context) (*Result, error) {
+	if p.failed.Load() || p.tilesLeft.Load() > 0 {
+		if err := p.ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := batchCtx.Err(); err != nil {
+			return nil, err
+		}
+		// Unreachable: incompleteness implies a cancelled context.
+		return nil, context.Canceled
+	}
+	ts := p.ts
+	b, nb, size := ts.b, ts.nb, ts.size
+	res := ts.res
+	var aCells, bCells int64
+	for d := 0; d < nb; d++ {
+		if d >= 2 {
+			tiles := nb - d
+			aCells += int64(b) * (int64(tiles-1)*int64(b) + int64(ts.hi(nb-1)-ts.lo(nb-1)))
+		}
+		bCells += closedCells(d, b, nb, size)
+	}
+	if aw := p.aWork.Load(); aw > 0 {
+		res.Acct.ChargeReduce(aCells, int64(nb-2)*int64(b), aw)
+	}
+	if bw := p.bWork.Load(); bw > 0 {
+		res.Acct.ChargeReduce(bCells, 2*int64(b), bw)
+	}
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package parutil
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+)
+
+// A task graph must run every submitted task exactly once, including
+// tasks submitted from inside running tasks (the successor pattern).
+func TestRunGraphExecutesAllTasks(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	var ran atomic.Int64
+	st := &Stats{}
+	err := pool.RunGraph(context.Background(), 3, st, func(g *TaskGraph) {
+		for i := 0; i < 8; i++ {
+			g.Submit(func(g *TaskGraph) {
+				ran.Add(1)
+				// Two generations of successors from inside the task.
+				g.Submit(func(g *TaskGraph) {
+					ran.Add(1)
+					g.Submit(func(*TaskGraph) { ran.Add(1) })
+				})
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 24 {
+		t.Fatalf("ran %d tasks, want 24", got)
+	}
+	v := st.View()
+	if v.Tasks != 24 {
+		t.Errorf("stats counted %d tasks, want 24", v.Tasks)
+	}
+	if v.Barriers != 0 {
+		t.Errorf("graph drain recorded %d barriers, want 0", v.Barriers)
+	}
+}
+
+// An empty graph (seed submits nothing) must quiesce immediately.
+func TestRunGraphEmpty(t *testing.T) {
+	if err := Default().RunGraph(context.Background(), 2, nil, func(*TaskGraph) {}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Dependency-counter publication: a diamond where the join task reads
+// values written by both branches, gated only by the atomic counter.
+func TestRunGraphCounterPublication(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	for trial := 0; trial < 200; trial++ {
+		var a, b int
+		var pending atomic.Int32
+		pending.Store(2)
+		var sum int
+		err := pool.RunGraph(context.Background(), 4, nil, func(g *TaskGraph) {
+			join := func(g *TaskGraph) {
+				if pending.Add(-1) == 0 {
+					g.Submit(func(*TaskGraph) { sum = a + b })
+				}
+			}
+			g.Submit(func(g *TaskGraph) { a = 1; join(g) })
+			g.Submit(func(g *TaskGraph) { b = 2; join(g) })
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != 3 {
+			t.Fatalf("trial %d: join read %d, want 3", trial, sum)
+		}
+	}
+}
+
+// Cancellation: workers stop claiming, parked workers wake, RunGraph
+// returns the error instead of wedging on the abandoned tasks.
+func TestRunGraphCancellation(t *testing.T) {
+	pool := NewPool(3)
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var after atomic.Int64
+	err := pool.RunGraph(ctx, 3, nil, func(g *TaskGraph) {
+		g.Submit(func(g *TaskGraph) {
+			cancel()
+			for i := 0; i < 64; i++ {
+				g.Submit(func(*TaskGraph) { after.Add(1) })
+			}
+		})
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// The stats-aware dispatch counts one barrier per phase and one task per
+// claimed chunk, deterministically.
+func TestStatsDispatchCounters(t *testing.T) {
+	pool := NewPool(4)
+	defer pool.Close()
+	st := &Stats{}
+	var total atomic.Int64
+	for phase := 0; phase < 3; phase++ {
+		sum, err := pool.SumInt64StatsCtx(context.Background(), st, 4, 8, 1, func(lo, hi int) int64 {
+			total.Add(int64(hi - lo))
+			return int64(hi - lo)
+		})
+		if err != nil || sum != 8 {
+			t.Fatalf("phase %d: sum=%d err=%v", phase, sum, err)
+		}
+	}
+	v := st.View()
+	if v.Barriers != 3 {
+		t.Errorf("barriers = %d, want 3 (one per dispatch)", v.Barriers)
+	}
+	if v.Tasks != 24 {
+		t.Errorf("tasks = %d, want 24 (8 unit chunks per dispatch)", v.Tasks)
+	}
+	// The single-worker inline path still fences (and counts) the phase.
+	st2 := &Stats{}
+	if _, err := pool.SumInt64StatsCtx(context.Background(), st2, 1, 5, 0, func(lo, hi int) int64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+	if v2 := st2.View(); v2.Barriers != 1 || v2.Tasks != 1 {
+		t.Errorf("inline dispatch counted %+v, want 1 barrier / 1 task", v2)
+	}
+	// A nil collector is a no-op everywhere.
+	if _, err := pool.SumInt64StatsCtx(context.Background(), nil, 2, 4, 1, func(lo, hi int) int64 { return 0 }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -149,6 +149,13 @@ func mixedRequests() []*wire.Request {
 			Dims: []int{30, 35, 15, 5, 10, 20, 25}, Options: wire.Options{Engine: "wavefront"}},
 		&wire.Request{ID: "clrs-ryt", Kind: wire.KindMatrixChain,
 			Dims: []int{30, 35, 15, 5, 10, 20, 25}, Options: wire.Options{Engine: "rytter"}},
+		// The same large instance on both tiled engines: the fenced one
+		// and the barrier-free pipelined one, with a tile size that
+		// forces several blocks — bitwise-identical digests by contract.
+		&wire.Request{ID: "big-blocked", Kind: wire.KindMatrixChain, Dims: big,
+			Options: wire.Options{Engine: "blocked", TileSize: 16}},
+		&wire.Request{ID: "big-pipe", Kind: wire.KindMatrixChain, Dims: big,
+			Options: wire.Options{Engine: "blocked-pipe", TileSize: 16}},
 	)
 	return reqs
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sublineardp"
+	"sublineardp/internal/calibrate"
 	"sublineardp/internal/problems"
 	"sublineardp/internal/wire"
 )
@@ -314,5 +315,51 @@ func TestBatcherCoalescesAWindow(t *testing.T) {
 	}
 	if m.Batches >= n/2 {
 		t.Fatalf("%d batches for %d concurrent requests: batcher not coalescing", m.Batches, n)
+	}
+}
+
+// A calibration profile attached to the server (dpserved -calibration)
+// re-routes auto solves by its measured thresholds — here a profile
+// whose tiny cutoffs push a modest request onto the pipelined tile
+// engine the defaults would never choose at that size — while a request
+// that sets the same knobs explicitly keeps its own values.
+func TestCalibrationProfileRoutesAutoSolves(t *testing.T) {
+	_, hs := newTestServer(t, Config{Calibration: &sublineardp.Calibration{
+		Schema:          calibrate.Schema,
+		AutoCutoff:      4,
+		AutoLargeCutoff: 4,
+		TileSize:        8,
+	}})
+	dims := make([]int, 21) // n = 20: sequential under default routing
+	for i := range dims {
+		dims[i] = (i*7)%13 + 1
+	}
+
+	resp, body := postSolve(t, hs.URL, &wire.Request{
+		ID: "cal-1", Kind: wire.KindMatrixChain, Dims: dims,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var wr wire.Response
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Engine != sublineardp.EngineBlockedPipe {
+		t.Fatalf("calibrated auto solve ran %q, want %q", wr.Engine, sublineardp.EngineBlockedPipe)
+	}
+
+	resp, body = postSolve(t, hs.URL, &wire.Request{
+		ID: "cal-2", Kind: wire.KindMatrixChain, Dims: dims,
+		Options: wire.Options{AutoCutoff: 64},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Engine != sublineardp.EngineSequential {
+		t.Fatalf("explicit auto_cutoff lost to the server profile: engine %q", wr.Engine)
 	}
 }

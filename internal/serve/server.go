@@ -75,6 +75,11 @@ type Config struct {
 	// Pool is the worker pool every batch dispatches onto (nil = the
 	// process-wide shared pool).
 	Pool *sublineardp.Pool
+	// Calibration, when non-nil, is the machine-local profile written by
+	// `dpbench -calibrate`: its measured auto-routing cutoffs and tile
+	// size apply to every solve, with knobs a request sets explicitly
+	// still winning (see sublineardp.WithCalibration).
+	Calibration *sublineardp.Calibration
 }
 
 func (c Config) withDefaults() Config {
@@ -290,6 +295,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.met.badRequests.Add(1)
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if s.cfg.Calibration != nil {
+		// Fill-if-unset semantics: the machine profile supplies routing
+		// cutoffs and tile size only where the request did not.
+		opts = append(opts, sublineardp.WithCalibration(s.cfg.Calibration))
 	}
 	var in *sublineardp.Instance
 	var chain *sublineardp.Chain

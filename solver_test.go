@@ -187,15 +187,19 @@ func TestAutoEngineSelectsBySize(t *testing.T) {
 		t.Errorf("n=%d routed to %q, want hlv-banded", large.N, solLarge.Engine)
 	}
 
-	// Above the large cutoff the work-efficient blocked engine takes
-	// over — the only parallel engine whose memory stays O(n^2).
+	// Above the large cutoff the barrier-free pipelined blocked engine
+	// takes over — O(n^2) memory and zero wavefront barriers
+	// (Solution.Stats pins the latter).
 	huge := sublineardp.NewShaped(sublineardp.CompleteTree(300))
 	solHuge, err := s.Solve(context.Background(), huge)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if solHuge.Engine != sublineardp.EngineBlocked {
-		t.Errorf("n=%d routed to %q, want blocked", huge.N, solHuge.Engine)
+	if solHuge.Engine != sublineardp.EngineBlockedPipe {
+		t.Errorf("n=%d routed to %q, want blocked-pipe", huge.N, solHuge.Engine)
+	}
+	if solHuge.Stats.Barriers != 0 || solHuge.Stats.Tasks == 0 {
+		t.Errorf("blocked-pipe stats = %+v, want 0 barriers and non-zero tasks", solHuge.Stats)
 	}
 
 	// A custom cutoff flips the small instance to the parallel engine.
@@ -208,14 +212,15 @@ func TestAutoEngineSelectsBySize(t *testing.T) {
 		t.Errorf("cutoff=4: n=%d routed to %q, want hlv-banded", small.N, sol.Engine)
 	}
 
-	// A custom large cutoff flips the mid-sized instance to blocked.
+	// A custom large cutoff flips the mid-sized instance to the
+	// pipelined blocked engine.
 	wide := sublineardp.MustNewSolver(sublineardp.EngineAuto, sublineardp.WithAutoLargeCutoff(70))
 	sol, err = wide.Solve(context.Background(), large)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sol.Engine != sublineardp.EngineBlocked {
-		t.Errorf("large-cutoff=70: n=%d routed to %q, want blocked", large.N, sol.Engine)
+	if sol.Engine != sublineardp.EngineBlockedPipe {
+		t.Errorf("large-cutoff=70: n=%d routed to %q, want blocked-pipe", large.N, sol.Engine)
 	}
 }
 

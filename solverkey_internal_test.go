@@ -64,7 +64,7 @@ func TestSolveKeySeparatesResultAffectingOptions(t *testing.T) {
 	}
 
 	// Engine routing is keyed through the engine name argument.
-	for _, engine := range []string{EngineSequential, EngineHLVBanded, EngineHLVDense, EngineBlocked, EngineBlockedKY} {
+	for _, engine := range []string{EngineSequential, EngineHLVBanded, EngineHLVDense, EngineBlocked, EngineBlockedPipe, EngineBlockedKY} {
 		key, _ := solveKey(in, engine, &base)
 		add("engine="+engine, key)
 	}

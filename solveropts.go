@@ -27,6 +27,10 @@ type (
 	// kernels onto (WithPool); one Pool can be shared by many concurrent
 	// solves. Build one with NewPool.
 	Pool = parutil.Pool
+	// PoolStats is a per-solve scheduler observability snapshot (barrier
+	// count, barrier-tail idle nanoseconds, executed work units, steals),
+	// exposed as Solution.Stats by the tile engines.
+	PoolStats = parutil.StatsView
 )
 
 // NewPool returns a persistent worker pool of the given width
@@ -141,10 +145,11 @@ type Config struct {
 	AutoCutoff int
 
 	// AutoLargeCutoff is the instance size above which the "auto" engine
-	// picks the work-efficient "blocked" engine instead of "hlv-banded"
-	// (0 = the DefaultAutoLargeCutoff; values below AutoCutoff clamp to
-	// it). Past this size the HLV iteration's O(n^2.5) deficit store and
-	// per-iteration sweeps lose to the O(n^2)-memory blocked wavefront.
+	// picks the work-efficient "blocked-pipe" engine instead of
+	// "hlv-banded" (0 = the DefaultAutoLargeCutoff; values below
+	// AutoCutoff clamp to it). Past this size the HLV iteration's
+	// O(n^2.5) deficit store and per-iteration sweeps lose to the
+	// O(n^2)-memory blocked tile schedule.
 	AutoLargeCutoff int
 
 	// Convexity demands the Knuth-Yao pruned path: Solve fails with
