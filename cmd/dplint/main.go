@@ -1,0 +1,84 @@
+// Command dplint runs the repository's static-analysis suite
+// (internal/lint): repo-specific analyzers that mechanize the
+// invariants earlier PRs audited by hand — cache-key coverage, context
+// polling in engine loops, bulk-kernel discipline, hot-loop
+// allocations, and atomic/plain access mixing.
+//
+//	go run ./cmd/dplint            # human-readable findings, exit 1 if any
+//	go run ./cmd/dplint -json      # machine-readable findings array
+//	go run ./cmd/dplint -checks ctxpoll,atomicmix
+//	go run ./cmd/dplint -list      # check catalog
+//
+// Findings are suppressed only by explicit
+// `//lint:allow <check> <reason>` comments at the finding site; a
+// directive that suppresses nothing is itself a finding, so stale
+// annotations fail exactly like missing ones.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"sublineardp/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		checks  = flag.String("checks", "all", "comma-separated check IDs to run (see -list)")
+		list    = flag.Bool("list", false, "print the check catalog and exit")
+		dir     = flag.String("dir", "", "module root to analyze (default: locate go.mod upward from cwd)")
+	)
+	flag.Parse()
+
+	suite, err := lint.Select(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dplint:", err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range lint.DefaultSuite() {
+			fmt.Printf("%-12s %s\n", a.Name(), a.Doc())
+		}
+		return
+	}
+
+	root := *dir
+	if root == "" {
+		root, err = lint.FindModuleRoot(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dplint:", err)
+			os.Exit(2)
+		}
+	}
+	prog, err := lint.Load(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dplint:", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(prog, suite)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "dplint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		if len(findings) == 0 {
+			fmt.Printf("dplint: %d checks clean\n", len(suite))
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -97,7 +97,7 @@ func CheckLaws(sr Semiring) error {
 	}
 	for _, law := range laws {
 		if err := quick.Check(law.fn, cfg); err != nil {
-			return fmt.Errorf("%s: %v", law.name, err)
+			return fmt.Errorf("%s: %v", law.name, err) //lint:allow hotalloc law-checker validation loop, runs once per RegisterSemiring, never per solve
 		}
 	}
 	// The derived helpers must agree with their definitions when the

@@ -109,7 +109,7 @@ func SolvePipeBatchCtx(ctx context.Context, items []BatchItem, opt Options) ([]*
 	live := false
 	for idx, it := range items {
 		if it.In == nil || it.In.N < 1 {
-			panic(fmt.Sprintf("blocked: invalid instance %+v", it.In))
+			panic(fmt.Sprintf("blocked: invalid instance %+v", it.In)) //lint:allow hotalloc construction-time validation panic: formats once on a programming error, cold by definition
 		}
 		ictx := it.Ctx
 		if ictx == nil {
@@ -129,7 +129,7 @@ func SolvePipeBatchCtx(ctx context.Context, items []BatchItem, opt Options) ([]*
 
 	st := &parutil.Stats{}
 	pool.RunGraph(ctx, workers, st, func(g *parutil.TaskGraph) {
-		for _, r := range runners {
+		for _, r := range runners { //lint:allow ctxpoll O(batch) task-seeding loop; cancellation is RunGraph(ctx) draining the shared graph
 			if r != nil {
 				r.seed(g)
 			}

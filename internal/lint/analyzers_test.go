@@ -1,0 +1,189 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Each analyzer is pinned against a fixture package under testdata/
+// holding at least one true positive (a line marked `positive:`) and
+// one //lint:allow-suppressed negative. The test asserts three things:
+// the surviving findings are exactly the marked lines, the suppressed
+// negative was genuinely detected before suppression (the annotation is
+// load-bearing, not decorative), and deleting the annotation would
+// therefore make the suite fail.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		fixture  string
+		analyzer Analyzer
+	}{
+		{"keycoverage", &KeyCoverage{Struct: "Config", KeyFuncs: []string{"solveKey"}}},
+		{"ctxpoll", &CtxPoll{}},
+		{"bulkonly", &BulkOnly{}},
+		{"hotalloc", &HotAlloc{}},
+		{"atomicmix", &AtomicMix{}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.fixture, func(t *testing.T) {
+			prog := loadFixture(t, tc.fixture)
+			name := tc.analyzer.Name()
+
+			survived := Run(prog, []Analyzer{tc.analyzer})
+			for _, f := range survived {
+				if f.Check != name {
+					t.Fatalf("unexpected check %q in %v", f.Check, f)
+				}
+			}
+			got := findingLines(survived)
+			want := markedLines(t, fixtureFile(tc.fixture), "positive:")
+			if len(want) == 0 {
+				t.Fatal("fixture declares no positive lines")
+			}
+			if !equalInts(got, want) {
+				t.Errorf("surviving finding lines = %v, want marked lines %v\nfindings:\n%s",
+					got, want, findingDump(survived))
+			}
+
+			// The annotated negative must be a real detection that the
+			// directive discharged — raw output strictly larger than the
+			// surviving set, covering the directive's target line.
+			raw := tc.analyzer.Run(prog)
+			if len(raw) <= len(survived) {
+				t.Fatalf("suppressed negative not detected pre-suppression: raw=%d survived=%d", len(raw), len(survived))
+			}
+			dirLines := markedLines(t, fixtureFile(tc.fixture), "lint:allow")
+			if len(dirLines) != 1 {
+				t.Fatalf("fixture wants exactly one allow directive, found lines %v", dirLines)
+			}
+			rawLines := findingLines(raw)
+			if !containsInt(rawLines, dirLines[0]) && !containsInt(rawLines, dirLines[0]+1) {
+				t.Errorf("no raw finding at the annotated negative (directive line %d, raw lines %v)", dirLines[0], rawLines)
+			}
+			// And no directive went stale: Run reported no allowdead.
+			for _, f := range survived {
+				if f.Check == CheckAllowDead {
+					t.Errorf("fixture annotation is dead: %v", f)
+				}
+			}
+		})
+	}
+}
+
+// The framework's own hygiene: a stale directive is an allowdead
+// finding, a reasonless directive is an allowform finding — so every
+// annotation in the tree stays both load-bearing and justified.
+func TestDirectiveHygieneFixture(t *testing.T) {
+	prog := loadFixture(t, "framework")
+	findings := Run(prog, []Analyzer{&CtxPoll{}, &HotAlloc{}})
+	var checks []string
+	for _, f := range findings {
+		checks = append(checks, f.Check)
+	}
+	sort.Strings(checks)
+	if strings.Join(checks, ",") != CheckAllowDead+","+CheckAllowForm {
+		t.Fatalf("framework fixture findings = %v, want exactly one %s and one %s\n%s",
+			checks, CheckAllowDead, CheckAllowForm, findingDump(findings))
+	}
+}
+
+// A directive must only discharge findings of its own check: under a
+// ctxpoll-only run the bulkonly fixture's annotation discharges
+// nothing (its loops belong to no Solve*Ctx entry point), so the
+// directive itself is reported dead rather than silently absorbing a
+// finding from the wrong check.
+func TestDirectiveIsCheckScoped(t *testing.T) {
+	prog := loadFixture(t, "bulkonly")
+	findings := Run(prog, []Analyzer{&CtxPoll{}})
+	dead := 0
+	for _, f := range findings {
+		if f.Check == CheckAllowDead {
+			dead++
+		}
+	}
+	if dead != 1 {
+		t.Fatalf("want the bulkonly directive reported dead under a ctxpoll-only run, got findings:\n%s", findingDump(findings))
+	}
+}
+
+func loadFixture(t *testing.T, name string) *Program {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadDir(filepath.Join("testdata", name), root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", name, prog.TypeErrors)
+	}
+	return prog
+}
+
+func fixtureFile(name string) string {
+	return filepath.Join("testdata", name, "fixture.go")
+}
+
+// markedLines returns the 1-based lines of path containing marker.
+func markedLines(t *testing.T, path, marker string) []int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []int
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, marker) {
+			out = append(out, i+1)
+		}
+	}
+	return out
+}
+
+// findingLines returns the sorted, deduplicated finding lines (several
+// findings may anchor to one marked line, e.g. fmt call + boxing).
+func findingLines(fs []Finding) []int {
+	seen := map[int]bool{}
+	for _, f := range fs {
+		seen[f.Line] = true
+	}
+	out := make([]int, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func findingDump(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

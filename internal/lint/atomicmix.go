@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix mechanizes the memory-model audit the CAS-cascade packages
+// (parutil.TaskGraph, the LLP engine) live on: once any site accesses a
+// struct field through the sync/atomic functions
+// (atomic.LoadInt64(&s.f), atomic.AddInt32(&s.f, 1), ...), every other
+// access to that field must be atomic too — a plain read can observe a
+// torn or stale value and a plain write races the CAS, and the race
+// detector only catches the schedules it happens to see. Typed atomics
+// (atomic.Int64 fields) are immune by construction and are the
+// preferred fix; genuinely single-threaded phases (pre-publication
+// construction) carry //lint:allow atomicmix annotations saying so.
+type AtomicMix struct{}
+
+func (*AtomicMix) Name() string { return "atomicmix" }
+func (*AtomicMix) Doc() string {
+	return "a struct field accessed via sync/atomic functions anywhere must never be read or written plainly elsewhere"
+}
+
+func (a *AtomicMix) Run(prog *Program) []Finding {
+	// Pass 1: collect fields accessed through sync/atomic functions,
+	// and the selector nodes forming those accesses (excluded from
+	// pass 2).
+	atomicFields := map[types.Object]string{} // field -> one atomic site, for the message
+	atomicNodes := map[*ast.SelectorExpr]bool{}
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				path, _, ok := packageCall(pkg, call)
+				if !ok || path != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := arg.(*ast.UnaryExpr)
+					if !ok {
+						continue
+					}
+					sel, ok := un.X.(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+						if _, seen := atomicFields[s.Obj()]; !seen {
+							p := prog.Fset.Position(call.Pos())
+							atomicFields[s.Obj()] = fmt.Sprintf("%s:%d", p.Filename, p.Line)
+						}
+						atomicNodes[sel] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Pass 2: any other selector resolving to one of those fields is a
+	// mixed access. Composite-literal field keys are construction and
+	// are not selectors, so they never reach here; &s.f handed to an
+	// atomic call was excluded above.
+	var out []Finding
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || atomicNodes[sel] {
+					return true
+				}
+				s, ok := pkg.Info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					return true
+				}
+				site, tracked := atomicFields[s.Obj()]
+				if !tracked {
+					return true
+				}
+				rel := relTo(prog.Root, site)
+				out = append(out, finding(prog, a.Name(), sel.Sel.Pos(),
+					"plain access to field %s, which is accessed via sync/atomic at %s: mixed atomic/plain access races — make this access atomic (or migrate the field to a typed atomic), or annotate why this phase is single-threaded", s.Obj().Name(), rel))
+				return true
+			})
+		}
+	}
+	return out
+}

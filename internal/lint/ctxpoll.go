@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxPoll mechanizes the PR 9 cancellation audit: every exported
+// Solve*Ctx engine entry point takes a context so a cancelled request
+// can abort mid-solve — which only works if every loop that scales
+// with the instance either polls ctx.Err()/ctx.Done(), passes the
+// context onward (pool dispatch, recursive solves), or captures it in
+// the worker closures it spawns. A loop nest with no context reference
+// at all is an unkillable solve: the request deadline fires, the
+// client disconnects, and the engine keeps burning the machine.
+type CtxPoll struct {
+	// Packages restricts the scan to these module-relative package
+	// paths (nil = every loaded package).
+	Packages []string
+}
+
+func (*CtxPoll) Name() string { return "ctxpoll" }
+func (*CtxPoll) Doc() string {
+	return "every loop of an exported Solve*Ctx entry point must poll, pass, or capture the context"
+}
+
+func (a *CtxPoll) Run(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range targetPackages(prog, a.Packages) {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !isSolveCtxEntry(pkg, fd) {
+					continue
+				}
+				for _, loop := range outermostLoops(fd.Body) {
+					if !referencesContext(pkg, loop) {
+						out = append(out, finding(prog, a.Name(), loop.Pos(),
+							"loop in %s never consults the context (no ctx.Err()/ctx.Done() poll, no pass, no capture): a cancelled solve cannot stop here — poll ctx.Err(), or annotate why this loop is O(1)-bounded",
+							fd.Name.Name))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// isSolveCtxEntry reports whether fd is an exported Solve*Ctx function
+// or method with a context.Context parameter.
+func isSolveCtxEntry(pkg *Package, fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	if !ast.IsExported(name) || !strings.HasPrefix(name, "Solve") || !strings.HasSuffix(name, "Ctx") {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pkg.Info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// outermostLoops collects the for/range statements of body that are not
+// themselves nested inside another loop of body. Loops inside function
+// literals count: a worker body handed to a pool runs the same
+// iteration space and needs the same cancellation story.
+func outermostLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+			return false // nested loops live in this subtree
+		}
+		return true
+	})
+	return loops
+}
+
+// referencesContext reports whether any expression under n has type
+// context.Context — a poll (ctx.Err()), a pass (f(ctx, ...)), or a
+// capture (closure mentioning ctx) all qualify.
+func referencesContext(pkg *Package, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if expr, ok := n.(ast.Expr); ok {
+			if tv, ok := pkg.Info.Types[expr]; ok && isContextType(tv.Type) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// targetPackages resolves a module-relative package filter (nil = all).
+func targetPackages(prog *Program, rels []string) []*Package {
+	if rels == nil {
+		return prog.Packages
+	}
+	var out []*Package
+	for _, rel := range rels {
+		if pkg := prog.Pkg(rel); pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}

@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc guards the kernel and tile-body packages against allocation
+// creep inside loops: a fmt call, a time.Now, a string concatenation,
+// or a value boxed into interface{} per iteration turns an O(1)-alloc
+// tile body into a GC treadmill that no benchmark assertion catches
+// until the allocs/op gate trips. Validation and panic paths that
+// legitimately format (cold by construction) carry //lint:allow
+// hotalloc annotations saying so.
+type HotAlloc struct {
+	// Packages restricts the scan to these module-relative package
+	// paths (nil = every loaded package).
+	Packages []string
+}
+
+func (*HotAlloc) Name() string { return "hotalloc" }
+func (*HotAlloc) Doc() string {
+	return "no fmt calls, time.Now, string concatenation, or interface boxing inside loops of kernel packages"
+}
+
+func (a *HotAlloc) Run(prog *Program) []Finding {
+	var out []Finding
+	for _, pkg := range targetPackages(prog, a.Packages) {
+		for _, file := range pkg.Files {
+			var walk func(n ast.Node, inLoop bool)
+			walk = func(n ast.Node, inLoop bool) {
+				if n == nil {
+					return
+				}
+				switch n := n.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					inLoop = true
+				case *ast.CallExpr:
+					if inLoop {
+						if f, ok := a.checkCall(prog, pkg, n); ok {
+							out = append(out, f)
+						}
+					}
+				case *ast.BinaryExpr:
+					if inLoop && n.Op == token.ADD && isStringType(pkg, n) {
+						out = append(out, finding(prog, a.Name(), n.OpPos,
+							"string concatenation allocates on every iteration: build once outside the loop, or annotate why this path is cold"))
+					}
+				case *ast.AssignStmt:
+					if inLoop && n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pkg, n.Lhs[0]) {
+						out = append(out, finding(prog, a.Name(), n.TokPos,
+							"string concatenation allocates on every iteration: build once outside the loop, or annotate why this path is cold"))
+					}
+				}
+				for _, child := range childNodes(n) {
+					walk(child, inLoop)
+				}
+			}
+			walk(file, false)
+		}
+	}
+	return out
+}
+
+func (a *HotAlloc) checkCall(prog *Program, pkg *Package, call *ast.CallExpr) (Finding, bool) {
+	if pkgName, fn, ok := packageCall(pkg, call); ok {
+		switch {
+		case pkgName == "fmt":
+			return finding(prog, a.Name(), call.Pos(),
+				"fmt.%s in a loop allocates (boxes every argument): move formatting out of the hot path, or annotate why this path is cold", fn), true
+		case pkgName == "time" && fn == "Now":
+			return finding(prog, a.Name(), call.Pos(),
+				"time.Now in a loop is a vDSO call per iteration: hoist the timestamp, or annotate why this loop is not hot"), true
+		}
+	}
+	// Interface boxing: a concrete value passed where the callee takes
+	// interface{}/any heap-allocates per call.
+	sig, ok := calleeSignature(pkg, call)
+	if !ok {
+		return Finding{}, false
+	}
+	for i, arg := range call.Args {
+		pt := paramType(sig, i)
+		if pt == nil || !isEmptyInterface(pt) {
+			continue
+		}
+		at, ok := pkg.Info.Types[arg]
+		if ok && at.Type != nil && !types.IsInterface(at.Type) && at.Type != types.Typ[types.UntypedNil] {
+			return finding(prog, a.Name(), arg.Pos(),
+				"argument boxes a concrete value into interface{} on every iteration: hoist it or take a typed parameter, or annotate why this path is cold"), true
+		}
+	}
+	return Finding{}, false
+}
+
+// packageCall decomposes `pkg.Fn(...)` calls, reporting the package
+// name's imported path base and the function name.
+func packageCall(pkg *Package, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+func calleeSignature(pkg *Package, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok || tv.IsType() { // conversions are not calls
+		return nil, false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	return sig, ok
+}
+
+func paramType(sig *types.Signature, i int) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if slice, ok := sig.Params().At(n - 1).Type().(*types.Slice); ok {
+			return slice.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func isEmptyInterface(t types.Type) bool {
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && iface.Empty()
+}
+
+func isStringType(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}

@@ -1,0 +1,244 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Finding is one analyzer diagnostic, anchored to a source position.
+type Finding struct {
+	// Check is the analyzer's stable ID ("keycoverage", "ctxpoll", ...).
+	Check string `json:"check"`
+	// File is the path relative to the program root; Line is 1-based.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	// Message states the violated invariant and how to discharge it.
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Check, f.Message)
+}
+
+// An Analyzer checks one repo invariant over a loaded Program.
+type Analyzer interface {
+	// Name is the check ID findings carry and //lint:allow references.
+	Name() string
+	// Doc is a one-line description for -checks listings.
+	Doc() string
+	Run(prog *Program) []Finding
+}
+
+// Checks reserved by the framework itself (never valid analyzer names):
+// allowdead flags a //lint:allow directive that suppresses nothing,
+// allowform flags a malformed directive, and typecheck surfaces
+// type-checker diagnostics so a broken tree cannot pass as clean.
+const (
+	CheckAllowDead = "allowdead"
+	CheckAllowForm = "allowform"
+	CheckTypes     = "typecheck"
+)
+
+// Run executes the analyzers over prog and returns the surviving
+// findings sorted by position: analyzer findings minus the ones
+// discharged by well-formed //lint:allow directives, plus framework
+// findings for malformed or dead directives and type errors.
+//
+// The suppression contract: `//lint:allow <check> <reason>` discharges
+// findings of <check> on its own line when it trails code, or on the
+// next line when it stands alone (directives stack — a run of
+// standalone directives all target the first non-directive line).
+// A directive that discharges nothing is an allowdead finding, so
+// stale annotations fail the suite exactly like missing ones.
+func Run(prog *Program, analyzers []Analyzer) []Finding {
+	var raw []Finding
+	for _, a := range analyzers {
+		raw = append(raw, a.Run(prog)...)
+	}
+	directives, malformed := collectDirectives(prog)
+
+	var out []Finding
+	for _, f := range raw {
+		if d := directives.match(f); d != nil {
+			d.used = true
+			continue
+		}
+		out = append(out, f)
+	}
+	out = append(out, malformed...)
+	for _, d := range directives.all {
+		if !d.used {
+			out = append(out, Finding{
+				Check: CheckAllowDead, File: d.file, Line: d.line,
+				Message: fmt.Sprintf("//lint:allow %s suppresses no finding — stale annotation, delete it or restore the code it covered", d.check),
+			})
+		}
+	}
+	for _, err := range prog.TypeErrors {
+		out = append(out, Finding{Check: CheckTypes, File: "", Line: 0, Message: err.Error()})
+	}
+	relativize(prog.Root, out)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Check < b.Check || (a.Check == b.Check && a.Message < b.Message)
+	})
+	return out
+}
+
+func relativize(root string, fs []Finding) {
+	for i := range fs {
+		if rel, err := filepath.Rel(root, fs[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			fs[i].File = filepath.ToSlash(rel)
+		}
+	}
+}
+
+// posn converts a token.Pos into a Finding anchor.
+func posn(prog *Program, pos token.Pos) (string, int) {
+	p := prog.Fset.Position(pos)
+	return p.Filename, p.Line
+}
+
+func finding(prog *Program, check string, pos token.Pos, format string, args ...any) Finding {
+	file, line := posn(prog, pos)
+	return Finding{Check: check, File: file, Line: line, Message: fmt.Sprintf(format, args...)}
+}
+
+type directive struct {
+	file   string
+	line   int // line the comment sits on
+	target int // line whose findings it discharges
+	check  string
+	reason string
+	used   bool
+}
+
+type directiveSet struct {
+	all   []*directive
+	index map[string][]*directive // file -> directives
+}
+
+func (s *directiveSet) match(f Finding) *directive {
+	for _, d := range s.index[f.File] {
+		if d.check == f.Check && d.target == f.Line {
+			return d
+		}
+	}
+	return nil
+}
+
+// collectDirectives scans every comment of every loaded file for
+// allow directives, resolving each to its target line. Malformed
+// directives (missing check or reason) come back as allowform findings.
+func collectDirectives(prog *Program) (*directiveSet, []Finding) {
+	set := &directiveSet{index: map[string][]*directive{}}
+	var malformed []Finding
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			codeLines := map[int]bool{} // lines holding code before a comment starts
+			src := sourceLines(prog, file.Package)
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					base := prog.Fset.Position(c.Slash)
+					for off, text := range strings.Split(c.Text, "\n") {
+						rest, ok := cutDirective(text)
+						if !ok {
+							continue
+						}
+						line := base.Line + off
+						check, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+						reason = strings.TrimSpace(reason)
+						if check == "" || reason == "" {
+							malformed = append(malformed, Finding{
+								Check: CheckAllowForm, File: base.Filename, Line: line,
+								Message: "malformed directive: want //lint:allow <check> <reason>",
+							})
+							continue
+						}
+						d := &directive{file: base.Filename, line: line, check: check, reason: reason}
+						if lineHasCode(src, line, prog.Fset.Position(c.Slash).Column) {
+							codeLines[line] = true
+						}
+						set.all = append(set.all, d)
+						set.index[d.file] = append(set.index[d.file], d)
+					}
+				}
+			}
+			// Resolve targets: trailing directives cover their own line;
+			// standalone ones cover the next non-directive line (stacking).
+			byLine := map[int]bool{}
+			for _, d := range set.index[posFile(prog, file.Package)] {
+				if !codeLines[d.line] {
+					byLine[d.line] = true
+				}
+			}
+			for _, d := range set.index[posFile(prog, file.Package)] {
+				if codeLines[d.line] {
+					d.target = d.line
+					continue
+				}
+				t := d.line + 1
+				for byLine[t] {
+					t++
+				}
+				d.target = t
+			}
+		}
+	}
+	return set, malformed
+}
+
+func cutDirective(text string) (string, bool) {
+	for _, prefix := range []string{"//lint:allow ", "// lint:allow "} {
+		if rest, ok := strings.CutPrefix(text, prefix); ok {
+			return rest, true
+		}
+	}
+	return "", false
+}
+
+func posFile(prog *Program, pos token.Pos) string {
+	return prog.Fset.Position(pos).Filename
+}
+
+var srcCache = map[string][]string{}
+
+// sourceLines reads (and caches) the raw lines of the file containing
+// pos, used to classify directives as trailing vs standalone.
+func sourceLines(prog *Program, pos token.Pos) []string {
+	name := posFile(prog, pos)
+	if lines, ok := srcCache[name]; ok {
+		return lines
+	}
+	data, err := os.ReadFile(name)
+	if err != nil {
+		srcCache[name] = nil
+		return nil
+	}
+	lines := strings.Split(string(data), "\n")
+	srcCache[name] = lines
+	return lines
+}
+
+// lineHasCode reports whether line carries non-comment source before
+// column col (1-based) — i.e. the comment at col trails code.
+func lineHasCode(src []string, line, col int) bool {
+	if line-1 >= len(src) || line < 1 {
+		return false
+	}
+	prefix := src[line-1]
+	if col-1 <= len(prefix) {
+		prefix = prefix[:col-1]
+	}
+	return strings.TrimSpace(prefix) != ""
+}

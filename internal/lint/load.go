@@ -1,0 +1,394 @@
+// Package lint is the repo-aware static-analysis suite behind
+// cmd/dplint and the tier-1 lint self-test: a stdlib-only framework
+// (go/parser + go/types, no external analysis deps) that loads the
+// module's packages and runs repo-specific analyzers over them, each
+// mechanizing an invariant earlier PRs audited by hand (cache-key
+// coverage, context polling, bulk-kernel discipline, hot-loop
+// allocations, atomic/plain access mixing).
+//
+// Findings are suppressible only via explicit
+//
+//	//lint:allow <check> <reason>
+//
+// comments — end-of-line on the offending line, or standalone directly
+// above it. A directive that suppresses nothing is itself a finding
+// (allowdead), so every annotation in the tree stays load-bearing.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the loaded program.
+type Package struct {
+	// Path is the package's import path ("sublineardp/internal/seq").
+	Path string
+	// Dir is the absolute directory the package was loaded from.
+	Dir string
+	// Files are the package's parsed non-test source files.
+	Files []*ast.File
+	// Types and Info carry the go/types results. Info is always
+	// non-nil; best-effort when the package had type errors.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Program is a loaded module (or a single fixture directory) ready for
+// analysis.
+type Program struct {
+	Fset *token.FileSet
+	// Root is the absolute module root directory.
+	Root string
+	// ModulePath is the module path from go.mod ("sublineardp"), or the
+	// synthetic fixture path for LoadDir programs.
+	ModulePath string
+	// Packages is every loaded package in dependency order.
+	Packages []*Package
+	// TypeErrors collects type-checker diagnostics; analysis proceeds
+	// best-effort past them, but the driver surfaces them so a broken
+	// tree cannot silently pass as "no findings".
+	TypeErrors []error
+}
+
+// Pkg returns the loaded package whose path is ModulePath+"/"+rel
+// (or ModulePath itself for rel ""), or nil.
+func (p *Program) Pkg(rel string) *Package {
+	path := p.ModulePath
+	if rel != "" {
+		path += "/" + rel
+	}
+	for _, pkg := range p.Packages {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// Load parses and type-checks every non-test package under the module
+// rooted at root (skipping testdata, hidden and vendor directories).
+func Load(root string) (*Program, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: token.NewFileSet(), Root: root, ModulePath: modPath}
+	parsed := make(map[string]*Package, len(dirs)) // import path -> package
+	for _, dir := range dirs {
+		pkg, err := parseDir(prog.Fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Path = modPath
+		if rel != "." {
+			pkg.Path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		parsed[pkg.Path] = pkg
+	}
+	order := topoOrder(parsed, modPath)
+	if err := typeCheck(prog, parsed, order); err != nil {
+		return nil, err
+	}
+	for _, path := range order {
+		prog.Packages = append(prog.Packages, parsed[path])
+	}
+	return prog, nil
+}
+
+// LoadDir parses and type-checks the single package in dir as a
+// stand-alone program — the fixture loader behind the analyzer tests.
+// The package may import the standard library but not other module
+// packages. goRoot locates a go.mod so `go list` runs in module mode
+// (any module directory works; fixtures only resolve stdlib imports).
+func LoadDir(dir, goRoot string) (*Program, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: token.NewFileSet(), Root: dir, ModulePath: "fixture/" + filepath.Base(dir)}
+	pkg, err := parseDir(prog.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg.Path = prog.ModulePath
+	parsed := map[string]*Package{pkg.Path: pkg}
+	saved := prog.Root
+	prog.Root = goRoot // go list cwd for stdlib export data
+	err = typeCheck(prog, parsed, []string{pkg.Path})
+	prog.Root = saved
+	if err != nil {
+		return nil, err
+	}
+	prog.Packages = []*Package{pkg}
+	return prog, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory
+// holding a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod at or above the start directory")
+		}
+		dir = parent
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// packageDirs walks root collecting every directory holding non-test Go
+// files, skipping testdata (fixtures are loaded explicitly by their
+// tests, never as part of the module program), hidden directories, and
+// vendor trees.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses the non-test Go files of dir as one package (nil if
+// the directory holds none).
+func parseDir(fset *token.FileSet, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{Dir: dir}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		pkg.Files = append(pkg.Files, file)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+// topoOrder orders the parsed packages so every module-local import
+// precedes its importer (stdlib imports are external to the order).
+func topoOrder(pkgs map[string]*Package, modPath string) []string {
+	var order []string
+	state := make(map[string]int, len(pkgs)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		if state[path] != 0 {
+			return // visiting (cycle: let the type checker report it) or done
+		}
+		state[path] = 1
+		for _, imp := range localImports(pkgs[path], modPath) {
+			if _, ok := pkgs[imp]; ok {
+				visit(imp)
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+	}
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		visit(path)
+	}
+	return order
+}
+
+func localImports(pkg *Package, modPath string) []string {
+	var out []string
+	for _, f := range pkg.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == modPath || strings.HasPrefix(path, modPath+"/") {
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// typeCheck type-checks the packages in order. Module-local imports
+// resolve against the already-checked packages; everything else
+// resolves from compiler export data located by one `go list -export`
+// invocation over the union of external imports (the go toolchain is
+// part of the environment; no analysis library is).
+func typeCheck(prog *Program, pkgs map[string]*Package, order []string) error {
+	external := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, imp := range f.Imports {
+				path := strings.Trim(imp.Path.Value, `"`)
+				if path == "unsafe" || path == "C" || pkgs[path] != nil {
+					continue
+				}
+				if !strings.HasPrefix(path, prog.ModulePath+"/") {
+					external[path] = true
+				}
+			}
+		}
+	}
+	exports, err := exportData(prog.Root, external)
+	if err != nil {
+		return err
+	}
+	imp := &progImporter{local: pkgs, exports: exports}
+	imp.std = importer.ForCompiler(prog.Fset, "gc", imp.lookup)
+	for _, path := range order {
+		pkg := pkgs[path]
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { prog.TypeErrors = append(prog.TypeErrors, err) },
+		}
+		pkg.Info = &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		// Check returns an error on the first problem but the collected
+		// Info is still usable; TypeErrors carries the diagnostics.
+		pkg.Types, _ = conf.Check(path, prog.Fset, pkg.Files, pkg.Info)
+	}
+	return nil
+}
+
+type progImporter struct {
+	local   map[string]*Package
+	exports map[string]string // import path -> export data file
+	std     types.Importer
+}
+
+func (im *progImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := im.local[path]; ok {
+		if pkg.Types == nil {
+			return nil, fmt.Errorf("lint: import cycle or unchecked local package %q", path)
+		}
+		return pkg.Types, nil
+	}
+	return im.std.Import(path)
+}
+
+func (im *progImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := im.exports[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// exportData asks the go command for compiled export data covering the
+// given import paths and their dependencies. One invocation serves the
+// whole load; results come from the build cache.
+func exportData(dir string, paths map[string]bool) (map[string]string, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	args := []string{"list", "-deps", "-export", "-e", "-json=ImportPath,Export"}
+	sorted := make([]string, 0, len(paths))
+	for p := range paths {
+		sorted = append(sorted, p)
+	}
+	sort.Strings(sorted)
+	args = append(args, sorted...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list -export: %v\n%s", err, errb.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(&out)
+	for {
+		var entry struct{ ImportPath, Export string }
+		if err := dec.Decode(&entry); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: go list -export output: %v", err)
+		}
+		if entry.Export != "" {
+			exports[entry.ImportPath] = entry.Export
+		}
+	}
+	return exports, nil
+}

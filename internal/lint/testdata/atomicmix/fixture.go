@@ -1,0 +1,36 @@
+// Package fixture pins the atomicmix analyzer: hits is accessed via
+// sync/atomic in inc, so the plain read in bad is the true positive
+// and the annotated construction store is the suppressed negative;
+// cold is never touched atomically and stays clean.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	hits int64
+	cold int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) bad() int64 {
+	return c.hits // positive: plain read races the atomic adds
+}
+
+func (c *counter) reset() {
+	c.hits = 0 //lint:allow atomicmix pre-publication construction, no goroutine sees c yet
+}
+
+func (c *counter) fine() int64 {
+	c.cold++ // clean: cold has no atomic access anywhere
+	return atomic.LoadInt64(&c.hits)
+}
+
+var (
+	_ = (*counter).inc
+	_ = (*counter).bad
+	_ = (*counter).reset
+	_ = (*counter).fine
+)

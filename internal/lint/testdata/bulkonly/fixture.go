@@ -1,0 +1,32 @@
+// Package fixture pins the bulkonly analyzer: a per-candidate F call
+// inside a loop is the true positive, the annotated fallback is the
+// suppressed negative, and handing the F value to a bulk primitive is
+// the sanctioned pattern.
+package fixture
+
+// Instance mimics the recurrence transition carrier.
+type Instance struct {
+	F func(k, j int) int
+}
+
+func fold(in *Instance, n int) int {
+	best := 0
+	for j := 0; j < n; j++ {
+		best += in.F(j, n) // positive: dictionary call per candidate
+	}
+	for j := 0; j < n; j++ {
+		best += in.F(j, n) //lint:allow bulkonly fallback when the instance carries no bulk row form
+	}
+	bulk(in.F, n) // clean: passing the F value to a bulk primitive
+	return best
+}
+
+func bulk(f func(k, j int) int, n int) int {
+	out := 0
+	for j := 0; j < n; j++ {
+		out += f(j, n)
+	}
+	return out
+}
+
+var _ = fold

@@ -1,0 +1,37 @@
+// Package fixture pins the ctxpoll analyzer: the first loop is a true
+// positive (no context reference at all), the second polls, the third
+// passes the context onward, and the fourth is a suppressed
+// O(1)-bounded negative.
+package fixture
+
+import "context"
+
+// SolveFixtureCtx is the shape of an engine entry point: exported,
+// Solve*Ctx, context parameter.
+func SolveFixtureCtx(ctx context.Context, n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // positive: never consults ctx
+		total += i
+	}
+	for i := 0; i < n; i++ { // clean: polls
+		if ctx.Err() != nil {
+			return -1
+		}
+		total += i
+	}
+	for i := 0; i < n; i++ { // clean: delegates cancellation
+		total += step(ctx, i)
+	}
+	//lint:allow ctxpoll O(1) warm-up, three iterations by construction
+	for i := 0; i < 3; i++ {
+		total++
+	}
+	return total
+}
+
+func step(ctx context.Context, i int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return i
+}

@@ -1,0 +1,15 @@
+// Package fixture pins the framework's own directive hygiene: a
+// directive that suppresses nothing is an allowdead finding, and a
+// directive without a reason is an allowform finding.
+package fixture
+
+//lint:allow ctxpoll the loop this covered was deleted, making this annotation stale
+func nothing() {}
+
+//lint:allow hotalloc
+func reasonless() {}
+
+var (
+	_ = nothing
+	_ = reasonless
+)

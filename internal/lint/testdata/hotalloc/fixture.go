@@ -1,0 +1,32 @@
+// Package fixture pins the hotalloc analyzer: fmt, time.Now, string
+// concatenation (both spellings), and interface boxing inside a loop
+// are true positives; the annotated line is the suppressed negative;
+// the same constructs outside loops are clean.
+package fixture
+
+import (
+	"fmt"
+	"time"
+)
+
+func kernel(xs []int) (string, int64) {
+	s := ""
+	var ns int64
+	acc := 0
+	for _, x := range xs {
+		s = s + "x"                 // positive: concatenation
+		s += "y"                    // positive: concatenation, += spelling
+		ns += time.Now().UnixNano() // positive: time.Now per iteration
+		sink(x)                     // positive: x boxes into interface{}
+		acc += x                    // clean: no allocation
+	}
+	for range xs {
+		fmt.Println("hot") //lint:allow hotalloc suppressed-negative fixture line, pretend this is a cold path
+	}
+	out := fmt.Sprintf("%s-%d", s, acc) // clean: not inside a loop
+	return out, ns
+}
+
+func sink(v interface{}) {}
+
+var _ = kernel

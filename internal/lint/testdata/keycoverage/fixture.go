@@ -1,0 +1,20 @@
+// Package fixture pins the keycoverage analyzer: Band is a true
+// positive (result-affecting but never hashed), Pool a suppressed
+// negative, Workers a keyed field.
+package fixture
+
+// Config is the fixture's solve-affecting option struct.
+type Config struct {
+	// Workers is hashed below — no finding.
+	Workers int
+	Band    int // positive: result-affecting but never hashed
+	//lint:allow keycoverage execution plumbing only, cannot change the result
+	Pool *int
+}
+
+// solveKey is the fixture's key-derivation function.
+func solveKey(cfg *Config) int {
+	return cfg.Workers
+}
+
+var _ = solveKey // the fixture only exists to be analyzed

@@ -118,7 +118,7 @@ func SolveCtx(ctx context.Context, c *recurrence.Chain, o Options) (*Result, err
 	vec := recurrence.NewVector(n)
 	values := vec.Data()
 	values[0] = k.One()
-	for j := 1; j <= n; j++ {
+	for j := 1; j <= n; j++ { //lint:allow ctxpoll O(n) Zero fill before any worker starts; no candidate work
 		values[j] = k.Zero()
 	}
 
@@ -133,7 +133,7 @@ func SolveCtx(ctx context.Context, c *recurrence.Chain, o Options) (*Result, err
 	// last goroutine to store a bit of a contiguous stable prefix
 	// observes the whole prefix and publishes it.
 	advance := func() {
-		for {
+		for { //lint:allow ctxpoll lock-free frontier cascade: every retry observes another worker's progress and the stable prefix bounds it
 			f := frontier.Load()
 			if f >= int64(n) || !stable[f+1].Load() {
 				return
@@ -179,7 +179,7 @@ func SolveCtx(ctx context.Context, c *recurrence.Chain, o Options) (*Result, err
 							c.FRow(j, k0, row)
 						} else {
 							for t := 0; t < cnt; t++ {
-								row[t] = c.F(k0+t, j)
+								row[t] = c.F(k0+t, j) //lint:allow bulkonly per-candidate fallback when the chain supplies no FRow; FRow chains take the ReduceRelax bulk path
 							}
 						}
 						values[j] = k.ReduceRelax(values[j], values, row, algebra.ReduceShape{
@@ -244,7 +244,7 @@ func SolveCtx(ctx context.Context, c *recurrence.Chain, o Options) (*Result, err
 					c.FRow(j, k0, row)
 				} else {
 					for t := 0; t < cnt; t++ {
-						row[t] = c.F(k0+t, j)
+						row[t] = c.F(k0+t, j) //lint:allow bulkonly per-candidate fallback when the chain supplies no FRow; FRow chains take the ReduceRelax bulk path
 					}
 				}
 				values[j] = k.ReduceRelax(values[j], values, row, algebra.ReduceShape{
@@ -259,7 +259,7 @@ func SolveCtx(ctx context.Context, c *recurrence.Chain, o Options) (*Result, err
 	}
 
 	maxSweeps := int64(0)
-	for _, s := range sweeps {
+	for _, s := range sweeps { //lint:allow ctxpoll O(workers) counter fold after dispatch has returned
 		if s > maxSweeps {
 			maxSweeps = s
 		}

@@ -129,17 +129,17 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Resu
 		s.pool = parutil.Default()
 	}
 	zero := sr.Zero()
-	for i := range s.w {
+	for i := range s.w { //lint:allow ctxpoll O(n^2) Zero fill before the polled iteration; rytter is size-capped by the heavy-engine policy
 		s.w[i] = zero
 	}
-	for i := range s.pw {
+	for i := range s.pw { //lint:allow ctxpoll O(n^4) pw fill is this engine's unavoidable state init, size-capped by the heavy-engine policy
 		s.pw[i] = zero
 	}
-	for i := 0; i < n; i++ {
+	for i := 0; i < n; i++ { //lint:allow ctxpoll O(n) Init fill before the polled iteration
 		s.w[i*sz+i+1] = in.Init(i)
 	}
 	one := sr.One()
-	for i := 0; i <= n; i++ {
+	for i := 0; i <= n; i++ { //lint:allow ctxpoll O(n^2) pair-list build before the polled iteration
 		for j := i + 1; j <= n; j++ {
 			s.pw[s.idx(i, j, i, j)] = one
 			s.pairs = append(s.pairs, [2]int32{int32(i), int32(j)})
@@ -155,7 +155,7 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Resu
 	// Exact per-iteration charges.
 	var squareCells, squareWork, squareMaxM int64
 	var pebbleCells, pebbleWork, pebbleMaxM int64
-	for L := int64(1); L <= int64(n); L++ {
+	for L := int64(1); L <= int64(n); L++ { //lint:allow ctxpoll closed-form charge accounting over spans, no table work
 		pairsL := int64(n) + 1 - L
 		var cells, work int64
 		for a := int64(0); a <= L; a++ { // a = p-i
@@ -208,7 +208,7 @@ func SolveCtx(ctx context.Context, in *recurrence.Instance, opts Options) (*Resu
 	}
 
 	res.Table = recurrence.NewTable(n)
-	for i := 0; i <= n; i++ {
+	for i := 0; i <= n; i++ { //lint:allow ctxpoll O(n^2) result copy after the polled iteration loop has ended
 		for j := i + 1; j <= n; j++ {
 			res.Table.Set(i, j, s.w[i*sz+j])
 		}
@@ -225,7 +225,7 @@ func (s *state) activate() {
 			return
 		}
 		for k := i + 1; k < j; k++ {
-			fv := in.F(i, k, j)
+			fv := in.F(i, k, j) //lint:allow bulkonly heavy O(n^4)-state reference engine, size-capped and never on the bulk serving path
 			s.sr.RelaxAt(s.pw, s.idx(i, j, i, k), fv, s.w[k*s.sz+j])
 			s.sr.RelaxAt(s.pw, s.idx(i, j, k, j), fv, s.w[i*s.sz+k])
 		}

@@ -59,7 +59,7 @@ func SolveChainSemiringCtx(ctx context.Context, c *recurrence.Chain, sr algebra.
 		N:      n,
 		zero:   k.Zero(),
 	}
-	for i := range res.preds {
+	for i := range res.preds { //lint:allow ctxpoll O(n) pred-sentinel fill before the polled fold
 		res.preds[i] = -1
 	}
 	values := res.Values.Data()
@@ -72,7 +72,7 @@ func SolveChainSemiringCtx(ctx context.Context, c *recurrence.Chain, sr algebra.
 		best := k.Zero()
 		bestK := int32(-1)
 		for kk := lo; kk < j; kk++ {
-			v := k.Extend(values[kk], c.F(kk, j))
+			v := k.Extend(values[kk], c.F(kk, j)) //lint:allow bulkonly per-candidate fallback when the chain supplies no FRow; FRow chains take the ReduceRelax bulk path
 			// Strict improvement keeps the smallest k on ties; best
 			// advances by Combine, not replacement, so the fold matches
 			// the bulk kernels bitwise even for non-selective algebras.
@@ -145,7 +145,7 @@ func BruteForceChain(c *recurrence.Chain) cost.Cost {
 		}
 		best := k.Zero()
 		for kk := c.Lo(j); kk < j; kk++ {
-			best = k.Combine(best, k.Extend(rec(kk), c.F(kk, j)))
+			best = k.Combine(best, k.Extend(rec(kk), c.F(kk, j))) //lint:allow bulkonly brute-force recursive ground truth for tiny n; test-only by construction
 		}
 		return best
 	}

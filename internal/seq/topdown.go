@@ -61,7 +61,7 @@ func SolveTopDown(in *recurrence.Instance) *Result {
 		best := cost.Inf
 		bestK := int32(-1)
 		for k := fr.i + 1; k < fr.j; k++ {
-			v := cost.Add3(in.F(fr.i, k, fr.j), res.Table.At(fr.i, k), res.Table.At(k, fr.j))
+			v := cost.Add3(in.F(fr.i, k, fr.j), res.Table.At(fr.i, k), res.Table.At(k, fr.j)) //lint:allow bulkonly memoized reference solver for tests and tiny instances; never on the bulk serving path
 			if v < best {
 				best = v
 				bestK = int32(k)

@@ -1,6 +1,7 @@
 package sublineardp
 
 import (
+	"context"
 	"testing"
 
 	"sublineardp/internal/cache"
@@ -88,6 +89,65 @@ func TestSolveKeySeparatesResultAffectingOptions(t *testing.T) {
 	overrideKey, _ := solveKey(in, EngineAuto, &maxCfg)
 	if overrideKey == twinKey {
 		t.Fatal("override max-plus on matrixchain collides with declared worstchain")
+	}
+}
+
+// The other half of the keying discipline, justifying every
+// `//lint:allow keycoverage` exemption in solveropts.go: execution
+// plumbing must NOT move the key. Pool, Cache and Concurrency change
+// where and when a solve runs, never what it returns — keying them
+// would split identical solves across cache entries. Target is the one
+// exempted field that does alter the Solution (ConvergedAt), so the
+// second half pins solver.go's stronger guarantee: a Solver with a
+// Target never touches its cache at all.
+func TestSolveKeyIgnoresExecutionPlumbing(t *testing.T) {
+	in := problems.CLRSMatrixChain()
+	base := Config{}
+	baseKey, ok := solveKey(in, EngineAuto, &base)
+	if !ok {
+		t.Fatal("not keyed")
+	}
+
+	pool := NewPool(2)
+	defer pool.Close()
+	plumbing := map[string]func(*Config){
+		"pool":        func(c *Config) { c.Pool = pool },
+		"cache":       func(c *Config) { c.Cache = NewCache(8) },
+		"concurrency": func(c *Config) { c.Concurrency = 3 },
+		"target":      func(c *Config) { c.Target = &Table{N: in.N} },
+	}
+	for label, mutate := range plumbing {
+		cfg := base
+		mutate(&cfg)
+		key, ok := solveKey(in, EngineAuto, &cfg)
+		if !ok {
+			t.Fatalf("%s: not keyed", label)
+		}
+		if key != baseKey {
+			t.Errorf("%s: execution plumbing moved the solve key", label)
+		}
+	}
+
+	// The Target cache-bypass: a cached ConvergedAt recorded under a
+	// different target would be silently wrong, so Solver.Solve must
+	// skip the cache protocol entirely when Target is set.
+	ref, err := MustNewSolver(EngineSequential).Solve(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCache(8)
+	s := MustNewSolver(EngineSequential, WithCache(c), WithTarget(ref.Table))
+	for i := 0; i < 2; i++ {
+		sol, err := s.Solve(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Cached {
+			t.Fatalf("solve %d with Target was served from cache", i)
+		}
+	}
+	if st := c.Stats(); st.Hits+st.Misses+st.Insertions+st.Solves != 0 {
+		t.Errorf("Target did not bypass the cache: stats %+v", st)
 	}
 }
 

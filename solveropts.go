@@ -77,6 +77,7 @@ func LookupSemiring(name string) (Semiring, bool) {
 type Config struct {
 	// Engine is the registry name to solve with ("" = "auto"). NewSolver's
 	// positional engine argument takes precedence when both are given.
+	//lint:allow keycoverage keyed as solveKey's engineName argument after NewSolver-precedence and auto-routing resolution; hashing the raw field would split identical solves
 	Engine string
 
 	// Workers is the goroutine count per solve (0 = GOMAXPROCS).
@@ -88,6 +89,7 @@ type Config struct {
 	// a-activate/a-square/a-pebble kernels onto (nil = the process-wide
 	// shared pool). SolveBatch threads one pool through every solve of a
 	// batch.
+	//lint:allow keycoverage execution plumbing: which goroutines run the kernels cannot change the table (TestSolveKeyIgnoresExecutionPlumbing)
 	Pool *Pool
 
 	// TileSize is the kernels' scheduling tile: how many (i,j) cells of
@@ -121,6 +123,7 @@ type Config struct {
 	// Target, when non-nil, is a known-correct table; iterative engines
 	// record in Solution.ConvergedAt the first iteration after which
 	// their table matches it. Never affects control flow.
+	//lint:allow keycoverage observability-only and Solver.Solve bypasses the cache entirely when Target is set (TestSolveKeyIgnoresExecutionPlumbing pins the bypass)
 	Target *Table
 
 	// Semiring overrides the algebra every engine evaluates the
@@ -130,12 +133,14 @@ type Config struct {
 
 	// Concurrency bounds how many instances SolveBatch solves at once
 	// (0 = GOMAXPROCS). Ignored by single solves.
+	//lint:allow keycoverage batch-level scheduling width: changes when solves run, never what any of them returns (TestSolveKeyIgnoresExecutionPlumbing)
 	Concurrency int
 
 	// Cache, when non-nil, is a content-addressed solution cache with
 	// single-flight dedup consulted by every Solve of canonicalisable
 	// instances (WithCache). Cached solutions are shared: treat them as
 	// read-only.
+	//lint:allow keycoverage the cache is the key's consumer, not an input: keying it would make every Cache instance its own key namespace (TestSolveKeyIgnoresExecutionPlumbing)
 	Cache *Cache
 
 	// AutoCutoff is the instance size at or below which the "auto"
